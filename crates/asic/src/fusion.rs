@@ -1,0 +1,253 @@
+//! Arithmetic-cell fusion: pattern-match full-adder and half-adder
+//! structures and price them as dedicated compound cells.
+//!
+//! Real standard-cell libraries ship `FA`/`HA` cells that are
+//! substantially cheaper than their discrete XOR/MAJ/AND decomposition;
+//! synthesis tools match the patterns during technology mapping. This
+//! module does the same on our netlists:
+//!
+//! * **Full adder** — a `Maj(a,b,c)` carry paired with a sum
+//!   `Xor(Xor(a,b),c)` (any operand order) over the same three nets, with
+//!   the inner XOR absorbed when the pair is its only reader.
+//! * **Half adder** — an `And(a,b)` carry paired with `Xor(a,b)`.
+//!
+//! Fusion affects cost accounting only: the netlist is never rewritten,
+//! so behavioural results are untouched. The effect on the reports is the
+//! classic one — ripple-carry structures get markedly cheaper, flattened
+//! carry-lookahead logic (no FA patterns) does not, widening exactly the
+//! architectural contrast the paper's ASIC pareto fronts are built from.
+
+use std::collections::{HashMap, HashSet};
+
+use afp_netlist::{Gate, Netlist};
+
+/// A matched compound-cell instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FusedCell {
+    /// Full adder: (sum XOR3 root, inner XOR — absorbed when `Some`,
+    /// carry MAJ).
+    FullAdder {
+        /// Node index of the outer (sum) XOR.
+        sum: usize,
+        /// Node index of the absorbed inner XOR, when it has no other
+        /// readers.
+        inner: Option<usize>,
+        /// Node index of the MAJ carry.
+        carry: usize,
+    },
+    /// Half adder: (XOR sum, AND carry).
+    HalfAdder {
+        /// Node index of the XOR sum.
+        sum: usize,
+        /// Node index of the AND carry.
+        carry: usize,
+    },
+}
+
+/// Result of the matching pass: fused instances plus the set of node
+/// indices they cover (those are *not* priced as discrete cells).
+#[derive(Clone, Debug, Default)]
+pub struct Fusion {
+    /// Matched compound cells.
+    pub cells: Vec<FusedCell>,
+    /// Every node absorbed into some compound cell.
+    pub covered: HashSet<usize>,
+}
+
+impl Fusion {
+    /// Number of matched full adders.
+    pub fn full_adders(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, FusedCell::FullAdder { .. }))
+            .count()
+    }
+
+    /// Number of matched half adders.
+    pub fn half_adders(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, FusedCell::HalfAdder { .. }))
+            .count()
+    }
+}
+
+fn sorted3(mut v: [usize; 3]) -> [usize; 3] {
+    v.sort_unstable();
+    v
+}
+
+/// Match FA/HA patterns over `netlist`.
+///
+/// Matching is greedy and deterministic (node order); a node joins at
+/// most one compound cell.
+pub fn match_arith_cells(netlist: &Netlist) -> Fusion {
+    let gates = netlist.gates();
+    let fanout = afp_netlist::analyze::fanout(netlist);
+
+    // Index MAJ gates by their sorted operand triple.
+    let mut maj_of: HashMap<[usize; 3], Vec<usize>> = HashMap::new();
+    for (i, g) in gates.iter().enumerate() {
+        if let Gate::Maj(a, b, c) = g {
+            maj_of
+                .entry(sorted3([a.index(), b.index(), c.index()]))
+                .or_default()
+                .push(i);
+        }
+    }
+
+    let mut fusion = Fusion::default();
+    let mut taken: HashSet<usize> = HashSet::new();
+
+    // Full adders: outer XOR whose one operand is an inner XOR.
+    for (i, g) in gates.iter().enumerate() {
+        let Gate::Xor(x, y) = g else { continue };
+        if taken.contains(&i) {
+            continue;
+        }
+        for (inner_idx, third) in [(x.index(), y.index()), (y.index(), x.index())] {
+            let Gate::Xor(a, b) = gates[inner_idx] else {
+                continue;
+            };
+            if taken.contains(&inner_idx) {
+                continue;
+            }
+            let triple = sorted3([a.index(), b.index(), third]);
+            let Some(majs) = maj_of.get_mut(&triple) else {
+                continue;
+            };
+            let Some(maj_idx) = majs.iter().position(|m| !taken.contains(m)) else {
+                continue;
+            };
+            let carry = majs.remove(maj_idx);
+            // Absorb the inner XOR only when this sum is its only reader.
+            let inner = if fanout[inner_idx] == 1 {
+                taken.insert(inner_idx);
+                Some(inner_idx)
+            } else {
+                None
+            };
+            taken.insert(i);
+            taken.insert(carry);
+            fusion.cells.push(FusedCell::FullAdder {
+                sum: i,
+                inner,
+                carry,
+            });
+            break;
+        }
+    }
+
+    // Half adders: Xor(a,b) + And(a,b) over the same pair.
+    let mut and_of: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for (i, g) in gates.iter().enumerate() {
+        if taken.contains(&i) {
+            continue;
+        }
+        if let Gate::And(a, b) = g {
+            let key = if a <= b {
+                (a.index(), b.index())
+            } else {
+                (b.index(), a.index())
+            };
+            and_of.entry(key).or_default().push(i);
+        }
+    }
+    for (i, g) in gates.iter().enumerate() {
+        let Gate::Xor(a, b) = g else { continue };
+        if taken.contains(&i) {
+            continue;
+        }
+        let key = if a <= b {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
+        let Some(ands) = and_of.get_mut(&key) else {
+            continue;
+        };
+        let Some(pos) = ands.iter().position(|m| !taken.contains(m)) else {
+            continue;
+        };
+        let carry = ands.remove(pos);
+        taken.insert(i);
+        taken.insert(carry);
+        fusion.cells.push(FusedCell::HalfAdder { sum: i, carry });
+    }
+
+    fusion.covered = taken;
+    fusion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuits::{adders, multipliers};
+
+    #[test]
+    fn ripple_adder_is_mostly_full_adders() {
+        let c = adders::ripple_carry(8);
+        let f = match_arith_cells(c.netlist());
+        // 7 full adders + 1 half adder in an 8-bit RCA.
+        assert_eq!(f.full_adders(), 7, "{:?}", f.cells);
+        assert_eq!(f.half_adders(), 1);
+        // Each FA covers sum + inner + carry = 3 nodes; HA covers 2.
+        assert_eq!(f.covered.len(), 7 * 3 + 2);
+    }
+
+    #[test]
+    fn lookahead_adder_has_few_patterns() {
+        let c = adders::carry_lookahead(8);
+        let f = match_arith_cells(c.netlist());
+        // CLA computes carries with AND/OR trees: no MAJ, no FAs.
+        assert_eq!(f.full_adders(), 0);
+    }
+
+    #[test]
+    fn multiplier_reduction_is_full_adder_rich() {
+        let c = multipliers::wallace_multiplier(8);
+        let f = match_arith_cells(c.netlist());
+        assert!(f.full_adders() > 20, "only {} FAs", f.full_adders());
+    }
+
+    #[test]
+    fn shared_inner_xor_is_not_absorbed() {
+        use afp_netlist::Netlist;
+        let mut n = Netlist::new("shared");
+        let a = n.add_input();
+        let b = n.add_input();
+        let cin = n.add_input();
+        let axb = n.xor(a, b);
+        let sum = n.xor(axb, cin);
+        let carry = n.maj(a, b, cin);
+        let extra = n.not(axb); // second reader of the inner xor
+        n.set_outputs(vec![sum, carry, extra]);
+        let f = match_arith_cells(&n);
+        assert_eq!(f.full_adders(), 1);
+        match &f.cells[0] {
+            FusedCell::FullAdder { inner, .. } => assert_eq!(*inner, None),
+            other => panic!("wrong match {other:?}"),
+        }
+        assert!(!f.covered.contains(&axb.index()));
+    }
+
+    #[test]
+    fn nodes_join_at_most_one_cell() {
+        let c = multipliers::array_multiplier(8);
+        let f = match_arith_cells(c.netlist());
+        let mut seen = HashSet::new();
+        for cell in &f.cells {
+            let nodes: Vec<usize> = match cell {
+                FusedCell::FullAdder { sum, inner, carry } => {
+                    let mut v = vec![*sum, *carry];
+                    v.extend(inner.iter().copied());
+                    v
+                }
+                FusedCell::HalfAdder { sum, carry } => vec![*sum, *carry],
+            };
+            for n in nodes {
+                assert!(seen.insert(n), "node {n} in two cells");
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The 5x5 Gaussian-filter accelerator: exact reference, configurable
+//! approximate datapath, and the FPGA cost composition model.
+
+use crate::components::ComponentLibrary;
+use crate::image::Image;
+
+/// The separable binomial kernel `[1,4,6,4,1] ⊗ [1,4,6,4,1]` (sum 256).
+pub const KERNEL_1D: [u16; 5] = [1, 4, 6, 4, 1];
+
+/// Number of multiplier slots: one per `(|dy|, |dx|)` symmetry class of
+/// the 5x5 kernel.
+pub const MULT_SLOTS: usize = 9;
+
+/// Number of adder slots: one per level of the 25-operand reduction tree.
+pub const ADDER_SLOTS: usize = 5;
+
+/// Multiplier instances per slot class (25 taps total).
+pub const MULT_INSTANCES: [usize; MULT_SLOTS] = [1, 2, 2, 2, 4, 4, 2, 4, 4];
+
+/// Adder instances per reduction level (24 additions total).
+pub const ADDER_INSTANCES: [usize; ADDER_SLOTS] = [12, 6, 3, 2, 1];
+
+/// Symmetry class of tap offset `(dy, dx)` in `-2..=2`.
+fn tap_class(dy: isize, dx: isize) -> usize {
+    let (ay, ax) = (dy.unsigned_abs(), dx.unsigned_abs());
+    ay * 3 + ax // (|dy|, |dx|) in 0..=2 each
+}
+
+/// Kernel coefficient of tap offset `(dy, dx)`.
+fn tap_coeff(dy: isize, dx: isize) -> u16 {
+    KERNEL_1D[(dy + 2) as usize] * KERNEL_1D[(dx + 2) as usize]
+}
+
+/// One slot assignment: which library component serves each multiplier
+/// class and each adder level.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    /// Multiplier component index per slot class.
+    pub mult_slots: [usize; MULT_SLOTS],
+    /// Adder component index per reduction level.
+    pub adder_slots: [usize; ADDER_SLOTS],
+}
+
+impl AcceleratorConfig {
+    /// The all-exact configuration (component 0 everywhere, which the
+    /// paper-default library reserves for the exact circuits).
+    pub fn exact() -> AcceleratorConfig {
+        AcceleratorConfig {
+            mult_slots: [0; MULT_SLOTS],
+            adder_slots: [0; ADDER_SLOTS],
+        }
+    }
+
+    /// Size of the full configuration space for `library`.
+    pub fn space_size(library: &ComponentLibrary) -> f64 {
+        (library.multipliers().len() as f64).powi(MULT_SLOTS as i32)
+            * (library.adders().len() as f64).powi(ADDER_SLOTS as i32)
+    }
+
+    /// One-hot feature vector for the estimators.
+    pub fn features(&self, library: &ComponentLibrary) -> Vec<f64> {
+        let m = library.multipliers().len();
+        let a = library.adders().len();
+        let mut f = vec![0.0; MULT_SLOTS * m + ADDER_SLOTS * a];
+        for (slot, &choice) in self.mult_slots.iter().enumerate() {
+            f[slot * m + choice] = 1.0;
+        }
+        let off = MULT_SLOTS * m;
+        for (slot, &choice) in self.adder_slots.iter().enumerate() {
+            f[off + slot * a + choice] = 1.0;
+        }
+        f
+    }
+}
+
+/// FPGA cost of a composed accelerator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HwCost {
+    /// Total LUTs over all component instances.
+    pub luts: usize,
+    /// Total power in mW.
+    pub power_mw: f64,
+    /// Critical-path delay in ns (slowest multiplier + adder-tree path).
+    pub delay_ns: f64,
+    /// Modeled synthesis time for the composed accelerator in seconds.
+    pub synth_time_s: f64,
+}
+
+/// The configurable Gaussian accelerator bound to a component library.
+pub struct GaussianAccelerator<'l> {
+    library: &'l ComponentLibrary,
+}
+
+impl<'l> GaussianAccelerator<'l> {
+    /// Bind an accelerator model to `library`.
+    pub fn new(library: &'l ComponentLibrary) -> GaussianAccelerator<'l> {
+        GaussianAccelerator { library }
+    }
+
+    /// The bound component library.
+    pub fn library(&self) -> &ComponentLibrary {
+        self.library
+    }
+
+    /// Run the approximate datapath over `input`.
+    ///
+    /// Products use the per-class multiplier tables; the 25-operand
+    /// reduction runs level by level through the assigned adder
+    /// components' behavioural models (batched bit-parallel evaluation).
+    pub fn filter(&self, config: &AcceleratorConfig, input: &Image) -> Image {
+        let (w, h) = (input.width(), input.height());
+        let mults = self.library.multipliers();
+        let adders = self.library.adders();
+        // Per-pixel 25 products.
+        let mut values: Vec<Vec<u64>> = Vec::with_capacity(w * h);
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                let mut taps = Vec::with_capacity(25);
+                for dy in -2isize..=2 {
+                    for dx in -2isize..=2 {
+                        let px = input.pixel_clamped(x + dx, y + dy);
+                        let class = tap_class(dy, dx);
+                        let coeff = tap_coeff(dy, dx);
+                        let m = &mults[config.mult_slots[class]];
+                        taps.push(m.mult(px, coeff as u8) as u64);
+                    }
+                }
+                values.push(taps);
+            }
+        }
+        // Reduction tree: level by level, batched across pixels.
+        for level in 0..ADDER_SLOTS {
+            let adder = &adders[config.adder_slots[level]];
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            for taps in &values {
+                for chunk in taps.chunks(2) {
+                    if chunk.len() == 2 {
+                        pairs.push((chunk[0] & 0xFFFF, chunk[1] & 0xFFFF));
+                    }
+                }
+            }
+            let sums = adder.add_batch(&pairs);
+            let mut cursor = 0usize;
+            for taps in values.iter_mut() {
+                let mut next = Vec::with_capacity(taps.len().div_ceil(2));
+                for chunk in taps.chunks(2) {
+                    if chunk.len() == 2 {
+                        next.push(sums[cursor] & 0x1FFFF);
+                        cursor += 1;
+                    } else {
+                        next.push(chunk[0]);
+                    }
+                }
+                *taps = next;
+            }
+            let _ = level;
+        }
+        let data: Vec<u8> = values
+            .iter()
+            .map(|taps| ((taps[0] >> 8) as u64).min(255) as u8)
+            .collect();
+        Image::from_raw(w, h, data)
+    }
+
+    /// FPGA cost of the composed accelerator under the composition model:
+    /// instance-weighted sums for area/power, slowest-multiplier plus
+    /// adder-tree path for delay.
+    pub fn hw_cost(&self, config: &AcceleratorConfig) -> HwCost {
+        let mults = self.library.multipliers();
+        let adders = self.library.adders();
+        let mut luts = 0usize;
+        let mut power = 0.0f64;
+        let mut gates = 0usize;
+        let mut mult_delay = 0.0f64;
+        for (slot, &choice) in config.mult_slots.iter().enumerate() {
+            let c = &mults[choice];
+            luts += MULT_INSTANCES[slot] * c.fpga().luts;
+            power += MULT_INSTANCES[slot] as f64 * c.fpga().power_mw;
+            gates += MULT_INSTANCES[slot] * c.circuit().netlist().num_logic_gates();
+            mult_delay = mult_delay.max(c.fpga().delay_ns);
+        }
+        let mut tree_delay = 0.0f64;
+        let mut depth = 0u32;
+        for (level, &choice) in config.adder_slots.iter().enumerate() {
+            let c = &adders[choice];
+            luts += ADDER_INSTANCES[level] * c.fpga().luts;
+            power += ADDER_INSTANCES[level] as f64 * c.fpga().power_mw;
+            gates += ADDER_INSTANCES[level] * c.circuit().netlist().num_logic_gates();
+            tree_delay += c.fpga().delay_ns + 0.25; // + inter-stage routing
+            depth += c.fpga().depth_levels;
+        }
+        let delay = mult_delay + tree_delay;
+        let synth_time_s = afp_fpga::synth_time::estimate(
+            gates,
+            luts,
+            depth,
+            config_hash(config),
+        );
+        HwCost {
+            luts,
+            power_mw: power,
+            delay_ns: delay,
+            synth_time_s,
+        }
+    }
+}
+
+fn config_hash(config: &AcceleratorConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in config.mult_slots.iter().chain(&config.adder_slots) {
+        h ^= v as u64 + 0x9E37_79B9_7F4A_7C15;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Exact integer reference filter (`sum(coeff * px) >> 8`, clamp-to-edge).
+pub fn exact_gaussian(input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut data = Vec::with_capacity(w * h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let mut sum = 0u32;
+            for dy in -2isize..=2 {
+                for dx in -2isize..=2 {
+                    sum += input.pixel_clamped(x + dx, y + dy) as u32
+                        * tap_coeff(dy, dx) as u32;
+                }
+            }
+            data.push((sum >> 8).min(255) as u8);
+        }
+    }
+    Image::from_raw(w, h, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{gradient, test_corpus};
+    use crate::ssim::ssim;
+    use afp_fpga::FpgaConfig;
+
+    fn library() -> ComponentLibrary {
+        ComponentLibrary::paper_defaults(&FpgaConfig::default())
+    }
+
+    #[test]
+    fn tap_classes_cover_nine_and_instances_sum_to_25() {
+        let mut counts = [0usize; MULT_SLOTS];
+        for dy in -2isize..=2 {
+            for dx in -2isize..=2 {
+                counts[tap_class(dy, dx)] += 1;
+            }
+        }
+        assert_eq!(counts, MULT_INSTANCES);
+        assert_eq!(MULT_INSTANCES.iter().sum::<usize>(), 25);
+        assert_eq!(ADDER_INSTANCES.iter().sum::<usize>(), 24);
+    }
+
+    #[test]
+    fn kernel_sums_to_256() {
+        let total: u32 = (-2isize..=2)
+            .flat_map(|dy| (-2isize..=2).map(move |dx| tap_coeff(dy, dx) as u32))
+            .sum();
+        assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn exact_config_matches_reference_filter() {
+        let lib = library();
+        let accel = GaussianAccelerator::new(&lib);
+        for img in test_corpus(32, 3) {
+            let approx = accel.filter(&AcceleratorConfig::exact(), &img);
+            let exact = exact_gaussian(&img);
+            assert_eq!(approx, exact, "exact config must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn exact_filter_smooths() {
+        let img = crate::image::noise(32, 5);
+        let out = exact_gaussian(&img);
+        // Total variation decreases under low-pass filtering.
+        let tv = |im: &Image| -> f64 {
+            let mut s = 0.0;
+            for y in 0..im.height() {
+                for x in 1..im.width() {
+                    s += (im.pixel_clamped(x as isize, y as isize) as f64
+                        - im.pixel_clamped(x as isize - 1, y as isize) as f64)
+                        .abs();
+                }
+            }
+            s
+        };
+        assert!(tv(&out) < tv(&img) * 0.5);
+    }
+
+    #[test]
+    fn approximate_config_degrades_gracefully() {
+        let lib = library();
+        let accel = GaussianAccelerator::new(&lib);
+        let img = gradient(32);
+        let exact = exact_gaussian(&img);
+        // Mildly approximate: truncated-2 multipliers everywhere.
+        let mild = AcceleratorConfig {
+            mult_slots: [1; MULT_SLOTS],
+            adder_slots: [0; ADDER_SLOTS],
+        };
+        // Heavily approximate.
+        let heavy = AcceleratorConfig {
+            mult_slots: [3; MULT_SLOTS],
+            adder_slots: [5; ADDER_SLOTS],
+        };
+        let s_mild = ssim(&accel.filter(&mild, &img), &exact);
+        let s_heavy = ssim(&accel.filter(&heavy, &img), &exact);
+        assert!(s_mild > 0.8, "mild config too bad: {s_mild}");
+        assert!(s_mild > s_heavy, "mild {s_mild} vs heavy {s_heavy}");
+    }
+
+    #[test]
+    fn hw_cost_composition_is_monotone() {
+        let lib = library();
+        let accel = GaussianAccelerator::new(&lib);
+        let exact = accel.hw_cost(&AcceleratorConfig::exact());
+        // Cheapest multiplier everywhere should cut LUTs and power.
+        let cheapest_mult = (0..lib.multipliers().len())
+            .min_by_key(|&i| lib.multipliers()[i].fpga().luts)
+            .unwrap();
+        let cheap = AcceleratorConfig {
+            mult_slots: [cheapest_mult; MULT_SLOTS],
+            adder_slots: [0; ADDER_SLOTS],
+        };
+        let cheap_cost = accel.hw_cost(&cheap);
+        assert!(cheap_cost.luts < exact.luts);
+        assert!(cheap_cost.power_mw < exact.power_mw);
+        assert!(exact.synth_time_s > 0.0);
+    }
+
+    #[test]
+    fn config_space_matches_formula() {
+        let lib = library();
+        let space = AcceleratorConfig::space_size(&lib);
+        assert_eq!(space, 9f64.powi(9) * 8f64.powi(5));
+        assert!(space > 1e13);
+    }
+
+    #[test]
+    fn features_are_one_hot() {
+        let lib = library();
+        let cfg = AcceleratorConfig::exact();
+        let f = cfg.features(&lib);
+        assert_eq!(f.len(), 9 * 9 + 5 * 8);
+        assert_eq!(f.iter().sum::<f64>() as usize, MULT_SLOTS + ADDER_SLOTS);
+    }
+}

@@ -1,0 +1,234 @@
+//! Synthetic grayscale test images.
+//!
+//! The paper measures the Gaussian filter's output quality on an image
+//! corpus; lacking their images, we synthesize a deterministic corpus with
+//! the frequency content that matters for a low-pass filter: smooth
+//! gradients, hard edges (checkerboard), natural-ish fractal texture
+//! (midpoint displacement "plasma") and high-frequency noise.
+
+/// An 8-bit grayscale image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Create from raw row-major pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Image {
+        assert_eq!(data.len(), width * height, "pixel count mismatch");
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)` with clamp-to-edge semantics for out-of-range
+    /// coordinates (the filter's border handling).
+    pub fn pixel_clamped(&self, x: isize, y: isize) -> u8 {
+        let xi = x.clamp(0, self.width as isize - 1) as usize;
+        let yi = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[yi * self.width + xi]
+    }
+
+    /// Raw pixels, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&p| p as f64).sum::<f64>() / self.data.len().max(1) as f64
+    }
+}
+
+/// Smooth diagonal gradient.
+pub fn gradient(size: usize) -> Image {
+    let mut data = Vec::with_capacity(size * size);
+    for y in 0..size {
+        for x in 0..size {
+            data.push((((x + y) * 255) / (2 * size - 2).max(1)) as u8);
+        }
+    }
+    Image::from_raw(size, size, data)
+}
+
+/// Checkerboard with `cell`-pixel squares (hard edges).
+pub fn checkerboard(size: usize, cell: usize) -> Image {
+    let cell = cell.max(1);
+    let mut data = Vec::with_capacity(size * size);
+    for y in 0..size {
+        for x in 0..size {
+            let on = ((x / cell) + (y / cell)) % 2 == 0;
+            data.push(if on { 230 } else { 25 });
+        }
+    }
+    Image::from_raw(size, size, data)
+}
+
+/// Uniform pseudo-random noise.
+pub fn noise(size: usize, seed: u64) -> Image {
+    let mut s = seed | 1;
+    let mut data = Vec::with_capacity(size * size);
+    for _ in 0..size * size {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        data.push((s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8);
+    }
+    Image::from_raw(size, size, data)
+}
+
+/// Fractal "plasma" texture via midpoint displacement on a
+/// power-of-two-plus-one lattice, cropped to `size`.
+pub fn plasma(size: usize, seed: u64) -> Image {
+    let mut n = 1usize;
+    while n + 1 < size.max(2) {
+        n *= 2;
+    }
+    let lattice = n + 1;
+    let mut grid = vec![0.0f64; lattice * lattice];
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        ((s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    // Seed corners.
+    for &(cx, cy) in &[(0, 0), (n, 0), (0, n), (n, n)] {
+        grid[cy * lattice + cx] = rnd() * 0.5 + 0.5;
+    }
+    let mut step = n;
+    let mut amp = 0.5;
+    while step > 1 {
+        let half = step / 2;
+        // Diamond step.
+        for y in (half..lattice).step_by(step) {
+            for x in (half..lattice).step_by(step) {
+                let avg = (grid[(y - half) * lattice + (x - half)]
+                    + grid[(y - half) * lattice + (x + half)]
+                    + grid[(y + half) * lattice + (x - half)]
+                    + grid[(y + half) * lattice + (x + half)])
+                    / 4.0;
+                grid[y * lattice + x] = avg + rnd() * amp;
+            }
+        }
+        // Square step.
+        for y in (0..lattice).step_by(half) {
+            let x0 = if (y / half) % 2 == 0 { half } else { 0 };
+            for x in (x0..lattice).step_by(step) {
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                for &(dx, dy) in &[(0i64, -(half as i64)), (0, half as i64), (-(half as i64), 0), (half as i64, 0)] {
+                    let nx = x as i64 + dx;
+                    let ny = y as i64 + dy;
+                    if nx >= 0 && ny >= 0 && (nx as usize) < lattice && (ny as usize) < lattice {
+                        sum += grid[ny as usize * lattice + nx as usize];
+                        cnt += 1.0;
+                    }
+                }
+                grid[y * lattice + x] = sum / cnt + rnd() * amp;
+            }
+        }
+        step = half;
+        amp *= 0.55;
+    }
+    let mut data = Vec::with_capacity(size * size);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for y in 0..size {
+        for x in 0..size {
+            let v = grid[(y.min(n)) * lattice + (x.min(n))];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let span = (hi - lo).max(1e-9);
+    for y in 0..size {
+        for x in 0..size {
+            let v = grid[(y.min(n)) * lattice + (x.min(n))];
+            data.push((255.0 * (v - lo) / span) as u8);
+        }
+    }
+    Image::from_raw(size, size, data)
+}
+
+/// The deterministic evaluation corpus used by the case study.
+pub fn test_corpus(size: usize, seed: u64) -> Vec<Image> {
+    vec![
+        gradient(size),
+        checkerboard(size, (size / 8).max(2)),
+        plasma(size, seed ^ 0x11),
+        noise(size, seed ^ 0x22),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_right_shapes() {
+        for img in test_corpus(32, 9) {
+            assert_eq!(img.width(), 32);
+            assert_eq!(img.height(), 32);
+            assert_eq!(img.pixels().len(), 1024);
+        }
+    }
+
+    #[test]
+    fn clamped_access_handles_borders() {
+        let img = gradient(8);
+        assert_eq!(img.pixel_clamped(-5, -5), img.pixel_clamped(0, 0));
+        assert_eq!(img.pixel_clamped(100, 3), img.pixel_clamped(7, 3));
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        assert_eq!(test_corpus(16, 4), test_corpus(16, 4));
+        assert_ne!(noise(16, 1), noise(16, 2));
+    }
+
+    #[test]
+    fn images_have_meaningful_contrast() {
+        for img in test_corpus(32, 7) {
+            let p = img.pixels();
+            let min = *p.iter().min().unwrap();
+            let max = *p.iter().max().unwrap();
+            assert!(max - min > 60, "flat image: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn plasma_is_smooth_er_than_noise() {
+        // Mean absolute horizontal difference: plasma << noise.
+        let tv = |img: &Image| -> f64 {
+            let mut sum = 0.0;
+            for y in 0..img.height() {
+                for x in 1..img.width() {
+                    sum += (img.pixel_clamped(x as isize, y as isize) as f64
+                        - img.pixel_clamped(x as isize - 1, y as isize) as f64)
+                        .abs();
+                }
+            }
+            sum / (img.width() * img.height()) as f64
+        };
+        assert!(tv(&plasma(64, 3)) < tv(&noise(64, 3)) * 0.6);
+    }
+}

@@ -1,0 +1,35 @@
+//! AutoAx-FPGA case study (§IV of the ApproxFPGAs paper, Fig. 9).
+//!
+//! Retargets the AutoAx accelerator-composition methodology to FPGAs: a
+//! 5x5 Gaussian-filter accelerator whose multiplier and adder slots are
+//! instantiated from pareto-optimal FPGA approximate circuits. The flow:
+//!
+//! 1. builds a component library (9 approximate 8x8 multipliers, 8
+//!    approximate 16-bit adders — the paper's counts),
+//! 2. samples random slot assignments and measures their quality (SSIM
+//!    against the exact filter over a synthetic image corpus) and FPGA
+//!    cost (composition model over the component reports),
+//! 3. trains QoR and HW-cost estimators on the sample,
+//! 4. hill-climbs three estimated pareto fronts (latency-SSIM, power-SSIM,
+//!    area-SSIM),
+//! 5. "synthesizes" (measures) the surviving candidates and compares them
+//!    against a plain random search.
+//!
+//! Modules: [`image`] (synthetic corpus), [`ssim`], [`filter`] (exact
+//! reference + accelerator model), [`components`], [`search`]
+//! (hill-climber, random search, estimators).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod filter;
+pub mod image;
+pub mod search;
+pub mod sobel;
+pub mod ssim;
+
+pub use components::{Component, ComponentLibrary};
+pub use filter::{AcceleratorConfig, GaussianAccelerator, HwCost};
+pub use search::{AutoAx, AutoAxConfig, AutoAxOutcome, CostObjective, MeasuredDesign};
+pub use sobel::{exact_sobel, SobelAccelerator, SobelConfig};

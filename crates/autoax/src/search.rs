@@ -1,0 +1,419 @@
+//! The AutoAx-FPGA search: estimator training, hill-climbing pareto
+//! construction and the random-search baseline (Fig. 9).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use afp_ml::forest::RandomForest;
+use afp_ml::{Matrix, Regressor};
+use approxfpgas::pareto::{pareto_front, peel_fronts};
+
+use crate::components::ComponentLibrary;
+use crate::filter::{
+    exact_gaussian, AcceleratorConfig, GaussianAccelerator, ADDER_SLOTS, MULT_SLOTS,
+};
+use crate::image::{test_corpus, Image};
+use crate::ssim::mean_ssim;
+
+/// Which FPGA cost the search trades against SSIM (the paper's three
+/// scenarios).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CostObjective {
+    /// Latency-SSIM.
+    Latency,
+    /// Power-SSIM.
+    Power,
+    /// Area-SSIM.
+    Area,
+}
+
+impl CostObjective {
+    /// All scenarios in paper order.
+    pub const ALL: [CostObjective; 3] = [
+        CostObjective::Latency,
+        CostObjective::Power,
+        CostObjective::Area,
+    ];
+
+    /// Extract the cost from an [`crate::filter::HwCost`].
+    pub fn of(&self, cost: &crate::filter::HwCost) -> f64 {
+        match self {
+            CostObjective::Latency => cost.delay_ns,
+            CostObjective::Power => cost.power_mw,
+            CostObjective::Area => cost.luts as f64,
+        }
+    }
+
+    /// Scenario label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostObjective::Latency => "latency-SSIM",
+            CostObjective::Power => "power-SSIM",
+            CostObjective::Area => "area-SSIM",
+        }
+    }
+}
+
+/// A fully measured accelerator design point.
+#[derive(Clone, Debug)]
+pub struct MeasuredDesign {
+    /// The slot assignment.
+    pub config: AcceleratorConfig,
+    /// Measured quality (mean SSIM over the corpus, higher is better).
+    pub ssim: f64,
+    /// Measured (composed) FPGA cost.
+    pub cost: crate::filter::HwCost,
+}
+
+/// Configuration of the AutoAx-FPGA run.
+#[derive(Clone, Debug)]
+pub struct AutoAxConfig {
+    /// Random designs measured to train the estimators (paper: 5000).
+    pub training_samples: usize,
+    /// Hill-climber restarts per scenario.
+    pub restarts: usize,
+    /// Hill-climber steps per restart.
+    pub steps: usize,
+    /// Random-search baseline budget (measured designs).
+    pub random_budget: usize,
+    /// Image corpus edge length.
+    pub image_size: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for AutoAxConfig {
+    fn default() -> AutoAxConfig {
+        AutoAxConfig {
+            training_samples: 600,
+            restarts: 24,
+            steps: 60,
+            random_budget: 120,
+            image_size: 32,
+            seed: 0xA07A,
+        }
+    }
+}
+
+/// Result of one AutoAx-FPGA run.
+pub struct AutoAxOutcome {
+    /// Measured training sample (shared across scenarios).
+    pub training: Vec<MeasuredDesign>,
+    /// Synthesized (measured) hill-climber candidates per scenario.
+    pub autoax: Vec<(CostObjective, Vec<MeasuredDesign>)>,
+    /// Random-search baseline designs.
+    pub random: Vec<MeasuredDesign>,
+    /// Size of the full configuration space.
+    pub space_size: f64,
+}
+
+impl AutoAxOutcome {
+    /// Pareto front (cost vs 1-SSIM, both minimized) of a design list for
+    /// `objective`, returned as indices into `designs`.
+    pub fn front(designs: &[MeasuredDesign], objective: CostObjective) -> Vec<usize> {
+        let pts: Vec<(f64, f64)> = designs
+            .iter()
+            .map(|d| (objective.of(&d.cost), 1.0 - d.ssim))
+            .collect();
+        pareto_front(&pts)
+    }
+
+    /// Hypervolume-style dominance check: fraction of `b` designs that are
+    /// dominated by some design in `a` (cost vs 1-SSIM minimized).
+    pub fn domination_rate(
+        a: &[MeasuredDesign],
+        b: &[MeasuredDesign],
+        objective: CostObjective,
+    ) -> f64 {
+        if b.is_empty() {
+            return 0.0;
+        }
+        let dominated = b
+            .iter()
+            .filter(|d| {
+                let dp = (objective.of(&d.cost), 1.0 - d.ssim);
+                a.iter().any(|x| {
+                    let xp = (objective.of(&x.cost), 1.0 - x.ssim);
+                    approxfpgas::pareto::dominates(xp, dp)
+                })
+            })
+            .count();
+        dominated as f64 / b.len() as f64
+    }
+}
+
+/// The AutoAx-FPGA runner bound to a component library.
+pub struct AutoAx<'l> {
+    library: &'l ComponentLibrary,
+    config: AutoAxConfig,
+    corpus: Vec<Image>,
+    references: Vec<Image>,
+}
+
+impl<'l> AutoAx<'l> {
+    /// Create a runner; precomputes the image corpus and exact references.
+    pub fn new(library: &'l ComponentLibrary, config: AutoAxConfig) -> AutoAx<'l> {
+        let corpus = test_corpus(config.image_size, config.seed);
+        let references = corpus.iter().map(exact_gaussian).collect();
+        AutoAx {
+            library,
+            config,
+            corpus,
+            references,
+        }
+    }
+
+    /// Measure one configuration: run the behavioural datapath on the
+    /// corpus and compose the hardware cost.
+    pub fn measure(&self, config: &AcceleratorConfig) -> MeasuredDesign {
+        let accel = GaussianAccelerator::new(self.library);
+        let outputs: Vec<Image> = self
+            .corpus
+            .iter()
+            .map(|img| accel.filter(config, img))
+            .collect();
+        MeasuredDesign {
+            config: config.clone(),
+            ssim: mean_ssim(&outputs, &self.references),
+            cost: accel.hw_cost(config),
+        }
+    }
+
+    fn random_config(&self, rng: &mut SmallRng) -> AcceleratorConfig {
+        let m = self.library.multipliers().len();
+        let a = self.library.adders().len();
+        let mut cfg = AcceleratorConfig::exact();
+        for s in cfg.mult_slots.iter_mut() {
+            *s = rng.gen_range(0..m);
+        }
+        for s in cfg.adder_slots.iter_mut() {
+            *s = rng.gen_range(0..a);
+        }
+        cfg
+    }
+
+    fn neighbor(&self, config: &AcceleratorConfig, rng: &mut SmallRng) -> AcceleratorConfig {
+        let mut next = config.clone();
+        if rng.gen_bool(MULT_SLOTS as f64 / (MULT_SLOTS + ADDER_SLOTS) as f64) {
+            let slot = rng.gen_range(0..MULT_SLOTS);
+            next.mult_slots[slot] = rng.gen_range(0..self.library.multipliers().len());
+        } else {
+            let slot = rng.gen_range(0..ADDER_SLOTS);
+            next.adder_slots[slot] = rng.gen_range(0..self.library.adders().len());
+        }
+        next
+    }
+
+    /// Run the full AutoAx-FPGA methodology.
+    pub fn run(&self) -> AutoAxOutcome {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        // 1. Random training sample, measured.
+        let training: Vec<MeasuredDesign> = (0..self.config.training_samples)
+            .map(|_| self.measure(&self.random_config(&mut rng)))
+            .collect();
+
+        // 2. Estimators: QoR and one per cost objective.
+        let x_rows: Vec<Vec<f64>> = training
+            .iter()
+            .map(|d| d.config.features(self.library))
+            .collect();
+        let refs: Vec<&[f64]> = x_rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y_ssim: Vec<f64> = training.iter().map(|d| d.ssim).collect();
+        let mut qor_estimator = RandomForest::new(30, Default::default(), self.config.seed ^ 0x90);
+        qor_estimator
+            .fit(&x, &y_ssim)
+            .expect("training sample is non-degenerate");
+
+        let mut autoax = Vec::new();
+        for objective in CostObjective::ALL {
+            let y_cost: Vec<f64> = training.iter().map(|d| objective.of(&d.cost)).collect();
+            let mut cost_estimator =
+                RandomForest::new(30, Default::default(), self.config.seed ^ 0x91);
+            cost_estimator
+                .fit(&x, &y_cost)
+                .expect("training sample is non-degenerate");
+
+            // 3. Hill-climb an estimated pareto archive. Every *accepted*
+            //    step is archived (not just the endpoint), so the archive
+            //    traces the whole descent and its estimated front carries
+            //    enough candidates to synthesize, as in the paper.
+            let mut archive: Vec<(AcceleratorConfig, f64, f64)> = Vec::new(); // (cfg, est_cost, est_err)
+            for _ in 0..self.config.restarts {
+                let mut current = self.random_config(&mut rng);
+                let mut cur_score = self.estimate_scalar(
+                    &current,
+                    &qor_estimator,
+                    &cost_estimator,
+                    &mut rng,
+                );
+                archive.push((current.clone(), cur_score.1, cur_score.2));
+                for _ in 0..self.config.steps {
+                    let cand = self.neighbor(&current, &mut rng);
+                    let cand_score =
+                        self.estimate_scalar(&cand, &qor_estimator, &cost_estimator, &mut rng);
+                    if cand_score.0 <= cur_score.0 {
+                        current = cand;
+                        cur_score = cand_score;
+                        archive.push((current.clone(), cur_score.1, cur_score.2));
+                    }
+                }
+            }
+            // Estimated pareto front of the archive -> candidates to
+            // "synthesize" (measure).
+            // The paper constructs 3 pseudo-pareto fronts from the
+            // hill-climber's archive and synthesizes all of them.
+            let pts: Vec<(f64, f64)> = archive.iter().map(|(_, c, e)| (*c, *e)).collect();
+            let mut seen: std::collections::HashSet<AcceleratorConfig> =
+                std::collections::HashSet::new();
+            let mut measured: Vec<MeasuredDesign> = Vec::new();
+            for front in peel_fronts(&pts, 3) {
+                for i in front {
+                    if seen.insert(archive[i].0.clone()) {
+                        measured.push(self.measure(&archive[i].0));
+                    }
+                }
+            }
+            autoax.push((objective, measured));
+        }
+
+        // 4. Random-search baseline: same synthesis budget, no estimators.
+        let random: Vec<MeasuredDesign> = (0..self.config.random_budget)
+            .map(|_| self.measure(&self.random_config(&mut rng)))
+            .collect();
+
+        AutoAxOutcome {
+            training,
+            autoax,
+            random,
+            space_size: AcceleratorConfig::space_size(self.library),
+        }
+    }
+
+    /// Scalarized estimated objective for hill climbing: weighted sum of
+    /// estimated cost and estimated quality loss, with a random weight per
+    /// call drawn from the restart RNG to diversify the archive.
+    fn estimate_scalar(
+        &self,
+        config: &AcceleratorConfig,
+        qor: &RandomForest,
+        cost: &RandomForest,
+        rng: &mut SmallRng,
+    ) -> (f64, f64, f64) {
+        let f = config.features(self.library);
+        let est_ssim = qor.predict_row(&f).clamp(-1.0, 1.0);
+        let est_cost = cost.predict_row(&f).max(0.0);
+        let err = 1.0 - est_ssim;
+        // Mild stochastic weighting (seeded) keeps different climbs on
+        // different parts of the front.
+        let w = 0.3 + 0.4 * rng.gen::<f64>();
+        (w * err * 100.0 + (1.0 - w) * est_cost, est_cost, err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_fpga::FpgaConfig;
+
+    fn quick() -> AutoAxConfig {
+        AutoAxConfig {
+            training_samples: 60,
+            restarts: 6,
+            steps: 12,
+            random_budget: 20,
+            image_size: 16,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn measure_exact_config_is_perfect_quality() {
+        let lib = ComponentLibrary::paper_defaults(&FpgaConfig::default());
+        let ax = AutoAx::new(&lib, quick());
+        let d = ax.measure(&AcceleratorConfig::exact());
+        assert!((d.ssim - 1.0).abs() < 1e-12);
+        assert!(d.cost.luts > 0);
+    }
+
+    #[test]
+    fn run_produces_all_scenarios() {
+        let lib = ComponentLibrary::paper_defaults(&FpgaConfig::default());
+        let ax = AutoAx::new(&lib, quick());
+        let out = ax.run();
+        assert_eq!(out.training.len(), 60);
+        assert_eq!(out.autoax.len(), 3);
+        assert_eq!(out.random.len(), 20);
+        assert!(out.space_size > 1e13);
+        for (obj, designs) in &out.autoax {
+            assert!(!designs.is_empty(), "{obj:?} produced no designs");
+            for d in designs {
+                assert!(d.ssim <= 1.0 + 1e-12);
+                assert!(obj.of(&d.cost) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn autoax_beats_or_matches_random_search() {
+        let lib = ComponentLibrary::paper_defaults(&FpgaConfig::default());
+        let ax = AutoAx::new(
+            &lib,
+            AutoAxConfig {
+                training_samples: 120,
+                restarts: 10,
+                steps: 25,
+                random_budget: 30,
+                image_size: 16,
+                seed: 9,
+            },
+        );
+        let out = ax.run();
+        // At least one scenario should dominate a decent share of the
+        // random designs (the paper's qualitative claim).
+        let best_rate = CostObjective::ALL
+            .iter()
+            .map(|&obj| {
+                let designs = &out
+                    .autoax
+                    .iter()
+                    .find(|(o, _)| *o == obj)
+                    .expect("scenario present")
+                    .1;
+                AutoAxOutcome::domination_rate(designs, &out.random, obj)
+            })
+            .fold(0.0f64, f64::max);
+        assert!(best_rate > 0.2, "autoax dominates only {best_rate}");
+    }
+
+    #[test]
+    fn fronts_are_nondominated() {
+        let lib = ComponentLibrary::paper_defaults(&FpgaConfig::default());
+        let ax = AutoAx::new(&lib, quick());
+        let out = ax.run();
+        for (obj, designs) in &out.autoax {
+            let front = AutoAxOutcome::front(designs, *obj);
+            for &a in &front {
+                for &b in &front {
+                    if a != b {
+                        let pa = (obj.of(&designs[a].cost), 1.0 - designs[a].ssim);
+                        let pb = (obj.of(&designs[b].cost), 1.0 - designs[b].ssim);
+                        assert!(!approxfpgas::pareto::dominates(pa, pb));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let lib = ComponentLibrary::paper_defaults(&FpgaConfig::default());
+        let a = AutoAx::new(&lib, quick()).run();
+        let b = AutoAx::new(&lib, quick()).run();
+        assert_eq!(a.training.len(), b.training.len());
+        for (x, y) in a.training.iter().zip(&b.training) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.ssim, y.ssim);
+        }
+    }
+}

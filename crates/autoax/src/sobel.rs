@@ -1,0 +1,271 @@
+//! A second case-study accelerator: Sobel edge detection.
+//!
+//! Unlike the Gaussian filter, the Sobel datapath uses no multipliers
+//! (the x2 taps are shifts), so its approximation space is adder-only:
+//! five adder slots over the component library = `8^5 = 32,768`
+//! configurations — small enough to enumerate *exhaustively*, which makes
+//! it the perfect testbed for validating estimator-driven search against
+//! the true pareto front (something the paper could not afford to do).
+//!
+//! Slot plan per pixel (3x3 window `p[r][c]`):
+//!
+//! * slot 0 — column/row outer sums `p0 + p2`
+//! * slot 1 — adding the doubled center `t + 2*p1`
+//! * slot 2 — same as slot 0 for the second gradient axis
+//! * slot 3 — same as slot 1 for the second gradient axis
+//! * slot 4 — magnitude `|gx| + |gy|`
+//!
+//! Differences are exact (two's-complement subtraction is not an
+//! approximate-adder use case in the library), matching how AutoAx
+//! assigns components only to the addition slots.
+
+use crate::components::ComponentLibrary;
+use crate::filter::HwCost;
+use crate::image::Image;
+
+/// Number of adder slots in the Sobel datapath.
+pub const SOBEL_SLOTS: usize = 5;
+
+/// Adder instances per slot (per-pixel adds behind each slot).
+pub const SOBEL_INSTANCES: [usize; SOBEL_SLOTS] = [2, 2, 2, 2, 1];
+
+/// Slot assignment for the Sobel accelerator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SobelConfig {
+    /// Adder component index per slot.
+    pub adder_slots: [usize; SOBEL_SLOTS],
+}
+
+impl SobelConfig {
+    /// All-exact configuration (component 0 = exact in the default
+    /// library).
+    pub fn exact() -> SobelConfig {
+        SobelConfig {
+            adder_slots: [0; SOBEL_SLOTS],
+        }
+    }
+
+    /// Size of the full configuration space for `library`.
+    pub fn space_size(library: &ComponentLibrary) -> usize {
+        library.adders().len().pow(SOBEL_SLOTS as u32)
+    }
+
+    /// Enumerate every configuration (row-major over slots).
+    pub fn enumerate(library: &ComponentLibrary) -> Vec<SobelConfig> {
+        let a = library.adders().len();
+        let total = SobelConfig::space_size(library);
+        (0..total)
+            .map(|mut idx| {
+                let mut slots = [0usize; SOBEL_SLOTS];
+                for s in slots.iter_mut() {
+                    *s = idx % a;
+                    idx /= a;
+                }
+                SobelConfig { adder_slots: slots }
+            })
+            .collect()
+    }
+}
+
+/// The Sobel accelerator bound to a component library (adders only).
+pub struct SobelAccelerator<'l> {
+    library: &'l ComponentLibrary,
+}
+
+impl<'l> SobelAccelerator<'l> {
+    /// Bind to `library`.
+    pub fn new(library: &'l ComponentLibrary) -> SobelAccelerator<'l> {
+        SobelAccelerator { library }
+    }
+
+    /// Run the approximate datapath: per-pixel gradient magnitude
+    /// `min(255, |gx| + |gy|)` with the additions routed through the
+    /// assigned adder components (batched evaluation).
+    pub fn filter(&self, config: &SobelConfig, input: &Image) -> Image {
+        let (w, h) = (input.width(), input.height());
+        let adders = self.library.adders();
+        let px =
+            |x: isize, y: isize| -> u64 { input.pixel_clamped(x, y) as u64 };
+
+        // Stage A (slots 0 and 2): outer sums for both axes.
+        let mut pairs_col: Vec<(u64, u64)> = Vec::with_capacity(2 * w * h);
+        let mut pairs_row: Vec<(u64, u64)> = Vec::with_capacity(2 * w * h);
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                // gx columns: left (x-1), right (x+1).
+                pairs_col.push((px(x - 1, y - 1), px(x - 1, y + 1)));
+                pairs_col.push((px(x + 1, y - 1), px(x + 1, y + 1)));
+                // gy rows: top (y-1), bottom (y+1).
+                pairs_row.push((px(x - 1, y - 1), px(x + 1, y - 1)));
+                pairs_row.push((px(x - 1, y + 1), px(x + 1, y + 1)));
+            }
+        }
+        let col_outer = adders[config.adder_slots[0]].add_batch(&pairs_col);
+        let row_outer = adders[config.adder_slots[2]].add_batch(&pairs_row);
+
+        // Stage B (slots 1 and 3): add the doubled centers.
+        let mut pairs_colc: Vec<(u64, u64)> = Vec::with_capacity(2 * w * h);
+        let mut pairs_rowc: Vec<(u64, u64)> = Vec::with_capacity(2 * w * h);
+        let mut k = 0usize;
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                pairs_colc.push((col_outer[k] & 0xFFFF, 2 * px(x - 1, y)));
+                pairs_colc.push((col_outer[k + 1] & 0xFFFF, 2 * px(x + 1, y)));
+                pairs_rowc.push((row_outer[k] & 0xFFFF, 2 * px(x, y - 1)));
+                pairs_rowc.push((row_outer[k + 1] & 0xFFFF, 2 * px(x, y + 1)));
+                k += 2;
+            }
+        }
+        let col_full = adders[config.adder_slots[1]].add_batch(&pairs_colc);
+        let row_full = adders[config.adder_slots[3]].add_batch(&pairs_rowc);
+
+        // Exact differences and the final magnitude addition (slot 4).
+        let mut mag_pairs: Vec<(u64, u64)> = Vec::with_capacity(w * h);
+        for i in 0..w * h {
+            let gx = (col_full[2 * i + 1] as i64 - col_full[2 * i] as i64).unsigned_abs();
+            let gy = (row_full[2 * i + 1] as i64 - row_full[2 * i] as i64).unsigned_abs();
+            mag_pairs.push((gx & 0xFFFF, gy & 0xFFFF));
+        }
+        let mags = adders[config.adder_slots[4]].add_batch(&mag_pairs);
+        let data: Vec<u8> = mags.iter().map(|&m| m.min(255) as u8).collect();
+        Image::from_raw(w, h, data)
+    }
+
+    /// Composed hardware cost (instance-weighted sums; critical path =
+    /// stage A + stage B + subtract/abs constant + magnitude).
+    pub fn hw_cost(&self, config: &SobelConfig) -> HwCost {
+        let adders = self.library.adders();
+        let mut luts = 0usize;
+        let mut power = 0.0;
+        let mut gates = 0usize;
+        let mut depth = 0u32;
+        let mut delay = 0.0;
+        for (slot, &choice) in config.adder_slots.iter().enumerate() {
+            let c = &adders[choice];
+            luts += SOBEL_INSTANCES[slot] * c.fpga().luts;
+            power += SOBEL_INSTANCES[slot] as f64 * c.fpga().power_mw;
+            gates += SOBEL_INSTANCES[slot] * c.circuit().netlist().num_logic_gates();
+            depth += c.fpga().depth_levels;
+            // Slots 0/2 and 1/3 operate in parallel pairs; count the path
+            // once per stage plus the magnitude adder.
+            if slot == 0 || slot == 1 || slot == 4 {
+                delay += c.fpga().delay_ns + 0.25;
+            }
+        }
+        // Fixed cost of the exact subtract/abs datapath (two 11-bit
+        // subtractors + muxes), modeled as a constant block.
+        luts += 28;
+        power += 6.0;
+        delay += 1.1;
+        let synth_time_s =
+            afp_fpga::synth_time::estimate(gates + 150, luts, depth + 4, hash(config));
+        HwCost {
+            luts,
+            power_mw: power,
+            delay_ns: delay,
+            synth_time_s,
+        }
+    }
+}
+
+fn hash(config: &SobelConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in &config.adder_slots {
+        h ^= v as u64 + 0x9E37;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Exact integer Sobel reference: `min(255, |gx| + |gy|)`, clamp-to-edge.
+pub fn exact_sobel(input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut data = Vec::with_capacity(w * h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let p = |dx: isize, dy: isize| input.pixel_clamped(x + dx, y + dy) as i64;
+            let gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+            let gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+            data.push((gx.abs() + gy.abs()).min(255) as u8);
+        }
+    }
+    Image::from_raw(w, h, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{checkerboard, gradient, plasma};
+    use crate::ssim::ssim;
+    use afp_fpga::FpgaConfig;
+
+    fn library() -> ComponentLibrary {
+        ComponentLibrary::paper_defaults(&FpgaConfig::default())
+    }
+
+    #[test]
+    fn exact_config_matches_reference() {
+        let lib = library();
+        let accel = SobelAccelerator::new(&lib);
+        for img in [gradient(24), checkerboard(24, 4), plasma(24, 9)] {
+            assert_eq!(
+                accel.filter(&SobelConfig::exact(), &img),
+                exact_sobel(&img),
+                "exact Sobel config must be bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn sobel_finds_edges() {
+        let img = checkerboard(32, 8);
+        let out = exact_sobel(&img);
+        // Interior of a cell: zero gradient; at cell boundaries: strong.
+        let max = out.pixels().iter().copied().max().unwrap();
+        let zeros = out.pixels().iter().filter(|&&p| p == 0).count();
+        assert_eq!(max, 255);
+        assert!(zeros > out.pixels().len() / 3, "flat areas must be dark");
+    }
+
+    #[test]
+    fn approximate_adders_degrade_quality_monotonically_in_cost() {
+        let lib = library();
+        let accel = SobelAccelerator::new(&lib);
+        let img = plasma(32, 5);
+        let reference = exact_sobel(&img);
+        let exact_cfg = SobelConfig::exact();
+        let rough = SobelConfig {
+            adder_slots: [5; SOBEL_SLOTS], // no_carry(16,6)
+        };
+        let s_exact = ssim(&accel.filter(&exact_cfg, &img), &reference);
+        let s_rough = ssim(&accel.filter(&rough, &img), &reference);
+        assert!((s_exact - 1.0).abs() < 1e-12);
+        assert!(s_rough < 1.0);
+        let c_exact = accel.hw_cost(&exact_cfg);
+        let c_rough = accel.hw_cost(&rough);
+        assert!(c_rough.luts < c_exact.luts);
+    }
+
+    #[test]
+    fn enumeration_covers_the_space() {
+        let lib = library();
+        let all = SobelConfig::enumerate(&lib);
+        assert_eq!(all.len(), 8usize.pow(5));
+        assert_eq!(all.len(), SobelConfig::space_size(&lib));
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len());
+    }
+
+    #[test]
+    fn hw_cost_is_deterministic_and_positive() {
+        let lib = library();
+        let accel = SobelAccelerator::new(&lib);
+        let cfg = SobelConfig {
+            adder_slots: [1, 2, 3, 0, 4],
+        };
+        let a = accel.hw_cost(&cfg);
+        let b = accel.hw_cost(&cfg);
+        assert_eq!(a, b);
+        assert!(a.luts > 0 && a.power_mw > 0.0 && a.delay_ns > 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Structural similarity index (SSIM) — the case study's QoR metric.
+
+use crate::image::Image;
+
+const C1: f64 = 6.5025; // (0.01 * 255)^2
+const C2: f64 = 58.5225; // (0.03 * 255)^2
+const WINDOW: usize = 8;
+
+/// Mean SSIM between two equal-size images over non-overlapping 8x8
+/// windows (standard constants, uniform window).
+///
+/// Returns a value in `[-1, 1]`; identical images score 1.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ or are smaller than one window.
+///
+/// # Example
+///
+/// ```
+/// use afp_autoax::image::gradient;
+/// use afp_autoax::ssim::ssim;
+///
+/// let img = gradient(32);
+/// assert!((ssim(&img, &img) - 1.0).abs() < 1e-12);
+/// ```
+pub fn ssim(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    assert!(
+        a.width() >= WINDOW && a.height() >= WINDOW,
+        "images smaller than the SSIM window"
+    );
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    for wy in (0..=(a.height() - WINDOW)).step_by(WINDOW) {
+        for wx in (0..=(a.width() - WINDOW)).step_by(WINDOW) {
+            total += window_ssim(a, b, wx, wy);
+            windows += 1;
+        }
+    }
+    total / windows.max(1) as f64
+}
+
+fn window_ssim(a: &Image, b: &Image, wx: usize, wy: usize) -> f64 {
+    let n = (WINDOW * WINDOW) as f64;
+    let (mut sa, mut sb) = (0.0, 0.0);
+    for y in wy..wy + WINDOW {
+        for x in wx..wx + WINDOW {
+            sa += a.pixel_clamped(x as isize, y as isize) as f64;
+            sb += b.pixel_clamped(x as isize, y as isize) as f64;
+        }
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut va, mut vb, mut cov) = (0.0, 0.0, 0.0);
+    for y in wy..wy + WINDOW {
+        for x in wx..wx + WINDOW {
+            let da = a.pixel_clamped(x as isize, y as isize) as f64 - ma;
+            let db = b.pixel_clamped(x as isize, y as isize) as f64 - mb;
+            va += da * da;
+            vb += db * db;
+            cov += da * db;
+        }
+    }
+    va /= n - 1.0;
+    vb /= n - 1.0;
+    cov /= n - 1.0;
+    ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+        / ((ma * ma + mb * mb + C1) * (va + vb + C2))
+}
+
+/// Mean SSIM of image pairs (e.g. a whole corpus against references).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_ssim(outputs: &[Image], references: &[Image]) -> f64 {
+    assert_eq!(outputs.len(), references.len(), "corpus length mismatch");
+    if outputs.is_empty() {
+        return 0.0;
+    }
+    outputs
+        .iter()
+        .zip(references)
+        .map(|(o, r)| ssim(o, r))
+        .sum::<f64>()
+        / outputs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{checkerboard, gradient, noise, Image};
+
+    #[test]
+    fn identical_images_score_one() {
+        for img in [gradient(32), checkerboard(32, 4), noise(32, 5)] {
+            assert!((ssim(&img, &img) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heavy_distortion_scores_low() {
+        let a = checkerboard(32, 4);
+        let inverted = Image::from_raw(
+            32,
+            32,
+            a.pixels().iter().map(|&p| 255 - p).collect(),
+        );
+        assert!(ssim(&a, &inverted) < 0.2);
+    }
+
+    #[test]
+    fn small_perturbation_scores_high_but_below_one() {
+        let a = gradient(32);
+        let b = Image::from_raw(
+            32,
+            32,
+            a.pixels()
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| if i % 17 == 0 { p.saturating_add(3) } else { p })
+                .collect(),
+        );
+        let s = ssim(&a, &b);
+        assert!(s > 0.9 && s < 1.0, "ssim {s}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = gradient(32);
+        let b = noise(32, 1);
+        assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_distortion_strength() {
+        let a = gradient(32);
+        let perturb = |amount: u8| {
+            Image::from_raw(
+                32,
+                32,
+                a.pixels()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        if i % 3 == 0 {
+                            p.saturating_add(amount)
+                        } else {
+                            p
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let weak = ssim(&a, &perturb(5));
+        let strong = ssim(&a, &perturb(60));
+        assert!(weak > strong);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn size_mismatch_panics() {
+        let _ = ssim(&gradient(16), &gradient(32));
+    }
+}

@@ -1,0 +1,20 @@
+//! Standard-cell mapping + STA + power model cost per circuit.
+
+use afp_asic::{synthesize_asic, AsicConfig};
+use afp_circuits::multipliers;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asic_synthesis");
+    let cfg = AsicConfig::default();
+    for width in [8usize, 16] {
+        let nl = multipliers::wallace_multiplier(width).into_netlist();
+        group.bench_with_input(BenchmarkId::new("wallace", width), &nl, |b, nl| {
+            b.iter(|| synthesize_asic(std::hint::black_box(nl), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

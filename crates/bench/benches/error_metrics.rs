@@ -1,0 +1,23 @@
+//! Error-metric evaluation cost: exhaustive 8-bit vs sampled 16-bit.
+
+use afp_circuits::multipliers;
+use afp_error::{analyze, ErrorConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_metrics");
+    group.sample_size(20);
+    let cfg = ErrorConfig::default();
+    let m8 = multipliers::broken_array(8, 5, 2);
+    group.bench_function("mult8_exhaustive_65536", |b| {
+        b.iter(|| analyze(std::hint::black_box(&m8), &cfg));
+    });
+    let m16 = multipliers::truncated(16, 8);
+    group.bench_function("mult16_sampled_65536", |b| {
+        b.iter(|| analyze(std::hint::black_box(&m16), &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end flow cost on a small library (characterization + zoo +
+//! pseudo-pareto + accounting).
+
+use afp_circuits::{ArithKind, LibrarySpec};
+use afp_ml::MlModelId;
+use approxfpgas::{Flow, FlowConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    group.bench_function("adder8_lib100_fast_models", |b| {
+        b.iter(|| {
+            let config = FlowConfig {
+                library: LibrarySpec::new(ArithKind::Adder, 8, 100),
+                models: vec![
+                    MlModelId::Ml2,
+                    MlModelId::Ml11,
+                    MlModelId::Ml14,
+                    MlModelId::Ml18,
+                ],
+                ..FlowConfig::default()
+            };
+            std::hint::black_box(Flow::new(config).run());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

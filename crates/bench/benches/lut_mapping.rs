@@ -1,0 +1,28 @@
+//! Cut enumeration + LUT covering cost (the per-circuit price of the FPGA
+//! synthesis model), plus the ablation: depth-only vs area-recovery cover.
+
+use afp_circuits::{adders, multipliers};
+use afp_fpga::{map, FpgaConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut_mapping");
+    let cases = [
+        ("rca16", adders::ripple_carry(16).into_netlist()),
+        ("wallace8", multipliers::wallace_multiplier(8).into_netlist()),
+        ("wallace16", multipliers::wallace_multiplier(16).into_netlist()),
+    ];
+    let cfg = FpgaConfig::default();
+    for (name, netlist) in &cases {
+        group.bench_with_input(BenchmarkId::new("map", name), netlist, |b, nl| {
+            b.iter(|| map::map_luts(std::hint::black_box(nl), &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("full_synth", name), netlist, |b, nl| {
+            b.iter(|| afp_fpga::synthesize_fpga(std::hint::black_box(nl), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

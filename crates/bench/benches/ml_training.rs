@@ -1,0 +1,67 @@
+//! Training cost of representative zoo members (the "ML models train in
+//! seconds, synthesis takes hours" premise of the paper).
+
+use afp_ml::boost::GradientBoosting;
+use afp_ml::forest::RandomForest;
+use afp_ml::kernel::KernelRidge;
+use afp_ml::linear::{BayesianRidge, Ridge};
+use afp_ml::{Matrix, Regressor};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn dataset(n: usize, p: usize) -> (Matrix, Vec<f64>) {
+    let mut s = 0xDA7Au64;
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(p);
+        for _ in 0..p {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            row.push(((s >> 33) & 0xFFFF) as f64 / 65535.0);
+        }
+        ys.push(row.iter().enumerate().map(|(i, v)| v * (i + 1) as f64).sum());
+        rows.push(row);
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    (Matrix::from_rows(&refs), ys)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml_training");
+    group.sample_size(10);
+    // Paper-like training size: 80% of a 10% subset of 4494 circuits.
+    let (x, y) = dataset(360, 20);
+    group.bench_function("ridge", |b| {
+        b.iter(|| {
+            let mut m = Ridge::new(1e-3);
+            m.fit(std::hint::black_box(&x), &y).unwrap();
+        })
+    });
+    group.bench_function("bayesian_ridge", |b| {
+        b.iter(|| {
+            let mut m = BayesianRidge::default();
+            m.fit(std::hint::black_box(&x), &y).unwrap();
+        })
+    });
+    group.bench_function("kernel_ridge", |b| {
+        b.iter(|| {
+            let mut m = KernelRidge::default();
+            m.fit(std::hint::black_box(&x), &y).unwrap();
+        })
+    });
+    group.bench_function("random_forest", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::new(40, Default::default(), 5);
+            m.fit(std::hint::black_box(&x), &y).unwrap();
+        })
+    });
+    group.bench_function("gradient_boosting", |b| {
+        b.iter(|| {
+            let mut m = GradientBoosting::default();
+            m.fit(std::hint::black_box(&x), &y).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Ablation: cost of mutation with and without the periodic simplify pass
+//! (design decision: mutants are re-simplified so libraries compare on
+//! minimized structure).
+
+use afp_circuits::multipliers::wallace_multiplier;
+use afp_circuits::mutate::{mutate, MutationConfig};
+use afp_netlist::opt::simplify;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutation");
+    let base = wallace_multiplier(8);
+    group.bench_function("mutate3_with_simplify", |b| {
+        let cfg = MutationConfig {
+            mutations: 3,
+            seed: 7,
+            ..Default::default()
+        };
+        b.iter(|| mutate(std::hint::black_box(&base), &cfg))
+    });
+    group.bench_function("simplify_wallace8", |b| {
+        b.iter(|| simplify(std::hint::black_box(base.netlist())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

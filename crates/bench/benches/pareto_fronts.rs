@@ -1,0 +1,35 @@
+//! Pareto machinery cost: front extraction and 3-front peeling at library
+//! scale (the inner loop of the pseudo-pareto construction).
+
+use approxfpgas::{pareto_front, peel_fronts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn cloud(n: usize) -> Vec<(f64, f64)> {
+    let mut s = 0x9E3779B97F4A7C15u64;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (
+                ((s >> 20) & 0xFFFF) as f64 / 655.35,
+                ((s >> 40) & 0xFFFF) as f64 / 655.35,
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto");
+    for n in [1000usize, 4494, 10000] {
+        let pts = cloud(n);
+        group.bench_with_input(BenchmarkId::new("front", n), &pts, |b, pts| {
+            b.iter(|| pareto_front(std::hint::black_box(pts)));
+        });
+        group.bench_with_input(BenchmarkId::new("peel3", n), &pts, |b, pts| {
+            b.iter(|| peel_fronts(std::hint::black_box(pts), 3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

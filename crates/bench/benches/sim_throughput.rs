@@ -1,0 +1,24 @@
+//! Bit-parallel behavioural simulation throughput: pairs evaluated per
+//! second for 8x8 and 16x16 multipliers (design decision #1 of DESIGN.md).
+
+use afp_circuits::multipliers::wallace_multiplier;
+use afp_circuits::BatchEvaluator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    for width in [8usize, 16] {
+        let m = wallace_multiplier(width);
+        let mask = (1u64 << width) - 1;
+        let pairs: Vec<(u64, u64)> = (0..4096u64).map(|i| (i & mask, (i * 7) & mask)).collect();
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("wallace", width), &pairs, |b, pairs| {
+            let mut batch = BatchEvaluator::new(&m);
+            b.iter(|| batch.eval_pairs(std::hint::black_box(pairs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Gaussian-filter datapath + SSIM cost (the inner loop of AutoAx-FPGA).
+
+use afp_autoax::filter::{exact_gaussian, AcceleratorConfig, GaussianAccelerator};
+use afp_autoax::image::gradient;
+use afp_autoax::ssim::ssim;
+use afp_autoax::ComponentLibrary;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autoax");
+    group.sample_size(20);
+    let library = ComponentLibrary::paper_defaults(&afp_fpga::FpgaConfig::default());
+    let accel = GaussianAccelerator::new(&library);
+    let img = gradient(32);
+    let exact = exact_gaussian(&img);
+    let cfg = AcceleratorConfig {
+        mult_slots: [2; 9],
+        adder_slots: [1; 5],
+    };
+    group.bench_function("exact_filter_32x32", |b| {
+        b.iter(|| exact_gaussian(std::hint::black_box(&img)))
+    });
+    group.bench_function("approx_filter_32x32", |b| {
+        b.iter(|| accel.filter(std::hint::black_box(&cfg), &img))
+    });
+    group.bench_function("ssim_32x32", |b| {
+        let out = accel.filter(&cfg, &img);
+        b.iter(|| ssim(std::hint::black_box(&out), &exact))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

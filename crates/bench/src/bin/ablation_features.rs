@@ -1,0 +1,100 @@
+//! Ablation: which features carry the estimation signal?
+//!
+//! Trains the same models on (a) the full feature set, (b) structural
+//! features only (gate histogram/depth/fanout), (c) ASIC parameters only —
+//! quantifying how much the "ASIC metrics as features" idea (the paper's
+//! ML1–ML3 baseline, folded into the richer models) contributes.
+//!
+//! Usage: `cargo run --release -p afp-bench --bin ablation_features [--quick]`
+
+use afp_bench::render::table;
+use afp_bench::{write_csv, Scale};
+use afp_ml::metrics::fidelity;
+use afp_ml::zoo::AsicColumns;
+use afp_ml::{build_model, Matrix, MlModelId};
+use approxfpgas::dataset::{characterize_library, sample_subset, train_validate_split};
+use approxfpgas::fidelity::feature_matrix;
+use approxfpgas::record::{FeatureLayout, FpgaParam};
+
+fn mask_columns(x: &Matrix, keep: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        for &c in keep {
+            out.set(r, c, x.get(r, c));
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let spec = scale.mul8_spec();
+    println!("ablation_features: characterizing {} 8x8 multipliers...", spec.target_size);
+    let library = afp_circuits::build_library(&spec);
+    let records = characterize_library(
+        &library,
+        &afp_asic::AsicConfig::default(),
+        &afp_fpga::FpgaConfig::default(),
+        &afp_error::ErrorConfig::default(),
+    );
+    let layout = FeatureLayout::standard();
+    let subset = sample_subset(records.len(), 0.10, 40, 0xAB1);
+    let (train, validate) = train_validate_split(&subset, 0.80, 0xAB1);
+    let x_train_full = feature_matrix(&records, &train, &layout);
+    let x_val_full = feature_matrix(&records, &validate, &layout);
+
+    let asic = layout.asic_columns();
+    let all: Vec<usize> = (0..layout.len()).collect();
+    let structural: Vec<usize> = (0..layout.len())
+        .filter(|&c| c != asic.power && c != asic.latency && c != asic.area)
+        .collect();
+    let asic_only = vec![asic.power, asic.latency, asic.area];
+    let variants: [(&str, &[usize]); 3] = [
+        ("full", &all),
+        ("structural-only", &structural),
+        ("asic-only", &asic_only),
+    ];
+
+    let models = [MlModelId::Ml11, MlModelId::Ml14, MlModelId::Ml5, MlModelId::Ml18];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (vname, keep) in variants {
+        let xt = mask_columns(&x_train_full, keep);
+        let xv = mask_columns(&x_val_full, keep);
+        for param in FpgaParam::ALL {
+            let yt: Vec<f64> = train.iter().map(|&i| records[i].fpga_param(param)).collect();
+            let yv: Vec<f64> = validate
+                .iter()
+                .map(|&i| records[i].fpga_param(param))
+                .collect();
+            let mut mean = 0.0;
+            for id in models {
+                let mut m = build_model(id, AsicColumns { power: asic.power, latency: asic.latency, area: asic.area });
+                m.fit(&xt, &yt).expect("ablation training");
+                let f = fidelity(&m.predict(&xv), &yv, 0.01);
+                mean += f;
+                csv.push(vec![
+                    vname.to_string(),
+                    format!("{param:?}"),
+                    id.label().to_string(),
+                    format!("{f:.4}"),
+                ]);
+            }
+            rows.push(vec![
+                vname.to_string(),
+                format!("{param:?}"),
+                format!("{:.1}%", 100.0 * mean / models.len() as f64),
+            ]);
+        }
+    }
+    write_csv(
+        "ablation_features.csv",
+        &["variant", "param", "model", "fidelity"],
+        &csv,
+    );
+    println!(
+        "\n{}",
+        table(&["feature set", "param", "mean fidelity (4 models)"], &rows)
+    );
+    println!("\nreading: structural features alone should nearly match the full set\n(LUTs follow structure), while ASIC-only features lag — exactly why the\npaper's ML4+ models beat the plain ASIC regressions ML1-ML3.");
+}

@@ -1,0 +1,111 @@
+//! Cross-bit-width generalization (§IV text): fidelity of models trained
+//! on the 8x8 multiplier library when estimating 12x12/16x16 libraries,
+//! vs models trained at the native width. The paper reports an average
+//! drop from 88% to 53%.
+//!
+//! Usage: `cargo run --release -p afp-bench --bin crossbw [--quick]`
+
+use afp_bench::render::table;
+use afp_bench::{write_csv, Scale};
+use afp_circuits::{ArithKind, LibrarySpec};
+use afp_ml::metrics::fidelity;
+use afp_ml::MlModelId;
+use approxfpgas::dataset::{characterize_library, sample_subset, train_validate_split};
+use approxfpgas::fidelity::train_zoo;
+use approxfpgas::record::{CircuitRecord, FpgaParam};
+
+fn characterize(spec: &LibrarySpec) -> Vec<CircuitRecord> {
+    let library = afp_circuits::build_library(spec);
+    characterize_library(
+        &library,
+        &afp_asic::AsicConfig::default(),
+        &afp_fpga::FpgaConfig::default(),
+        &afp_error::ErrorConfig::default(),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    // The comparison models: a representative strong subset.
+    let models = [
+        MlModelId::Ml4,
+        MlModelId::Ml11,
+        MlModelId::Ml13,
+        MlModelId::Ml14,
+        MlModelId::Ml18,
+    ];
+    println!("crossbw: characterizing mult8/mult12/mult16 libraries...");
+    let recs8 = characterize(&scale.mul8_spec());
+    let recs12 = characterize(&LibrarySpec::new(ArithKind::Multiplier, 12, scale.mul12));
+    let recs16 = characterize(&scale.mul16_spec());
+
+    // Zoo trained on the 8-bit library.
+    let subset8 = sample_subset(recs8.len(), 0.10, 40, 0xDAC_2020);
+    let (train8, val8) = train_validate_split(&subset8, 0.80, 0xDAC_2020);
+    let zoo8 = train_zoo(&recs8, &train8, &val8, &models, 0.01);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut same_sum = 0.0;
+    let mut cross_sum = 0.0;
+    let mut n = 0usize;
+    for (label, recs) in [("mult12", &recs12), ("mult16", &recs16)] {
+        // Native-width zoo for the same models.
+        let subset = sample_subset(recs.len(), 0.10, 40, 0xDAC_2020);
+        let (train, val) = train_validate_split(&subset, 0.80, 0xDAC_2020);
+        let zoo_native = train_zoo(recs, &train, &val, &models, 0.01);
+        for &model in &models {
+            for param in FpgaParam::ALL {
+                // Cross: 8-bit-trained model estimating this library's
+                // validation circuits.
+                let mes: Vec<f64> = val.iter().map(|&i| recs[i].fpga_param(param)).collect();
+                let est_cross: Vec<f64> = val
+                    .iter()
+                    .map(|&i| zoo8.estimate(model, param, &recs[i]))
+                    .collect();
+                let f_cross = fidelity(&est_cross, &mes, 0.01);
+                let f_native = zoo_native
+                    .fidelities
+                    .iter()
+                    .find(|f| f.model == model && f.param == param)
+                    .map(|f| f.fidelity)
+                    .unwrap_or(0.0);
+                same_sum += f_native;
+                cross_sum += f_cross;
+                n += 1;
+                rows.push(vec![
+                    label.to_string(),
+                    model.label().to_string(),
+                    format!("{param:?}"),
+                    format!("{:.0}%", 100.0 * f_native),
+                    format!("{:.0}%", 100.0 * f_cross),
+                ]);
+                csv.push(vec![
+                    label.to_string(),
+                    model.label().to_string(),
+                    format!("{param:?}"),
+                    format!("{f_native:.4}"),
+                    format!("{f_cross:.4}"),
+                ]);
+            }
+        }
+    }
+    write_csv(
+        "crossbw_generalization.csv",
+        &["library", "model", "param", "fidelity_native", "fidelity_from_8bit"],
+        &csv,
+    );
+    println!(
+        "\n{}",
+        table(
+            &["library", "model", "param", "native-width", "8-bit-trained"],
+            &rows
+        )
+    );
+    println!("\n=== cross-bit-width summary ===");
+    println!(
+        "mean fidelity: native {:.0}% vs 8-bit-trained {:.0}% (paper: 88% -> 53%)",
+        100.0 * same_sum / n.max(1) as f64,
+        100.0 * cross_sum / n.max(1) as f64
+    );
+}

@@ -1,0 +1,158 @@
+//! Fig. 1 — Motivational analysis: pareto-optimal approximate 8x8
+//! multipliers for ASIC vs FPGA, plus the "SoA FPGA" multipliers.
+//!
+//! Reproduces the paper's three observations: (1) ASIC-pareto circuits are
+//! not FPGA-pareto, (2) exhaustive synthesis of the library costs days,
+//! (3) the hand-crafted FPGA multipliers are dominated by the evolved
+//! library's FPGA front.
+//!
+//! Usage: `cargo run --release -p afp-bench --bin fig1 [--quick]`
+
+use afp_bench::render::{scatter, Series};
+use afp_bench::{human_time, write_csv, Scale};
+use approxfpgas::dataset::characterize_library;
+use approxfpgas::pareto_front;
+use approxfpgas::record::characterize;
+
+fn main() {
+    let scale = Scale::from_args();
+    let spec = scale.mul8_spec();
+    println!("Fig. 1: building the {}-circuit 8x8 multiplier library...", spec.target_size);
+    let library = afp_circuits::build_library(&spec);
+    let asic_cfg = afp_asic::AsicConfig::default();
+    let fpga_cfg = afp_fpga::FpgaConfig::default();
+    let err_cfg = afp_error::ErrorConfig::default();
+    let records = characterize_library(&library, &asic_cfg, &fpga_cfg, &err_cfg);
+
+    // SoA FPGA-tailored multipliers as overlay points.
+    let soa: Vec<_> = afp_circuits::soa::soa_fpga_multipliers8()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| characterize(records.len() + i, c, &asic_cfg, &fpga_cfg, &err_cfg))
+        .collect();
+
+    let asic_pts: Vec<(f64, f64)> = records.iter().map(|r| (r.asic.power_mw, r.error.med)).collect();
+    let fpga_pts: Vec<(f64, f64)> = records.iter().map(|r| (r.fpga.power_mw, r.error.med)).collect();
+    let asic_front = pareto_front(&asic_pts);
+    let fpga_front = pareto_front(&fpga_pts);
+
+    // Observation 1: overlap between the two fronts.
+    let overlap = asic_front.iter().filter(|i| fpga_front.contains(i)).count();
+    // Observation 2: exhaustive synthesis time.
+    let exhaustive_s: f64 = records.iter().map(|r| r.fpga.synth_time_s).sum();
+    // Observation 3: SoA designs dominated by the FPGA front?
+    let dominated_soa = soa
+        .iter()
+        .filter(|s| {
+            fpga_front.iter().any(|&i| {
+                approxfpgas::pareto::dominates(
+                    (records[i].fpga.power_mw, records[i].error.med),
+                    (s.fpga.power_mw, s.error.med),
+                )
+            })
+        })
+        .count();
+
+    let mut rows = Vec::new();
+    for r in &records {
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.4}", r.asic.power_mw),
+            format!("{:.4}", r.fpga.power_mw),
+            format!("{}", r.fpga.luts),
+            format!("{:.6}", r.error.med),
+            format!("{}", asic_front.contains(&r.id) as u8),
+            format!("{}", fpga_front.contains(&r.id) as u8),
+            "0".to_string(),
+        ]);
+    }
+    for s in &soa {
+        rows.push(vec![
+            s.name.clone(),
+            format!("{:.4}", s.asic.power_mw),
+            format!("{:.4}", s.fpga.power_mw),
+            format!("{}", s.fpga.luts),
+            format!("{:.6}", s.error.med),
+            "0".to_string(),
+            "0".to_string(),
+            "1".to_string(),
+        ]);
+    }
+    write_csv(
+        "fig1_pareto_asic_vs_fpga.csv",
+        &[
+            "name",
+            "asic_power_mw",
+            "fpga_power_mw",
+            "fpga_luts",
+            "med",
+            "on_asic_front",
+            "on_fpga_front",
+            "is_soa",
+        ],
+        &rows,
+    );
+
+    let lim = |pts: &[(f64, f64)]| -> Vec<(f64, f64)> {
+        pts.iter().copied().filter(|p| p.1 < 0.05).collect()
+    };
+    println!(
+        "\nASIC power vs MED (front '#', library '.'):\n{}",
+        scatter(
+            &[
+                Series { glyph: '.', label: "library".into(), points: lim(&asic_pts) },
+                Series {
+                    glyph: '#',
+                    label: "ASIC pareto".into(),
+                    points: asic_front.iter().map(|&i| asic_pts[i]).collect(),
+                },
+            ],
+            72,
+            16,
+            "ASIC power [mW]",
+            "MED",
+        )
+    );
+    println!(
+        "\nFPGA power vs MED (front '#', library '.', SoA 'S'):\n{}",
+        scatter(
+            &[
+                Series { glyph: '.', label: "library".into(), points: lim(&fpga_pts) },
+                Series {
+                    glyph: '#',
+                    label: "FPGA pareto".into(),
+                    points: fpga_front.iter().map(|&i| fpga_pts[i]).collect(),
+                },
+                Series {
+                    glyph: 'S',
+                    label: "SoA FPGA multipliers".into(),
+                    points: soa.iter().map(|s| (s.fpga.power_mw, s.error.med)).collect(),
+                },
+            ],
+            72,
+            16,
+            "FPGA power [mW]",
+            "MED",
+        )
+    );
+
+    println!("\n=== Fig. 1 summary ===");
+    println!("library size:                  {}", records.len());
+    println!("ASIC pareto points:            {}", asic_front.len());
+    println!("FPGA pareto points:            {}", fpga_front.len());
+    println!(
+        "front overlap:                 {} / {} ASIC-pareto circuits are also FPGA-pareto ({:.0}%)",
+        overlap,
+        asic_front.len(),
+        100.0 * overlap as f64 / asic_front.len().max(1) as f64
+    );
+    println!(
+        "exhaustive FPGA synthesis:     {} (modeled, observation 2)",
+        human_time(exhaustive_s)
+    );
+    println!(
+        "SoA multipliers dominated:     {} / {} (observation 3)",
+        dominated_soa,
+        soa.len()
+    );
+}

@@ -1,0 +1,78 @@
+//! Fig. 5 — Fidelity of the 18 S/ML models for the three FPGA parameters
+//! (latency, power, area), evaluated on the validation split of the 10%
+//! subset of the 8x8 multiplier library.
+//!
+//! Usage: `cargo run --release -p afp-bench --bin fig5 [--quick]`
+
+use afp_bench::render::table;
+use afp_bench::{write_csv, Scale};
+use afp_ml::MlModelId;
+use approxfpgas::dataset::{characterize_library, sample_subset, train_validate_split};
+use approxfpgas::fidelity::train_zoo;
+use approxfpgas::record::FpgaParam;
+
+fn main() {
+    let scale = Scale::from_args();
+    let spec = scale.mul8_spec();
+    println!("Fig. 5: characterizing {} 8x8 multipliers...", spec.target_size);
+    let library = afp_circuits::build_library(&spec);
+    let records = characterize_library(
+        &library,
+        &afp_asic::AsicConfig::default(),
+        &afp_fpga::FpgaConfig::default(),
+        &afp_error::ErrorConfig::default(),
+    );
+    let subset = sample_subset(records.len(), 0.10, 40, 0xDAC_2020);
+    let (train, validate) = train_validate_split(&subset, 0.80, 0xDAC_2020);
+    println!(
+        "training the 18-model zoo on {} circuits, validating on {}...",
+        train.len(),
+        validate.len()
+    );
+    let zoo = train_zoo(&records, &train, &validate, &MlModelId::ALL, 0.01);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for id in MlModelId::ALL {
+        let get = |param: FpgaParam| -> f64 {
+            zoo.fidelities
+                .iter()
+                .find(|f| f.model == id && f.param == param)
+                .map(|f| f.fidelity)
+                .unwrap_or(0.0)
+        };
+        let (lat, pow, area) = (
+            get(FpgaParam::Latency),
+            get(FpgaParam::Power),
+            get(FpgaParam::Area),
+        );
+        rows.push(vec![
+            id.label().to_string(),
+            id.description().to_string(),
+            format!("{:.1}%", 100.0 * lat),
+            format!("{:.1}%", 100.0 * pow),
+            format!("{:.1}%", 100.0 * area),
+        ]);
+        csv.push(vec![
+            id.label().to_string(),
+            format!("{lat:.4}"),
+            format!("{pow:.4}"),
+            format!("{area:.4}"),
+        ]);
+    }
+    write_csv(
+        "fig5_fidelity.csv",
+        &["model", "fidelity_latency", "fidelity_power", "fidelity_area"],
+        &csv,
+    );
+    println!(
+        "\n{}",
+        table(
+            &["Id", "Model", "Latency", "Power", "Area"],
+            &rows
+        )
+    );
+    println!("\n=== Fig. 5 observations (paper) ===");
+    println!("- tree-based methods above average, ridge-family best");
+    println!("- top fidelities in the high-80s/low-90s");
+}

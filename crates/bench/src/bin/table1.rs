@@ -1,0 +1,27 @@
+//! Table I — the 18 light-weight statistical/ML models used by
+//! ApproxFPGAs.
+//!
+//! Usage: `cargo run --release -p afp-bench --bin table1`
+
+use afp_bench::render::table;
+use afp_bench::write_csv;
+use afp_ml::MlModelId;
+
+fn main() {
+    let rows: Vec<Vec<String>> = MlModelId::ALL
+        .iter()
+        .map(|m| {
+            vec![
+                m.label().to_string(),
+                m.description().to_string(),
+                if m.is_asic_regression() {
+                    "statistical".to_string()
+                } else {
+                    "machine learning".to_string()
+                },
+            ]
+        })
+        .collect();
+    write_csv("table1_models.csv", &["id", "model", "class"], &rows);
+    println!("{}", table(&["Id", "Statistical/ML Model", "Class"], &rows));
+}

@@ -1,0 +1,201 @@
+//! Shared infrastructure for the figure/table regeneration binaries and
+//! Criterion benches.
+//!
+//! Every `fig*`/`table*` binary accepts `--quick` (shrunken library sizes
+//! for smoke runs); without it the paper-scale defaults of DESIGN.md are
+//! used. Results are written as CSV into `results/` and rendered as ASCII
+//! tables/plots on stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use afp_circuits::{ArithKind, LibrarySpec};
+
+/// Library sizing for a run (see DESIGN.md "Library sizing").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// 8-bit adder library size.
+    pub add8: usize,
+    /// 12-bit adder library size.
+    pub add12: usize,
+    /// 16-bit adder library size.
+    pub add16: usize,
+    /// 8x8 multiplier library size (the paper's 4,494).
+    pub mul8: usize,
+    /// 12x12 multiplier library size.
+    pub mul12: usize,
+    /// 16x16 multiplier library size.
+    pub mul16: usize,
+}
+
+impl Scale {
+    /// Paper-scale sizes.
+    pub fn paper() -> Scale {
+        Scale {
+            add8: 500,
+            add12: 1000,
+            add16: 1200,
+            mul8: 4494,
+            mul12: 1200,
+            mul16: 1500,
+        }
+    }
+
+    /// Shrunken sizes for smoke runs (`--quick`).
+    pub fn quick() -> Scale {
+        Scale {
+            add8: 80,
+            add12: 90,
+            add16: 100,
+            mul8: 220,
+            mul12: 120,
+            mul16: 130,
+        }
+    }
+
+    /// The paper's *full* 8x8 multiplier library (44,940 circuits, of
+    /// which the paper's 4,494 are the 10% subset). Expensive: reserve
+    /// for dedicated runs via `--paper-full`.
+    pub fn paper_full() -> Scale {
+        Scale {
+            mul8: 44_940,
+            ..Scale::paper()
+        }
+    }
+
+    /// Select by command-line arguments: `--quick` selects the smoke
+    /// sizes, `--paper-full` the full-library sizes, default is
+    /// [`Scale::paper`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::quick()
+        } else if std::env::args().any(|a| a == "--paper-full") {
+            Scale::paper_full()
+        } else {
+            Scale::paper()
+        }
+    }
+
+    /// The six library specs (kind, width, size) of Fig. 3 in paper order.
+    pub fn all_specs(&self) -> Vec<LibrarySpec> {
+        vec![
+            LibrarySpec::new(ArithKind::Adder, 8, self.add8),
+            LibrarySpec::new(ArithKind::Adder, 12, self.add12),
+            LibrarySpec::new(ArithKind::Adder, 16, self.add16),
+            LibrarySpec::new(ArithKind::Multiplier, 8, self.mul8),
+            LibrarySpec::new(ArithKind::Multiplier, 12, self.mul12),
+            LibrarySpec::new(ArithKind::Multiplier, 16, self.mul16),
+        ]
+    }
+
+    /// Spec of the 8x8 multiplier library.
+    pub fn mul8_spec(&self) -> LibrarySpec {
+        LibrarySpec::new(ArithKind::Multiplier, 8, self.mul8)
+    }
+
+    /// Spec of the 16x16 multiplier library.
+    pub fn mul16_spec(&self) -> LibrarySpec {
+        LibrarySpec::new(ArithKind::Multiplier, 16, self.mul16)
+    }
+}
+
+/// Directory where result CSVs are written (`results/` at the workspace
+/// root, creatable from any working directory inside the workspace).
+pub fn results_dir() -> PathBuf {
+    // Walk up from CWD until a directory containing `Cargo.toml` with
+    // `[workspace]` is found; fall back to CWD.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    break;
+                }
+            }
+        }
+        if !dir.pop() {
+            dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            break;
+        }
+    }
+    let results = dir.join("results");
+    let _ = std::fs::create_dir_all(&results);
+    results
+}
+
+/// Write rows as CSV under `results/<name>` (header first).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (benchmarks want loud failures).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    writeln!(file, "{}", header.join(",")).expect("csv header write");
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).expect("csv row write");
+    }
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Format seconds as a human-readable duration (`12.3 h`, `4.5 d`, ...).
+pub fn human_time(seconds: f64) -> String {
+    if seconds < 120.0 {
+        format!("{seconds:.1} s")
+    } else if seconds < 2.0 * 3600.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else if seconds < 48.0 * 3600.0 {
+        format!("{:.1} h", seconds / 3600.0)
+    } else {
+        format!("{:.1} d", seconds / 86400.0)
+    }
+}
+
+/// Check that `path` exists and is non-empty (used by integration tests).
+pub fn assert_csv_written(path: &Path) {
+    let meta = std::fs::metadata(path).expect("csv exists");
+    assert!(meta.len() > 0, "csv is empty");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let p = Scale::paper();
+        let q = Scale::quick();
+        assert!(q.mul8 < p.mul8);
+        assert_eq!(p.mul8, 4494, "the paper's 8x8 multiplier count");
+        assert_eq!(p.all_specs().len(), 6);
+    }
+
+    #[test]
+    fn human_time_ranges() {
+        assert_eq!(human_time(10.0), "10.0 s");
+        assert_eq!(human_time(600.0), "10.0 min");
+        assert_eq!(human_time(7200.0), "2.0 h");
+        assert_eq!(human_time(86400.0 * 82.4), "82.4 d");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let p = write_csv(
+            "test_roundtrip.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        assert_csv_written(&p);
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -1,0 +1,135 @@
+//! ASCII rendering of tables and scatter plots for terminal output.
+
+/// Render an ASCII table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+";
+    let fmt_row = |cells: &[String]| -> String {
+        let mut s = String::new();
+        for (c, w) in widths.iter().enumerate() {
+            let cell = cells.get(c).map(String::as_str).unwrap_or("");
+            s.push_str(&format!("| {cell:w$} "));
+        }
+        s + "|"
+    };
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push('\n');
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out
+}
+
+/// One scatter series: a glyph and its points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Plot glyph (one char).
+    pub glyph: char,
+    /// Series label for the legend.
+    pub label: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render ASCII scatter plot(s) on shared axes. Later series overdraw
+/// earlier ones where they collide.
+pub fn scatter(series: &[Series], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no points)");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let xs = (x1 - x0).max(1e-12);
+    let ys = (y1 - y0).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let cx = (((x - x0) / xs) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / ys) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = s.glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} ^\n"));
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push_str(&format!("> {x_label}\n"));
+    out.push_str(&format!(
+        "    x: [{x0:.4}, {x1:.4}]  y: [{y0:.4}, {y1:.4}]\n"
+    ));
+    for s in series {
+        out.push_str(&format!("    '{}' = {} ({} pts)\n", s.glyph, s.label, s.points.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("| name   | value |"));
+        assert!(t.contains("| longer | 22    |"));
+    }
+
+    #[test]
+    fn scatter_plots_extremes() {
+        let s = scatter(
+            &[Series {
+                glyph: '*',
+                label: "demo".into(),
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            }],
+            20,
+            5,
+            "x",
+            "y",
+        );
+        assert!(s.contains('*'));
+        assert!(s.contains("demo (2 pts)"));
+    }
+
+    #[test]
+    fn scatter_empty_is_graceful() {
+        assert_eq!(scatter(&[], 10, 5, "x", "y"), "(no points)");
+    }
+}

@@ -1,0 +1,331 @@
+//! Word-level wrapper around gate-level netlists for two-operand arithmetic
+//! circuits, plus batch evaluation helpers.
+
+use afp_netlist::{NetId, Netlist, Simulator};
+
+/// The arithmetic function a circuit is *supposed* to compute.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArithKind {
+    /// Unsigned addition: `w`-bit + `w`-bit → `w+1`-bit.
+    Adder,
+    /// Unsigned multiplication: `w`-bit × `w`-bit → `2w`-bit.
+    Multiplier,
+}
+
+impl ArithKind {
+    /// Short mnemonic used in circuit names (`"add"` / `"mul"`).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            ArithKind::Adder => "add",
+            ArithKind::Multiplier => "mul",
+        }
+    }
+
+    /// Output bus width for operand width `w`.
+    pub fn out_width(&self, w: usize) -> usize {
+        match self {
+            ArithKind::Adder => w + 1,
+            ArithKind::Multiplier => 2 * w,
+        }
+    }
+
+    /// The exact (golden) result for operands `a`, `b` of width `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `w` bits or `2w` exceeds 64.
+    pub fn exact(&self, w: usize, a: u64, b: u64) -> u64 {
+        assert!(w <= 32, "operand width limited to 32 bits");
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        assert!(a <= mask && b <= mask, "operand out of range");
+        match self {
+            ArithKind::Adder => a + b,
+            ArithKind::Multiplier => a * b,
+        }
+    }
+
+    /// Maximum representable output value (`2^out_width - 1`), the
+    /// normalization constant in the paper's MED definition.
+    pub fn max_output(&self, w: usize) -> u64 {
+        let ow = self.out_width(w);
+        if ow >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << ow) - 1
+        }
+    }
+}
+
+impl std::fmt::Display for ArithKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A two-operand arithmetic circuit: a gate-level netlist with a declared
+/// word-level interface (`a[w]`, `b[w]` → `out[kind.out_width(w)]`, all
+/// LSB-first).
+///
+/// # Example
+///
+/// ```
+/// use afp_circuits::multipliers::array_multiplier;
+///
+/// let m = array_multiplier(8);
+/// assert_eq!(m.eval(13, 11), 143);
+/// assert_eq!(m.width(), 8);
+/// assert_eq!(m.netlist().num_outputs(), 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ArithCircuit {
+    kind: ArithKind,
+    width: usize,
+    netlist: Netlist,
+}
+
+impl ArithCircuit {
+    /// Wrap a netlist as an arithmetic circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist interface does not match `kind`/`width`
+    /// (`2w` inputs, `kind.out_width(w)` outputs).
+    pub fn new(kind: ArithKind, width: usize, netlist: Netlist) -> ArithCircuit {
+        assert_eq!(
+            netlist.num_inputs(),
+            2 * width,
+            "expected {} primary inputs",
+            2 * width
+        );
+        assert_eq!(
+            netlist.num_outputs(),
+            kind.out_width(width),
+            "expected {} primary outputs",
+            kind.out_width(width)
+        );
+        ArithCircuit {
+            kind,
+            width,
+            netlist,
+        }
+    }
+
+    /// The intended arithmetic function.
+    pub fn kind(&self) -> ArithKind {
+        self.kind
+    }
+
+    /// Operand width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The circuit's name (delegates to the netlist).
+    pub fn name(&self) -> &str {
+        self.netlist.name()
+    }
+
+    /// Rename the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.netlist.set_name(name);
+    }
+
+    /// The underlying gate-level netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Consume the wrapper, returning the netlist.
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+
+    /// Replace the netlist with a simplified copy (see
+    /// [`afp_netlist::opt::simplify`]); interface is preserved.
+    pub fn simplify(&mut self) {
+        self.netlist = afp_netlist::opt::simplify(&self.netlist);
+    }
+
+    /// The exact (golden) value this circuit approximates.
+    pub fn exact(&self, a: u64, b: u64) -> u64 {
+        self.kind.exact(self.width, a, b)
+    }
+
+    /// Evaluate the circuit behaviourally on one operand pair.
+    ///
+    /// For bulk evaluation use [`BatchEvaluator`], which amortizes the
+    /// simulator allocation and evaluates 64 pairs per pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `width` bits.
+    pub fn eval(&self, a: u64, b: u64) -> u64 {
+        let mut batch = BatchEvaluator::new(self);
+        batch.eval_pairs(&[(a, b)])[0]
+    }
+}
+
+/// Bit-parallel batch evaluator for an [`ArithCircuit`]: evaluates up to 64
+/// operand pairs per simulation pass.
+///
+/// # Example
+///
+/// ```
+/// use afp_circuits::adders::ripple_carry;
+/// use afp_circuits::BatchEvaluator;
+///
+/// let add = ripple_carry(8);
+/// let mut batch = BatchEvaluator::new(&add);
+/// let out = batch.eval_pairs(&[(1, 2), (255, 255), (100, 27)]);
+/// assert_eq!(out, vec![3, 510, 127]);
+/// ```
+#[derive(Debug)]
+pub struct BatchEvaluator<'c> {
+    circuit: &'c ArithCircuit,
+    sim: Simulator<'c>,
+    words: Vec<u64>,
+}
+
+impl<'c> BatchEvaluator<'c> {
+    /// Create an evaluator bound to `circuit`.
+    pub fn new(circuit: &'c ArithCircuit) -> BatchEvaluator<'c> {
+        BatchEvaluator {
+            circuit,
+            sim: Simulator::new(circuit.netlist()),
+            words: vec![0u64; circuit.netlist().num_inputs()],
+        }
+    }
+
+    /// Evaluate a chunk of at most 64 operand pairs in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs.len() > 64`, or if an operand is out of range.
+    pub fn eval_chunk(&mut self, pairs: &[(u64, u64)]) -> Vec<u64> {
+        assert!(pairs.len() <= 64, "a chunk is at most 64 lanes");
+        let w = self.circuit.width();
+        self.words.fill(0);
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            afp_netlist::pack_operand(&mut self.words, 0, w, lane, a);
+            afp_netlist::pack_operand(&mut self.words, w, w, lane, b);
+        }
+        let out_nets: Vec<NetId> = self.circuit.netlist().outputs().to_vec();
+        self.sim.run_into(&self.words);
+        let out_words: Vec<u64> = out_nets.iter().map(|&o| self.sim.value(o)).collect();
+        (0..pairs.len())
+            .map(|lane| afp_netlist::unpack_result(&out_words, lane))
+            .collect()
+    }
+
+    /// Evaluate any number of operand pairs, chunking internally.
+    pub fn eval_pairs(&mut self, pairs: &[(u64, u64)]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(64) {
+            out.extend(self.eval_chunk(chunk));
+        }
+        out
+    }
+}
+
+/// A 64-bit behavioural signature of a circuit: outputs hashed over a fixed
+/// deterministic stimulus (corner cases + pseudo-random pairs). Two circuits
+/// with equal signatures almost surely compute the same function; used for
+/// library dedup.
+pub fn behavioral_signature(circuit: &ArithCircuit) -> u64 {
+    let w = circuit.width();
+    let mask = (1u64 << w) - 1;
+    let mut pairs: Vec<(u64, u64)> = vec![
+        (0, 0),
+        (mask, mask),
+        (0, mask),
+        (mask, 0),
+        (1, 1),
+        (mask >> 1, (mask >> 1) + 1),
+    ];
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (w as u64);
+    for _ in 0..122 {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        pairs.push((v & mask, (v >> 32) & mask));
+    }
+    let mut batch = BatchEvaluator::new(circuit);
+    let outs = batch.eval_pairs(&pairs);
+    // FNV-1a over the output stream.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for o in outs {
+        for byte in o.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire_adder(width: usize) -> ArithCircuit {
+        // "Adder" that just returns operand a (zero-extended): legal
+        // interface, very approximate.
+        let mut n = Netlist::new("wire_add");
+        let a = n.add_inputs(width);
+        let _b = n.add_inputs(width);
+        let zero = n.constant(false);
+        let mut outs = a;
+        outs.push(zero);
+        n.set_outputs(outs);
+        ArithCircuit::new(ArithKind::Adder, width, n)
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(ArithKind::Adder.out_width(8), 9);
+        assert_eq!(ArithKind::Multiplier.out_width(8), 16);
+        assert_eq!(ArithKind::Adder.max_output(8), 511);
+        assert_eq!(ArithKind::Multiplier.max_output(8), 65535);
+        assert_eq!(ArithKind::Adder.exact(8, 255, 255), 510);
+        assert_eq!(ArithKind::Multiplier.exact(8, 255, 255), 65025);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary inputs")]
+    fn interface_mismatch_panics() {
+        let n = Netlist::new("empty");
+        let _ = ArithCircuit::new(ArithKind::Adder, 4, n);
+    }
+
+    #[test]
+    fn wire_adder_behaves_as_declared() {
+        let c = wire_adder(4);
+        assert_eq!(c.eval(9, 3), 9);
+        assert_eq!(c.exact(9, 3), 12);
+    }
+
+    #[test]
+    fn batch_matches_single_eval() {
+        let c = wire_adder(6);
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 64, (i * 7) % 64)).collect();
+        let mut batch = BatchEvaluator::new(&c);
+        let out = batch.eval_pairs(&pairs);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(out[i], c.eval(a, b));
+        }
+    }
+
+    #[test]
+    fn signature_distinguishes_functions() {
+        let a = wire_adder(4);
+        let mut n = Netlist::new("other");
+        let ins = n.add_inputs(8);
+        let zero = n.constant(false);
+        let mut outs: Vec<NetId> = ins[4..8].to_vec(); // returns b instead
+        outs.push(zero);
+        n.set_outputs(outs);
+        let b = ArithCircuit::new(ArithKind::Adder, 4, n);
+        assert_ne!(behavioral_signature(&a), behavioral_signature(&b));
+        assert_eq!(behavioral_signature(&a), behavioral_signature(&a.clone()));
+    }
+}

@@ -1,0 +1,308 @@
+//! Whole-library enumeration: the reproduction's stand-in for EvoApprox8b.
+//!
+//! [`build_library`] enumerates a deterministic, deduplicated collection of
+//! approximate circuits of one kind and width, mixing:
+//!
+//! 1. the exact baseline architectures,
+//! 2. the full parameter grids of the structured approximations
+//!    (truncation, LOA, GeAr, broken-array, ...),
+//! 3. seeded random mutants of all of the above, at increasing mutation
+//!    counts, until the requested library size is reached.
+//!
+//! Circuits that are behavioural duplicates (same function) or garbage
+//! (mean relative error above [`LibrarySpec::max_mean_rel_error`]) are
+//! dropped, mirroring how a curated AC library ships only usable points.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::adders;
+use crate::advanced_multipliers;
+use crate::arith::{behavioral_signature, ArithCircuit, ArithKind, BatchEvaluator};
+use crate::multipliers;
+use crate::mutate::{mutate, MutationConfig};
+use crate::prefix_adders;
+
+/// Specification of a circuit library to enumerate.
+#[derive(Clone, Debug)]
+pub struct LibrarySpec {
+    /// Adder or multiplier.
+    pub kind: ArithKind,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Target number of circuits (best effort: the builder stops early only
+    /// if its generation budget is exhausted).
+    pub target_size: usize,
+    /// Master seed; equal specs produce identical libraries.
+    pub seed: u64,
+    /// Garbage filter: drop circuits whose mean relative error on the probe
+    /// sample exceeds this (1.0 disables the filter).
+    pub max_mean_rel_error: f64,
+}
+
+impl LibrarySpec {
+    /// Library of `target_size` approximate circuits of `kind`/`width` with
+    /// the default seed and garbage filter.
+    pub fn new(kind: ArithKind, width: usize, target_size: usize) -> LibrarySpec {
+        LibrarySpec {
+            kind,
+            width,
+            target_size,
+            seed: 0xEF0_2020,
+            max_mean_rel_error: 0.40,
+        }
+    }
+}
+
+/// Enumerate the library described by `spec`.
+///
+/// The result is deterministic, free of behavioural duplicates, and always
+/// contains the exact baseline architectures (so the pareto fronts have an
+/// error-zero anchor, as the real EvoApprox library does).
+///
+/// # Example
+///
+/// ```
+/// use afp_circuits::{build_library, ArithKind, LibrarySpec};
+///
+/// let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 40));
+/// assert!(lib.len() >= 30);
+/// assert!(lib.iter().any(|c| c.name().contains("rca")));
+/// ```
+pub fn build_library(spec: &LibrarySpec) -> Vec<ArithCircuit> {
+    let mut lib: Vec<ArithCircuit> = Vec::with_capacity(spec.target_size);
+    let mut seen: HashSet<u64> = HashSet::new();
+    let push = |c: ArithCircuit, lib: &mut Vec<ArithCircuit>, seen: &mut HashSet<u64>| {
+        if lib.len() >= spec.target_size {
+            return false;
+        }
+        if !acceptable(&c, spec.max_mean_rel_error) {
+            return false;
+        }
+        let sig = behavioral_signature(&c);
+        if seen.insert(sig) {
+            lib.push(c);
+            true
+        } else {
+            false
+        }
+    };
+
+    // 1. Exact baselines.
+    for c in exact_seeds(spec.kind, spec.width) {
+        push(c, &mut lib, &mut seen);
+    }
+
+    // 2. Structured approximation grids.
+    for mut c in structured_grid(spec.kind, spec.width) {
+        c.simplify();
+        push(c, &mut lib, &mut seen);
+    }
+
+    // 3. Seeded mutants until the target is reached. Bases cycle over the
+    //    library collected so far (structured approximations included) so
+    //    mutants inherit diverse starting points.
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let bases: Vec<ArithCircuit> = lib.clone();
+    let mut budget = spec.target_size * 8; // generation attempts
+    let mut next_seed = 0u64;
+    while lib.len() < spec.target_size && budget > 0 {
+        budget -= 1;
+        let base = &bases[rng.gen_range(0..bases.len())];
+        let mutations = 1 + (next_seed % 6) as usize;
+        let cfg = MutationConfig {
+            mutations,
+            lsb_bias: 0.45 + 0.1 * ((next_seed % 5) as f64),
+            seed: spec.seed ^ next_seed,
+        };
+        next_seed += 1;
+        let m = mutate(base, &cfg);
+        push(m, &mut lib, &mut seen);
+    }
+
+    // Stable, human-readable names: kind+width, then ordinal.
+    for (i, c) in lib.iter_mut().enumerate() {
+        let base = c.name().to_string();
+        c.set_name(format!(
+            "{}{}u_{:05}_{}",
+            spec.kind.mnemonic(),
+            spec.width,
+            i,
+            base.split("u_").nth(1).unwrap_or(&base)
+        ));
+    }
+    lib
+}
+
+/// The exact architectures included in every library.
+pub fn exact_seeds(kind: ArithKind, width: usize) -> Vec<ArithCircuit> {
+    match kind {
+        ArithKind::Adder => vec![
+            adders::ripple_carry(width),
+            adders::carry_lookahead(width),
+            adders::carry_select(width),
+            adders::carry_skip(width),
+            prefix_adders::kogge_stone(width),
+            prefix_adders::brent_kung(width),
+        ],
+        ArithKind::Multiplier => {
+            let mut seeds = vec![
+                multipliers::array_multiplier(width),
+                multipliers::wallace_multiplier(width),
+                advanced_multipliers::dadda_multiplier(width),
+            ];
+            if width % 2 == 0 {
+                seeds.push(advanced_multipliers::radix4_multiplier(width));
+            }
+            seeds
+        }
+    }
+}
+
+/// The structured (non-mutated) approximation grid for one kind/width.
+pub fn structured_grid(kind: ArithKind, width: usize) -> Vec<ArithCircuit> {
+    let mut out = Vec::new();
+    match kind {
+        ArithKind::Adder => {
+            for k in 1..width {
+                out.push(adders::loa(width, k));
+                out.push(adders::truncated(width, k));
+                out.push(adders::no_carry(width, k));
+                for v in adders::ApproxFa::ALL {
+                    out.push(adders::afa_substituted(width, k, v));
+                }
+            }
+            for r in 1..width.min(6) {
+                for p in 0..=width.min(4) {
+                    if r + p >= 2 && r + p < width {
+                        out.push(adders::gear(width, r, p));
+                    }
+                }
+            }
+            for block in 2..=(width / 2).max(2) {
+                out.push(prefix_adders::etaii(width, block));
+            }
+            for k in 1..width {
+                out.push(prefix_adders::truncated_compensated(width, k));
+            }
+        }
+        ArithKind::Multiplier => {
+            for k in 1..(2 * width - 2) {
+                out.push(multipliers::truncated(width, k));
+                out.push(multipliers::approx_compressor(width, k));
+            }
+            for vbl in 0..width {
+                for hbl in 0..=(width / 2) {
+                    if vbl + hbl > 0 {
+                        out.push(multipliers::broken_array(width, vbl, hbl));
+                    }
+                }
+            }
+            for k in 2..width {
+                out.push(advanced_multipliers::drum(width, k));
+            }
+            if width % 2 == 0 {
+                let blocks = (width / 2) * (width / 2);
+                // LSB-first prefixes of approximate blocks plus a few
+                // scattered masks.
+                for nb in 1..=blocks.min(63) {
+                    out.push(multipliers::underdesigned(width, (1u64 << nb) - 1));
+                }
+                let mut s = 0x5EED_u64 ^ width as u64;
+                for _ in 0..8 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let mask = s & ((1u64 << blocks.min(63)) - 1);
+                    if mask != 0 {
+                        out.push(multipliers::underdesigned(width, mask));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Garbage filter: mean relative error over a deterministic 192-pair probe.
+fn acceptable(c: &ArithCircuit, max_mean_rel_error: f64) -> bool {
+    if max_mean_rel_error >= 1.0 {
+        return true;
+    }
+    let w = c.width();
+    let mask = (1u64 << w) - 1;
+    let mut pairs = vec![(mask, mask), (mask >> 1, mask >> 1)];
+    let mut s = 0xFACE_u64;
+    for _ in 0..190 {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        pairs.push(((s >> 5) & mask, (s >> 37) & mask));
+    }
+    let mut batch = BatchEvaluator::new(c);
+    let got = batch.eval_pairs(&pairs);
+    let max_out = c.kind().max_output(w) as f64;
+    let mean_rel: f64 = pairs
+        .iter()
+        .zip(&got)
+        .map(|(&(a, b), &g)| (g as f64 - c.exact(a, b) as f64).abs() / max_out)
+        .sum::<f64>()
+        / pairs.len() as f64;
+    mean_rel <= max_mean_rel_error
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_reaches_target_and_dedups() {
+        let lib = build_library(&LibrarySpec::new(ArithKind::Multiplier, 8, 60));
+        assert!(lib.len() >= 50, "only {} circuits", lib.len());
+        let sigs: HashSet<u64> = lib.iter().map(behavioral_signature).collect();
+        assert_eq!(sigs.len(), lib.len(), "behavioural duplicates remain");
+    }
+
+    #[test]
+    fn library_is_deterministic() {
+        let spec = LibrarySpec::new(ArithKind::Adder, 8, 30);
+        let a = build_library(&spec);
+        let b = build_library(&spec);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(behavioral_signature(x), behavioral_signature(y));
+        }
+    }
+
+    #[test]
+    fn library_contains_exact_anchor() {
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 30));
+        let exact = lib.iter().any(|c| {
+            (0..50u64).all(|i| {
+                let (a, b) = (i * 5 % 256, i * 7 % 256);
+                c.eval(a, b) == a + b
+            })
+        });
+        assert!(exact, "no exact adder in the library");
+    }
+
+    #[test]
+    fn garbage_filter_rejects_wild_circuits() {
+        // An "adder" returning constant zero has huge mean relative error.
+        let mut n = afp_netlist::Netlist::new("zero");
+        n.add_inputs(16);
+        let z = n.constant(false);
+        n.set_outputs(vec![z; 9]);
+        let c = ArithCircuit::new(ArithKind::Adder, 8, n);
+        assert!(!acceptable(&c, 0.40));
+        assert!(acceptable(&c, 1.0));
+    }
+
+    #[test]
+    fn interfaces_are_uniform() {
+        for c in build_library(&LibrarySpec::new(ArithKind::Multiplier, 8, 40)) {
+            assert_eq!(c.width(), 8);
+            assert_eq!(c.netlist().num_inputs(), 16);
+            assert_eq!(c.netlist().num_outputs(), 16);
+            c.netlist().validate().unwrap();
+        }
+    }
+}

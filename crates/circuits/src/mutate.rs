@@ -1,0 +1,243 @@
+//! Seeded random netlist mutation.
+//!
+//! The EvoApprox library was produced by Cartesian Genetic Programming:
+//! thousands of structurally diverse circuits obtained by mutating gate
+//! functions and connections. This module reproduces that *diversity
+//! mechanism* (not the search): a configurable number of random gate
+//! mutations, biased toward the fanin cones of low-order output bits so
+//! most mutants stay in the useful low-error region of the trade-off space.
+
+use afp_netlist::{Gate, NetId, Netlist};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arith::ArithCircuit;
+
+/// Mutation configuration.
+#[derive(Clone, Debug)]
+pub struct MutationConfig {
+    /// Number of gate mutations to apply.
+    pub mutations: usize,
+    /// Geometric bias toward low-order outputs: the probability of selecting
+    /// output bit `i`'s cone decays by this factor per bit position
+    /// (`0 < lsb_bias <= 1`; `1` = uniform).
+    pub lsb_bias: f64,
+    /// RNG seed; equal seeds give identical mutants.
+    pub seed: u64,
+}
+
+impl Default for MutationConfig {
+    fn default() -> MutationConfig {
+        MutationConfig {
+            mutations: 2,
+            lsb_bias: 0.55,
+            seed: 0,
+        }
+    }
+}
+
+/// Apply `config.mutations` random gate mutations to `circuit`, returning a
+/// simplified mutant with the same interface.
+///
+/// Mutations pick a logic gate inside the fanin cone of a (LSB-biased)
+/// randomly chosen output and either change its function, rewire one
+/// operand to an earlier net from the same cone, or replace it with a
+/// constant.
+///
+/// # Example
+///
+/// ```
+/// use afp_circuits::adders::ripple_carry;
+/// use afp_circuits::mutate::{mutate, MutationConfig};
+///
+/// let exact = ripple_carry(8);
+/// let mutant = mutate(&exact, &MutationConfig { mutations: 3, seed: 7, ..Default::default() });
+/// assert_eq!(mutant.width(), 8);
+/// // Same interface, (almost surely) different function.
+/// ```
+pub fn mutate(circuit: &ArithCircuit, config: &MutationConfig) -> ArithCircuit {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xA5A5_0000);
+    let mut netlist = circuit.netlist().clone();
+    for m in 0..config.mutations {
+        mutate_once(&mut netlist, config.lsb_bias, &mut rng);
+        // Re-simplify periodically so stacked mutations act on clean
+        // structure (and stay cheap), matching how CGP evaluates phenotypes.
+        if m + 1 == config.mutations || (m + 1) % 4 == 0 {
+            netlist = afp_netlist::opt::simplify(&netlist);
+        }
+    }
+    netlist.set_name(format!(
+        "{}_m{}s{:04x}",
+        circuit.name(),
+        config.mutations,
+        config.seed & 0xFFFF
+    ));
+    ArithCircuit::new(circuit.kind(), circuit.width(), netlist)
+}
+
+fn mutate_once(netlist: &mut Netlist, lsb_bias: f64, rng: &mut SmallRng) {
+    // Pick an output with geometric LSB bias, then a gate from its cone.
+    let num_out = netlist.num_outputs();
+    if num_out == 0 {
+        return;
+    }
+    let mut out_idx = 0usize;
+    while out_idx + 1 < num_out && rng.gen::<f64>() > lsb_bias {
+        out_idx += 1;
+    }
+    let root = netlist.outputs()[out_idx];
+    let mask = afp_netlist::analyze::cone(netlist, &[root]);
+    let candidates: Vec<usize> = mask
+        .iter()
+        .enumerate()
+        .filter(|&(i, &m)| m && netlist.gates()[i].is_logic())
+        .map(|(i, _)| i)
+        .collect();
+    let Some(&target_idx) = pick(&candidates, rng) else {
+        return;
+    };
+    let target = NetId::from_index(target_idx);
+    let gate = netlist.gate(target);
+    let choice = rng.gen_range(0..100u32);
+    let new_gate = if choice < 45 {
+        // Change function, keep operands.
+        let ops: Vec<NetId> = gate.operands().collect();
+        match ops.len() {
+            1 => match rng.gen_range(0..2) {
+                0 => Gate::Not(ops[0]),
+                _ => Gate::Buf(ops[0]),
+            },
+            2 => random_two_input(ops[0], ops[1], rng),
+            3 => {
+                if rng.gen_bool(0.5) {
+                    Gate::Maj(ops[0], ops[1], ops[2])
+                } else {
+                    Gate::Mux(ops[0], ops[1], ops[2])
+                }
+            }
+            _ => return, // constants: nothing to change
+        }
+    } else if choice < 85 {
+        // Rewire one operand to a random earlier net.
+        let ops: Vec<NetId> = gate.operands().collect();
+        if ops.is_empty() || target_idx == 0 {
+            return;
+        }
+        let which = rng.gen_range(0..ops.len());
+        let new_src = NetId::from_index(rng.gen_range(0..target_idx));
+        let mut k = 0usize;
+        gate.map_operands(|op| {
+            let r = if k == which { new_src } else { op };
+            k += 1;
+            r
+        })
+    } else {
+        // Stuck-at constant.
+        Gate::Const(rng.gen_bool(0.5))
+    };
+    netlist.replace_gate(target, new_gate);
+}
+
+fn random_two_input(a: NetId, b: NetId, rng: &mut SmallRng) -> Gate {
+    match rng.gen_range(0..6) {
+        0 => Gate::And(a, b),
+        1 => Gate::Or(a, b),
+        2 => Gate::Xor(a, b),
+        3 => Gate::Nand(a, b),
+        4 => Gate::Nor(a, b),
+        _ => Gate::Xnor(a, b),
+    }
+}
+
+fn pick<'a, T>(v: &'a [T], rng: &mut SmallRng) -> Option<&'a T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(&v[rng.gen_range(0..v.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adders::ripple_carry;
+    use crate::arith::behavioral_signature;
+    use crate::multipliers::wallace_multiplier;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let base = ripple_carry(8);
+        let cfg = MutationConfig {
+            mutations: 3,
+            seed: 42,
+            ..Default::default()
+        };
+        let m1 = mutate(&base, &cfg);
+        let m2 = mutate(&base, &cfg);
+        assert_eq!(behavioral_signature(&m1), behavioral_signature(&m2));
+        assert_eq!(m1.netlist().gates(), m2.netlist().gates());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let base = wallace_multiplier(8);
+        let sigs: std::collections::HashSet<u64> = (0..12)
+            .map(|seed| {
+                behavioral_signature(&mutate(
+                    &base,
+                    &MutationConfig {
+                        mutations: 4,
+                        seed,
+                        ..Default::default()
+                    },
+                ))
+            })
+            .collect();
+        assert!(sigs.len() >= 8, "only {} distinct mutants", sigs.len());
+    }
+
+    #[test]
+    fn interface_is_preserved() {
+        let base = ripple_carry(12);
+        for seed in 0..8 {
+            let m = mutate(
+                &base,
+                &MutationConfig {
+                    mutations: 6,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(m.width(), 12);
+            assert_eq!(m.netlist().num_inputs(), 24);
+            assert_eq!(m.netlist().num_outputs(), 13);
+            m.netlist().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_mutations_is_identity_function() {
+        let base = ripple_carry(8);
+        let m = mutate(
+            &base,
+            &MutationConfig {
+                mutations: 0,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(behavioral_signature(&m), behavioral_signature(&base));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn mutants_always_validate(seed in 0u64..1000, muts in 1usize..8) {
+            let base = wallace_multiplier(6);
+            let m = mutate(&base, &MutationConfig { mutations: muts, seed, ..Default::default() });
+            m.netlist().validate().unwrap();
+            // And still evaluate without panicking.
+            let _ = m.eval(63, 63);
+        }
+    }
+}

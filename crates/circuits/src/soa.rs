@@ -1,0 +1,60 @@
+//! "State-of-the-art FPGA-tailored" comparison multipliers for Fig. 1.
+//!
+//! The paper compares the EvoApprox 8x8 multipliers against the manually
+//! LUT-optimized approximate multipliers of Ullah et al. (DAC'18) and finds
+//! the latter dominated. Those designs are hand-crafted for a specific
+//! fabric; as a substitution we provide a small family with the same design
+//! recipe — coarse 4x4/2x2 block decompositions with approximate low blocks
+//! and a truncated correction — which sit in the same "few points, moderate
+//! error, moderate cost" region rather than on the evolved pareto front.
+
+use crate::arith::ArithCircuit;
+#[cfg(test)]
+use crate::arith::ArithKind;
+use crate::multipliers;
+
+/// The comparison set of "SoA FPGA" 8x8 approximate multipliers.
+///
+/// Returns a handful of fixed designs (names prefixed `soa_`), mirroring
+/// the handful of published design points in the paper's Fig. 1.
+pub fn soa_fpga_multipliers8() -> Vec<ArithCircuit> {
+    let mut out = Vec::new();
+    // Block-based designs: all 2x2 blocks approximate except the top rows.
+    for (i, mask) in [0x0000_0007u64, 0x0000_001F, 0x0000_007F, 0x0000_0333]
+        .iter()
+        .enumerate()
+    {
+        let mut c = multipliers::underdesigned(8, *mask);
+        c.simplify();
+        c.set_name(format!("soa_fpga_m{}", i + 1));
+        out.push(c);
+    }
+    // Truncation-with-correction style points.
+    for (i, k) in [4usize, 6].iter().enumerate() {
+        let mut c = multipliers::broken_array(8, *k, 2);
+        c.simplify();
+        c.set_name(format!("soa_fpga_m{}", out.len() + i + 1));
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soa_set_is_small_and_well_formed() {
+        let set = soa_fpga_multipliers8();
+        assert_eq!(set.len(), 6);
+        for c in &set {
+            assert_eq!(c.kind(), ArithKind::Multiplier);
+            assert_eq!(c.width(), 8);
+            assert!(c.name().starts_with("soa_fpga_m"));
+            c.netlist().validate().unwrap();
+            // Approximate but not garbage.
+            let err = (c.eval(200, 200) as i64 - 40000i64).unsigned_abs();
+            assert!(err < 20000, "{} err {err}", c.name());
+        }
+    }
+}

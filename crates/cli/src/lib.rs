@@ -1,0 +1,409 @@
+//! Implementation of the `afp` command-line tool.
+//!
+//! Subcommands (see `afp help`):
+//!
+//! * `library`  — enumerate an approximate-circuit library to Verilog + CSV
+//! * `synth`    — ASIC/FPGA cost report for a structural Verilog file
+//! * `error`    — behavioural error metrics of a circuit vs its golden
+//!   function
+//! * `map`      — LUT-map a Verilog file, verify equivalence, emit the
+//!   mapped LUT netlist
+//! * `flow`     — run the full ApproxFPGAs methodology on a library
+//!
+//! The parsing layer is deliberately dependency-free: flags are
+//! `--name value` pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use afp_circuits::{build_library, ArithCircuit, ArithKind, LibrarySpec};
+use afp_netlist::Netlist;
+
+/// A parsed command line: subcommand, flags and positional arguments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cli {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// `--flag value` pairs.
+    pub flags: HashMap<String, String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+}
+
+impl Cli {
+    /// Parse raw arguments (without the program name).
+    pub fn parse(args: &[String]) -> Cli {
+        let mut cli = Cli {
+            command: args.first().cloned().unwrap_or_default(),
+            ..Cli::default()
+        };
+        let mut i = 1usize;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    cli.flags.insert(name.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    cli.flags.insert(name.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                cli.positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+        cli
+    }
+
+    /// A flag value, or `default` when absent.
+    pub fn flag_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+        }
+    }
+
+    fn kind_flag(&self) -> Result<ArithKind, String> {
+        match self.flag_or("kind", "add") {
+            "add" | "adder" => Ok(ArithKind::Adder),
+            "mul" | "mult" | "multiplier" => Ok(ArithKind::Multiplier),
+            other => Err(format!("--kind must be add|mul, got `{other}`")),
+        }
+    }
+}
+
+/// Top-level dispatch. Returns the text to print, or an error message.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad flags, I/O
+/// failures and parse errors.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let cli = Cli::parse(args);
+    match cli.command.as_str() {
+        "library" => cmd_library(&cli),
+        "synth" => cmd_synth(&cli),
+        "error" => cmd_error(&cli),
+        "map" => cmd_map(&cli),
+        "flow" => cmd_flow(&cli),
+        "help" | "" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "afp — ApproxFPGAs reproduction CLI
+
+USAGE:
+  afp library --kind add|mul --width W --size N [--out DIR]
+      Enumerate an approximate-circuit library; write one Verilog file per
+      circuit plus library.csv when --out is given.
+  afp synth FILE.v [--target asic|fpga|both]
+      Parse structural Verilog and report synthesis cost.
+  afp error FILE.v --kind add|mul --width W
+      Behavioural error metrics against the exact golden function.
+  afp map FILE.v [--out MAPPED.v]
+      LUT-map the circuit, verify LUT-network equivalence, optionally
+      write the mapped netlist as LUT primitives.
+  afp flow --kind add|mul --width W --size N [--fronts K] [--subset F]
+      Run the full ApproxFPGAs methodology and print the summary.
+  afp help
+      This text.
+"
+    .to_string()
+}
+
+fn cmd_library(cli: &Cli) -> Result<String, String> {
+    let kind = cli.kind_flag()?;
+    let width = cli.usize_flag("width", 8)?;
+    let size = cli.usize_flag("size", 100)?;
+    let spec = LibrarySpec::new(kind, width, size);
+    let lib = build_library(&spec);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "generated {} circuits ({}{}u)",
+        lib.len(),
+        kind.mnemonic(),
+        width
+    );
+    if let Some(dir) = cli.flags.get("out") {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        let mut csv = String::from("name,gates,depth\n");
+        for c in &lib {
+            let path = dir.join(format!("{}.v", c.name()));
+            std::fs::write(&path, afp_netlist::export::to_verilog(c.netlist()))
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            let _ = writeln!(
+                csv,
+                "{},{},{}",
+                c.name(),
+                c.netlist().num_logic_gates(),
+                afp_netlist::analyze::depth(c.netlist())
+            );
+        }
+        std::fs::write(dir.join("library.csv"), csv)
+            .map_err(|e| format!("cannot write library.csv: {e}"))?;
+        let _ = writeln!(out, "wrote {} Verilog files + library.csv to {dir:?}", lib.len());
+    } else {
+        for c in lib.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>4} gates  depth {}",
+                c.name(),
+                c.netlist().num_logic_gates(),
+                afp_netlist::analyze::depth(c.netlist())
+            );
+        }
+        if lib.len() > 10 {
+            let _ = writeln!(out, "  ... ({} more; use --out DIR to export)", lib.len() - 10);
+        }
+    }
+    Ok(out)
+}
+
+fn load_netlist(cli: &Cli) -> Result<Netlist, String> {
+    let path = cli
+        .positional
+        .first()
+        .ok_or("expected a Verilog file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    afp_netlist::parse::from_verilog(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_synth(cli: &Cli) -> Result<String, String> {
+    let netlist = load_netlist(cli)?;
+    let target = cli.flag_or("target", "both");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} inputs, {} outputs, {} gates",
+        netlist.name(),
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_logic_gates()
+    );
+    if target == "asic" || target == "both" {
+        let r = afp_asic::synthesize_asic(&netlist, &afp_asic::AsicConfig::default());
+        let _ = writeln!(
+            out,
+            "ASIC: {:.2} um2, {:.3} ns, {:.4} mW ({} cells)",
+            r.area_um2, r.delay_ns, r.power_mw, r.cells
+        );
+    }
+    if target == "fpga" || target == "both" {
+        let r = afp_fpga::synthesize_fpga(&netlist, &afp_fpga::FpgaConfig::default());
+        let _ = writeln!(
+            out,
+            "FPGA: {} LUTs, {} slices, {} levels, {:.3} ns, {:.3} mW (est. synth {:.0} s)",
+            r.luts, r.slices, r.depth_levels, r.delay_ns, r.power_mw, r.synth_time_s
+        );
+    }
+    if !(target == "asic" || target == "fpga" || target == "both") {
+        return Err(format!("--target must be asic|fpga|both, got `{target}`"));
+    }
+    Ok(out)
+}
+
+fn cmd_error(cli: &Cli) -> Result<String, String> {
+    let netlist = load_netlist(cli)?;
+    let kind = cli.kind_flag()?;
+    let width = cli.usize_flag("width", 8)?;
+    if netlist.num_inputs() != 2 * width {
+        return Err(format!(
+            "circuit has {} inputs, expected {} for width {width}",
+            netlist.num_inputs(),
+            2 * width
+        ));
+    }
+    if netlist.num_outputs() != kind.out_width(width) {
+        return Err(format!(
+            "circuit has {} outputs, expected {}",
+            netlist.num_outputs(),
+            kind.out_width(width)
+        ));
+    }
+    let circuit = ArithCircuit::new(kind, width, netlist);
+    let m = afp_error::analyze(&circuit, &afp_error::ErrorConfig::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "{} vs exact {}{}u:", circuit.name(), kind.mnemonic(), width);
+    let _ = writeln!(out, "  samples:     {} ({})", m.samples, if m.exhaustive { "exhaustive" } else { "stratified" });
+    let _ = writeln!(out, "  MED:         {:.6}", m.med);
+    let _ = writeln!(out, "  MAE:         {:.3}", m.mae);
+    let _ = writeln!(out, "  WCE:         {}", m.wce);
+    let _ = writeln!(out, "  MRE:         {:.4}", m.mre);
+    let _ = writeln!(out, "  error prob.: {:.4}", m.error_prob);
+    let _ = writeln!(out, "  bias:        {:+.3}", m.bias);
+    Ok(out)
+}
+
+fn cmd_map(cli: &Cli) -> Result<String, String> {
+    let netlist = load_netlist(cli)?;
+    let cfg = afp_fpga::FpgaConfig::default();
+    let mapping = afp_fpga::map::map_luts(&netlist, &cfg);
+    let programmed = afp_fpga::luts::program_luts(&netlist, &mapping);
+    let mismatches = afp_fpga::luts::verify_mapping(&netlist, &programmed, 512, 0xAF9);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} LUTs, {} levels, verification {} (512 random vectors)",
+        netlist.name(),
+        mapping.luts.len(),
+        mapping.depth,
+        if mismatches == 0 { "PASSED" } else { "FAILED" }
+    );
+    if mismatches != 0 {
+        return Err(format!("mapping verification failed on {mismatches} vectors"));
+    }
+    if let Some(path) = cli.flags.get("out") {
+        std::fs::write(path, afp_fpga::luts::to_lut_verilog(&netlist, &programmed))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "wrote mapped netlist to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_flow(cli: &Cli) -> Result<String, String> {
+    let kind = cli.kind_flag()?;
+    let width = cli.usize_flag("width", 8)?;
+    let size = cli.usize_flag("size", 300)?;
+    let fronts = cli.usize_flag("fronts", 3)?;
+    let subset: f64 = cli
+        .flag_or("subset", "0.1")
+        .parse()
+        .map_err(|_| "--subset expects a fraction".to_string())?;
+    let config = approxfpgas::FlowConfig {
+        library: LibrarySpec::new(kind, width, size),
+        fronts,
+        subset_fraction: subset,
+        ..approxfpgas::FlowConfig::default()
+    };
+    let outcome = approxfpgas::Flow::new(config).run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "library {}{}u x{}: synthesized {}/{} circuits",
+        kind.mnemonic(),
+        width,
+        outcome.records.len(),
+        outcome.time.flow_count,
+        outcome.time.exhaustive_count
+    );
+    let _ = writeln!(
+        out,
+        "exploration: {:.1} h flow vs {:.1} h exhaustive ({:.1}x)",
+        outcome.time.flow_s() / 3600.0,
+        outcome.time.exhaustive_s / 3600.0,
+        outcome.time.speedup()
+    );
+    for (param, models) in &outcome.selected_models {
+        let names: Vec<&str> = models.iter().map(|m| m.label()).collect();
+        let _ = writeln!(
+            out,
+            "{param:?}: models [{}], coverage {:.0}%, front size {}",
+            names.join(", "),
+            100.0 * outcome.coverage[param],
+            outcome.final_fronts[param].len()
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_splits_flags_and_positionals() {
+        let cli = Cli::parse(&args(&["synth", "file.v", "--target", "fpga", "--verbose"]));
+        assert_eq!(cli.command, "synth");
+        assert_eq!(cli.positional, vec!["file.v"]);
+        assert_eq!(cli.flag_or("target", "x"), "fpga");
+        assert_eq!(cli.flag_or("verbose", "false"), "true");
+        assert_eq!(cli.flag_or("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let text = run(&args(&["help"])).unwrap();
+        for cmd in ["library", "synth", "error", "map", "flow"] {
+            assert!(text.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn library_inline_listing_works() {
+        let out = run(&args(&["library", "--kind", "add", "--width", "8", "--size", "12"]))
+            .unwrap();
+        assert!(out.contains("generated"));
+        assert!(out.contains("gates"));
+    }
+
+    #[test]
+    fn synth_and_map_round_trip_through_a_temp_file() {
+        let dir = std::env::temp_dir().join("afp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("adder.v");
+        let circuit = afp_circuits::adders::ripple_carry(8);
+        std::fs::write(&path, afp_netlist::export::to_verilog(circuit.netlist())).unwrap();
+        let p = path.to_string_lossy().to_string();
+
+        let synth = run(&args(&["synth", &p])).unwrap();
+        assert!(synth.contains("ASIC:") && synth.contains("FPGA:"));
+
+        let mapped_path = dir.join("adder_mapped.v").to_string_lossy().to_string();
+        let mapped = run(&args(&["map", &p, "--out", &mapped_path])).unwrap();
+        assert!(mapped.contains("PASSED"));
+        let text = std::fs::read_to_string(&mapped_path).unwrap();
+        assert!(text.contains("LUT"));
+
+        let err = run(&args(&["error", &p, "--kind", "add", "--width", "8"])).unwrap();
+        assert!(err.contains("MED:"));
+        assert!(err.contains("0.000000"), "exact adder must have MED 0:\n{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_command_validates_interface() {
+        let dir = std::env::temp_dir().join("afp_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("adder.v");
+        let circuit = afp_circuits::adders::ripple_carry(8);
+        std::fs::write(&path, afp_netlist::export::to_verilog(circuit.netlist())).unwrap();
+        let p = path.to_string_lossy().to_string();
+        let e = run(&args(&["error", &p, "--kind", "mul", "--width", "8"])).unwrap_err();
+        assert!(e.contains("outputs"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flow_command_runs_small() {
+        let out = run(&args(&[
+            "flow", "--kind", "add", "--width", "8", "--size", "60", "--subset", "0.4",
+        ]))
+        .unwrap();
+        assert!(out.contains("synthesized"));
+        assert!(out.contains("coverage"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `afp` — the ApproxFPGAs reproduction command-line tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match afp_cli::run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Dataset assembly: parallel circuit characterization, 10% subset
+//! sampling and the 80/20 train/validation split.
+
+use afp_circuits::ArithCircuit;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{characterize, CircuitRecord};
+
+/// Characterize every circuit in `library` in parallel (scoped threads).
+///
+/// Record ids equal library indices.
+pub fn characterize_library(
+    library: &[ArithCircuit],
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+) -> Vec<CircuitRecord> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(library.len().max(1));
+    let chunk = library.len().div_ceil(threads.max(1)).max(1);
+    let mut results: Vec<Option<CircuitRecord>> = vec![None; library.len()];
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, (start, circ_chunk)) in results.chunks_mut(chunk).zip(
+            (0..library.len())
+                .step_by(chunk)
+                .map(|s| (s, &library[s..(s + chunk).min(library.len())])),
+        ) {
+            scope.spawn(move |_| {
+                for (offset, circuit) in circ_chunk.iter().enumerate() {
+                    slot_chunk[offset] = Some(characterize(
+                        start + offset,
+                        circuit,
+                        asic_config,
+                        fpga_config,
+                        error_config,
+                    ));
+                }
+            });
+        }
+    })
+    .expect("characterization threads must not panic");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Deterministically sample `fraction` of `n` indices (at least
+/// `min_count`, at most `n`), the paper's "10% subset".
+pub fn sample_subset(n: usize, fraction: f64, min_count: usize, seed: u64) -> Vec<usize> {
+    let want = ((n as f64 * fraction).round() as usize)
+        .max(min_count)
+        .min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5AB5E7);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx.truncate(want);
+    idx.sort_unstable();
+    idx
+}
+
+/// Split `subset` into (train, validation) with the given train fraction,
+/// deterministically shuffled.
+pub fn train_validate_split(
+    subset: &[usize],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut idx = subset.to_vec();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7EA1);
+    for i in (1..idx.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let cut = ((idx.len() as f64 * train_fraction).round() as usize)
+        .clamp(1, idx.len().saturating_sub(1).max(1));
+    let (train, val) = idx.split_at(cut.min(idx.len()));
+    (train.to_vec(), val.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuits::{build_library, ArithKind, LibrarySpec};
+
+    #[test]
+    fn characterization_is_parallel_safe_and_ordered() {
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 20));
+        let recs = characterize_library(
+            &lib,
+            &afp_asic::AsicConfig::default(),
+            &afp_fpga::FpgaConfig::default(),
+            &afp_error::ErrorConfig::default(),
+        );
+        assert_eq!(recs.len(), lib.len());
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.id, i);
+            assert_eq!(r.name, lib[i].name());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 12));
+        let asic = afp_asic::AsicConfig::default();
+        let fpga = afp_fpga::FpgaConfig::default();
+        let err = afp_error::ErrorConfig::default();
+        let par = characterize_library(&lib, &asic, &fpga, &err);
+        for (i, c) in lib.iter().enumerate() {
+            let s = characterize(i, c, &asic, &fpga, &err);
+            assert_eq!(s.fpga, par[i].fpga);
+            assert_eq!(s.asic, par[i].asic);
+            assert_eq!(s.error, par[i].error);
+        }
+    }
+
+    #[test]
+    fn subset_is_deterministic_and_right_sized() {
+        let a = sample_subset(1000, 0.1, 40, 7);
+        let b = sample_subset(1000, 0.1, 40, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let c = sample_subset(100, 0.1, 40, 7);
+        assert_eq!(c.len(), 40, "min_count should apply");
+        let d = sample_subset(10, 0.1, 40, 7);
+        assert_eq!(d.len(), 10, "cannot exceed n");
+        // No duplicates.
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), a.len());
+    }
+
+    #[test]
+    fn different_seeds_sample_differently() {
+        assert_ne!(sample_subset(500, 0.1, 10, 1), sample_subset(500, 0.1, 10, 2));
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let subset: Vec<usize> = (0..50).collect();
+        let (train, val) = train_validate_split(&subset, 0.8, 3);
+        assert_eq!(train.len(), 40);
+        assert_eq!(val.len(), 10);
+        let mut all: Vec<usize> = train.iter().chain(&val).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, subset);
+    }
+
+    #[test]
+    fn split_never_leaves_empty_validation_for_reasonable_sets() {
+        let subset: Vec<usize> = (0..10).collect();
+        let (train, val) = train_validate_split(&subset, 0.8, 3);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+    }
+}

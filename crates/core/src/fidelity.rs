@@ -1,0 +1,377 @@
+//! Training and fidelity evaluation of the model zoo (Fig. 5 / Table II).
+
+use afp_ml::metrics::{fidelity, mae, pearson, r2};
+use afp_ml::{build_model, Matrix, MlModelId, Regressor};
+
+use crate::record::{extract_features, CircuitRecord, FeatureLayout, FpgaParam};
+
+/// Evaluation result of one model for one FPGA parameter.
+#[derive(Clone, Debug)]
+pub struct FidelityRecord {
+    /// Which model.
+    pub model: MlModelId,
+    /// Which FPGA parameter it estimates.
+    pub param: FpgaParam,
+    /// Fidelity on the validation set (paper Eq. 1).
+    pub fidelity: f64,
+    /// R² on the validation set.
+    pub r2: f64,
+    /// Mean absolute error on the validation set.
+    pub mae: f64,
+    /// Pearson correlation on the validation set.
+    pub pearson: f64,
+}
+
+/// A zoo of trained models: one regressor per (model id, FPGA parameter).
+pub struct TrainedZoo {
+    layout: FeatureLayout,
+    models: Vec<((MlModelId, FpgaParam), Box<dyn Regressor>)>,
+    /// Validation-set evaluations, one per (model, param).
+    pub fidelities: Vec<FidelityRecord>,
+}
+
+impl TrainedZoo {
+    /// Feature layout the zoo was trained with.
+    pub fn layout(&self) -> &FeatureLayout {
+        &self.layout
+    }
+
+    /// Estimate `param` for `record` with `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (model, param) pair was not trained.
+    pub fn estimate(&self, model: MlModelId, param: FpgaParam, record: &CircuitRecord) -> f64 {
+        let features = extract_features(record, &self.layout);
+        let reg = self
+            .models
+            .iter()
+            .find(|((m, p), _)| *m == model && *p == param)
+            .map(|(_, r)| r)
+            .expect("model/param pair was trained");
+        reg.predict_row(&features)
+    }
+
+    /// Estimate `param` for every record with `model`.
+    pub fn estimate_all(
+        &self,
+        model: MlModelId,
+        param: FpgaParam,
+        records: &[CircuitRecord],
+    ) -> Vec<f64> {
+        records
+            .iter()
+            .map(|r| self.estimate(model, param, r))
+            .collect()
+    }
+
+    /// The `k` models with the highest validation fidelity for `param`,
+    /// best first. `include_asic_regressions` controls whether ML1–ML3
+    /// compete (the paper reports them separately in Table II).
+    pub fn top_models(
+        &self,
+        param: FpgaParam,
+        k: usize,
+        include_asic_regressions: bool,
+    ) -> Vec<MlModelId> {
+        let mut rows: Vec<&FidelityRecord> = self
+            .fidelities
+            .iter()
+            .filter(|f| f.param == param)
+            .filter(|f| include_asic_regressions || !f.model.is_asic_regression())
+            .collect();
+        rows.sort_by(|a, b| {
+            b.fidelity
+                .partial_cmp(&a.fidelity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows.into_iter().take(k).map(|f| f.model).collect()
+    }
+
+    /// The best plain ASIC-regression model (among ML1–ML3) for `param`.
+    pub fn best_asic_regression(&self, param: FpgaParam) -> Option<MlModelId> {
+        self.fidelities
+            .iter()
+            .filter(|f| f.param == param && f.model.is_asic_regression())
+            .max_by(|a, b| {
+                a.fidelity
+                    .partial_cmp(&b.fidelity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|f| f.model)
+    }
+}
+
+/// Train every Table I model for every FPGA parameter on `train` records
+/// and evaluate fidelity on `validate` records.
+///
+/// `tolerance` is the relative equality tolerance used in the fidelity
+/// pair comparison (the paper treats near-equal parameters as equal; we
+/// default to 1%).
+pub fn train_zoo(
+    records: &[CircuitRecord],
+    train: &[usize],
+    validate: &[usize],
+    models: &[MlModelId],
+    tolerance: f64,
+) -> TrainedZoo {
+    let layout = FeatureLayout::standard();
+    let x_train = feature_matrix(records, train, &layout);
+    let x_val = feature_matrix(records, validate, &layout);
+    let mut trained: Vec<((MlModelId, FpgaParam), Box<dyn Regressor>)> = Vec::new();
+    let mut fidelities = Vec::new();
+    for &param in &FpgaParam::ALL {
+        let y_train: Vec<f64> = train.iter().map(|&i| records[i].fpga_param(param)).collect();
+        let y_val: Vec<f64> = validate
+            .iter()
+            .map(|&i| records[i].fpga_param(param))
+            .collect();
+        for &id in models {
+            let mut model = build_model(id, layout.asic_columns());
+            if let Err(e) = model.fit(&x_train, &y_train) {
+                // A singular fit (degenerate subset) scores zero fidelity
+                // rather than aborting the flow.
+                fidelities.push(FidelityRecord {
+                    model: id,
+                    param,
+                    fidelity: 0.0,
+                    r2: f64::NEG_INFINITY,
+                    mae: f64::INFINITY,
+                    pearson: 0.0,
+                });
+                let _ = e;
+                continue;
+            }
+            let pred = model.predict(&x_val);
+            fidelities.push(FidelityRecord {
+                model: id,
+                param,
+                fidelity: fidelity(&pred, &y_val, tolerance),
+                r2: r2(&pred, &y_val),
+                mae: mae(&pred, &y_val),
+                pearson: pearson(&pred, &y_val),
+            });
+            trained.push(((id, param), model));
+        }
+    }
+    TrainedZoo {
+        layout,
+        models: trained,
+        fidelities,
+    }
+}
+
+/// Like [`train_zoo`], but runs the paper's "Modification of ML
+/// parameters" loop (Fig. 2): every model is trained once per
+/// configuration in its hyperparameter grid
+/// ([`afp_ml::tuning::hyper_grid`]) and the configuration with the best
+/// validation fidelity is kept per (model, parameter) pair.
+///
+/// Returns the zoo plus, for bookkeeping, the chosen configuration label
+/// per (model, parameter).
+pub fn train_zoo_tuned(
+    records: &[CircuitRecord],
+    train: &[usize],
+    validate: &[usize],
+    models: &[MlModelId],
+    tolerance: f64,
+) -> (TrainedZoo, Vec<((MlModelId, FpgaParam), String)>) {
+    let layout = FeatureLayout::standard();
+    let x_train = feature_matrix(records, train, &layout);
+    let x_val = feature_matrix(records, validate, &layout);
+    let mut trained: Vec<((MlModelId, FpgaParam), Box<dyn Regressor>)> = Vec::new();
+    let mut fidelities = Vec::new();
+    let mut chosen_labels = Vec::new();
+    for &param in &FpgaParam::ALL {
+        let y_train: Vec<f64> = train.iter().map(|&i| records[i].fpga_param(param)).collect();
+        let y_val: Vec<f64> = validate
+            .iter()
+            .map(|&i| records[i].fpga_param(param))
+            .collect();
+        for &id in models {
+            let mut best: Option<(FidelityRecord, Box<dyn Regressor>, String)> = None;
+            for candidate in afp_ml::tuning::hyper_grid(id, layout.asic_columns()) {
+                let mut model = candidate.model;
+                if model.fit(&x_train, &y_train).is_err() {
+                    continue;
+                }
+                let pred = model.predict(&x_val);
+                let record = FidelityRecord {
+                    model: id,
+                    param,
+                    fidelity: fidelity(&pred, &y_val, tolerance),
+                    r2: r2(&pred, &y_val),
+                    mae: mae(&pred, &y_val),
+                    pearson: pearson(&pred, &y_val),
+                };
+                let better = best
+                    .as_ref()
+                    .map_or(true, |(b, _, _)| record.fidelity > b.fidelity);
+                if better {
+                    best = Some((record, model, candidate.label));
+                }
+            }
+            match best {
+                Some((record, model, label)) => {
+                    fidelities.push(record);
+                    trained.push(((id, param), model));
+                    chosen_labels.push(((id, param), label));
+                }
+                None => fidelities.push(FidelityRecord {
+                    model: id,
+                    param,
+                    fidelity: 0.0,
+                    r2: f64::NEG_INFINITY,
+                    mae: f64::INFINITY,
+                    pearson: 0.0,
+                }),
+            }
+        }
+    }
+    (
+        TrainedZoo {
+            layout,
+            models: trained,
+            fidelities,
+        },
+        chosen_labels,
+    )
+}
+
+/// Assemble the feature matrix of the selected records.
+pub fn feature_matrix(
+    records: &[CircuitRecord],
+    indices: &[usize],
+    layout: &FeatureLayout,
+) -> Matrix {
+    let rows: Vec<Vec<f64>> = indices
+        .iter()
+        .map(|&i| extract_features(&records[i], layout))
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Matrix::from_rows(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{characterize_library, sample_subset, train_validate_split};
+    use afp_circuits::{build_library, ArithKind, LibrarySpec};
+
+    fn small_zoo() -> (Vec<CircuitRecord>, TrainedZoo) {
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 80));
+        let records = characterize_library(
+            &lib,
+            &afp_asic::AsicConfig::default(),
+            &afp_fpga::FpgaConfig::default(),
+            &afp_error::ErrorConfig::default(),
+        );
+        let subset = sample_subset(records.len(), 0.5, 30, 11);
+        let (train, val) = train_validate_split(&subset, 0.8, 11);
+        // A fast representative subset of the zoo for tests.
+        let models = [
+            MlModelId::Ml1,
+            MlModelId::Ml3,
+            MlModelId::Ml11,
+            MlModelId::Ml14,
+            MlModelId::Ml16,
+            MlModelId::Ml18,
+        ];
+        let zoo = train_zoo(&records, &train, &val, &models, 0.01);
+        (records, zoo)
+    }
+
+    #[test]
+    fn zoo_trains_and_scores_all_pairs() {
+        let (_, zoo) = small_zoo();
+        assert_eq!(zoo.fidelities.len(), 6 * 3);
+        for f in &zoo.fidelities {
+            assert!((0.0..=1.0).contains(&f.fidelity), "{:?}", f);
+        }
+    }
+
+    #[test]
+    fn good_models_achieve_high_area_fidelity() {
+        let (_, zoo) = small_zoo();
+        let best = zoo
+            .fidelities
+            .iter()
+            .filter(|f| f.param == FpgaParam::Area && !f.model.is_asic_regression())
+            .map(|f| f.fidelity)
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.75, "best area fidelity only {best}");
+    }
+
+    #[test]
+    fn top_models_are_sorted_and_filtered() {
+        let (_, zoo) = small_zoo();
+        let top = zoo.top_models(FpgaParam::Area, 3, false);
+        assert_eq!(top.len(), 3);
+        assert!(top.iter().all(|m| !m.is_asic_regression()));
+        let fid_of = |m: MlModelId| {
+            zoo.fidelities
+                .iter()
+                .find(|f| f.model == m && f.param == FpgaParam::Area)
+                .unwrap()
+                .fidelity
+        };
+        assert!(fid_of(top[0]) >= fid_of(top[1]));
+        assert!(fid_of(top[1]) >= fid_of(top[2]));
+    }
+
+    #[test]
+    fn best_asic_regression_is_one_of_ml1_to_ml3() {
+        let (_, zoo) = small_zoo();
+        let best = zoo.best_asic_regression(FpgaParam::Power).unwrap();
+        assert!(best.is_asic_regression());
+    }
+
+    #[test]
+    fn tuned_zoo_never_scores_below_untuned() {
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 70));
+        let records = characterize_library(
+            &lib,
+            &afp_asic::AsicConfig::default(),
+            &afp_fpga::FpgaConfig::default(),
+            &afp_error::ErrorConfig::default(),
+        );
+        let subset = sample_subset(records.len(), 0.6, 30, 2);
+        let (train, val) = train_validate_split(&subset, 0.8, 2);
+        let models = [MlModelId::Ml10, MlModelId::Ml14, MlModelId::Ml16, MlModelId::Ml18];
+        let base = train_zoo(&records, &train, &val, &models, 0.01);
+        let (tuned, labels) = train_zoo_tuned(&records, &train, &val, &models, 0.01);
+        assert_eq!(labels.len(), models.len() * FpgaParam::ALL.len());
+        for f_base in &base.fidelities {
+            let f_tuned = tuned
+                .fidelities
+                .iter()
+                .find(|f| f.model == f_base.model && f.param == f_base.param)
+                .expect("same grid");
+            // The default config is in every grid, so tuning can't lose.
+            assert!(
+                f_tuned.fidelity >= f_base.fidelity - 1e-12,
+                "{} {:?}: tuned {} < untuned {}",
+                f_base.model,
+                f_base.param,
+                f_tuned.fidelity,
+                f_base.fidelity
+            );
+        }
+        // Labels refer to real grid entries.
+        for ((id, _), label) in &labels {
+            let grid = afp_ml::tuning::hyper_grid(*id, tuned.layout().asic_columns());
+            assert!(grid.iter().any(|c| &c.label == label), "{id}: {label}");
+        }
+    }
+
+    #[test]
+    fn estimates_correlate_with_truth() {
+        let (records, zoo) = small_zoo();
+        let est = zoo.estimate_all(MlModelId::Ml18, FpgaParam::Area, &records);
+        let truth: Vec<f64> = records
+            .iter()
+            .map(|r| r.fpga_param(FpgaParam::Area))
+            .collect();
+        assert!(afp_ml::metrics::pearson(&est, &truth) > 0.7);
+    }
+}

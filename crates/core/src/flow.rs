@@ -1,0 +1,397 @@
+//! End-to-end orchestration of the ApproxFPGAs methodology, with the
+//! exploration-time accounting behind Fig. 3.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use afp_circuits::{build_library, LibrarySpec};
+use afp_ml::MlModelId;
+
+use crate::dataset::{characterize_library, sample_subset, train_validate_split};
+use crate::fidelity::{train_zoo, TrainedZoo};
+use crate::pareto::{coverage, pareto_front, peel_fronts};
+use crate::record::{CircuitRecord, FpgaParam};
+
+/// Configuration of one flow run.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// The circuit library to explore.
+    pub library: LibrarySpec,
+    /// Fraction of the library synthesized as the training/validation
+    /// subset (the paper uses 10%).
+    pub subset_fraction: f64,
+    /// Minimum subset size (small libraries still need enough samples).
+    pub min_subset: usize,
+    /// Train share of the subset (the paper uses 80%).
+    pub train_fraction: f64,
+    /// Number of pseudo-pareto fronts to peel (the paper evaluates 1–3).
+    pub fronts: usize,
+    /// How many top models (by validation fidelity) estimate each
+    /// parameter (the paper uses the top-3).
+    pub top_models: usize,
+    /// Also include the best plain ASIC-regression model (ML1–ML3) in the
+    /// union, as Fig. 7 does for comparison.
+    pub include_asic_regression: bool,
+    /// Which models compete (default: all 18).
+    pub models: Vec<MlModelId>,
+    /// Run the Fig. 2 hyperparameter-modification loop: train each model
+    /// once per grid configuration and keep the best by validation
+    /// fidelity (slower; default off — the defaults are already tuned).
+    pub tune_models: bool,
+    /// Relative tolerance used by the fidelity pair comparison.
+    pub fidelity_tolerance: f64,
+    /// Master seed for sampling/splitting.
+    pub seed: u64,
+    /// ASIC synthesis model configuration.
+    pub asic: afp_asic::AsicConfig,
+    /// FPGA synthesis model configuration.
+    pub fpga: afp_fpga::FpgaConfig,
+    /// Error analysis configuration.
+    pub error: afp_error::ErrorConfig,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            library: LibrarySpec::new(afp_circuits::ArithKind::Adder, 8, 500),
+            subset_fraction: 0.10,
+            min_subset: 40,
+            train_fraction: 0.80,
+            fronts: 3,
+            top_models: 3,
+            include_asic_regression: false,
+            models: MlModelId::ALL.to_vec(),
+            tune_models: false,
+            fidelity_tolerance: 0.01,
+            seed: 0xDAC_2020,
+            asic: afp_asic::AsicConfig::default(),
+            fpga: afp_fpga::FpgaConfig::default(),
+            error: afp_error::ErrorConfig::default(),
+        }
+    }
+}
+
+/// Exploration-time bookkeeping (modeled synthesis seconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimeAccounting {
+    /// Time to synthesize the whole library exhaustively.
+    pub exhaustive_s: f64,
+    /// Time the flow spent synthesizing the training/validation subset.
+    pub subset_s: f64,
+    /// Time the flow spent re-synthesizing pseudo-pareto candidates.
+    pub candidates_s: f64,
+    /// Modeled model-training + estimation time (seconds; small).
+    pub ml_s: f64,
+    /// Circuits synthesized exhaustively (= library size).
+    pub exhaustive_count: usize,
+    /// Circuits the flow synthesized (subset + candidates).
+    pub flow_count: usize,
+}
+
+impl TimeAccounting {
+    /// Total flow exploration time in seconds.
+    pub fn flow_s(&self) -> f64 {
+        self.subset_s + self.candidates_s + self.ml_s
+    }
+
+    /// Exhaustive / flow speed-up factor.
+    pub fn speedup(&self) -> f64 {
+        self.exhaustive_s / self.flow_s().max(1e-9)
+    }
+
+    /// Synthesized-circuit reduction factor (the paper's ~9.9x).
+    pub fn synth_reduction(&self) -> f64 {
+        self.exhaustive_count as f64 / self.flow_count.max(1) as f64
+    }
+}
+
+/// Result of a flow run.
+pub struct FlowOutcome {
+    /// Every library circuit, fully characterized (ground truth included).
+    pub records: Vec<CircuitRecord>,
+    /// Indices of the synthesized subset.
+    pub subset: Vec<usize>,
+    /// Subset split used for training.
+    pub train: Vec<usize>,
+    /// Subset split used for validation.
+    pub validate: Vec<usize>,
+    /// The trained model zoo with validation fidelities.
+    pub zoo: TrainedZoo,
+    /// Models selected per parameter (top-k by fidelity).
+    pub selected_models: BTreeMap<FpgaParam, Vec<MlModelId>>,
+    /// Union of pseudo-pareto candidate indices per parameter.
+    pub candidates: BTreeMap<FpgaParam, Vec<usize>>,
+    /// Every index the flow synthesized (subset ∪ all candidates).
+    pub synthesized: BTreeSet<usize>,
+    /// Measured pareto front per parameter, computed over synthesized
+    /// circuits only (what the flow can see).
+    pub final_fronts: BTreeMap<FpgaParam, Vec<usize>>,
+    /// Ground-truth pareto front per parameter over the whole library.
+    pub true_fronts: BTreeMap<FpgaParam, Vec<usize>>,
+    /// Pareto coverage per parameter (the paper reports ~71% on average).
+    pub coverage: BTreeMap<FpgaParam, f64>,
+    /// Exploration-time accounting.
+    pub time: TimeAccounting,
+}
+
+impl FlowOutcome {
+    /// Mean pareto coverage across parameters.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.coverage.is_empty() {
+            return 0.0;
+        }
+        self.coverage.values().sum::<f64>() / self.coverage.len() as f64
+    }
+
+    /// The `(cost, error)` points of the library for `param` (cost =
+    /// ground-truth FPGA parameter, error = MED).
+    pub fn points(&self, param: FpgaParam) -> Vec<(f64, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.fpga_param(param), r.error.med))
+            .collect()
+    }
+}
+
+/// The ApproxFPGAs flow runner.
+pub struct Flow {
+    config: FlowConfig,
+}
+
+impl Flow {
+    /// Create a flow with `config`.
+    pub fn new(config: FlowConfig) -> Flow {
+        Flow { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Run the full methodology; see the crate docs for the pipeline.
+    pub fn run(&self) -> FlowOutcome {
+        let cfg = &self.config;
+        let library = build_library(&cfg.library);
+        let records =
+            characterize_library(&library, &cfg.asic, &cfg.fpga, &cfg.error);
+        self.run_on_records(records)
+    }
+
+    /// Run the methodology on pre-characterized records (lets callers share
+    /// one characterization across multiple flow variants, as the Fig. 7
+    /// ablation does).
+    pub fn run_on_records(&self, records: Vec<CircuitRecord>) -> FlowOutcome {
+        let cfg = &self.config;
+        let n = records.len();
+
+        // 1. Subset synthesis (the only FPGA synthesis the flow "pays" for
+        //    up front).
+        let subset = sample_subset(n, cfg.subset_fraction, cfg.min_subset, cfg.seed);
+        let (train, validate) = train_validate_split(&subset, cfg.train_fraction, cfg.seed);
+
+        // 2. Train and score the model zoo (optionally with the Fig. 2
+        //    hyperparameter-modification loop).
+        let zoo = if cfg.tune_models {
+            crate::fidelity::train_zoo_tuned(
+                &records,
+                &train,
+                &validate,
+                &cfg.models,
+                cfg.fidelity_tolerance,
+            )
+            .0
+        } else {
+            train_zoo(
+                &records,
+                &train,
+                &validate,
+                &cfg.models,
+                cfg.fidelity_tolerance,
+            )
+        };
+
+        // 3. Model selection per parameter.
+        let mut selected_models = BTreeMap::new();
+        for &param in &FpgaParam::ALL {
+            let mut chosen = zoo.top_models(param, cfg.top_models, false);
+            if cfg.include_asic_regression {
+                if let Some(asic_model) = zoo.best_asic_regression(param) {
+                    if !chosen.contains(&asic_model) {
+                        chosen.push(asic_model);
+                    }
+                }
+            }
+            selected_models.insert(param, chosen);
+        }
+
+        // 4. Estimate the whole library and peel pseudo-pareto fronts per
+        //    (parameter, model); candidates are the union.
+        let mut candidates: BTreeMap<FpgaParam, Vec<usize>> = BTreeMap::new();
+        let mut synthesized: BTreeSet<usize> = subset.iter().copied().collect();
+        for &param in &FpgaParam::ALL {
+            let mut union: BTreeSet<usize> = BTreeSet::new();
+            for &model in &selected_models[&param] {
+                let est = zoo.estimate_all(model, param, &records);
+                let points: Vec<(f64, f64)> = est
+                    .iter()
+                    .zip(&records)
+                    .map(|(&e, r)| (e, r.error.med))
+                    .collect();
+                for front in peel_fronts(&points, cfg.fronts) {
+                    union.extend(front);
+                }
+            }
+            let list: Vec<usize> = union.iter().copied().collect();
+            synthesized.extend(list.iter().copied());
+            candidates.insert(param, list);
+        }
+
+        // 5. Final measured pareto fronts over what the flow synthesized.
+        let mut final_fronts = BTreeMap::new();
+        let mut true_fronts = BTreeMap::new();
+        let mut cov = BTreeMap::new();
+        for &param in &FpgaParam::ALL {
+            let all_points: Vec<(f64, f64)> = records
+                .iter()
+                .map(|r| (r.fpga_param(param), r.error.med))
+                .collect();
+            let synth_list: Vec<usize> = synthesized.iter().copied().collect();
+            let synth_points: Vec<(f64, f64)> =
+                synth_list.iter().map(|&i| all_points[i]).collect();
+            let local_front = pareto_front(&synth_points);
+            let found: Vec<usize> = local_front.iter().map(|&li| synth_list[li]).collect();
+            let truth = pareto_front(&all_points);
+            cov.insert(param, coverage(&truth, &found, &all_points));
+            final_fronts.insert(param, found);
+            true_fronts.insert(param, truth);
+        }
+
+        // 6. Time accounting over the modeled synthesis times.
+        let exhaustive_s: f64 = records.iter().map(|r| r.fpga.synth_time_s).sum();
+        let subset_s: f64 = subset.iter().map(|&i| records[i].fpga.synth_time_s).sum();
+        let candidate_extra: f64 = synthesized
+            .iter()
+            .filter(|i| !subset.contains(i))
+            .map(|&i| records[i].fpga.synth_time_s)
+            .sum();
+        // Model training/estimation: a flat modeled cost per model-target
+        // plus a per-estimate term — minutes, matching the paper's
+        // "order of seconds" estimation plus training overhead.
+        let ml_s = (cfg.models.len() * FpgaParam::ALL.len()) as f64 * 20.0
+            + n as f64 * 3.0e-3;
+        let time = TimeAccounting {
+            exhaustive_s,
+            subset_s,
+            candidates_s: candidate_extra,
+            ml_s,
+            exhaustive_count: n,
+            flow_count: synthesized.len(),
+        };
+
+        FlowOutcome {
+            records,
+            subset,
+            train,
+            validate,
+            zoo,
+            selected_models,
+            candidates,
+            synthesized,
+            final_fronts,
+            true_fronts,
+            coverage: cov,
+            time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuits::ArithKind;
+
+    fn tiny_config(target: usize) -> FlowConfig {
+        FlowConfig {
+            library: LibrarySpec::new(ArithKind::Adder, 8, target),
+            min_subset: 24,
+            // Keep tests quick: a competitive subset of the zoo.
+            models: vec![
+                MlModelId::Ml1,
+                MlModelId::Ml2,
+                MlModelId::Ml3,
+                MlModelId::Ml4,
+                MlModelId::Ml11,
+                MlModelId::Ml13,
+                MlModelId::Ml14,
+                MlModelId::Ml18,
+            ],
+            ..FlowConfig::default()
+        }
+    }
+
+    #[test]
+    fn flow_runs_end_to_end_and_reduces_synthesis() {
+        let outcome = Flow::new(tiny_config(120)).run();
+        assert_eq!(outcome.records.len(), outcome.time.exhaustive_count);
+        assert!(outcome.time.flow_count < outcome.time.exhaustive_count);
+        assert!(outcome.time.speedup() > 1.0, "no speedup");
+        assert!(outcome.time.synth_reduction() > 1.0);
+        // Everything the flow reports as a front member was synthesized.
+        for front in outcome.final_fronts.values() {
+            for i in front {
+                assert!(outcome.synthesized.contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_meaningful() {
+        let outcome = Flow::new(tiny_config(120)).run();
+        for (&param, &c) in &outcome.coverage {
+            assert!((0.0..=1.0).contains(&c), "{param:?}: {c}");
+        }
+        // On a small library with 3 fronts the union should recover a
+        // decent share of the true front.
+        assert!(
+            outcome.mean_coverage() > 0.4,
+            "mean coverage {}",
+            outcome.mean_coverage()
+        );
+    }
+
+    #[test]
+    fn more_fronts_synthesize_more_but_cover_more() {
+        let base = tiny_config(120);
+        let one = Flow::new(FlowConfig { fronts: 1, ..base.clone() }).run();
+        let three = Flow::new(FlowConfig { fronts: 3, ..base }).run();
+        assert!(three.time.flow_count >= one.time.flow_count);
+        assert!(three.mean_coverage() >= one.mean_coverage() - 1e-9);
+    }
+
+    #[test]
+    fn selected_models_exclude_asic_regressions_by_default() {
+        let outcome = Flow::new(tiny_config(100)).run();
+        for models in outcome.selected_models.values() {
+            assert!(!models.is_empty());
+            assert!(models.iter().all(|m| !m.is_asic_regression()));
+        }
+        let with_asic = Flow::new(FlowConfig {
+            include_asic_regression: true,
+            ..tiny_config(100)
+        })
+        .run();
+        for models in with_asic.selected_models.values() {
+            assert!(models.iter().any(|m| m.is_asic_regression()));
+        }
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let a = Flow::new(tiny_config(80)).run();
+        let b = Flow::new(tiny_config(80)).run();
+        assert_eq!(a.subset, b.subset);
+        assert_eq!(a.synthesized, b.synthesized);
+        assert_eq!(a.final_fronts, b.final_fronts);
+        assert_eq!(a.time, b.time);
+    }
+}

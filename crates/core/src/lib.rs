@@ -1,0 +1,58 @@
+//! The ApproxFPGAs methodology (DAC 2020) — ML-driven exploration of
+//! pareto-optimal approximate circuits for FPGAs.
+//!
+//! Given a large library of approximate arithmetic circuits whose ASIC
+//! parameters and error metrics are cheap to obtain, but whose FPGA
+//! parameters require expensive synthesis, the flow:
+//!
+//! 1. synthesizes a small subset (default 10%) for the target FPGA,
+//! 2. trains the 18 statistical/ML models of Table I to estimate each FPGA
+//!    parameter (latency, power, #LUTs) from structural + ASIC features,
+//! 3. scores the models by the paper's *fidelity* metric and keeps the
+//!    top performers,
+//! 4. estimates the whole library, builds several *pseudo-pareto fronts*
+//!    per model (peeling scheme of §II), takes the union,
+//! 5. re-synthesizes only those candidates and extracts the measured
+//!    pareto-optimal FPGA ACs,
+//!
+//! cutting exploration time roughly 10x while recovering most of the true
+//! pareto front.
+//!
+//! Entry point: [`flow::Flow`]. Sub-modules mirror the paper's pipeline:
+//! [`record`] (features), [`dataset`] (subset + split), [`fidelity`]
+//! (model evaluation), [`pareto`] (fronts, peeling, coverage),
+//! [`flow`] (orchestration + time accounting).
+//!
+//! # Example
+//!
+//! ```
+//! use afp_circuits::{ArithKind, LibrarySpec};
+//! use afp_ml::MlModelId;
+//! use approxfpgas::flow::{Flow, FlowConfig};
+//!
+//! // A miniature run (tiny library, few models) — at full library sizes
+//! // (see afp-bench) the same flow reaches the paper's ~10x speedup.
+//! let config = FlowConfig {
+//!     library: LibrarySpec::new(ArithKind::Adder, 8, 60),
+//!     models: vec![MlModelId::Ml11, MlModelId::Ml14, MlModelId::Ml18],
+//!     top_models: 2,
+//!     ..FlowConfig::default()
+//! };
+//! let outcome = Flow::new(config).run();
+//! assert!(outcome.time.flow_count <= outcome.time.exhaustive_count);
+//! assert!(!outcome.final_fronts.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod fidelity;
+pub mod flow;
+pub mod pareto;
+pub mod record;
+
+pub use fidelity::FidelityRecord;
+pub use flow::{Flow, FlowConfig, FlowOutcome, TimeAccounting};
+pub use pareto::{coverage, pareto_front, peel_fronts};
+pub use record::{CircuitRecord, FeatureLayout, FpgaParam};

@@ -1,0 +1,232 @@
+//! Pareto-front machinery: extraction, multi-front peeling (§II of the
+//! paper) and coverage scoring.
+//!
+//! All fronts are over 2-D points `(cost, error)` with *both* objectives
+//! minimized; a point is pareto-optimal when no other point is at least as
+//! good in both objectives and strictly better in one.
+
+/// Indices of the pareto-optimal points of `points = (cost, error)`.
+///
+/// Ties: duplicate points are all kept (none dominates the other strictly).
+/// The result is sorted by ascending cost.
+///
+/// # Example
+///
+/// ```
+/// use approxfpgas::pareto_front;
+///
+/// let pts = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0)];
+/// assert_eq!(pareto_front(&pts), vec![0, 1, 3]); // (3,4) is dominated
+/// ```
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort by cost, then error: a sweep keeping the running error minimum
+    // yields the non-dominated set.
+    order.sort_by(|&a, &b| {
+        points[a]
+            .partial_cmp(&points[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut front = Vec::new();
+    let mut best_error = f64::INFINITY;
+    let mut i = 0;
+    while i < order.len() {
+        // Group equal-cost points; among them only the min-error ones are
+        // candidates.
+        let cost = points[order[i]].0;
+        let mut j = i;
+        let mut group_min = f64::INFINITY;
+        while j < order.len() && points[order[j]].0 == cost {
+            group_min = group_min.min(points[order[j]].1);
+            j += 1;
+        }
+        if group_min < best_error {
+            for &idx in &order[i..j] {
+                if points[idx].1 == group_min {
+                    front.push(idx);
+                }
+            }
+            best_error = group_min;
+        }
+        i = j;
+    }
+    front.sort_unstable();
+    front
+}
+
+/// Peel `n` successive pseudo-pareto fronts (the paper's F1, F2, ... built
+/// on `C`, `C \ F1`, `C \ (F1 ∪ F2)`, ...). Returns one index list per
+/// front; fewer than `n` lists when the points run out.
+///
+/// # Example
+///
+/// ```
+/// use approxfpgas::peel_fronts;
+///
+/// let pts = [(1.0, 3.0), (2.0, 2.0), (2.5, 2.5), (3.0, 1.0)];
+/// let fronts = peel_fronts(&pts, 2);
+/// assert_eq!(fronts.len(), 2);
+/// assert!(fronts[0].contains(&0) && fronts[0].contains(&3));
+/// assert!(fronts[1].contains(&2));
+/// ```
+pub fn peel_fronts(points: &[(f64, f64)], n: usize) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..points.len()).collect();
+    let mut fronts = Vec::new();
+    for _ in 0..n {
+        if remaining.is_empty() {
+            break;
+        }
+        let sub: Vec<(f64, f64)> = remaining.iter().map(|&i| points[i]).collect();
+        let local = pareto_front(&sub);
+        let global: Vec<usize> = local.iter().map(|&li| remaining[li]).collect();
+        let taken: std::collections::HashSet<usize> = global.iter().copied().collect();
+        remaining.retain(|i| !taken.contains(i));
+        fronts.push(global);
+    }
+    fronts
+}
+
+/// Fraction of the true pareto front recovered by `found` (the paper's
+/// "percentage coverage of the pareto-optimal designs").
+///
+/// A true-front point counts as covered when `found` contains it *or*
+/// contains a point with identical objectives.
+pub fn coverage(true_front: &[usize], found: &[usize], points: &[(f64, f64)]) -> f64 {
+    if true_front.is_empty() {
+        return 1.0;
+    }
+    let found_pts: Vec<(f64, f64)> = found.iter().map(|&i| points[i]).collect();
+    let covered = true_front
+        .iter()
+        .filter(|&&t| {
+            found.contains(&t)
+                || found_pts
+                    .iter()
+                    .any(|&p| p.0 == points[t].0 && p.1 == points[t].1)
+        })
+        .count();
+    covered as f64 / true_front.len() as f64
+}
+
+/// True if point `a` dominates point `b` (both minimized).
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        assert_eq!(pareto_front(&[(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)];
+        let f = pareto_front(&pts);
+        assert_eq!(f, vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_kept_together() {
+        let pts = [(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)];
+        let f = pareto_front(&pts);
+        assert_eq!(f, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equal_cost_keeps_only_min_error() {
+        let pts = [(1.0, 2.0), (1.0, 1.0), (3.0, 0.5)];
+        let f = pareto_front(&pts);
+        assert_eq!(f, vec![1, 2]);
+    }
+
+    #[test]
+    fn front_members_are_mutually_nondominated() {
+        let mut s = 9u64;
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (
+                    ((s >> 20) & 0x3FF) as f64 / 10.0,
+                    ((s >> 40) & 0x3FF) as f64 / 10.0,
+                )
+            })
+            .collect();
+        let f = pareto_front(&pts);
+        for &a in &f {
+            for &b in &f {
+                if a != b {
+                    assert!(!dominates(pts[a], pts[b]), "{a} dominates {b}");
+                }
+            }
+        }
+        // Every non-front point is dominated by some front point.
+        for i in 0..pts.len() {
+            if !f.contains(&i) {
+                assert!(
+                    f.iter().any(|&a| dominates(pts[a], pts[i])),
+                    "point {i} wrongly excluded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peeling_partitions_progressively() {
+        let mut s = 77u64;
+        let pts: Vec<(f64, f64)> = (0..60)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (((s >> 20) & 0xFF) as f64, ((s >> 40) & 0xFF) as f64)
+            })
+            .collect();
+        let fronts = peel_fronts(&pts, 3);
+        assert_eq!(fronts.len(), 3);
+        // Disjoint.
+        let mut seen = std::collections::HashSet::new();
+        for f in &fronts {
+            for &i in f {
+                assert!(seen.insert(i), "index {i} in two fronts");
+            }
+        }
+        // F2 points are dominated only by F1 points (none within F2).
+        for &b in &fronts[1] {
+            assert!(fronts[0].iter().any(|&a| dominates(pts[a], pts[b])));
+        }
+    }
+
+    #[test]
+    fn peeling_stops_when_exhausted() {
+        let pts = [(1.0, 1.0), (2.0, 0.5)];
+        let fronts = peel_fronts(&pts, 5);
+        assert_eq!(fronts.len(), 1); // both points on F1
+    }
+
+    #[test]
+    fn coverage_counts_value_duplicates() {
+        let pts = [(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)];
+        // True front indices {0,1,2}; found only {1,2} — but 0 has the same
+        // objectives as 1, so it still counts as covered.
+        assert_eq!(coverage(&[0, 1, 2], &[1, 2], &pts), 1.0);
+        assert_eq!(coverage(&[0, 2], &[0], &pts), 0.5);
+        assert_eq!(coverage(&[], &[], &pts), 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn front_is_subset_and_idempotent(seed in 0u64..300) {
+            let mut s = seed | 1;
+            let pts: Vec<(f64, f64)> = (0..50).map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (((s >> 16) & 0x3F) as f64, ((s >> 36) & 0x3F) as f64)
+            }).collect();
+            let f1 = pareto_front(&pts);
+            let sub: Vec<(f64, f64)> = f1.iter().map(|&i| pts[i]).collect();
+            let f2 = pareto_front(&sub);
+            proptest::prop_assert_eq!(f2.len(), f1.len(), "front not idempotent");
+        }
+    }
+}

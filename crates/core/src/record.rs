@@ -1,0 +1,260 @@
+//! Per-circuit records and the feature extraction feeding the ML models.
+
+use afp_asic::AsicReport;
+use afp_circuits::{ArithCircuit, ArithKind};
+use afp_error::ErrorMetrics;
+use afp_fpga::FpgaReport;
+use afp_netlist::analyze::NetlistStats;
+use afp_netlist::GateKind;
+
+/// The FPGA parameter a model estimates (the paper's three targets).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FpgaParam {
+    /// Critical-path delay in ns.
+    Latency,
+    /// Total power in mW.
+    Power,
+    /// Area as #LUTs.
+    Area,
+}
+
+impl FpgaParam {
+    /// All targets in paper order.
+    pub const ALL: [FpgaParam; 3] = [FpgaParam::Latency, FpgaParam::Power, FpgaParam::Area];
+
+    /// Extract this parameter from an FPGA report.
+    pub fn of(&self, report: &FpgaReport) -> f64 {
+        match self {
+            FpgaParam::Latency => report.delay_ns,
+            FpgaParam::Power => report.power_mw,
+            FpgaParam::Area => report.luts as f64,
+        }
+    }
+
+    /// Human-readable label with unit.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FpgaParam::Latency => "latency [ns]",
+            FpgaParam::Power => "power [mW]",
+            FpgaParam::Area => "area [#LUTs]",
+        }
+    }
+}
+
+impl std::fmt::Display for FpgaParam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything the flow knows about one circuit in the library.
+#[derive(Clone, Debug)]
+pub struct CircuitRecord {
+    /// Dense index within the library.
+    pub id: usize,
+    /// Circuit name.
+    pub name: String,
+    /// Adder or multiplier.
+    pub kind: ArithKind,
+    /// Operand width.
+    pub width: usize,
+    /// Structural statistics of the (simplified) netlist.
+    pub stats: NetlistStats,
+    /// ASIC synthesis report (cheap; known for every circuit).
+    pub asic: AsicReport,
+    /// Behavioural error metrics (cheap; known for every circuit).
+    pub error: ErrorMetrics,
+    /// FPGA report — in the real flow this is only known once the circuit
+    /// has been synthesized. The reproduction stores the ground truth here
+    /// and lets the flow account which entries it "paid" for.
+    pub fpga: FpgaReport,
+}
+
+impl CircuitRecord {
+    /// The value of `param` from the (ground-truth) FPGA report.
+    pub fn fpga_param(&self, param: FpgaParam) -> f64 {
+        param.of(&self.fpga)
+    }
+}
+
+/// Describes the feature vector layout produced by [`extract_features`].
+#[derive(Clone, Debug)]
+pub struct FeatureLayout {
+    names: Vec<&'static str>,
+    asic_power: usize,
+    asic_latency: usize,
+    asic_area: usize,
+}
+
+impl FeatureLayout {
+    /// The fixed layout used by this reproduction.
+    pub fn standard() -> FeatureLayout {
+        let mut names: Vec<&'static str> = vec![
+            "width",
+            "inputs",
+            "outputs",
+            "gates",
+            "depth",
+            "mean_fanout",
+            "max_fanout",
+        ];
+        // One count per logic gate kind, fixed order.
+        for kind in GateKind::LOGIC {
+            names.push(kind_feature_name(kind));
+        }
+        let asic_area = names.len();
+        names.push("asic_area_um2");
+        let asic_latency = names.len();
+        names.push("asic_delay_ns");
+        let asic_power = names.len();
+        names.push("asic_power_mw");
+        FeatureLayout {
+            names,
+            asic_power,
+            asic_latency,
+            asic_area,
+        }
+    }
+
+    /// Feature names, in column order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Number of feature columns.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the layout is empty (never true for [`standard`]).
+    ///
+    /// [`standard`]: FeatureLayout::standard
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Column indices of the ASIC parameters, for ML1–ML3.
+    pub fn asic_columns(&self) -> afp_ml::zoo::AsicColumns {
+        afp_ml::zoo::AsicColumns {
+            power: self.asic_power,
+            latency: self.asic_latency,
+            area: self.asic_area,
+        }
+    }
+}
+
+fn kind_feature_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Buf => "n_buf",
+        GateKind::Not => "n_not",
+        GateKind::And => "n_and",
+        GateKind::Or => "n_or",
+        GateKind::Xor => "n_xor",
+        GateKind::Nand => "n_nand",
+        GateKind::Nor => "n_nor",
+        GateKind::Xnor => "n_xnor",
+        GateKind::Mux => "n_mux",
+        GateKind::Maj => "n_maj",
+        GateKind::Input | GateKind::Const => "n_other",
+    }
+}
+
+/// Extract the feature vector of one record under `layout`.
+pub fn extract_features(record: &CircuitRecord, layout: &FeatureLayout) -> Vec<f64> {
+    let s = &record.stats;
+    let mut f = Vec::with_capacity(layout.len());
+    f.push(record.width as f64);
+    f.push(s.inputs as f64);
+    f.push(s.outputs as f64);
+    f.push(s.gates as f64);
+    f.push(s.depth as f64);
+    f.push(s.mean_fanout);
+    f.push(s.max_fanout as f64);
+    for kind in GateKind::LOGIC {
+        f.push(*s.kind_counts.get(&kind).unwrap_or(&0) as f64);
+    }
+    f.push(record.asic.area_um2);
+    f.push(record.asic.delay_ns);
+    f.push(record.asic.power_mw);
+    debug_assert_eq!(f.len(), layout.len());
+    f
+}
+
+/// Characterize one circuit: simplify, gather stats, ASIC report, error
+/// metrics and the (ground-truth) FPGA report.
+pub fn characterize(
+    id: usize,
+    circuit: &ArithCircuit,
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+) -> CircuitRecord {
+    let netlist = circuit.netlist();
+    CircuitRecord {
+        id,
+        name: circuit.name().to_string(),
+        kind: circuit.kind(),
+        width: circuit.width(),
+        stats: afp_netlist::analyze::stats(netlist),
+        asic: afp_asic::synthesize_asic(netlist, asic_config),
+        error: afp_error::analyze(circuit, error_config),
+        fpga: afp_fpga::synthesize_fpga(netlist, fpga_config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuits::adders;
+
+    fn sample_record() -> CircuitRecord {
+        let c = adders::loa(8, 3);
+        characterize(
+            0,
+            &c,
+            &afp_asic::AsicConfig::default(),
+            &afp_fpga::FpgaConfig::default(),
+            &afp_error::ErrorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn layout_is_consistent_with_extraction() {
+        let layout = FeatureLayout::standard();
+        let rec = sample_record();
+        let f = extract_features(&rec, &layout);
+        assert_eq!(f.len(), layout.len());
+        assert!(!layout.is_empty());
+        // Spot-check designated ASIC columns.
+        let cols = layout.asic_columns();
+        assert_eq!(f[cols.power], rec.asic.power_mw);
+        assert_eq!(f[cols.latency], rec.asic.delay_ns);
+        assert_eq!(f[cols.area], rec.asic.area_um2);
+        assert_eq!(layout.names()[cols.power], "asic_power_mw");
+    }
+
+    #[test]
+    fn fpga_param_extraction() {
+        let rec = sample_record();
+        assert_eq!(rec.fpga_param(FpgaParam::Area), rec.fpga.luts as f64);
+        assert_eq!(rec.fpga_param(FpgaParam::Latency), rec.fpga.delay_ns);
+        assert_eq!(rec.fpga_param(FpgaParam::Power), rec.fpga.power_mw);
+    }
+
+    #[test]
+    fn characterize_fills_everything() {
+        let rec = sample_record();
+        assert!(rec.stats.gates > 0);
+        assert!(rec.asic.area_um2 > 0.0);
+        assert!(rec.error.med > 0.0);
+        assert!(rec.fpga.luts > 0);
+        assert_eq!(rec.width, 8);
+    }
+
+    #[test]
+    fn param_labels() {
+        assert_eq!(FpgaParam::Area.label(), "area [#LUTs]");
+        assert_eq!(FpgaParam::ALL.len(), 3);
+        assert_eq!(format!("{}", FpgaParam::Power), "power [mW]");
+    }
+}

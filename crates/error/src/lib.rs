@@ -1,0 +1,369 @@
+//! Behavioural error analysis of approximate arithmetic circuits.
+//!
+//! Computes the error metrics used throughout the ApproxFPGAs reproduction,
+//! most importantly the paper's **MED** — the mean absolute error distance
+//! normalized by the maximum output value — plus worst-case error, mean
+//! relative error, error probability, MSE and signed bias.
+//!
+//! Evaluation is exhaustive for small operand widths (all `2^(2w)` input
+//! pairs) and switches to a deterministic stratified sample for wide
+//! operands, mirroring how behavioural models of 12/16-bit circuits are
+//! evaluated in practice.
+//!
+//! # Example
+//!
+//! ```
+//! use afp_circuits::adders::{loa, ripple_carry};
+//! use afp_error::{analyze, ErrorConfig};
+//!
+//! let cfg = ErrorConfig::default();
+//! let exact = analyze(&ripple_carry(8), &cfg);
+//! assert_eq!(exact.wce, 0);
+//! assert_eq!(exact.med, 0.0);
+//!
+//! let approx = analyze(&loa(8, 4), &cfg);
+//! assert!(approx.med > 0.0);
+//! assert!(approx.wce > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use afp_circuits::{ArithCircuit, BatchEvaluator};
+
+/// Configuration for [`analyze`].
+#[derive(Clone, Debug)]
+pub struct ErrorConfig {
+    /// Evaluate exhaustively when the total input width `2w` does not
+    /// exceed this many bits (default 16, i.e. 8-bit operands).
+    pub max_exhaustive_bits: usize,
+    /// Sample size for the stratified evaluation of wider circuits.
+    pub samples: usize,
+    /// Seed for the sampled strata.
+    pub seed: u64,
+}
+
+impl Default for ErrorConfig {
+    fn default() -> ErrorConfig {
+        ErrorConfig {
+            max_exhaustive_bits: 16,
+            samples: 1 << 16,
+            seed: 0xE44_0001,
+        }
+    }
+}
+
+/// Error metrics of one circuit against its golden function.
+///
+/// All means are over the evaluated input set (exhaustive or sampled, see
+/// [`ErrorMetrics::samples`] and [`ErrorMetrics::exhaustive`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorMetrics {
+    /// Number of input pairs evaluated.
+    pub samples: u64,
+    /// Whether the evaluation covered every input pair.
+    pub exhaustive: bool,
+    /// The paper's MED: mean absolute error / maximum output value.
+    pub med: f64,
+    /// Mean absolute error (unnormalized).
+    pub mae: f64,
+    /// Worst-case absolute error observed.
+    pub wce: u64,
+    /// Worst-case error / maximum output value.
+    pub wce_rel: f64,
+    /// Mean relative error `|err| / exact`, over pairs with `exact != 0`.
+    pub mre: f64,
+    /// Fraction of input pairs with a non-zero error.
+    pub error_prob: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Mean signed error (negative = the circuit under-estimates).
+    pub bias: f64,
+}
+
+impl ErrorMetrics {
+    /// Metrics of a perfectly exact circuit over `samples` pairs.
+    pub fn zero(samples: u64, exhaustive: bool) -> ErrorMetrics {
+        ErrorMetrics {
+            samples,
+            exhaustive,
+            med: 0.0,
+            mae: 0.0,
+            wce: 0,
+            wce_rel: 0.0,
+            mre: 0.0,
+            error_prob: 0.0,
+            mse: 0.0,
+            bias: 0.0,
+        }
+    }
+
+    /// True if no error was observed on any evaluated pair.
+    pub fn is_exact(&self) -> bool {
+        self.wce == 0
+    }
+}
+
+/// Analyze `circuit` against its golden function under `config`.
+///
+/// Exhaustive when `2 * width <= config.max_exhaustive_bits`, otherwise a
+/// deterministic stratified sample of `config.samples` pairs: one third
+/// uniform, one third with a short operand (exercising low-magnitude
+/// behaviour), one third near the operand maximum (exercising long carry
+/// chains), plus the four corner pairs.
+pub fn analyze(circuit: &ArithCircuit, config: &ErrorConfig) -> ErrorMetrics {
+    let w = circuit.width();
+    let exhaustive = 2 * w <= config.max_exhaustive_bits;
+    let mut acc = Accumulator::new(circuit.kind().max_output(w) as f64);
+    let mut batch = BatchEvaluator::new(circuit);
+    if exhaustive {
+        let mask = (1u64 << w) - 1;
+        let mut chunk: Vec<(u64, u64)> = Vec::with_capacity(64);
+        for a in 0..=mask {
+            for b in 0..=mask {
+                chunk.push((a, b));
+                if chunk.len() == 64 {
+                    accumulate(circuit, &mut batch, &chunk, &mut acc);
+                    chunk.clear();
+                }
+            }
+        }
+        if !chunk.is_empty() {
+            accumulate(circuit, &mut batch, &chunk, &mut acc);
+        }
+    } else {
+        let pairs = stratified_pairs(w, config.samples, config.seed);
+        for chunk in pairs.chunks(64) {
+            accumulate(circuit, &mut batch, chunk, &mut acc);
+        }
+    }
+    acc.finish(exhaustive)
+}
+
+fn accumulate(
+    circuit: &ArithCircuit,
+    batch: &mut BatchEvaluator<'_>,
+    pairs: &[(u64, u64)],
+    acc: &mut Accumulator,
+) {
+    let got = batch.eval_chunk(pairs);
+    for (&(a, b), &g) in pairs.iter().zip(&got) {
+        acc.push(circuit.exact(a, b), g);
+    }
+}
+
+/// The deterministic stratified sample used for wide circuits.
+pub fn stratified_pairs(width: usize, samples: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mask = (1u64 << width) - 1;
+    let mut pairs = Vec::with_capacity(samples + 4);
+    pairs.extend_from_slice(&[(0, 0), (mask, mask), (0, mask), (mask, 0)]);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let third = samples / 3;
+    for _ in 0..third {
+        let v = next();
+        pairs.push((v & mask, (v >> 32) & mask));
+    }
+    // Low-magnitude stratum: one operand confined to the low half bits.
+    let low_mask = (1u64 << (width / 2)) - 1;
+    for _ in 0..third {
+        let v = next();
+        pairs.push((v & low_mask, (v >> 32) & mask));
+    }
+    // Long-carry stratum: operands near the maximum.
+    for _ in 0..(samples - 2 * third) {
+        let v = next();
+        pairs.push((mask - (v & low_mask), mask - ((v >> 32) & low_mask)));
+    }
+    pairs
+}
+
+struct Accumulator {
+    max_out: f64,
+    n: u64,
+    sum_abs: f64,
+    sum_signed: f64,
+    sum_sq: f64,
+    wce: u64,
+    nonzero: u64,
+    sum_rel: f64,
+    rel_n: u64,
+}
+
+impl Accumulator {
+    fn new(max_out: f64) -> Accumulator {
+        Accumulator {
+            max_out,
+            n: 0,
+            sum_abs: 0.0,
+            sum_signed: 0.0,
+            sum_sq: 0.0,
+            wce: 0,
+            nonzero: 0,
+            sum_rel: 0.0,
+            rel_n: 0,
+        }
+    }
+
+    fn push(&mut self, exact: u64, got: u64) {
+        let err = got as i64 - exact as i64;
+        let abs = err.unsigned_abs();
+        self.n += 1;
+        self.sum_abs += abs as f64;
+        self.sum_signed += err as f64;
+        self.sum_sq += (abs as f64) * (abs as f64);
+        self.wce = self.wce.max(abs);
+        if abs != 0 {
+            self.nonzero += 1;
+        }
+        if exact != 0 {
+            self.sum_rel += abs as f64 / exact as f64;
+            self.rel_n += 1;
+        }
+    }
+
+    fn finish(self, exhaustive: bool) -> ErrorMetrics {
+        let n = self.n.max(1) as f64;
+        ErrorMetrics {
+            samples: self.n,
+            exhaustive,
+            med: self.sum_abs / n / self.max_out,
+            mae: self.sum_abs / n,
+            wce: self.wce,
+            wce_rel: self.wce as f64 / self.max_out,
+            mre: self.sum_rel / self.rel_n.max(1) as f64,
+            error_prob: self.nonzero as f64 / n,
+            mse: self.sum_sq / n,
+            bias: self.sum_signed / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuits::adders;
+    use afp_circuits::multipliers;
+
+    fn cfg() -> ErrorConfig {
+        ErrorConfig::default()
+    }
+
+    #[test]
+    fn exact_adder_has_zero_metrics() {
+        for c in [
+            adders::ripple_carry(8),
+            adders::carry_lookahead(8),
+            adders::carry_select(8),
+        ] {
+            let m = analyze(&c, &cfg());
+            assert!(m.is_exact(), "{}", c.name());
+            assert_eq!(m.samples, 65536);
+            assert!(m.exhaustive);
+            assert_eq!(m, ErrorMetrics::zero(65536, true));
+        }
+    }
+
+    #[test]
+    fn truncated_adder_med_matches_closed_form() {
+        // Truncated adder k=1: both the LSB sum and its carry are lost, so
+        // the error on a pair is a0 + b0: mean (0+1+1+2)/4 = 1.0, worst 2.
+        let c = adders::truncated(8, 1);
+        let m = analyze(&c, &cfg());
+        let expected_mae = 1.0;
+        assert!((m.mae - expected_mae).abs() < 1e-9, "mae {}", m.mae);
+        assert!((m.med - expected_mae / 511.0).abs() < 1e-12);
+        assert_eq!(m.wce, 2);
+        assert!(m.bias < 0.0, "truncation under-estimates");
+    }
+
+    #[test]
+    fn loa_error_probability_is_positive_but_partial() {
+        let m = analyze(&adders::loa(8, 4), &cfg());
+        assert!(m.error_prob > 0.0 && m.error_prob < 1.0);
+        assert!(m.wce < 32, "LOA(4) wce bounded: {}", m.wce);
+    }
+
+    #[test]
+    fn med_increases_with_truncation_level() {
+        let mut last = -1.0;
+        for k in [0usize, 2, 4, 6] {
+            let m = analyze(&adders::truncated(8, k), &cfg());
+            assert!(m.med > last, "k={k}: {} <= {last}", m.med);
+            last = m.med;
+        }
+    }
+
+    #[test]
+    fn multiplier_truncation_med_grows() {
+        let small = analyze(&multipliers::truncated(8, 2), &cfg());
+        let large = analyze(&multipliers::truncated(8, 8), &cfg());
+        assert!(large.med > small.med);
+        assert!(large.bias < small.bias, "more truncation, more negative bias");
+    }
+
+    #[test]
+    fn sampled_evaluation_close_to_exhaustive_on_8bit() {
+        // Force sampling on an 8-bit circuit and compare with the truth.
+        let c = multipliers::broken_array(8, 6, 2);
+        let exhaustive = analyze(&c, &cfg());
+        let sampled = analyze(
+            &c,
+            &ErrorConfig {
+                max_exhaustive_bits: 8,
+                samples: 1 << 14,
+                seed: 3,
+            },
+        );
+        assert!(!sampled.exhaustive);
+        let rel = (sampled.med - exhaustive.med).abs() / exhaustive.med.max(1e-12);
+        assert!(rel < 0.35, "sampled med off by {rel}");
+        assert!(sampled.wce <= exhaustive.wce);
+    }
+
+    #[test]
+    fn wide_circuits_are_sampled() {
+        let c = adders::loa(16, 8);
+        let m = analyze(&c, &cfg());
+        assert!(!m.exhaustive);
+        assert_eq!(m.samples, (1 << 16) + 4);
+        assert!(m.med > 0.0);
+    }
+
+    #[test]
+    fn stratified_pairs_are_deterministic_and_in_range() {
+        let a = stratified_pairs(12, 1000, 7);
+        let b = stratified_pairs(12, 1000, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1004);
+        for &(x, y) in &a {
+            assert!(x < 4096 && y < 4096);
+        }
+    }
+
+    #[test]
+    fn error_prob_near_one_for_fully_truncated_adder() {
+        let m = analyze(&adders::truncated(8, 8), &cfg());
+        assert!(m.error_prob > 0.99);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        #[test]
+        fn metrics_are_internally_consistent(k in 0usize..8, vbl in 1usize..8) {
+            let c = multipliers::broken_array(8, vbl, k % 4);
+            let m = analyze(&c, &cfg());
+            // MAE <= WCE, MED = MAE/max, MSE >= MAE^2 (Jensen).
+            proptest::prop_assert!(m.mae <= m.wce as f64 + 1e-9);
+            proptest::prop_assert!((m.med * 65535.0 - m.mae).abs() < 1e-6);
+            proptest::prop_assert!(m.mse + 1e-9 >= m.mae * m.mae);
+            proptest::prop_assert!(m.bias.abs() <= m.mae + 1e-9);
+            proptest::prop_assert!((0.0..=1.0).contains(&m.error_prob));
+        }
+    }
+}

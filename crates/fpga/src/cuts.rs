@@ -1,0 +1,304 @@
+//! K-feasible cut enumeration with priority-cut pruning.
+//!
+//! A *cut* of node `n` is a set of nodes ("leaves") such that every path
+//! from the primary inputs to `n` passes through a leaf; a K-feasible cut
+//! (|leaves| ≤ K) corresponds to a K-input LUT implementing `n`. This
+//! module enumerates, bottom-up, the best few cuts per node ranked by
+//! mapping depth and area flow — the standard priority-cuts scheme.
+
+use afp_netlist::Netlist;
+
+/// Maximum LUT input count supported by the enumeration.
+pub const MAX_K: usize = 8;
+
+/// One cut: a sorted leaf set plus its ranking metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cut {
+    leaves: [u32; MAX_K],
+    len: u8,
+    /// LUT levels needed to produce this node when using the cut.
+    pub depth: u32,
+    /// Area-flow heuristic (shared-logic-aware area estimate).
+    pub area_flow: f64,
+}
+
+impl Cut {
+    /// The trivial cut `{node}` (the node used as a leaf by its readers).
+    pub fn trivial(node: u32, depth: u32, area_flow: f64) -> Cut {
+        let mut leaves = [0u32; MAX_K];
+        leaves[0] = node;
+        Cut {
+            leaves,
+            len: 1,
+            depth,
+            area_flow,
+        }
+    }
+
+    /// Leaf nodes of this cut (sorted).
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+
+    /// Merge two sorted leaf sets; `None` if the union exceeds `k`.
+    fn merge(a: &Cut, b: &Cut, k: usize) -> Option<Cut> {
+        let (mut i, mut j, mut out_len) = (0usize, 0usize, 0usize);
+        let mut out = [u32::MAX; MAX_K];
+        let (la, lb) = (a.leaves(), b.leaves());
+        while i < la.len() || j < lb.len() {
+            let v = match (la.get(i), lb.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            if out_len == k {
+                return None;
+            }
+            out[out_len] = v;
+            out_len += 1;
+        }
+        Some(Cut {
+            leaves: out,
+            len: out_len as u8,
+            depth: 0,
+            area_flow: 0.0,
+        })
+    }
+}
+
+/// Per-node cut sets for a whole netlist.
+#[derive(Debug)]
+pub struct CutSets {
+    /// `cuts[n]` — the kept cuts of node `n`, best first. For inputs and
+    /// constants this is just the trivial cut.
+    pub cuts: Vec<Vec<Cut>>,
+    /// Best achievable LUT depth per node.
+    pub best_depth: Vec<u32>,
+    /// Area flow of the best cut per node.
+    pub best_area_flow: Vec<f64>,
+}
+
+/// Enumerate priority cuts for every node.
+///
+/// `k` is the LUT input count (≤ [`MAX_K`]), `keep` the number of cuts
+/// retained per node.
+///
+/// # Panics
+///
+/// Panics if `k < 2` (two-input gates need two leaves) or `k` exceeds
+/// [`MAX_K`].
+pub fn enumerate(netlist: &Netlist, k: usize, keep: usize) -> CutSets {
+    assert!((2..=MAX_K).contains(&k), "k must be 2..={MAX_K}");
+    let n_nodes = netlist.len();
+    let fanout = afp_netlist::analyze::fanout(netlist);
+    let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(n_nodes);
+    let mut best_depth = vec![0u32; n_nodes];
+    let mut best_area_flow = vec![0.0f64; n_nodes];
+
+    for (idx, gate) in netlist.gates().iter().enumerate() {
+        if !gate.is_logic() {
+            // Inputs and constants: depth 0, free.
+            cuts.push(vec![Cut::trivial(idx as u32, 0, 0.0)]);
+            best_depth[idx] = 0;
+            best_area_flow[idx] = 0.0;
+            continue;
+        }
+        let ops: Vec<usize> = gate.operands().map(|o| o.index()).collect();
+        let mut candidates: Vec<Cut> = Vec::new();
+        // Cross product of operand cut sets.
+        match ops.len() {
+            1 => {
+                for c in &cuts[ops[0]] {
+                    push_candidate(&mut candidates, c.clone());
+                }
+            }
+            2 => {
+                for ca in &cuts[ops[0]] {
+                    for cb in &cuts[ops[1]] {
+                        if let Some(cut) = Cut::merge(ca, cb, k) {
+                            push_candidate(&mut candidates, cut);
+                        }
+                    }
+                }
+            }
+            3 => {
+                for ca in &cuts[ops[0]] {
+                    for cb in &cuts[ops[1]] {
+                        let Some(ab) = Cut::merge(ca, cb, k) else {
+                            continue;
+                        };
+                        for cc in &cuts[ops[2]] {
+                            if let Some(cut) = Cut::merge(&ab, cc, k) {
+                                push_candidate(&mut candidates, cut);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("gates have 1..=3 operands"),
+        }
+        // Score candidates.
+        let fo = fanout[idx].max(1) as f64;
+        let mut scored: Vec<Cut> = candidates
+            .into_iter()
+            .map(|mut c| {
+                let mut d = 0u32;
+                let mut af = 1.0; // this LUT
+                for &leaf in c.leaves() {
+                    d = d.max(best_depth[leaf as usize]);
+                    af += best_area_flow[leaf as usize];
+                }
+                c.depth = d + 1;
+                c.area_flow = af / fo;
+                c
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.depth
+                .cmp(&b.depth)
+                .then(a.area_flow.partial_cmp(&b.area_flow).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        scored.dedup_by(|a, b| a.leaves() == b.leaves());
+        scored.truncate(keep);
+        let best = scored.first().expect("every logic gate has a cut");
+        best_depth[idx] = best.depth;
+        best_area_flow[idx] = best.area_flow;
+        // The trivial cut lets consumers treat this node as a leaf.
+        scored.push(Cut::trivial(idx as u32, best.depth, best.area_flow));
+        cuts.push(scored);
+    }
+
+    CutSets {
+        cuts,
+        best_depth,
+        best_area_flow,
+    }
+}
+
+fn push_candidate(candidates: &mut Vec<Cut>, cut: Cut) {
+    if !candidates.iter().any(|c| c.leaves() == cut.leaves()) {
+        candidates.push(cut);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuits::adders;
+    use afp_netlist::Netlist;
+
+    #[test]
+    fn trivial_cut_for_inputs() {
+        let mut n = Netlist::new("i");
+        let a = n.add_input();
+        n.set_outputs(vec![a]);
+        let cs = enumerate(&n, 6, 8);
+        assert_eq!(cs.cuts[0].len(), 1);
+        assert_eq!(cs.cuts[0][0].leaves(), &[0]);
+        assert_eq!(cs.best_depth[0], 0);
+    }
+
+    #[test]
+    fn chain_of_gates_collapses_into_one_cut() {
+        // x = ((a&b)^c)|d : 4 inputs, depth-1 with K=6.
+        let mut n = Netlist::new("c");
+        let ins = n.add_inputs(4);
+        let x1 = n.and(ins[0], ins[1]);
+        let x2 = n.xor(x1, ins[2]);
+        let x3 = n.or(x2, ins[3]);
+        n.set_outputs(vec![x3]);
+        let cs = enumerate(&n, 6, 8);
+        assert_eq!(cs.best_depth[x3.index()], 1);
+        let best = &cs.cuts[x3.index()][0];
+        assert_eq!(best.leaves(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn k_limits_cut_width() {
+        // A 3-level XOR tree over 8 inputs cannot be one LUT-6.
+        let mut n = Netlist::new("x8");
+        let ins = n.add_inputs(8);
+        let l1: Vec<_> = (0..4).map(|i| n.xor(ins[2 * i], ins[2 * i + 1])).collect();
+        let l2a = n.xor(l1[0], l1[1]);
+        let l2b = n.xor(l1[2], l1[3]);
+        let root = n.xor(l2a, l2b);
+        n.set_outputs(vec![root]);
+        let cs = enumerate(&n, 6, 8);
+        assert_eq!(cs.best_depth[root.index()], 2);
+        let cs4 = enumerate(&n, 8, 12);
+        assert_eq!(cs4.best_depth[root.index()], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be 2..=")]
+    fn k1_is_rejected() {
+        let mut n = Netlist::new("k1");
+        let a = n.add_input();
+        let b = n.add_input();
+        let y = n.and(a, b);
+        n.set_outputs(vec![y]);
+        let _ = enumerate(&n, 1, 4);
+    }
+
+    #[test]
+    fn k2_maps_every_gate_individually() {
+        let mut n = Netlist::new("k2");
+        let ins = n.add_inputs(3);
+        let x = n.and(ins[0], ins[1]);
+        let y = n.or(x, ins[2]);
+        n.set_outputs(vec![y]);
+        let cs = enumerate(&n, 2, 4);
+        // With K=2 a LUT can absorb at most one 2-input gate.
+        assert_eq!(cs.best_depth[y.index()], 2);
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let a = Cut::trivial(1, 0, 0.0);
+        let b = Cut::trivial(2, 0, 0.0);
+        let m = Cut::merge(&a, &b, 6).unwrap();
+        assert_eq!(m.leaves(), &[1, 2]);
+        assert!(Cut::merge(&m, &Cut::trivial(3, 0, 0.0), 2).is_none());
+    }
+
+    #[test]
+    fn duplicate_leaves_merge_once() {
+        let a = Cut::merge(&Cut::trivial(1, 0, 0.0), &Cut::trivial(5, 0, 0.0), 6).unwrap();
+        let b = Cut::merge(&Cut::trivial(5, 0, 0.0), &Cut::trivial(9, 0, 0.0), 6).unwrap();
+        let m = Cut::merge(&a, &b, 6).unwrap();
+        assert_eq!(m.leaves(), &[1, 5, 9]);
+    }
+
+    #[test]
+    fn depth_monotone_along_netlist() {
+        let add = adders::ripple_carry(8);
+        let cs = enumerate(add.netlist(), 6, 8);
+        for out in add.netlist().outputs() {
+            // Every output is coverable.
+            assert!(!cs.cuts[out.index()].is_empty());
+        }
+        // MSB carry needs more levels than the LSB sum.
+        let lsb = add.netlist().outputs()[0].index();
+        let msb = add.netlist().outputs()[8].index();
+        assert!(cs.best_depth[msb] >= cs.best_depth[lsb]);
+    }
+}

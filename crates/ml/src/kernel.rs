@@ -1,0 +1,259 @@
+//! Kernel methods: kernel ridge regression (ML10) and Gaussian-process
+//! regression (ML8), both with an RBF kernel on standardized features.
+
+use crate::linalg::{cholesky, chol_solve};
+use crate::preprocess::Standardizer;
+use crate::{check_xy, Matrix, MlError, Regressor};
+
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+/// Shared fitted state of the RBF kernel models.
+#[derive(Clone, Debug, Default)]
+struct KernelState {
+    scaler: Option<Standardizer>,
+    train: Vec<Vec<f64>>,
+    dual: Vec<f64>,
+    y_mean: f64,
+}
+
+impl KernelState {
+    fn fit(
+        x: &Matrix,
+        y: &[f64],
+        gamma: f64,
+        diag_add: f64,
+    ) -> Result<KernelState, MlError> {
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let n = z.rows();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let rows: Vec<Vec<f64>> = (0..n).map(|r| z.row(r).to_vec()).collect();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = rbf(&rows[i], &rows[j], gamma);
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+            k.set(i, i, k.get(i, i) + diag_add);
+        }
+        let l = cholesky(&k)?;
+        let dual = chol_solve(&l, &yc);
+        Ok(KernelState {
+            scaler: Some(scaler),
+            train: rows,
+            dual,
+            y_mean,
+        })
+    }
+
+    fn predict_row(&self, row: &[f64], gamma: f64) -> f64 {
+        let scaler = self.scaler.as_ref().expect("model must be fitted first");
+        let z = scaler.transform_row(row);
+        let k: f64 = self
+            .train
+            .iter()
+            .zip(&self.dual)
+            .map(|(t, a)| a * rbf(&z, t, gamma))
+            .sum();
+        k + self.y_mean
+    }
+}
+
+/// Kernel ridge regression with RBF kernel — ML10.
+///
+/// # Example
+///
+/// ```
+/// use afp_ml::kernel::KernelRidge;
+/// use afp_ml::{Matrix, Regressor};
+///
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+/// let y = [0.0, 1.0, 4.0, 9.0]; // x²
+/// let mut m = KernelRidge::new(0.5, 1e-3);
+/// m.fit(&x, &y)?;
+/// assert!((m.predict_row(&[1.5]) - 2.25).abs() < 1.0);
+/// # Ok::<(), afp_ml::MlError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct KernelRidge {
+    gamma: f64,
+    lambda: f64,
+    state: KernelState,
+}
+
+impl KernelRidge {
+    /// RBF kernel ridge with bandwidth `gamma` and penalty `lambda`.
+    pub fn new(gamma: f64, lambda: f64) -> KernelRidge {
+        KernelRidge {
+            gamma,
+            lambda,
+            state: KernelState::default(),
+        }
+    }
+}
+
+impl Default for KernelRidge {
+    fn default() -> KernelRidge {
+        KernelRidge::new(0.08, 1e-3)
+    }
+}
+
+impl Regressor for KernelRidge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        self.state = KernelState::fit(x, y, self.gamma, self.lambda.max(1e-10) * x.rows() as f64)?;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.state.predict_row(row, self.gamma)
+    }
+
+    fn name(&self) -> &'static str {
+        "kernel ridge"
+    }
+}
+
+/// Gaussian-process regression (RBF kernel, Gaussian noise) — ML8.
+///
+/// The predictive mean coincides with kernel ridge on `K + σ²I`; the
+/// hyperparameters are interpreted as kernel bandwidth and observation
+/// noise. [`GaussianProcess::predict_with_std`] additionally returns the
+/// predictive standard deviation.
+#[derive(Clone, Debug)]
+pub struct GaussianProcess {
+    gamma: f64,
+    noise: f64,
+    state: KernelState,
+    chol: Option<Matrix>,
+}
+
+impl GaussianProcess {
+    /// GP with RBF bandwidth `gamma` and noise variance `noise`.
+    pub fn new(gamma: f64, noise: f64) -> GaussianProcess {
+        GaussianProcess {
+            gamma,
+            noise,
+            state: KernelState::default(),
+            chol: None,
+        }
+    }
+
+    /// Predictive mean and standard deviation for one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Regressor::fit`].
+    pub fn predict_with_std(&self, row: &[f64]) -> (f64, f64) {
+        let mean = self.state.predict_row(row, self.gamma);
+        let l = self.chol.as_ref().expect("model must be fitted first");
+        let scaler = self.state.scaler.as_ref().expect("fitted");
+        let z = scaler.transform_row(row);
+        let kstar: Vec<f64> = self
+            .state
+            .train
+            .iter()
+            .map(|t| rbf(&z, t, self.gamma))
+            .collect();
+        let v = chol_solve(l, &kstar);
+        let var = (1.0 + self.noise
+            - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>())
+        .max(0.0);
+        (mean, var.sqrt())
+    }
+}
+
+impl Default for GaussianProcess {
+    fn default() -> GaussianProcess {
+        GaussianProcess::new(0.08, 1e-2)
+    }
+}
+
+impl Regressor for GaussianProcess {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        self.state = KernelState::fit(x, y, self.gamma, self.noise.max(1e-10))?;
+        // Rebuild the kernel Cholesky for predictive variance.
+        let n = self.state.train.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = rbf(&self.state.train[i], &self.state.train[j], self.gamma);
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+            k.set(i, i, k.get(i, i) + self.noise.max(1e-10));
+        }
+        self.chol = Some(cholesky(&k)?);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.state.predict_row(row, self.gamma)
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn quad(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 4.0]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0] * r[0] - r[0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), ys)
+    }
+
+    #[test]
+    fn kernel_ridge_interpolates_smooth_function() {
+        let (x, y) = quad(40);
+        let mut m = KernelRidge::new(0.5, 1e-4);
+        m.fit(&x, &y).unwrap();
+        assert!(r2(&m.predict(&x), &y) > 0.999);
+    }
+
+    #[test]
+    fn gp_mean_matches_kernel_ridge_with_same_params() {
+        let (x, y) = quad(25);
+        let mut kr = KernelRidge::new(0.3, 0.0);
+        let mut gp = GaussianProcess::new(0.3, 1e-6 * 25.0);
+        // KernelRidge multiplies lambda by n; align the diagonals.
+        kr.lambda = 1e-6;
+        kr.fit(&x, &y).unwrap();
+        gp.fit(&x, &y).unwrap();
+        for r in 0..x.rows() {
+            let d = (kr.predict_row(x.row(r)) - gp.predict_row(x.row(r))).abs();
+            assert!(d < 1e-6, "row {r}: {d}");
+        }
+    }
+
+    #[test]
+    fn gp_uncertainty_grows_away_from_data() {
+        let (x, y) = quad(20);
+        let mut gp = GaussianProcess::new(0.5, 1e-4);
+        gp.fit(&x, &y).unwrap();
+        let (_, s_in) = gp.predict_with_std(x.row(10));
+        let (_, s_out) = gp.predict_with_std(&[100.0]);
+        assert!(s_out > s_in * 2.0, "in {s_in} out {s_out}");
+    }
+
+    #[test]
+    fn duplicate_training_points_are_handled() {
+        // Duplicates make K singular without the noise/penalty diagonal.
+        let x = Matrix::from_rows(&[&[1.0], &[1.0], &[2.0]]);
+        let y = [3.0, 3.0, 5.0];
+        let mut m = KernelRidge::default();
+        m.fit(&x, &y).unwrap();
+        assert!((m.predict_row(&[1.0]) - 3.0).abs() < 0.8);
+    }
+}

@@ -1,0 +1,567 @@
+//! Linear-in-parameters regressors: single-feature ASIC regression
+//! (ML1–ML3), ridge (ML14), Bayesian ridge (ML11), coordinate-descent
+//! Lasso (ML12), least-angle/forward-stepwise regression (ML13) and an SGD
+//! regressor (ML15).
+//!
+//! All models standardize features internally and fit an intercept.
+
+use crate::linalg::{cholesky, chol_solve, dot, inv_diag_from_chol};
+use crate::preprocess::{mean, Standardizer};
+use crate::{check_xy, Matrix, MlError, Regressor};
+
+/// Shared fitted state of the linear family: standardizer + weights +
+/// intercept in standardized space.
+#[derive(Clone, Debug, Default)]
+struct LinearState {
+    scaler: Option<Standardizer>,
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearState {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("model must be fitted first");
+        let z = scaler.transform_row(row);
+        dot(&z, &self.weights) + self.intercept
+    }
+}
+
+/// Ordinary/simple linear regression on **one designated feature column** —
+/// the paper's ML1–ML3 ("Regression w.r.t. ASIC-AC power/latency/area").
+///
+/// # Example
+///
+/// ```
+/// use afp_ml::linear::SingleFeature;
+/// use afp_ml::{Matrix, Regressor};
+///
+/// // Column 1 carries the signal.
+/// let x = Matrix::from_rows(&[&[9.0, 1.0], &[9.0, 2.0], &[9.0, 3.0]]);
+/// let mut m = SingleFeature::new(1);
+/// m.fit(&x, &[2.0, 4.0, 6.0])?;
+/// assert!((m.predict_row(&[0.0, 4.0]) - 8.0).abs() < 1e-9);
+/// # Ok::<(), afp_ml::MlError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SingleFeature {
+    feature: usize,
+    slope: f64,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl SingleFeature {
+    /// Regress the target on feature column `feature`.
+    pub fn new(feature: usize) -> SingleFeature {
+        SingleFeature {
+            feature,
+            slope: 0.0,
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// The designated feature column.
+    pub fn feature(&self) -> usize {
+        self.feature
+    }
+}
+
+impl Regressor for SingleFeature {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let xs = x.col(self.feature);
+        let mx = mean(&xs);
+        let my = mean(y);
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (xi, yi) in xs.iter().zip(y) {
+            cov += (xi - mx) * (yi - my);
+            var += (xi - mx) * (xi - mx);
+        }
+        self.slope = if var < 1e-18 { 0.0 } else { cov / var };
+        self.intercept = my - self.slope * mx;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "model must be fitted first");
+        self.slope * row[self.feature] + self.intercept
+    }
+
+    fn name(&self) -> &'static str {
+        "single-feature regression"
+    }
+}
+
+/// Ridge regression (L2-regularized least squares) — ML14, and the
+/// building block of several other models.
+#[derive(Clone, Debug)]
+pub struct Ridge {
+    lambda: f64,
+    state: LinearState,
+}
+
+impl Ridge {
+    /// Ridge with regularization strength `lambda` (≥ 0).
+    pub fn new(lambda: f64) -> Ridge {
+        Ridge {
+            lambda,
+            state: LinearState::default(),
+        }
+    }
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let my = mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - my).collect();
+        let mut g = z.gram();
+        for i in 0..g.cols() {
+            let v = g.get(i, i) + self.lambda.max(1e-12) * z.rows() as f64;
+            g.set(i, i, v);
+        }
+        let rhs = z.t_vec(&yc);
+        let l = cholesky(&g)?;
+        self.state = LinearState {
+            scaler: Some(scaler),
+            weights: chol_solve(&l, &rhs),
+            intercept: my,
+        };
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.state.predict_row(row)
+    }
+
+    fn name(&self) -> &'static str {
+        "ridge regression"
+    }
+}
+
+/// Bayesian ridge regression — ML11. Hyperparameters `alpha` (noise
+/// precision) and `lambda` (weight precision) are re-estimated by evidence
+/// approximation (MacKay updates).
+#[derive(Clone, Debug)]
+pub struct BayesianRidge {
+    iterations: usize,
+    state: LinearState,
+}
+
+impl BayesianRidge {
+    /// Bayesian ridge with the given number of evidence iterations.
+    pub fn new(iterations: usize) -> BayesianRidge {
+        BayesianRidge {
+            iterations,
+            state: LinearState::default(),
+        }
+    }
+}
+
+impl Default for BayesianRidge {
+    fn default() -> BayesianRidge {
+        BayesianRidge::new(30)
+    }
+}
+
+impl Regressor for BayesianRidge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let my = mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - my).collect();
+        let n = z.rows() as f64;
+        let p = z.cols();
+        let gram = z.gram();
+        let rhs = z.t_vec(&yc);
+        let var_y = yc.iter().map(|v| v * v).sum::<f64>() / n.max(1.0);
+        let mut alpha = 1.0 / var_y.max(1e-9); // noise precision
+        let mut lambda = 1.0; // weight precision
+        let mut w = vec![0.0; p];
+        for _ in 0..self.iterations.max(1) {
+            // Posterior mean: (λ/α I + XᵀX)⁻¹ Xᵀy.
+            let mut a = gram.clone();
+            for i in 0..p {
+                a.set(i, i, a.get(i, i) + lambda / alpha);
+            }
+            let l = cholesky(&a)?;
+            w = chol_solve(&l, &rhs);
+            // Effective number of parameters γ = p − (λ/α)·tr(A⁻¹).
+            let trace_inv: f64 = inv_diag_from_chol(&l).iter().sum();
+            let gamma = (p as f64 - (lambda / alpha) * trace_inv).clamp(1e-9, p as f64);
+            let resid: f64 = (0..z.rows())
+                .map(|r| {
+                    let e = yc[r] - dot(z.row(r), &w);
+                    e * e
+                })
+                .sum();
+            let w_norm: f64 = w.iter().map(|v| v * v).sum();
+            lambda = gamma / w_norm.max(1e-12);
+            alpha = (n - gamma).max(1e-9) / resid.max(1e-12);
+        }
+        self.state = LinearState {
+            scaler: Some(scaler),
+            weights: w,
+            intercept: my,
+        };
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.state.predict_row(row)
+    }
+
+    fn name(&self) -> &'static str {
+        "bayesian ridge"
+    }
+}
+
+/// Coordinate-descent Lasso (L1-regularized least squares) — ML12.
+#[derive(Clone, Debug)]
+pub struct Lasso {
+    lambda: f64,
+    iterations: usize,
+    state: LinearState,
+}
+
+impl Lasso {
+    /// Lasso with penalty `lambda` and `iterations` full coordinate sweeps.
+    pub fn new(lambda: f64, iterations: usize) -> Lasso {
+        Lasso {
+            lambda,
+            iterations,
+            state: LinearState::default(),
+        }
+    }
+}
+
+impl Regressor for Lasso {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let my = mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - my).collect();
+        let n = z.rows();
+        let p = z.cols();
+        let cols: Vec<Vec<f64>> = (0..p).map(|c| z.col(c)).collect();
+        let col_sq: Vec<f64> = cols.iter().map(|c| dot(c, c)).collect();
+        let mut w = vec![0.0; p];
+        let mut resid = yc.clone();
+        let lam_n = self.lambda * n as f64;
+        for _ in 0..self.iterations.max(1) {
+            for j in 0..p {
+                if col_sq[j] < 1e-18 {
+                    continue;
+                }
+                // rho = x_jᵀ(resid + w_j x_j)
+                let rho = dot(&cols[j], &resid) + w[j] * col_sq[j];
+                let new_w = soft_threshold(rho, lam_n) / col_sq[j];
+                let delta = new_w - w[j];
+                if delta != 0.0 {
+                    for (r, xj) in resid.iter_mut().zip(&cols[j]) {
+                        *r -= delta * xj;
+                    }
+                    w[j] = new_w;
+                }
+            }
+        }
+        self.state = LinearState {
+            scaler: Some(scaler),
+            weights: w,
+            intercept: my,
+        };
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.state.predict_row(row)
+    }
+
+    fn name(&self) -> &'static str {
+        "lasso (coordinate descent)"
+    }
+}
+
+fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+/// Least-angle-style forward selection — ML13.
+///
+/// Greedily activates the feature most correlated with the residual and
+/// refits least squares on the active set (the LARS path evaluated at its
+/// step knots), stopping after `max_features` steps or when the residual
+/// correlation vanishes.
+#[derive(Clone, Debug)]
+pub struct LeastAngle {
+    max_features: usize,
+    state: LinearState,
+}
+
+impl LeastAngle {
+    /// Forward selection limited to `max_features` active features.
+    pub fn new(max_features: usize) -> LeastAngle {
+        LeastAngle {
+            max_features,
+            state: LinearState::default(),
+        }
+    }
+}
+
+impl Regressor for LeastAngle {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let my = mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - my).collect();
+        let p = z.cols();
+        let cols: Vec<Vec<f64>> = (0..p).map(|c| z.col(c)).collect();
+        let mut active: Vec<usize> = Vec::new();
+        let mut w = vec![0.0; p];
+        let mut resid = yc.clone();
+        for _ in 0..self.max_features.min(p) {
+            // Most correlated inactive feature.
+            let best = (0..p)
+                .filter(|j| !active.contains(j))
+                .map(|j| (j, dot(&cols[j], &resid).abs()))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let Some((j, corr)) = best else { break };
+            if corr < 1e-9 {
+                break;
+            }
+            active.push(j);
+            // Least-squares refit on the active set (small ridge for
+            // stability).
+            let k = active.len();
+            let mut g = Matrix::zeros(k, k);
+            let mut rhs = vec![0.0; k];
+            for (ai, &fa) in active.iter().enumerate() {
+                rhs[ai] = dot(&cols[fa], &yc);
+                for (bi, &fb) in active.iter().enumerate() {
+                    g.set(ai, bi, dot(&cols[fa], &cols[fb]));
+                }
+                g.set(ai, ai, g.get(ai, ai) + 1e-8);
+            }
+            let l = cholesky(&g)?;
+            let wa = chol_solve(&l, &rhs);
+            w = vec![0.0; p];
+            for (ai, &fa) in active.iter().enumerate() {
+                w[fa] = wa[ai];
+            }
+            // Refresh residual.
+            resid = yc.clone();
+            for (r_idx, r) in resid.iter_mut().enumerate() {
+                *r -= dot(z.row(r_idx), &w);
+            }
+        }
+        self.state = LinearState {
+            scaler: Some(scaler),
+            weights: w,
+            intercept: my,
+        };
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.state.predict_row(row)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-angle regression"
+    }
+}
+
+/// Linear regression trained by stochastic gradient descent — ML15.
+#[derive(Clone, Debug)]
+pub struct SgdRegressor {
+    epochs: usize,
+    learning_rate: f64,
+    l2: f64,
+    seed: u64,
+    state: LinearState,
+}
+
+impl SgdRegressor {
+    /// SGD with the given schedule. `l2` is the ridge penalty per sample.
+    pub fn new(epochs: usize, learning_rate: f64, l2: f64, seed: u64) -> SgdRegressor {
+        SgdRegressor {
+            epochs,
+            learning_rate,
+            l2,
+            seed,
+            state: LinearState::default(),
+        }
+    }
+}
+
+impl Default for SgdRegressor {
+    fn default() -> SgdRegressor {
+        SgdRegressor::new(200, 0.01, 1e-4, 17)
+    }
+}
+
+impl Regressor for SgdRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let my = mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - my).collect();
+        let n = z.rows();
+        let p = z.cols();
+        let mut w = vec![0.0; p];
+        let mut b = 0.0f64;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = self.seed | 1;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for epoch in 0..self.epochs.max(1) {
+            // Fisher-Yates shuffle, deterministic.
+            for i in (1..n).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let lr = self.learning_rate / (1.0 + 0.01 * epoch as f64);
+            for &i in &order {
+                let row = z.row(i);
+                let err = dot(row, &w) + b - yc[i];
+                for (wj, xj) in w.iter_mut().zip(row) {
+                    *wj -= lr * (err * xj + self.l2 * *wj);
+                }
+                b -= lr * err;
+            }
+        }
+        self.state = LinearState {
+            scaler: Some(scaler),
+            weights: w,
+            intercept: my + b,
+        };
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.state.predict_row(row)
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd regressor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    /// y = 3*x0 - 2*x1 + 5 with a nuisance column.
+    fn synthetic(n: usize) -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let mut s = 42u64;
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) * 4.0 - 2.0
+        };
+        for _ in 0..n {
+            let (a, b, c) = (rnd(), rnd(), rnd());
+            rows.push(vec![a, b, c]);
+            ys.push(3.0 * a - 2.0 * b + 5.0);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), ys)
+    }
+
+    fn assert_learns(model: &mut dyn Regressor, min_r2: f64) {
+        let (x, y) = synthetic(120);
+        model.fit(&x, &y).unwrap();
+        let pred = model.predict(&x);
+        let score = r2(&pred, &y);
+        assert!(score > min_r2, "{}: r2 {score}", model.name());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_function() {
+        assert_learns(&mut Ridge::new(1e-6), 0.999);
+    }
+
+    #[test]
+    fn bayesian_ridge_recovers_linear_function() {
+        assert_learns(&mut BayesianRidge::default(), 0.999);
+    }
+
+    #[test]
+    fn lasso_recovers_and_sparsifies() {
+        let (x, y) = synthetic(120);
+        let mut m = Lasso::new(0.01, 100);
+        m.fit(&x, &y).unwrap();
+        assert!(r2(&m.predict(&x), &y) > 0.99);
+        // The nuisance weight (col 2) should be (near) zero.
+        assert!(m.state.weights[2].abs() < 0.05, "w2 = {}", m.state.weights[2]);
+    }
+
+    #[test]
+    fn least_angle_picks_informative_features_first() {
+        let (x, y) = synthetic(120);
+        let mut m = LeastAngle::new(2);
+        m.fit(&x, &y).unwrap();
+        assert!(r2(&m.predict(&x), &y) > 0.999);
+        assert!(m.state.weights[2].abs() < 1e-6, "nuisance activated");
+    }
+
+    #[test]
+    fn sgd_converges_reasonably() {
+        assert_learns(&mut SgdRegressor::default(), 0.99);
+    }
+
+    #[test]
+    fn single_feature_ignores_other_columns() {
+        let (x, y) = synthetic(60);
+        let mut m = SingleFeature::new(0);
+        m.fit(&x, &y).unwrap();
+        // Only partially explains y (misses the x1 term).
+        let score = r2(&m.predict(&x), &y);
+        assert!(score > 0.4 && score < 0.95, "r2 {score}");
+    }
+
+    #[test]
+    fn fit_rejects_shape_mismatch() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let mut m = Ridge::new(0.1);
+        assert!(matches!(
+            m.fit(&x, &[1.0]),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_target_yields_constant_prediction() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0], &[2.0, 2.0]]);
+        let y = [7.0, 7.0, 7.0];
+        for model in [
+            &mut Ridge::new(0.1) as &mut dyn Regressor,
+            &mut Lasso::new(0.1, 50),
+            &mut BayesianRidge::default(),
+        ] {
+            model.fit(&x, &y).unwrap();
+            assert!((model.predict_row(&[2.0, 2.0]) - 7.0).abs() < 0.2, "{}", model.name());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Model evaluation metrics, including the paper's fidelity metric.
+
+/// Fidelity of estimates against measurements (Eq. 1–2 of the paper).
+///
+/// For every *ordered pair* of samples, the relationship (`<`, `=`, `>`)
+/// between the two estimated values must match the relationship between the
+/// two measured values; fidelity is the fraction of pairs (including
+/// self-pairs, as in the paper's `|X|²` normalization) where it does.
+/// Values within `tolerance` (relative) compare as equal.
+///
+/// # Example
+///
+/// ```
+/// use afp_ml::metrics::fidelity;
+///
+/// // Perfect monotone estimates give fidelity 1.
+/// let mes = [1.0, 2.0, 3.0];
+/// let est = [10.0, 20.0, 30.0];
+/// assert_eq!(fidelity(&est, &mes, 0.0), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn fidelity(estimated: &[f64], measured: &[f64], tolerance: f64) -> f64 {
+    assert_eq!(estimated.len(), measured.len(), "length mismatch");
+    let n = estimated.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let cmp = |a: f64, b: f64| -> i8 {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        if (a - b).abs() <= tolerance * scale {
+            0
+        } else if a < b {
+            -1
+        } else {
+            1
+        }
+    };
+    let mut agree = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            let e = cmp(estimated[i], estimated[j]);
+            let m = cmp(measured[i], measured[j]);
+            if e == m {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / (n * n) as f64
+}
+
+/// Coefficient of determination R².
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn r2(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let n = actual.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = actual.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p) * (a - p))
+        .sum();
+    if ss_tot < 1e-12 {
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Pearson linear correlation coefficient.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let (ma, mb) = (
+        a.iter().sum::<f64>() / n as f64,
+        b.iter().sum::<f64>() / n as f64,
+    );
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va < 1e-18 || vb < 1e-18 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Spearman rank correlation (Pearson over average ranks).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    pearson(&ranks(a), &ranks(b))
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_perfect_and_inverted() {
+        let m = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert_eq!(fidelity(&up, &m, 0.0), 1.0);
+        // Inverted ordering only agrees on the n self-pairs.
+        assert_eq!(fidelity(&down, &m, 0.0), 4.0 / 16.0);
+    }
+
+    #[test]
+    fn fidelity_tolerance_treats_near_values_equal() {
+        let m = [1.0, 1.0];
+        let e = [5.0, 5.0001];
+        assert!(fidelity(&e, &m, 0.0) < 1.0);
+        assert_eq!(fidelity(&e, &m, 0.01), 1.0);
+    }
+
+    #[test]
+    fn r2_known_values() {
+        let actual = [1.0, 2.0, 3.0];
+        assert_eq!(r2(&actual, &actual), 1.0);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&mean_pred, &actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_and_spearman_sign() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 21.0, 28.0, 44.0];
+        assert!(pearson(&a, &b) > 0.97);
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let inv = [44.0, 28.0, 21.0, 10.0];
+        assert!((spearman(&a, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_zero_for_identical() {
+        assert_eq!(mae(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mae(&[2.0, 4.0], &[1.0, 2.0]), 1.5);
+    }
+}

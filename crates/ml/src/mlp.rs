@@ -1,0 +1,221 @@
+//! Multi-layer perceptron regression — ML17.
+//!
+//! One tanh hidden layer with a linear output, trained full-batch with
+//! Adam. Deliberately small: the paper's models are "light-weight".
+
+use crate::preprocess::{mean, Standardizer};
+use crate::{check_xy, Matrix, MlError, Regressor};
+
+/// One-hidden-layer MLP regressor.
+///
+/// # Example
+///
+/// ```
+/// use afp_ml::mlp::Mlp;
+/// use afp_ml::{Matrix, Regressor};
+///
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0]]);
+/// let y = [0.0, 1.0, 2.0, 3.0, 4.0];
+/// let mut m = Mlp::new(8, 400, 0.02, 11);
+/// m.fit(&x, &y)?;
+/// assert!((m.predict_row(&[2.5]) - 2.5).abs() < 0.5);
+/// # Ok::<(), afp_ml::MlError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    hidden: usize,
+    epochs: usize,
+    learning_rate: f64,
+    seed: u64,
+    scaler: Option<Standardizer>,
+    w1: Vec<f64>, // hidden x inputs
+    b1: Vec<f64>,
+    w2: Vec<f64>, // hidden
+    b2: f64,
+    y_mean: f64,
+    y_scale: f64,
+    inputs: usize,
+}
+
+impl Mlp {
+    /// MLP with `hidden` tanh units trained for `epochs` Adam steps.
+    pub fn new(hidden: usize, epochs: usize, learning_rate: f64, seed: u64) -> Mlp {
+        Mlp {
+            hidden: hidden.max(1),
+            epochs: epochs.max(1),
+            learning_rate,
+            seed,
+            scaler: None,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: 0.0,
+            y_mean: 0.0,
+            y_scale: 1.0,
+            inputs: 0,
+        }
+    }
+
+    fn hidden_out(&self, z: &[f64]) -> Vec<f64> {
+        (0..self.hidden)
+            .map(|h| {
+                let mut s = self.b1[h];
+                for (i, zi) in z.iter().enumerate() {
+                    s += self.w1[h * self.inputs + i] * zi;
+                }
+                s.tanh()
+            })
+            .collect()
+    }
+}
+
+impl Default for Mlp {
+    fn default() -> Mlp {
+        Mlp::new(16, 400, 0.01, 23)
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let n = z.rows();
+        let p = z.cols();
+        self.inputs = p;
+        self.y_mean = mean(y);
+        let y_var = y.iter().map(|v| (v - self.y_mean).powi(2)).sum::<f64>() / n as f64;
+        self.y_scale = y_var.sqrt().max(1e-9);
+        let yt: Vec<f64> = y.iter().map(|v| (v - self.y_mean) / self.y_scale).collect();
+
+        // Xavier-ish deterministic init.
+        let mut state = self.seed | 1;
+        let mut next_f = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                / (1u64 << 53) as f64;
+            2.0 * u - 1.0
+        };
+        let scale1 = (1.0 / p as f64).sqrt();
+        self.w1 = (0..self.hidden * p).map(|_| next_f() * scale1).collect();
+        self.b1 = vec![0.0; self.hidden];
+        let scale2 = (1.0 / self.hidden as f64).sqrt();
+        self.w2 = (0..self.hidden).map(|_| next_f() * scale2).collect();
+        self.b2 = 0.0;
+
+        // Adam state.
+        let dim = self.w1.len() + self.b1.len() + self.w2.len() + 1;
+        let mut m = vec![0.0; dim];
+        let mut v = vec![0.0; dim];
+        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+
+        for t in 1..=self.epochs {
+            // Full-batch gradients.
+            let mut g = vec![0.0; dim];
+            for r in 0..n {
+                let zr = z.row(r);
+                let h = self.hidden_out(zr);
+                let out: f64 =
+                    self.b2 + h.iter().zip(&self.w2).map(|(hi, wi)| hi * wi).sum::<f64>();
+                let err = out - yt[r];
+                // Output layer.
+                for (hi, idx) in h.iter().zip(0..self.hidden) {
+                    g[self.w1.len() + self.b1.len() + idx] += err * hi;
+                }
+                g[dim - 1] += err;
+                // Hidden layer.
+                for hidx in 0..self.hidden {
+                    let dh = err * self.w2[hidx] * (1.0 - h[hidx] * h[hidx]);
+                    for (i, zi) in zr.iter().enumerate() {
+                        g[hidx * p + i] += dh * zi;
+                    }
+                    g[self.w1.len() + hidx] += dh;
+                }
+            }
+            let inv_n = 1.0 / n as f64;
+            for gi in g.iter_mut() {
+                *gi *= inv_n;
+            }
+            // Adam update over the flattened parameter vector.
+            let lr = self.learning_rate * (1.0 - beta2f(beta2, t)).sqrt() / (1.0 - beta2f(beta1, t));
+            let mut apply = |idx: usize, param: &mut f64| {
+                m[idx] = beta1 * m[idx] + (1.0 - beta1) * g[idx];
+                v[idx] = beta2 * v[idx] + (1.0 - beta2) * g[idx] * g[idx];
+                *param -= lr * m[idx] / (v[idx].sqrt() + eps);
+            };
+            for (i, w) in self.w1.iter_mut().enumerate() {
+                apply(i, w);
+            }
+            let off1 = self.w1.len();
+            for (i, b) in self.b1.iter_mut().enumerate() {
+                apply(off1 + i, b);
+            }
+            let off2 = off1 + self.b1.len();
+            for (i, w) in self.w2.iter_mut().enumerate() {
+                apply(off2 + i, w);
+            }
+            apply(dim - 1, &mut self.b2);
+        }
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("model must be fitted first");
+        let z = scaler.transform_row(row);
+        let h = self.hidden_out(&z);
+        let out: f64 = self.b2 + h.iter().zip(&self.w2).map(|(hi, wi)| hi * wi).sum::<f64>();
+        out * self.y_scale + self.y_mean
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-layer perceptron"
+    }
+}
+
+fn beta2f(beta: f64, t: usize) -> f64 {
+    beta.powi(t as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    #[test]
+    fn learns_linear_map() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 1.0).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut m = Mlp::default();
+        m.fit(&x, &ys).unwrap();
+        assert!(r2(&m.predict(&x), &ys) > 0.98);
+    }
+
+    #[test]
+    fn learns_mild_nonlinearity() {
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 20.0]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| (r[0] * 1.5).sin()).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut m = Mlp::new(24, 800, 0.02, 3);
+        m.fit(&x, &ys).unwrap();
+        assert!(r2(&m.predict(&x), &ys) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0] * 0.5).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut a = Mlp::new(8, 100, 0.02, 7);
+        let mut b = Mlp::new(8, 100, 0.02, 7);
+        a.fit(&x, &ys).unwrap();
+        b.fit(&x, &ys).unwrap();
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+}

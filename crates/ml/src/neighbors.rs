@@ -1,0 +1,126 @@
+//! K-nearest-neighbour regression — ML16.
+
+use crate::preprocess::Standardizer;
+use crate::{check_xy, Matrix, MlError, Regressor};
+
+/// K-nearest neighbours with inverse-distance weighting on standardized
+/// features.
+///
+/// # Example
+///
+/// ```
+/// use afp_ml::neighbors::KNearest;
+/// use afp_ml::{Matrix, Regressor};
+///
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[10.0]]);
+/// let y = [0.0, 1.0, 10.0];
+/// let mut m = KNearest::new(2);
+/// m.fit(&x, &y)?;
+/// assert!(m.predict_row(&[0.4]) < 1.0);
+/// # Ok::<(), afp_ml::MlError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct KNearest {
+    k: usize,
+    scaler: Option<Standardizer>,
+    train: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl KNearest {
+    /// KNN with `k` neighbours (at least 1).
+    pub fn new(k: usize) -> KNearest {
+        KNearest {
+            k: k.max(1),
+            scaler: None,
+            train: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+}
+
+impl Default for KNearest {
+    fn default() -> KNearest {
+        KNearest::new(5)
+    }
+}
+
+impl Regressor for KNearest {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        self.train = (0..z.rows()).map(|r| z.row(r).to_vec()).collect();
+        self.targets = y.to_vec();
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("model must be fitted first");
+        let z = scaler.transform_row(row);
+        let mut dist: Vec<(f64, f64)> = self
+            .train
+            .iter()
+            .zip(&self.targets)
+            .map(|(t, &y)| {
+                let d2: f64 = t.iter().zip(&z).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2.sqrt(), y)
+            })
+            .collect();
+        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(dist.len());
+        // Inverse-distance weights; exact hits dominate.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(d, y) in &dist[..k] {
+            let w = 1.0 / (d + 1e-9);
+            num += w * y;
+            den += w;
+        }
+        num / den
+    }
+
+    fn name(&self) -> &'static str {
+        "k-nearest neighbours"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_training_points_are_reproduced() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 0.0]]);
+        let y = [5.0, 7.0, 9.0];
+        let mut m = KNearest::new(1);
+        m.fit(&x, &y).unwrap();
+        for r in 0..3 {
+            assert!((m.predict_row(x.row(r)) - y[r]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_set_uses_all() {
+        let x = Matrix::from_rows(&[&[0.0], &[2.0]]);
+        let y = [0.0, 2.0];
+        let mut m = KNearest::new(10);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_row(&[1.0]);
+        assert!((p - 1.0).abs() < 1e-9, "midpoint should average: {p}");
+    }
+
+    #[test]
+    fn standardization_balances_feature_scales() {
+        // Feature 1 has huge scale; without standardization it would
+        // dominate the metric and pick the wrong neighbour.
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1000.0], &[0.1, 900.0]]);
+        let y = [1.0, 2.0, 3.0];
+        let mut m = KNearest::new(1);
+        m.fit(&x, &y).unwrap();
+        // Query near sample 2 in standardized space.
+        let p = m.predict_row(&[0.1, 900.0]);
+        assert!((p - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,197 @@
+//! Partial-least-squares regression (PLS1, NIPALS) — ML4.
+
+use crate::linalg::dot;
+use crate::preprocess::{mean, Standardizer};
+use crate::{check_xy, Matrix, MlError, Regressor};
+
+/// PLS1 regression via the NIPALS algorithm.
+///
+/// Extracts `components` latent directions that maximize covariance with
+/// the target, then regresses on the scores — robust to collinear feature
+/// sets like ours (gate counts correlate heavily with area and power).
+///
+/// # Example
+///
+/// ```
+/// use afp_ml::pls::PlsRegression;
+/// use afp_ml::{Matrix, Regressor};
+///
+/// // Two perfectly collinear features.
+/// let x = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0], &[4.0, 8.0]]);
+/// let y = [3.0, 6.0, 9.0, 12.0];
+/// let mut m = PlsRegression::new(1);
+/// m.fit(&x, &y)?;
+/// assert!((m.predict_row(&[5.0, 10.0]) - 15.0).abs() < 1e-6);
+/// # Ok::<(), afp_ml::MlError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PlsRegression {
+    components: usize,
+    scaler: Option<Standardizer>,
+    // Per component: weight vector w, loading p, regression coefficient q.
+    w: Vec<Vec<f64>>,
+    p: Vec<Vec<f64>>,
+    q: Vec<f64>,
+    y_mean: f64,
+}
+
+impl PlsRegression {
+    /// PLS with the given number of latent components.
+    pub fn new(components: usize) -> PlsRegression {
+        PlsRegression {
+            components: components.max(1),
+            scaler: None,
+            w: Vec::new(),
+            p: Vec::new(),
+            q: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+}
+
+impl Default for PlsRegression {
+    fn default() -> PlsRegression {
+        PlsRegression::new(4)
+    }
+}
+
+impl Regressor for PlsRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let n = z.rows();
+        let pdim = z.cols();
+        self.y_mean = mean(y);
+        let mut e: Vec<Vec<f64>> = (0..n).map(|r| z.row(r).to_vec()).collect();
+        let mut f: Vec<f64> = y.iter().map(|v| v - self.y_mean).collect();
+        self.w.clear();
+        self.p.clear();
+        self.q.clear();
+        for _ in 0..self.components.min(pdim) {
+            // w = Eᵀ f / ||Eᵀ f||
+            let mut w = vec![0.0; pdim];
+            for (row, fi) in e.iter().zip(&f) {
+                for (wj, xj) in w.iter_mut().zip(row) {
+                    *wj += xj * fi;
+                }
+            }
+            let norm = dot(&w, &w).sqrt();
+            if norm < 1e-12 {
+                break; // nothing left to explain
+            }
+            for wj in w.iter_mut() {
+                *wj /= norm;
+            }
+            // Scores t = E w.
+            let t: Vec<f64> = e.iter().map(|row| dot(row, &w)).collect();
+            let tt = dot(&t, &t);
+            if tt < 1e-12 {
+                break;
+            }
+            // Loadings p = Eᵀ t / tᵀt, q = fᵀ t / tᵀt.
+            let mut pv = vec![0.0; pdim];
+            for (row, ti) in e.iter().zip(&t) {
+                for (pj, xj) in pv.iter_mut().zip(row) {
+                    *pj += xj * ti;
+                }
+            }
+            for pj in pv.iter_mut() {
+                *pj /= tt;
+            }
+            let q = dot(&f, &t) / tt;
+            // Deflate.
+            for (row, ti) in e.iter_mut().zip(&t) {
+                for (xj, pj) in row.iter_mut().zip(&pv) {
+                    *xj -= ti * pj;
+                }
+            }
+            for (fi, ti) in f.iter_mut().zip(&t) {
+                *fi -= q * ti;
+            }
+            self.w.push(w);
+            self.p.push(pv);
+            self.q.push(q);
+        }
+        self.scaler = Some(scaler);
+        if self.w.is_empty() {
+            // Degenerate input (constant y): predict the mean.
+            Ok(())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("model must be fitted first");
+        let mut e = scaler.transform_row(row);
+        let mut out = self.y_mean;
+        for k in 0..self.w.len() {
+            let t = dot(&e, &self.w[k]);
+            out += self.q[k] * t;
+            for (xj, pj) in e.iter_mut().zip(&self.p[k]) {
+                *xj -= t * pj;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "pls regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    #[test]
+    fn handles_collinear_features() {
+        // x1 = 2*x0 exactly; OLS normal equations would be singular.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let a = i as f64 / 10.0;
+                vec![a, 2.0 * a]
+            })
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 4.0 * r[0] + 1.0).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut m = PlsRegression::new(2);
+        m.fit(&x, &ys).unwrap();
+        assert!(r2(&m.predict(&x), &ys) > 0.9999);
+    }
+
+    #[test]
+    fn more_components_explain_more() {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let mut s = 3u64;
+        for _ in 0..120 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((s >> 30) & 0xFF) as f64 / 255.0;
+            let b = ((s >> 40) & 0xFF) as f64 / 255.0;
+            let c = ((s >> 50) & 0xFF) as f64 / 255.0;
+            rows.push(vec![a, b, c]);
+            ys.push(a - 2.0 * b + 0.5 * c);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut one = PlsRegression::new(1);
+        let mut three = PlsRegression::new(3);
+        one.fit(&x, &ys).unwrap();
+        three.fit(&x, &ys).unwrap();
+        assert!(r2(&three.predict(&x), &ys) >= r2(&one.predict(&x), &ys));
+        assert!(r2(&three.predict(&x), &ys) > 0.999);
+    }
+
+    #[test]
+    fn constant_target_predicts_mean() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = [4.0, 4.0, 4.0];
+        let mut m = PlsRegression::new(2);
+        m.fit(&x, &y).unwrap();
+        assert!((m.predict_row(&[9.0]) - 4.0).abs() < 1e-9);
+    }
+}

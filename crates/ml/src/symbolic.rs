@@ -1,0 +1,292 @@
+//! Symbolic regression via a small genetic program — ML9.
+//!
+//! Evolves arithmetic expression trees (features, constants, `+ - * /`,
+//! `sqrt`) against RMSE. Deliberately modest (small population, few
+//! generations): the paper lists symbolic regression among the
+//! *light-weight* models, not as a heavyweight search.
+
+use crate::preprocess::Standardizer;
+use crate::{check_xy, Matrix, MlError, Regressor};
+
+/// An expression-tree node.
+#[derive(Clone, Debug, PartialEq)]
+enum Expr {
+    Feature(usize),
+    Constant(f64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    /// Protected division: denominator clamped away from zero.
+    Div(Box<Expr>, Box<Expr>),
+    Sqrt(Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, row: &[f64]) -> f64 {
+        match self {
+            Expr::Feature(i) => row[*i],
+            Expr::Constant(c) => *c,
+            Expr::Add(a, b) => a.eval(row) + b.eval(row),
+            Expr::Sub(a, b) => a.eval(row) - b.eval(row),
+            Expr::Mul(a, b) => a.eval(row) * b.eval(row),
+            Expr::Div(a, b) => {
+                let d = b.eval(row);
+                a.eval(row) / if d.abs() < 1e-6 { 1e-6_f64.copysign(d + 1e-12) } else { d }
+            }
+            Expr::Sqrt(a) => a.eval(row).abs().sqrt(),
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            Expr::Feature(_) | Expr::Constant(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Expr::Sqrt(a) => 1 + a.size(),
+        }
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Genetic-programming symbolic regressor.
+#[derive(Clone, Debug)]
+pub struct SymbolicRegression {
+    population: usize,
+    generations: usize,
+    max_depth: usize,
+    seed: u64,
+    scaler: Option<Standardizer>,
+    best: Option<Expr>,
+    y_mean: f64,
+    y_scale: f64,
+}
+
+impl SymbolicRegression {
+    /// GP with the given population size, generation count and tree depth
+    /// limit.
+    pub fn new(population: usize, generations: usize, max_depth: usize, seed: u64) -> SymbolicRegression {
+        SymbolicRegression {
+            population: population.max(4),
+            generations,
+            max_depth: max_depth.max(1),
+            seed,
+            scaler: None,
+            best: None,
+            y_mean: 0.0,
+            y_scale: 1.0,
+        }
+    }
+
+    /// Size (node count) of the best evolved expression.
+    pub fn best_size(&self) -> Option<usize> {
+        self.best.as_ref().map(Expr::size)
+    }
+
+    fn random_expr(&self, rng: &mut Rng, features: usize, depth: usize) -> Expr {
+        if depth == 0 || rng.unit() < 0.3 {
+            if rng.unit() < 0.7 {
+                Expr::Feature(rng.below(features))
+            } else {
+                Expr::Constant(rng.unit() * 4.0 - 2.0)
+            }
+        } else {
+            let a = Box::new(self.random_expr(rng, features, depth - 1));
+            let b = Box::new(self.random_expr(rng, features, depth - 1));
+            match rng.below(5) {
+                0 => Expr::Add(a, b),
+                1 => Expr::Sub(a, b),
+                2 => Expr::Mul(a, b),
+                3 => Expr::Div(a, b),
+                _ => Expr::Sqrt(a),
+            }
+        }
+    }
+
+    fn mutate(&self, e: &Expr, rng: &mut Rng, features: usize) -> Expr {
+        if rng.unit() < 0.3 {
+            return self.random_expr(rng, features, self.max_depth.min(2));
+        }
+        match e {
+            Expr::Feature(_) | Expr::Constant(_) => {
+                self.random_expr(rng, features, 1)
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                let (na, nb) = if rng.unit() < 0.5 {
+                    (self.mutate(a, rng, features), (**b).clone())
+                } else {
+                    ((**a).clone(), self.mutate(b, rng, features))
+                };
+                match rng.below(4) {
+                    0 => Expr::Add(Box::new(na), Box::new(nb)),
+                    1 => Expr::Sub(Box::new(na), Box::new(nb)),
+                    2 => Expr::Mul(Box::new(na), Box::new(nb)),
+                    _ => Expr::Div(Box::new(na), Box::new(nb)),
+                }
+            }
+            Expr::Sqrt(a) => Expr::Sqrt(Box::new(self.mutate(a, rng, features))),
+        }
+    }
+}
+
+impl Default for SymbolicRegression {
+    fn default() -> SymbolicRegression {
+        SymbolicRegression::new(64, 30, 4, 0x5E09)
+    }
+}
+
+impl Regressor for SymbolicRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let z = scaler.transform(x);
+        let n = z.rows();
+        let features = z.cols();
+        self.y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_var = y.iter().map(|v| (v - self.y_mean).powi(2)).sum::<f64>() / n as f64;
+        self.y_scale = y_var.sqrt().max(1e-9);
+        let yt: Vec<f64> = y.iter().map(|v| (v - self.y_mean) / self.y_scale).collect();
+        let rows: Vec<&[f64]> = (0..n).map(|r| z.row(r)).collect();
+
+        let fitness = |e: &Expr| -> f64 {
+            let mut sse = 0.0;
+            for (row, t) in rows.iter().zip(&yt) {
+                let p = e.eval(row);
+                if !p.is_finite() {
+                    return f64::INFINITY;
+                }
+                sse += (p - t) * (p - t);
+            }
+            (sse / n as f64).sqrt() + 0.001 * e.size() as f64 // parsimony
+        };
+
+        let mut rng = Rng(self.seed | 1);
+        let mut pop: Vec<(Expr, f64)> = (0..self.population)
+            .map(|_| {
+                let e = self.random_expr(&mut rng, features, self.max_depth);
+                let f = fitness(&e);
+                (e, f)
+            })
+            .collect();
+        for _ in 0..self.generations {
+            let mut next: Vec<(Expr, f64)> = Vec::with_capacity(self.population);
+            // Elitism: keep the best individual.
+            let best = pop
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("population is non-empty")
+                .clone();
+            next.push(best);
+            while next.len() < self.population {
+                // Tournament of 3.
+                let pick = |rng: &mut Rng, pop: &[(Expr, f64)]| -> Expr {
+                    let mut best: Option<&(Expr, f64)> = None;
+                    for _ in 0..3 {
+                        let c = &pop[rng.below(pop.len())];
+                        if best.map_or(true, |b| c.1 < b.1) {
+                            best = Some(c);
+                        }
+                    }
+                    best.expect("tournament non-empty").0.clone()
+                };
+                let parent = pick(&mut rng, &pop);
+                let child = self.mutate(&parent, &mut rng, features);
+                if child.size() <= 2usize.pow(self.max_depth as u32 + 1) {
+                    let f = fitness(&child);
+                    next.push((child, f));
+                }
+            }
+            pop = next;
+        }
+        let best = pop
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("population is non-empty");
+        self.best = Some(best.0);
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("model must be fitted first");
+        let e = self.best.as_ref().expect("model must be fitted first");
+        let z = scaler.transform_row(row);
+        let p = e.eval(&z);
+        let p = if p.is_finite() { p } else { 0.0 };
+        p * self.y_scale + self.y_mean
+    }
+
+    fn name(&self) -> &'static str {
+        "symbolic regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{pearson, r2};
+
+    fn linear_data(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / 8.0, (i % 7) as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 0.5).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), ys)
+    }
+
+    #[test]
+    fn evolves_a_correlated_model() {
+        let (x, y) = linear_data(80);
+        let mut m = SymbolicRegression::default();
+        m.fit(&x, &y).unwrap();
+        let p = m.predict(&x);
+        // GP is stochastic-by-seed; require a solid positive correlation
+        // rather than near-perfect fit.
+        assert!(pearson(&p, &y) > 0.8, "corr {}", pearson(&p, &y));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (x, y) = linear_data(40);
+        let mut a = SymbolicRegression::new(32, 10, 3, 9);
+        let mut b = SymbolicRegression::new(32, 10, 3, 9);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn parsimony_keeps_trees_bounded() {
+        let (x, y) = linear_data(40);
+        let mut m = SymbolicRegression::new(32, 15, 3, 4);
+        m.fit(&x, &y).unwrap();
+        assert!(m.best_size().unwrap() <= 16);
+    }
+
+    #[test]
+    fn constant_target_is_learned() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let y = [5.0, 5.0, 5.0, 5.0];
+        let mut m = SymbolicRegression::default();
+        m.fit(&x, &y).unwrap();
+        let p = m.predict(&x);
+        assert!(r2(&p, &y) >= 0.0 || p.iter().all(|v| (v - 5.0).abs() < 0.5));
+    }
+}

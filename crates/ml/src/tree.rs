@@ -1,0 +1,353 @@
+//! CART regression tree — ML18, and the weak learner of the ensemble
+//! models.
+
+use crate::{check_xy, Matrix, MlError, Regressor};
+
+/// Tree growth configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> TreeConfig {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// CART regression tree (variance-reduction splits) — ML18.
+///
+/// # Example
+///
+/// ```
+/// use afp_ml::tree::{DecisionTree, TreeConfig};
+/// use afp_ml::{Matrix, Regressor};
+///
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[10.0], &[11.0]]);
+/// let y = [1.0, 1.0, 9.0, 9.0];
+/// let mut t = DecisionTree::new(TreeConfig::default());
+/// t.fit(&x, &y)?;
+/// assert_eq!(t.predict_row(&[0.5]), 1.0);
+/// assert_eq!(t.predict_row(&[10.5]), 9.0);
+/// # Ok::<(), afp_ml::MlError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    /// Feature subset to consider per split (None = all); used by random
+    /// forests. Indices are sampled per split with this many candidates.
+    pub(crate) features_per_split: Option<usize>,
+    pub(crate) seed: u64,
+}
+
+impl DecisionTree {
+    /// New tree with the given growth limits.
+    pub fn new(config: TreeConfig) -> DecisionTree {
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            features_per_split: None,
+            seed: 0x7EE5,
+        }
+    }
+
+    /// Fit with explicit per-sample weights (used by AdaBoost.R2).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Regressor::fit`].
+    pub fn fit_weighted(&mut self, x: &Matrix, y: &[f64], w: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        if w.len() != y.len() {
+            return Err(MlError::ShapeMismatch {
+                rows: w.len(),
+                targets: y.len(),
+            });
+        }
+        self.nodes.clear();
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let mut rng = self.seed | 1;
+        self.grow(x, y, w, idx, 0, &mut rng);
+        Ok(())
+    }
+
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        w: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut u64,
+    ) -> usize {
+        let node_value = weighted_mean(&idx, y, w);
+        let make_leaf = idx.len() < self.config.min_samples_split
+            || depth >= self.config.max_depth
+            || variance(&idx, y, w) < 1e-12;
+        if make_leaf {
+            self.nodes.push(Node::Leaf(node_value));
+            return self.nodes.len() - 1;
+        }
+        let p = x.cols();
+        let candidates: Vec<usize> = match self.features_per_split {
+            None => (0..p).collect(),
+            Some(k) => {
+                let mut feats: Vec<usize> = (0..p).collect();
+                // Deterministic partial shuffle.
+                for i in 0..k.min(p) {
+                    *rng ^= *rng >> 12;
+                    *rng ^= *rng << 25;
+                    *rng ^= *rng >> 27;
+                    let j = i + (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) as usize) % (p - i);
+                    feats.swap(i, j);
+                }
+                feats.truncate(k.min(p));
+                feats
+            }
+        };
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        for &f in &candidates {
+            if let Some((thr, score)) = best_split(x, y, w, &idx, f, self.config.min_samples_leaf)
+            {
+                if best.map_or(true, |(_, _, s)| score < s) {
+                    best = Some((f, thr, score));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(Node::Leaf(node_value));
+            return self.nodes.len() - 1;
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| x.get(i, feature) <= threshold);
+        // Reserve a slot, grow children, then fill it.
+        self.nodes.push(Node::Leaf(node_value));
+        let slot = self.nodes.len() - 1;
+        let left = self.grow(x, y, w, li, depth + 1, rng);
+        let right = self.grow(x, y, w, ri, depth + 1, rng);
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Number of nodes in the grown tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        let w = vec![1.0; y.len()];
+        self.fit_weighted(x, y, &w)
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.nodes.is_empty(), "model must be fitted first");
+        // Root is always the first reserved slot.
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision tree"
+    }
+}
+
+fn weighted_mean(idx: &[usize], y: &[f64], w: &[f64]) -> f64 {
+    let mut sw = 0.0;
+    let mut s = 0.0;
+    for &i in idx {
+        sw += w[i];
+        s += w[i] * y[i];
+    }
+    if sw <= 0.0 {
+        0.0
+    } else {
+        s / sw
+    }
+}
+
+fn variance(idx: &[usize], y: &[f64], w: &[f64]) -> f64 {
+    let m = weighted_mean(idx, y, w);
+    let mut sw = 0.0;
+    let mut s = 0.0;
+    for &i in idx {
+        sw += w[i];
+        s += w[i] * (y[i] - m) * (y[i] - m);
+    }
+    if sw <= 0.0 {
+        0.0
+    } else {
+        s / sw
+    }
+}
+
+/// Best threshold on one feature by weighted SSE; returns (threshold,
+/// total child SSE) or None when no legal split exists.
+fn best_split(
+    x: &Matrix,
+    y: &[f64],
+    w: &[f64],
+    idx: &[usize],
+    feature: usize,
+    min_leaf: usize,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_by(|&a, &b| {
+        x.get(a, feature)
+            .partial_cmp(&x.get(b, feature))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let n = order.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    // Prefix sums of w, w*y, w*y².
+    let mut pw = vec![0.0; n + 1];
+    let mut py = vec![0.0; n + 1];
+    let mut py2 = vec![0.0; n + 1];
+    for (k, &i) in order.iter().enumerate() {
+        pw[k + 1] = pw[k] + w[i];
+        py[k + 1] = py[k] + w[i] * y[i];
+        py2[k + 1] = py2[k] + w[i] * y[i] * y[i];
+    }
+    let total_w = pw[n];
+    let mut best: Option<(f64, f64)> = None;
+    for k in min_leaf..=(n - min_leaf) {
+        let xa = x.get(order[k - 1], feature);
+        let xb = x.get(order[k], feature);
+        if xa == xb {
+            continue; // cannot split between equal values
+        }
+        let (lw, ly, ly2) = (pw[k], py[k], py2[k]);
+        let (rw, ry, ry2) = (total_w - lw, py[n] - ly, py2[n] - ly2);
+        if lw <= 0.0 || rw <= 0.0 {
+            continue;
+        }
+        let sse = (ly2 - ly * ly / lw) + (ry2 - ry * ry / rw);
+        let thr = 0.5 * (xa + xb);
+        if best.map_or(true, |(_, s)| sse < s) {
+            best = Some((thr, sse));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[10.0], &[11.0], &[12.0]]);
+        let y = [1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        let mut t = DecisionTree::new(TreeConfig {
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        });
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&x), y.to_vec());
+    }
+
+    #[test]
+    fn depth_zero_is_the_mean() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let y = [3.0, 6.0, 9.0];
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        });
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert!((t.predict_row(&[5.0]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [0.0, 1.0, 2.0, 3.0];
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 10,
+            min_samples_split: 2,
+            min_samples_leaf: 2,
+        });
+        t.fit(&x, &y).unwrap();
+        // With min_leaf=2 only one split (2|2) is possible.
+        assert_eq!(t.node_count(), 3);
+    }
+
+    #[test]
+    fn weighted_fit_biases_toward_heavy_samples() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let y = [0.0, 10.0];
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        });
+        t.fit_weighted(&x, &y, &[9.0, 1.0]).unwrap();
+        assert!((t.predict_row(&[0.0]) - 1.0).abs() < 1e-12); // 10*0.1
+    }
+
+    #[test]
+    fn learns_nonlinear_target_well() {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let mut s = 5u64;
+        for _ in 0..300 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((s >> 33) & 0xFF) as f64 / 255.0;
+            let b = ((s >> 41) & 0xFF) as f64 / 255.0;
+            rows.push(vec![a, b]);
+            ys.push(if a > 0.5 { a * b } else { -b });
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &ys).unwrap();
+        assert!(r2(&t.predict(&x), &ys) > 0.95);
+    }
+}

@@ -1,0 +1,200 @@
+//! Hyperparameter grids — the "Modification of ML parameters" feedback
+//! box of the paper's Fig. 2.
+//!
+//! The paper iteratively re-trains each model with modified parameters and
+//! keeps the configuration with the best validation accuracy. This module
+//! provides a small, fixed grid of candidate configurations per model;
+//! the selection loop itself lives in `approxfpgas::fidelity`
+//! (`train_zoo_tuned`), which scores every candidate on the validation
+//! split by fidelity.
+
+use crate::boost::{AdaBoostR2, GradientBoosting};
+use crate::forest::RandomForest;
+use crate::kernel::{GaussianProcess, KernelRidge};
+use crate::linear::{BayesianRidge, Lasso, LeastAngle, Ridge, SgdRegressor, SingleFeature};
+use crate::mlp::Mlp;
+use crate::neighbors::KNearest;
+use crate::pls::PlsRegression;
+use crate::symbolic::SymbolicRegression;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::zoo::{AsicColumns, MlModelId};
+use crate::Regressor;
+
+/// One tunable configuration: a label and a fresh untrained model.
+pub struct Candidate {
+    /// Human-readable configuration label, e.g. `"lambda=1e-3"`.
+    pub label: String,
+    /// The untrained model.
+    pub model: Box<dyn Regressor>,
+}
+
+fn cand(label: impl Into<String>, model: Box<dyn Regressor>) -> Candidate {
+    Candidate {
+        label: label.into(),
+        model,
+    }
+}
+
+fn tree_cfg(depth: usize) -> TreeConfig {
+    TreeConfig {
+        max_depth: depth,
+        ..TreeConfig::default()
+    }
+}
+
+/// The hyperparameter grid for `id`. The first entry always matches
+/// [`crate::build_model`]'s default, so tuning can only improve on the
+/// untuned zoo.
+pub fn hyper_grid(id: MlModelId, asic: AsicColumns) -> Vec<Candidate> {
+    match id {
+        // The plain regressions have no free parameters.
+        MlModelId::Ml1 => vec![cand("default", Box::new(SingleFeature::new(asic.power)))],
+        MlModelId::Ml2 => vec![cand("default", Box::new(SingleFeature::new(asic.latency)))],
+        MlModelId::Ml3 => vec![cand("default", Box::new(SingleFeature::new(asic.area)))],
+        MlModelId::Ml4 => [4usize, 2, 8]
+            .iter()
+            .map(|&c| cand(format!("components={c}"), Box::new(PlsRegression::new(c)) as _))
+            .collect(),
+        MlModelId::Ml5 => [40usize, 20, 80]
+            .iter()
+            .map(|&t| {
+                cand(
+                    format!("trees={t}"),
+                    Box::new(RandomForest::new(t, Default::default(), 0x5EED_0005)) as _,
+                )
+            })
+            .collect(),
+        MlModelId::Ml6 => vec![
+            cand("default", Box::new(GradientBoosting::default())),
+            cand(
+                "stages=60,lr=0.1",
+                Box::new(GradientBoosting::new(60, 0.1, tree_cfg(3))),
+            ),
+            cand(
+                "stages=120,lr=0.05,depth=4",
+                Box::new(GradientBoosting::new(120, 0.05, tree_cfg(4))),
+            ),
+        ],
+        MlModelId::Ml7 => vec![
+            cand("default", Box::new(AdaBoostR2::default())),
+            cand("stages=25", Box::new(AdaBoostR2::new(25, tree_cfg(4)))),
+            cand("stages=50,depth=6", Box::new(AdaBoostR2::new(50, tree_cfg(6)))),
+        ],
+        MlModelId::Ml8 => vec![
+            cand("default", Box::new(GaussianProcess::default())),
+            cand("gamma=0.02", Box::new(GaussianProcess::new(0.02, 1e-2))),
+            cand("gamma=0.3", Box::new(GaussianProcess::new(0.3, 1e-2))),
+            cand("noise=0.1", Box::new(GaussianProcess::new(0.08, 1e-1))),
+        ],
+        MlModelId::Ml9 => vec![
+            cand("default", Box::new(SymbolicRegression::default())),
+            cand(
+                "pop=32,gens=20",
+                Box::new(SymbolicRegression::new(32, 20, 4, 0x5E09)),
+            ),
+            cand(
+                "depth=5",
+                Box::new(SymbolicRegression::new(64, 30, 5, 0x5E09)),
+            ),
+        ],
+        MlModelId::Ml10 => vec![
+            cand("default", Box::new(KernelRidge::default())),
+            cand("gamma=0.02", Box::new(KernelRidge::new(0.02, 1e-3))),
+            cand("gamma=0.3", Box::new(KernelRidge::new(0.3, 1e-3))),
+            cand("lambda=1e-1", Box::new(KernelRidge::new(0.08, 1e-1))),
+        ],
+        MlModelId::Ml11 => vec![
+            cand("default", Box::new(BayesianRidge::default())),
+            cand("iters=15", Box::new(BayesianRidge::new(15))),
+            cand("iters=60", Box::new(BayesianRidge::new(60))),
+        ],
+        MlModelId::Ml12 => [0.005f64, 0.001, 0.02]
+            .iter()
+            .map(|&l| cand(format!("lambda={l}"), Box::new(Lasso::new(l, 200)) as _))
+            .collect(),
+        MlModelId::Ml13 => [8usize, 4, 16]
+            .iter()
+            .map(|&k| cand(format!("features={k}"), Box::new(LeastAngle::new(k)) as _))
+            .collect(),
+        MlModelId::Ml14 => [1e-3f64, 1e-4, 1e-2, 1e-1]
+            .iter()
+            .map(|&l| cand(format!("lambda={l}"), Box::new(Ridge::new(l)) as _))
+            .collect(),
+        MlModelId::Ml15 => vec![
+            cand("default", Box::new(SgdRegressor::default())),
+            cand("lr=0.003", Box::new(SgdRegressor::new(200, 0.003, 1e-4, 17))),
+            cand("lr=0.03", Box::new(SgdRegressor::new(200, 0.03, 1e-4, 17))),
+        ],
+        MlModelId::Ml16 => [5usize, 3, 9]
+            .iter()
+            .map(|&k| cand(format!("k={k}"), Box::new(KNearest::new(k)) as _))
+            .collect(),
+        MlModelId::Ml17 => vec![
+            cand("default", Box::new(Mlp::default())),
+            cand("hidden=8", Box::new(Mlp::new(8, 400, 0.01, 23))),
+            cand("hidden=32", Box::new(Mlp::new(32, 400, 0.01, 23))),
+        ],
+        MlModelId::Ml18 => [12usize, 6, 18]
+            .iter()
+            .map(|&d| {
+                cand(
+                    format!("depth={d}"),
+                    Box::new(DecisionTree::new(tree_cfg(d))) as _,
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn asic() -> AsicColumns {
+        AsicColumns {
+            power: 0,
+            latency: 1,
+            area: 2,
+        }
+    }
+
+    #[test]
+    fn every_model_has_a_grid_with_a_default_head() {
+        for id in MlModelId::ALL {
+            let grid = hyper_grid(id, asic());
+            assert!(!grid.is_empty(), "{id}");
+            if id.is_asic_regression() {
+                assert_eq!(grid.len(), 1, "{id} has no free parameters");
+            } else {
+                assert!(grid.len() >= 2, "{id} grid too small");
+            }
+            // Labels are unique within a grid.
+            let labels: std::collections::HashSet<&str> =
+                grid.iter().map(|c| c.label.as_str()).collect();
+            assert_eq!(labels.len(), grid.len(), "{id} duplicate labels");
+        }
+    }
+
+    #[test]
+    fn grid_candidates_all_train() {
+        let x = Matrix::from_rows(&[
+            &[0.0, 1.0, 2.0],
+            &[1.0, 0.0, 1.0],
+            &[2.0, 2.0, 0.0],
+            &[3.0, 1.0, 2.0],
+            &[4.0, 0.0, 1.0],
+            &[5.0, 2.0, 0.0],
+            &[6.0, 1.0, 2.0],
+            &[7.0, 0.0, 1.0],
+        ]);
+        let y: Vec<f64> = (0..8).map(|i| i as f64 * 2.0 + 1.0).collect();
+        for id in [MlModelId::Ml14, MlModelId::Ml16, MlModelId::Ml18] {
+            for mut c in hyper_grid(id, asic()) {
+                c.model.fit(&x, &y).unwrap_or_else(|e| panic!("{id}/{}: {e}", c.label));
+                let p = c.model.predict_row(&[4.0, 1.0, 1.0]);
+                assert!(p.is_finite());
+            }
+        }
+    }
+}

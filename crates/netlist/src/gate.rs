@@ -1,0 +1,288 @@
+use crate::netlist::NetId;
+
+/// A single gate (node) in a [`crate::Netlist`].
+///
+/// The vocabulary is deliberately small and ASIC-cell-shaped: every variant
+/// except [`Gate::Input`] and [`Gate::Const`] corresponds to a standard cell
+/// in the `afp-asic` library and is a legal leaf for LUT cut enumeration in
+/// `afp-fpga`. All operand [`NetId`]s must reference earlier nodes, which
+/// keeps the netlist topologically ordered by construction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Primary input; the payload is the input ordinal (0-based).
+    Input(u16),
+    /// Constant `0` or `1`.
+    Const(bool),
+    /// Buffer (identity). Mostly produced by approximation rewrites.
+    Buf(NetId),
+    /// Inverter.
+    Not(NetId),
+    /// 2-input AND.
+    And(NetId, NetId),
+    /// 2-input OR.
+    Or(NetId, NetId),
+    /// 2-input XOR.
+    Xor(NetId, NetId),
+    /// 2-input NAND.
+    Nand(NetId, NetId),
+    /// 2-input NOR.
+    Nor(NetId, NetId),
+    /// 2-input XNOR.
+    Xnor(NetId, NetId),
+    /// 2:1 multiplexer: output = `s ? b : a`, operands `(s, a, b)`.
+    Mux(NetId, NetId, NetId),
+    /// Majority of three — the carry function of a full adder.
+    Maj(NetId, NetId, NetId),
+}
+
+impl Gate {
+    /// The kind discriminant of this gate (for histograms and cell mapping).
+    pub fn kind(&self) -> GateKind {
+        match self {
+            Gate::Input(_) => GateKind::Input,
+            Gate::Const(_) => GateKind::Const,
+            Gate::Buf(_) => GateKind::Buf,
+            Gate::Not(_) => GateKind::Not,
+            Gate::And(..) => GateKind::And,
+            Gate::Or(..) => GateKind::Or,
+            Gate::Xor(..) => GateKind::Xor,
+            Gate::Nand(..) => GateKind::Nand,
+            Gate::Nor(..) => GateKind::Nor,
+            Gate::Xnor(..) => GateKind::Xnor,
+            Gate::Mux(..) => GateKind::Mux,
+            Gate::Maj(..) => GateKind::Maj,
+        }
+    }
+
+    /// Operand nets of this gate, in order. Inputs and constants have none.
+    pub fn operands(&self) -> OperandIter {
+        let (ops, len) = match *self {
+            Gate::Input(_) | Gate::Const(_) => ([NetId::from_index(0); 3], 0),
+            Gate::Buf(a) | Gate::Not(a) => ([a, NetId::from_index(0), NetId::from_index(0)], 1),
+            Gate::And(a, b)
+            | Gate::Or(a, b)
+            | Gate::Xor(a, b)
+            | Gate::Nand(a, b)
+            | Gate::Nor(a, b)
+            | Gate::Xnor(a, b) => ([a, b, NetId::from_index(0)], 2),
+            Gate::Mux(s, a, b) => ([s, a, b], 3),
+            Gate::Maj(a, b, c) => ([a, b, c], 3),
+        };
+        OperandIter { ops, len, pos: 0 }
+    }
+
+    /// Rebuild the same gate with operands rewritten through `map`.
+    ///
+    /// Used by optimization passes when compacting a netlist.
+    pub fn map_operands(&self, mut map: impl FnMut(NetId) -> NetId) -> Gate {
+        match *self {
+            Gate::Input(i) => Gate::Input(i),
+            Gate::Const(v) => Gate::Const(v),
+            Gate::Buf(a) => Gate::Buf(map(a)),
+            Gate::Not(a) => Gate::Not(map(a)),
+            Gate::And(a, b) => Gate::And(map(a), map(b)),
+            Gate::Or(a, b) => Gate::Or(map(a), map(b)),
+            Gate::Xor(a, b) => Gate::Xor(map(a), map(b)),
+            Gate::Nand(a, b) => Gate::Nand(map(a), map(b)),
+            Gate::Nor(a, b) => Gate::Nor(map(a), map(b)),
+            Gate::Xnor(a, b) => Gate::Xnor(map(a), map(b)),
+            Gate::Mux(s, a, b) => Gate::Mux(map(s), map(a), map(b)),
+            Gate::Maj(a, b, c) => Gate::Maj(map(a), map(b), map(c)),
+        }
+    }
+
+    /// Whether this gate computes a value from other nets (i.e. is neither a
+    /// primary input nor a constant).
+    pub fn is_logic(&self) -> bool {
+        !matches!(self, Gate::Input(_) | Gate::Const(_))
+    }
+
+    /// Canonical form: sorts operands of commutative gates so structurally
+    /// identical logic hashes identically.
+    pub fn canonical(&self) -> Gate {
+        fn sort2(a: NetId, b: NetId) -> (NetId, NetId) {
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        }
+        fn sort3(a: NetId, b: NetId, c: NetId) -> (NetId, NetId, NetId) {
+            let mut v = [a, b, c];
+            v.sort_unstable();
+            (v[0], v[1], v[2])
+        }
+        match *self {
+            Gate::And(a, b) => {
+                let (a, b) = sort2(a, b);
+                Gate::And(a, b)
+            }
+            Gate::Or(a, b) => {
+                let (a, b) = sort2(a, b);
+                Gate::Or(a, b)
+            }
+            Gate::Xor(a, b) => {
+                let (a, b) = sort2(a, b);
+                Gate::Xor(a, b)
+            }
+            Gate::Nand(a, b) => {
+                let (a, b) = sort2(a, b);
+                Gate::Nand(a, b)
+            }
+            Gate::Nor(a, b) => {
+                let (a, b) = sort2(a, b);
+                Gate::Nor(a, b)
+            }
+            Gate::Xnor(a, b) => {
+                let (a, b) = sort2(a, b);
+                Gate::Xnor(a, b)
+            }
+            Gate::Maj(a, b, c) => {
+                let (a, b, c) = sort3(a, b, c);
+                Gate::Maj(a, b, c)
+            }
+            g => g,
+        }
+    }
+}
+
+/// Iterator over a gate's operand nets. Produced by [`Gate::operands`].
+#[derive(Clone, Debug)]
+pub struct OperandIter {
+    ops: [NetId; 3],
+    len: u8,
+    pos: u8,
+}
+
+impl Iterator for OperandIter {
+    type Item = NetId;
+
+    fn next(&mut self) -> Option<NetId> {
+        if self.pos < self.len {
+            let id = self.ops[self.pos as usize];
+            self.pos += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.len - self.pos) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for OperandIter {}
+
+/// Discriminant of [`Gate`] — the "cell type" used for histograms, ASIC cell
+/// selection and feature extraction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum GateKind {
+    Input,
+    Const,
+    Buf,
+    Not,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+    Mux,
+    Maj,
+}
+
+impl GateKind {
+    /// All logic kinds (excludes `Input` and `Const`), in a fixed order used
+    /// for feature vectors.
+    pub const LOGIC: [GateKind; 10] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xnor,
+        GateKind::Mux,
+        GateKind::Maj,
+    ];
+
+    /// Short lower-case mnemonic (`"and"`, `"maj"`, ...).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            GateKind::Input => "input",
+            GateKind::Const => "const",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Xor => "xor",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux => "mux",
+            GateKind::Maj => "maj",
+        }
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_iteration_matches_arity() {
+        let a = NetId::from_index(1);
+        let b = NetId::from_index(2);
+        let c = NetId::from_index(3);
+        assert_eq!(Gate::Input(0).operands().count(), 0);
+        assert_eq!(Gate::Const(true).operands().count(), 0);
+        assert_eq!(Gate::Not(a).operands().count(), 1);
+        assert_eq!(Gate::And(a, b).operands().count(), 2);
+        assert_eq!(Gate::Mux(a, b, c).operands().count(), 3);
+        assert_eq!(Gate::Maj(a, b, c).operands().collect::<Vec<_>>(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn canonical_sorts_commutative_operands() {
+        let a = NetId::from_index(1);
+        let b = NetId::from_index(2);
+        assert_eq!(Gate::And(b, a).canonical(), Gate::And(a, b));
+        assert_eq!(Gate::Xor(b, a).canonical(), Gate::Xor(a, b));
+        // Mux is not commutative; operands must be preserved.
+        let c = NetId::from_index(3);
+        assert_eq!(Gate::Mux(c, b, a).canonical(), Gate::Mux(c, b, a));
+    }
+
+    #[test]
+    fn map_operands_rewrites_all_nets() {
+        let a = NetId::from_index(1);
+        let b = NetId::from_index(2);
+        let shift = |n: NetId| NetId::from_index(n.index() + 10);
+        assert_eq!(
+            Gate::Maj(a, b, a).map_operands(shift),
+            Gate::Maj(
+                NetId::from_index(11),
+                NetId::from_index(12),
+                NetId::from_index(11)
+            )
+        );
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        let a = NetId::from_index(0);
+        assert_eq!(Gate::Nand(a, a).kind(), GateKind::Nand);
+        assert_eq!(GateKind::Nand.mnemonic(), "nand");
+        assert_eq!(GateKind::LOGIC.len(), 10);
+    }
+}

@@ -1,0 +1,407 @@
+//! Netlist clean-up passes: constant folding, algebraic identities,
+//! structural hashing (CSE) and dead-logic sweeping.
+//!
+//! Approximation operators (truncation, gate mutation, ...) leave behind
+//! constants, duplicated logic and unreferenced cones; [`simplify`] is run
+//! after every transform so circuit libraries compare on minimized
+//! structure, the way synthesis tools would see them.
+
+use std::collections::HashMap;
+
+use crate::gate::Gate;
+use crate::netlist::{NetId, Netlist};
+
+/// Simplify a netlist: fold constants, apply algebraic identities, merge
+/// structurally identical gates and drop logic not in the output cone.
+///
+/// Primary inputs are always preserved (position and count), so the
+/// simplified netlist remains behaviourally interchangeable with the
+/// original.
+///
+/// # Example
+///
+/// ```
+/// use afp_netlist::{Netlist, opt};
+///
+/// let mut n = Netlist::new("redundant");
+/// let a = n.add_input();
+/// let t = n.constant(true);
+/// let x = n.and(a, t);      // == a
+/// let y = n.xor(x, x);      // == 0
+/// let z = n.or(a, y);       // == a
+/// n.set_outputs(vec![z]);
+/// let s = opt::simplify(&n);
+/// assert_eq!(s.num_logic_gates(), 0); // collapses to a wire
+/// ```
+pub fn simplify(netlist: &Netlist) -> Netlist {
+    let mut out = Netlist::new(netlist.name().to_string());
+    out.add_inputs(netlist.num_inputs());
+
+    // old NetId -> new NetId
+    let mut remap: Vec<NetId> = Vec::with_capacity(netlist.len());
+    // new NetId -> constant value, if statically known
+    let mut const_of: Vec<Option<bool>> = (0..netlist.num_inputs()).map(|_| None).collect();
+    // structural hash over canonicalized gates in the new netlist
+    let mut seen: HashMap<Gate, NetId> = HashMap::new();
+    // shared constant nodes
+    let mut const_nets: [Option<NetId>; 2] = [None, None];
+
+    let mut mk_const = |out: &mut Netlist, const_of: &mut Vec<Option<bool>>, v: bool| -> NetId {
+        if let Some(id) = const_nets[v as usize] {
+            return id;
+        }
+        let id = out.constant(v);
+        const_of.push(Some(v));
+        const_nets[v as usize] = Some(id);
+        id
+    };
+
+    for gate in netlist.gates() {
+        let new_id = match *gate {
+            Gate::Input(ord) => NetId::from_index(ord as usize),
+            Gate::Const(v) => mk_const(&mut out, &mut const_of, v),
+            g => {
+                let g = g.map_operands(|op| remap[op.index()]);
+                let cv = |id: NetId| const_of[id.index()];
+                // Iterate to a fixpoint: a rewrite (e.g. Maj with one
+                // constant operand -> Or) may itself be foldable.
+                let mut g = g;
+                let folded = loop {
+                    match fold(g, cv) {
+                        Folded::Keep(g2) if g2 != g => g = g2,
+                        other => break other,
+                    }
+                };
+                match folded {
+                    Folded::Const(v) => mk_const(&mut out, &mut const_of, v),
+                    Folded::Wire(id) => id,
+                    Folded::Keep(g) => {
+                        let canon = g.canonical();
+                        if let Some(&id) = seen.get(&canon) {
+                            id
+                        } else {
+                            let id = out.add_gate(canon);
+                            const_of.push(None);
+                            seen.insert(canon, id);
+                            id
+                        }
+                    }
+                }
+            }
+        };
+        remap.push(new_id);
+    }
+
+    out.set_outputs(
+        netlist
+            .outputs()
+            .iter()
+            .map(|o| remap[o.index()])
+            .collect(),
+    );
+    sweep(&out)
+}
+
+/// Result of folding one gate.
+enum Folded {
+    /// Gate reduced to a constant.
+    Const(bool),
+    /// Gate reduced to an existing net.
+    Wire(NetId),
+    /// Gate kept (possibly rewritten).
+    Keep(Gate),
+}
+
+/// Apply constant folding and algebraic identities to a single gate whose
+/// operands are already remapped. `cv` reports the constant value of a net
+/// when statically known.
+fn fold(gate: Gate, cv: impl Fn(NetId) -> Option<bool>) -> Folded {
+    use Folded::*;
+    match gate {
+        Gate::Buf(a) => Wire(a),
+        Gate::Not(a) => match cv(a) {
+            Some(v) => Const(!v),
+            None => Keep(Gate::Not(a)),
+        },
+        Gate::And(a, b) => match (cv(a), cv(b)) {
+            (Some(x), Some(y)) => Const(x && y),
+            (Some(false), _) | (_, Some(false)) => Const(false),
+            (Some(true), _) => Wire(b),
+            (_, Some(true)) => Wire(a),
+            _ if a == b => Wire(a),
+            _ => Keep(Gate::And(a, b)),
+        },
+        Gate::Or(a, b) => match (cv(a), cv(b)) {
+            (Some(x), Some(y)) => Const(x || y),
+            (Some(true), _) | (_, Some(true)) => Const(true),
+            (Some(false), _) => Wire(b),
+            (_, Some(false)) => Wire(a),
+            _ if a == b => Wire(a),
+            _ => Keep(Gate::Or(a, b)),
+        },
+        Gate::Xor(a, b) => match (cv(a), cv(b)) {
+            (Some(x), Some(y)) => Const(x ^ y),
+            (Some(false), _) => Wire(b),
+            (_, Some(false)) => Wire(a),
+            (Some(true), _) => Keep(Gate::Not(b)),
+            (_, Some(true)) => Keep(Gate::Not(a)),
+            _ if a == b => Const(false),
+            _ => Keep(Gate::Xor(a, b)),
+        },
+        Gate::Nand(a, b) => match (cv(a), cv(b)) {
+            (Some(x), Some(y)) => Const(!(x && y)),
+            (Some(false), _) | (_, Some(false)) => Const(true),
+            (Some(true), _) => Keep(Gate::Not(b)),
+            (_, Some(true)) => Keep(Gate::Not(a)),
+            _ if a == b => Keep(Gate::Not(a)),
+            _ => Keep(Gate::Nand(a, b)),
+        },
+        Gate::Nor(a, b) => match (cv(a), cv(b)) {
+            (Some(x), Some(y)) => Const(!(x || y)),
+            (Some(true), _) | (_, Some(true)) => Const(false),
+            (Some(false), _) => Keep(Gate::Not(b)),
+            (_, Some(false)) => Keep(Gate::Not(a)),
+            _ if a == b => Keep(Gate::Not(a)),
+            _ => Keep(Gate::Nor(a, b)),
+        },
+        Gate::Xnor(a, b) => match (cv(a), cv(b)) {
+            (Some(x), Some(y)) => Const(x == y),
+            (Some(true), _) => Wire(b),
+            (_, Some(true)) => Wire(a),
+            (Some(false), _) => Keep(Gate::Not(b)),
+            (_, Some(false)) => Keep(Gate::Not(a)),
+            _ if a == b => Const(true),
+            _ => Keep(Gate::Xnor(a, b)),
+        },
+        Gate::Mux(s, a, b) => match cv(s) {
+            Some(false) => Wire(a),
+            Some(true) => Wire(b),
+            None if a == b => Wire(a),
+            None => match (cv(a), cv(b)) {
+                (Some(false), Some(true)) => Wire(s),
+                (Some(true), Some(false)) => Keep(Gate::Not(s)),
+                // s ? b : 0 == s & b
+                (Some(false), None) => Keep(Gate::And(s, b)),
+                // s ? 1 : a == s | a
+                (None, Some(true)) => Keep(Gate::Or(a, s)),
+                // The remaining single-constant cases need an inverter
+                // (s ? b : 1 == !s | b, s ? 0 : a == !s & a); folding them
+                // would require inserting a node, so keep the mux.
+                _ => Keep(Gate::Mux(s, a, b)),
+            },
+        },
+        Gate::Maj(a, b, c) => {
+            let (ca, cb, cc) = (cv(a), cv(b), cv(c));
+            match (ca, cb, cc) {
+                (Some(x), Some(y), Some(z)) => {
+                    Const((x as u8 + y as u8 + z as u8) >= 2)
+                }
+                // One constant: Maj(a,b,1)=a|b, Maj(a,b,0)=a&b.
+                (Some(true), _, _) => Keep(Gate::Or(b, c)),
+                (_, Some(true), _) => Keep(Gate::Or(a, c)),
+                (_, _, Some(true)) => Keep(Gate::Or(a, b)),
+                (Some(false), _, _) => Keep(Gate::And(b, c)),
+                (_, Some(false), _) => Keep(Gate::And(a, c)),
+                (_, _, Some(false)) => Keep(Gate::And(a, b)),
+                _ if a == b => Wire(a),
+                _ if a == c => Wire(a),
+                _ if b == c => Wire(b),
+                _ => Keep(Gate::Maj(a, b, c)),
+            }
+        }
+        Gate::Input(_) | Gate::Const(_) => unreachable!("handled by caller"),
+    }
+}
+
+/// Remove logic outside the transitive fanin cone of the outputs.
+///
+/// Primary inputs are always kept so the interface is preserved.
+pub fn sweep(netlist: &Netlist) -> Netlist {
+    let mask = crate::analyze::cone(netlist, netlist.outputs());
+    let mut out = Netlist::new(netlist.name().to_string());
+    out.add_inputs(netlist.num_inputs());
+    let mut remap: Vec<Option<NetId>> = vec![None; netlist.len()];
+    for i in 0..netlist.num_inputs() {
+        remap[i] = Some(NetId::from_index(i));
+    }
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.is_logic() && mask[i] {
+            let g = gate.map_operands(|op| remap[op.index()].expect("cone is closed"));
+            remap[i] = Some(out.add_gate(g));
+        } else if matches!(gate, Gate::Const(_)) && mask[i] {
+            remap[i] = Some(out.add_gate(*gate));
+        }
+    }
+    out.set_outputs(
+        netlist
+            .outputs()
+            .iter()
+            .map(|o| remap[o.index()].expect("outputs are in their own cone"))
+            .collect(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    /// Exhaustively compare two netlists with identical interfaces.
+    fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        let n = a.num_inputs();
+        assert!(n <= 16, "exhaustive check limited to 16 inputs");
+        for v in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            if a.eval_bits(&bits) != b.eval_bits(&bits) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn folds_constants_through() {
+        let mut n = Netlist::new("k");
+        let a = n.add_input();
+        let f = n.constant(false);
+        let t = n.not(f);
+        let x = n.and(a, t); // a & 1 == a
+        let y = n.nor(x, f); // !(a | 0) == !a
+        n.set_outputs(vec![y]);
+        let s = simplify(&n);
+        assert!(equivalent(&n, &s));
+        assert_eq!(s.num_logic_gates(), 1); // just the inverter
+    }
+
+    #[test]
+    fn merges_structural_duplicates() {
+        let mut n = Netlist::new("d");
+        let a = n.add_input();
+        let b = n.add_input();
+        let x1 = n.and(a, b);
+        let x2 = n.and(b, a); // same function, swapped operands
+        let y = n.xor(x1, x2); // == 0
+        n.set_outputs(vec![y]);
+        let s = simplify(&n);
+        assert!(equivalent(&n, &s));
+        assert_eq!(s.num_logic_gates(), 0);
+    }
+
+    #[test]
+    fn sweeps_dead_logic() {
+        let mut n = Netlist::new("dead");
+        let a = n.add_input();
+        let b = n.add_input();
+        let live = n.or(a, b);
+        let _dead = n.xor(a, b);
+        n.set_outputs(vec![live]);
+        let s = simplify(&n);
+        assert_eq!(s.num_logic_gates(), 1);
+        assert!(equivalent(&n, &s));
+    }
+
+    #[test]
+    fn maj_with_constant_becomes_and_or() {
+        let mut n = Netlist::new("maj");
+        let a = n.add_input();
+        let b = n.add_input();
+        let t = n.constant(true);
+        let f = n.constant(false);
+        let x = n.maj(a, b, t); // a | b
+        let y = n.maj(a, b, f); // a & b
+        n.set_outputs(vec![x, y]);
+        let s = simplify(&n);
+        assert!(equivalent(&n, &s));
+        let h = s.kind_histogram();
+        assert_eq!(h.get(&crate::GateKind::Maj), None);
+    }
+
+    #[test]
+    fn preserves_interface_even_when_inputs_unused() {
+        let mut n = Netlist::new("iface");
+        let _a = n.add_input();
+        let _b = n.add_input();
+        let k = n.constant(true);
+        n.set_outputs(vec![k]);
+        let s = simplify(&n);
+        assert_eq!(s.num_inputs(), 2);
+        assert_eq!(s.eval_bits(&[false, false]), vec![true]);
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_random_circuits() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let mut n = Netlist::new("rand");
+            let inputs = n.add_inputs(4);
+            let mut nets = inputs.clone();
+            for _ in 0..30 {
+                let a = nets[rng.gen_range(0..nets.len())];
+                let b = nets[rng.gen_range(0..nets.len())];
+                let c = nets[rng.gen_range(0..nets.len())];
+                let g = match rng.gen_range(0..8) {
+                    0 => n.and(a, b),
+                    1 => n.or(a, b),
+                    2 => n.xor(a, b),
+                    3 => n.nand(a, b),
+                    4 => n.nor(a, b),
+                    5 => n.not(a),
+                    6 => n.mux(a, b, c),
+                    _ => n.maj(a, b, c),
+                };
+                nets.push(g);
+            }
+            let outs = (0..3)
+                .map(|_| nets[rng.gen_range(0..nets.len())])
+                .collect();
+            n.set_outputs(outs);
+            let s1 = simplify(&n);
+            let s2 = simplify(&s1);
+            assert!(equivalent(&n, &s1));
+            assert_eq!(s1.num_logic_gates(), s2.num_logic_gates());
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn simplified_netlists_stay_equivalent(seed in 0u64..500) {
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut n = Netlist::new("prop");
+            let inputs = n.add_inputs(5);
+            let mut nets = inputs.clone();
+            let k = n.constant(rng.gen());
+            nets.push(k);
+            for _ in 0..rng.gen_range(5..40) {
+                let a = nets[rng.gen_range(0..nets.len())];
+                let b = nets[rng.gen_range(0..nets.len())];
+                let c = nets[rng.gen_range(0..nets.len())];
+                let g = match rng.gen_range(0..10) {
+                    0 => n.and(a, b),
+                    1 => n.or(a, b),
+                    2 => n.xor(a, b),
+                    3 => n.nand(a, b),
+                    4 => n.nor(a, b),
+                    5 => n.xnor(a, b),
+                    6 => n.not(a),
+                    7 => n.buf(a),
+                    8 => n.mux(a, b, c),
+                    _ => n.maj(a, b, c),
+                };
+                nets.push(g);
+            }
+            let outs = (0..2).map(|_| nets[rng.gen_range(0..nets.len())]).collect();
+            n.set_outputs(outs);
+            let s = simplify(&n);
+            s.validate().unwrap();
+            proptest::prop_assert!(equivalent(&n, &s));
+            proptest::prop_assert!(s.num_logic_gates() <= n.num_logic_gates());
+        }
+    }
+}

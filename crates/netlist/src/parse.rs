@@ -1,0 +1,557 @@
+//! Structural Verilog import.
+//!
+//! Parses the gate-level subset that [`crate::export::to_verilog`] emits
+//! (and that libraries like EvoApprox distribute): a single module with
+//! scalar `input`/`output`/`wire` declarations and `assign` statements
+//! over `~ & | ^`, ternary muxes, majority sum-of-products and constant
+//! literals. Round-tripping `export → parse` reproduces the original
+//! behaviour exactly.
+
+use std::collections::HashMap;
+
+use crate::gate::Gate;
+use crate::netlist::{NetId, Netlist};
+
+/// Error produced by [`from_verilog`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// No `module` header found.
+    MissingModule,
+    /// A statement could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An identifier was referenced before being driven.
+    Undriven {
+        /// The offending identifier.
+        name: String,
+    },
+    /// The assignments contain a combinational cycle.
+    Cycle,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingModule => write!(f, "no module header found"),
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Undriven { name } => write!(f, "net `{name}` is never driven"),
+            ParseError::Cycle => write!(f, "combinational cycle in assignments"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Expression AST of one `assign` right-hand side.
+#[derive(Clone, Debug, PartialEq)]
+enum Expr {
+    Id(String),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>), // cond ? then : else
+}
+
+/// Parse a structural Verilog module into a [`Netlist`].
+///
+/// Inputs become primary inputs in declaration order; outputs likewise.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unsupported syntax, undriven nets or
+/// combinational cycles.
+///
+/// # Example
+///
+/// ```
+/// use afp_netlist::{export, parse};
+///
+/// let mut n = afp_netlist::Netlist::new("demo");
+/// let a = n.add_input();
+/// let b = n.add_input();
+/// let y = n.nand(a, b);
+/// n.set_outputs(vec![y]);
+///
+/// let reparsed = parse::from_verilog(&export::to_verilog(&n))?;
+/// assert_eq!(reparsed.eval_bits(&[true, true]), vec![false]);
+/// # Ok::<(), afp_netlist::parse::ParseError>(())
+/// ```
+pub fn from_verilog(source: &str) -> Result<Netlist, ParseError> {
+    // Strip comments, join statements (a statement ends with ';' or is the
+    // module header / endmodule).
+    let mut module_name = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut assigns: Vec<(usize, String, Expr)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("endmodule") || line.starts_with("wire") {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix("module ") {
+            let name = rest.split('(').next().unwrap_or("").trim().to_string();
+            module_name = Some(name);
+        } else if let Some(rest) = line.strip_prefix("input ") {
+            for id in rest.trim_end_matches(';').split(',') {
+                inputs.push(id.trim().to_string());
+            }
+        } else if let Some(rest) = line.strip_prefix("output ") {
+            for id in rest.trim_end_matches(';').split(',') {
+                outputs.push(id.trim().to_string());
+            }
+        } else if let Some(rest) = line.strip_prefix("assign ") {
+            let body = rest.trim_end_matches(';');
+            let (lhs, rhs) = body.split_once('=').ok_or_else(|| ParseError::Syntax {
+                line: lineno,
+                message: "assign without `=`".to_string(),
+            })?;
+            let expr = parse_expr(rhs.trim()).map_err(|message| ParseError::Syntax {
+                line: lineno,
+                message,
+            })?;
+            assigns.push((lineno, lhs.trim().to_string(), expr));
+        } else {
+            return Err(ParseError::Syntax {
+                line: lineno,
+                message: format!("unsupported statement `{line}`"),
+            });
+        }
+    }
+    let module_name = module_name.ok_or(ParseError::MissingModule)?;
+
+    // Build the netlist: inputs first, then assignments in dependency
+    // order (worklist over unresolved operands).
+    let mut n = Netlist::new(module_name);
+    let mut net_of: HashMap<String, NetId> = HashMap::new();
+    for name in &inputs {
+        let id = n.add_input();
+        net_of.insert(name.clone(), id);
+    }
+    let mut pending: Vec<(usize, String, Expr)> = assigns;
+    loop {
+        let before = pending.len();
+        let mut still: Vec<(usize, String, Expr)> = Vec::new();
+        for (line, lhs, expr) in pending {
+            if expr_ready(&expr, &net_of) {
+                let id = build_expr(&mut n, &expr, &net_of);
+                net_of.insert(lhs, id);
+            } else {
+                still.push((line, lhs, expr));
+            }
+        }
+        if still.is_empty() {
+            break;
+        }
+        if still.len() == before {
+            // No progress: undriven reference or a cycle.
+            let (_, _, expr) = &still[0];
+            if let Some(name) = first_unknown(expr, &net_of) {
+                let driven_later = still.iter().any(|(_, lhs, _)| *lhs == name);
+                return if driven_later {
+                    Err(ParseError::Cycle)
+                } else {
+                    Err(ParseError::Undriven { name })
+                };
+            }
+            return Err(ParseError::Cycle);
+        }
+        pending = still;
+    }
+
+    let mut outs = Vec::with_capacity(outputs.len());
+    for name in &outputs {
+        let id = net_of
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError::Undriven { name: name.clone() })?;
+        outs.push(id);
+    }
+    n.set_outputs(outs);
+    Ok(n)
+}
+
+fn expr_ready(expr: &Expr, nets: &HashMap<String, NetId>) -> bool {
+    first_unknown(expr, nets).is_none()
+}
+
+fn first_unknown(expr: &Expr, nets: &HashMap<String, NetId>) -> Option<String> {
+    match expr {
+        Expr::Id(name) => {
+            if nets.contains_key(name) {
+                None
+            } else {
+                Some(name.clone())
+            }
+        }
+        Expr::Const(_) => None,
+        Expr::Not(a) => first_unknown(a, nets),
+        Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+            first_unknown(a, nets).or_else(|| first_unknown(b, nets))
+        }
+        Expr::Mux(s, a, b) => first_unknown(s, nets)
+            .or_else(|| first_unknown(a, nets))
+            .or_else(|| first_unknown(b, nets)),
+    }
+}
+
+fn build_expr(n: &mut Netlist, expr: &Expr, nets: &HashMap<String, NetId>) -> NetId {
+    match expr {
+        Expr::Id(name) => nets[name],
+        Expr::Const(v) => n.constant(*v),
+        Expr::Not(a) => match a.as_ref() {
+            // Fuse inverted binary ops into the native inverting gates.
+            Expr::And(x, y) => {
+                let (x, y) = (build_expr(n, x, nets), build_expr(n, y, nets));
+                n.add_gate(Gate::Nand(x, y))
+            }
+            Expr::Or(x, y) => {
+                let (x, y) = (build_expr(n, x, nets), build_expr(n, y, nets));
+                n.add_gate(Gate::Nor(x, y))
+            }
+            Expr::Xor(x, y) => {
+                let (x, y) = (build_expr(n, x, nets), build_expr(n, y, nets));
+                n.add_gate(Gate::Xnor(x, y))
+            }
+            other => {
+                let a = build_expr(n, other, nets);
+                n.not(a)
+            }
+        },
+        Expr::And(a, b) => {
+            let (a, b) = (build_expr(n, a, nets), build_expr(n, b, nets));
+            n.and(a, b)
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build_expr(n, a, nets), build_expr(n, b, nets));
+            n.or(a, b)
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build_expr(n, a, nets), build_expr(n, b, nets));
+            n.xor(a, b)
+        }
+        Expr::Mux(s, a, b) => {
+            // Verilog `s ? t : e`: our Mux(s, a, b) computes s ? b : a.
+            let (s, t, e) = (
+                build_expr(n, s, nets),
+                build_expr(n, a, nets),
+                build_expr(n, b, nets),
+            );
+            n.mux(s, e, t)
+        }
+    }
+}
+
+/// Recursive-descent expression parser.
+///
+/// Grammar (loosest-binding first):
+///   mux   := or ('?' or ':' or)?
+///   or    := xor ('|' xor)*
+///   xor   := and ('^' and)*
+///   and   := unary ('&' unary)*
+///   unary := '~' unary | '(' mux ')' | const | ident
+fn parse_expr(text: &str) -> Result<Expr, String> {
+    let tokens = tokenize(text)?;
+    let mut pos = 0usize;
+    let expr = parse_mux(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens after expression: {:?}", &tokens[pos..]));
+    }
+    Ok(expr)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Id(String),
+    Const(bool),
+    Not,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+    Question,
+    Colon,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '~' => {
+                out.push(Tok::Not);
+                i += 1;
+            }
+            '&' => {
+                out.push(Tok::And);
+                i += 1;
+            }
+            '|' => {
+                out.push(Tok::Or);
+                i += 1;
+            }
+            '^' => {
+                out.push(Tok::Xor);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '?' => {
+                out.push(Tok::Question);
+                i += 1;
+            }
+            ':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            '0'..='9' => {
+                // Constant literal of the form 1'b0 / 1'b1.
+                let rest: String = chars[i..].iter().collect();
+                if let Some(stripped) = rest.strip_prefix("1'b") {
+                    let bit = stripped.chars().next().ok_or("truncated constant")?;
+                    out.push(Tok::Const(bit == '1'));
+                    i += 4;
+                } else {
+                    return Err(format!("unsupported literal at `{rest}`"));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.push(Tok::Id(chars[i..j].iter().collect()));
+                i = j;
+            }
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_mux(tokens: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    let cond = parse_or(tokens, pos)?;
+    if tokens.get(*pos) == Some(&Tok::Question) {
+        *pos += 1;
+        let then = parse_or(tokens, pos)?;
+        if tokens.get(*pos) != Some(&Tok::Colon) {
+            return Err("expected `:` in ternary".to_string());
+        }
+        *pos += 1;
+        let els = parse_or(tokens, pos)?;
+        Ok(Expr::Mux(Box::new(cond), Box::new(then), Box::new(els)))
+    } else {
+        Ok(cond)
+    }
+}
+
+fn parse_or(tokens: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    let mut left = parse_xor(tokens, pos)?;
+    while tokens.get(*pos) == Some(&Tok::Or) {
+        *pos += 1;
+        let right = parse_xor(tokens, pos)?;
+        left = Expr::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_xor(tokens: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    let mut left = parse_and(tokens, pos)?;
+    while tokens.get(*pos) == Some(&Tok::Xor) {
+        *pos += 1;
+        let right = parse_and(tokens, pos)?;
+        left = Expr::Xor(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_and(tokens: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    let mut left = parse_unary(tokens, pos)?;
+    while tokens.get(*pos) == Some(&Tok::And) {
+        *pos += 1;
+        let right = parse_unary(tokens, pos)?;
+        left = Expr::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_unary(tokens: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    match tokens.get(*pos) {
+        Some(Tok::Not) => {
+            *pos += 1;
+            Ok(Expr::Not(Box::new(parse_unary(tokens, pos)?)))
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let inner = parse_mux(tokens, pos)?;
+            if tokens.get(*pos) != Some(&Tok::RParen) {
+                return Err("unbalanced parenthesis".to_string());
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        Some(Tok::Const(v)) => {
+            let v = *v;
+            *pos += 1;
+            Ok(Expr::Const(v))
+        }
+        Some(Tok::Id(name)) => {
+            let name = name.clone();
+            *pos += 1;
+            Ok(Expr::Id(name))
+        }
+        other => Err(format!("unexpected token {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_verilog;
+
+    fn round_trip(n: &Netlist) -> Netlist {
+        from_verilog(&to_verilog(n)).expect("round trip parses")
+    }
+
+    fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        let n = a.num_inputs();
+        assert!(n <= 16);
+        (0..(1u32 << n)).all(|v| {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            a.eval_bits(&bits) == b.eval_bits(&bits)
+        })
+    }
+
+    #[test]
+    fn full_adder_round_trips() {
+        let mut n = Netlist::new("fa");
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let x = n.xor(a, b);
+        let s = n.xor(x, c);
+        let co = n.maj(a, b, c);
+        n.set_outputs(vec![s, co]);
+        let back = round_trip(&n);
+        assert!(equivalent(&n, &back));
+        assert_eq!(back.name(), "fa");
+    }
+
+    #[test]
+    fn all_gate_kinds_round_trip() {
+        let mut n = Netlist::new("kinds");
+        let a = n.add_input();
+        let b = n.add_input();
+        let s = n.add_input();
+        let g1 = n.and(a, b);
+        let g2 = n.or(a, b);
+        let g3 = n.xor(a, b);
+        let g4 = n.nand(a, b);
+        let g5 = n.nor(a, b);
+        let g6 = n.xnor(a, b);
+        let g7 = n.not(a);
+        let g8 = n.buf(b);
+        let g9 = n.mux(s, g1, g2);
+        let g10 = n.maj(g3, g4, g5);
+        let k = n.constant(true);
+        let g11 = n.and(g10, k);
+        n.set_outputs(vec![g6, g7, g8, g9, g11]);
+        let back = round_trip(&n);
+        assert!(equivalent(&n, &back));
+    }
+
+    #[test]
+    fn inverted_ops_fuse_to_inverting_gates() {
+        let back = from_verilog(
+            "module m(pi0, pi1, po0);\n  input pi0;\n  input pi1;\n  output po0;\n  wire n2;\n  assign n2 = ~(pi0 & pi1);\n  assign po0 = n2;\nendmodule\n",
+        )
+        .unwrap();
+        assert_eq!(back.num_logic_gates(), 1);
+        assert!(matches!(back.gates()[2], Gate::Nand(..)));
+    }
+
+    #[test]
+    fn out_of_order_assignments_are_resolved() {
+        let src = "module m(pi0, po0);\n  input pi0;\n  output po0;\n  assign po0 = n3;\n  assign n3 = ~n2;\n  assign n2 = ~pi0;\nendmodule\n";
+        let back = from_verilog(src).unwrap();
+        assert_eq!(back.eval_bits(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn undriven_nets_are_reported() {
+        let src = "module m(pi0, po0);\n  input pi0;\n  output po0;\n  assign po0 = ghost;\nendmodule\n";
+        assert_eq!(
+            from_verilog(src).unwrap_err(),
+            ParseError::Undriven {
+                name: "ghost".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn cycles_are_reported() {
+        let src = "module m(pi0, po0);\n  input pi0;\n  output po0;\n  assign a = ~b;\n  assign b = ~a;\n  assign po0 = a;\nendmodule\n";
+        assert_eq!(from_verilog(src).unwrap_err(), ParseError::Cycle);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let src = "module m(pi0, po0);\n  input pi0;\n  output po0;\n  assign po0 = pi0 +;\nendmodule\n";
+        match from_verilog(src).unwrap_err() {
+            ParseError::Syntax { line, .. } => assert_eq!(line, 4),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_library_round_trips() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        // Random circuits stress operator precedence and sharing.
+        let mut rng = SmallRng::seed_from_u64(404);
+        for _ in 0..15 {
+            let mut n = Netlist::new("rnd");
+            let inputs = n.add_inputs(5);
+            let mut nets = inputs.clone();
+            for _ in 0..25 {
+                let a = nets[rng.gen_range(0..nets.len())];
+                let b = nets[rng.gen_range(0..nets.len())];
+                let c = nets[rng.gen_range(0..nets.len())];
+                let g = match rng.gen_range(0..9) {
+                    0 => n.and(a, b),
+                    1 => n.or(a, b),
+                    2 => n.xor(a, b),
+                    3 => n.nand(a, b),
+                    4 => n.nor(a, b),
+                    5 => n.xnor(a, b),
+                    6 => n.not(a),
+                    7 => n.mux(a, b, c),
+                    _ => n.maj(a, b, c),
+                };
+                nets.push(g);
+            }
+            let outs = (0..3).map(|_| nets[rng.gen_range(0..nets.len())]).collect();
+            n.set_outputs(outs);
+            let back = round_trip(&n);
+            assert!(equivalent(&n, &back));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+use crate::gate::Gate;
+use crate::netlist::Netlist;
+
+/// 64-way bit-parallel behavioural simulator.
+///
+/// Each primary input is assigned a 64-bit word; bit lane `k` of every word
+/// forms one independent input vector, so a single pass evaluates 64 input
+/// assignments. The simulator owns a reusable value buffer, making repeated
+/// passes allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use afp_netlist::{Netlist, Simulator};
+///
+/// let mut n = Netlist::new("and");
+/// let a = n.add_input();
+/// let b = n.add_input();
+/// let y = n.and(a, b);
+/// n.set_outputs(vec![y]);
+///
+/// let mut sim = Simulator::new(&n);
+/// // lane 0: a=1,b=1; lane 1: a=1,b=0; lane 2: a=0,b=1
+/// let out = sim.run(&[0b011, 0b101]);
+/// assert_eq!(out[0] & 0b111, 0b001);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    values: Vec<u64>,
+}
+
+impl<'n> Simulator<'n> {
+    /// Create a simulator bound to `netlist`.
+    pub fn new(netlist: &'n Netlist) -> Simulator<'n> {
+        Simulator {
+            netlist,
+            values: vec![0; netlist.len()],
+        }
+    }
+
+    /// The netlist this simulator is bound to.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Evaluate one 64-lane pass.
+    ///
+    /// `input_words[i]` supplies the 64 lanes of primary input `i`. Returns
+    /// one word per primary output (same order as [`Netlist::outputs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != netlist.num_inputs()`.
+    pub fn run(&mut self, input_words: &[u64]) -> Vec<u64> {
+        self.run_into(input_words);
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Evaluate one pass, leaving results in the internal buffer (readable
+    /// through [`Simulator::value`]). Avoids the output `Vec` allocation of
+    /// [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != netlist.num_inputs()`.
+    pub fn run_into(&mut self, input_words: &[u64]) {
+        assert_eq!(
+            input_words.len(),
+            self.netlist.num_inputs(),
+            "input word count must equal the number of primary inputs"
+        );
+        let values = &mut self.values;
+        for (i, gate) in self.netlist.gates().iter().enumerate() {
+            let v = match *gate {
+                Gate::Input(ord) => input_words[ord as usize],
+                Gate::Const(c) => {
+                    if c {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                Gate::Buf(a) => values[a.index()],
+                Gate::Not(a) => !values[a.index()],
+                Gate::And(a, b) => values[a.index()] & values[b.index()],
+                Gate::Or(a, b) => values[a.index()] | values[b.index()],
+                Gate::Xor(a, b) => values[a.index()] ^ values[b.index()],
+                Gate::Nand(a, b) => !(values[a.index()] & values[b.index()]),
+                Gate::Nor(a, b) => !(values[a.index()] | values[b.index()]),
+                Gate::Xnor(a, b) => !(values[a.index()] ^ values[b.index()]),
+                Gate::Mux(s, a, b) => {
+                    let sv = values[s.index()];
+                    (values[a.index()] & !sv) | (values[b.index()] & sv)
+                }
+                Gate::Maj(a, b, c) => {
+                    let (av, bv, cv) = (values[a.index()], values[b.index()], values[c.index()]);
+                    (av & bv) | (av & cv) | (bv & cv)
+                }
+            };
+            values[i] = v;
+        }
+    }
+
+    /// Value word of an arbitrary net after the last pass.
+    pub fn value(&self, net: crate::NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    /// Signal probability of every net, estimated from `passes` passes of
+    /// uniform random stimulus (64 samples per pass) drawn from `rng_seed`.
+    ///
+    /// Used by the power models: under the temporal-independence assumption
+    /// a net with signal probability `p` has switching activity `2·p·(1-p)`.
+    pub fn signal_probabilities(&mut self, passes: usize, rng_seed: u64) -> Vec<f64> {
+        let mut ones = vec![0u64; self.netlist.len()];
+        let mut state = rng_seed.wrapping_mul(2).wrapping_add(1);
+        let mut next = || {
+            // xorshift64* — deterministic, dependency-free stimulus.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut inputs = vec![0u64; self.netlist.num_inputs()];
+        for _ in 0..passes.max(1) {
+            for w in inputs.iter_mut() {
+                *w = next();
+            }
+            self.run_into(&inputs);
+            for (o, v) in ones.iter_mut().zip(&self.values) {
+                *o += v.count_ones() as u64;
+            }
+        }
+        let total = (passes.max(1) * 64) as f64;
+        ones.into_iter().map(|o| o as f64 / total).collect()
+    }
+}
+
+/// Interpret the low `width` lanes... no: pack an integer operand into input
+/// words. Bit `b` of `value` is broadcast into word `b`'s given `lane`.
+///
+/// Helper for word-level simulation: arithmetic circuits declare inputs
+/// LSB-first, so operand bit `b` maps to input word `offset + b`.
+pub fn pack_operand(words: &mut [u64], offset: usize, width: usize, lane: usize, value: u64) {
+    for b in 0..width {
+        let bit = (value >> b) & 1;
+        if bit != 0 {
+            words[offset + b] |= 1u64 << lane;
+        } else {
+            words[offset + b] &= !(1u64 << lane);
+        }
+    }
+}
+
+/// Extract the integer formed by `output_words` (LSB-first) at `lane`.
+pub fn unpack_result(output_words: &[u64], lane: usize) -> u64 {
+    let mut v = 0u64;
+    for (b, w) in output_words.iter().enumerate() {
+        v |= ((w >> lane) & 1) << b;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_bit_adder() -> Netlist {
+        // 2-bit ripple-carry adder: inputs a0 a1 b0 b1, outputs s0 s1 s2.
+        let mut n = Netlist::new("add2");
+        let a0 = n.add_input();
+        let a1 = n.add_input();
+        let b0 = n.add_input();
+        let b1 = n.add_input();
+        let s0 = n.xor(a0, b0);
+        let c0 = n.and(a0, b0);
+        let x1 = n.xor(a1, b1);
+        let s1 = n.xor(x1, c0);
+        let c1 = n.maj(a1, b1, c0);
+        n.set_outputs(vec![s0, s1, c1]);
+        n
+    }
+
+    #[test]
+    fn adder_exhaustive_via_lanes() {
+        let n = two_bit_adder();
+        let mut sim = Simulator::new(&n);
+        // Pack all 16 combinations into lanes 0..16.
+        let mut words = vec![0u64; 4];
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let lane = (a * 4 + b) as usize;
+                pack_operand(&mut words, 0, 2, lane, a);
+                pack_operand(&mut words, 2, 2, lane, b);
+            }
+        }
+        let out = sim.run(&words);
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let lane = (a * 4 + b) as usize;
+                assert_eq!(unpack_result(&out, lane), a + b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn const_and_mux_semantics() {
+        let mut n = Netlist::new("m");
+        let s = n.add_input();
+        let one = n.constant(true);
+        let zero = n.constant(false);
+        let y = n.mux(s, one, zero); // s ? 0 : 1  => NOT s
+        n.set_outputs(vec![y]);
+        let mut sim = Simulator::new(&n);
+        let out = sim.run(&[0b01]);
+        assert_eq!(out[0] & 0b11, 0b10);
+    }
+
+    #[test]
+    fn signal_probabilities_are_sane() {
+        let n = two_bit_adder();
+        let mut sim = Simulator::new(&n);
+        let p = sim.signal_probabilities(64, 7);
+        // Inputs should be roughly uniform.
+        for &pi in &p[..4] {
+            assert!((pi - 0.5).abs() < 0.08, "input probability {pi}");
+        }
+        // AND of two uniform inputs ~ 0.25.
+        let c0 = 5; // index of the and gate
+        assert!((p[c0] - 0.25).abs() < 0.08, "and probability {}", p[c0]);
+        for &pi in &p {
+            assert!((0.0..=1.0).contains(&pi));
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut words = vec![0u64; 8];
+        pack_operand(&mut words, 0, 8, 13, 0xA5);
+        assert_eq!(unpack_result(&words[0..8], 13), 0xA5);
+        // Overwrite with a different value on the same lane.
+        pack_operand(&mut words, 0, 8, 13, 0x3C);
+        assert_eq!(unpack_result(&words[0..8], 13), 0x3C);
+    }
+}

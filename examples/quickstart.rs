@@ -1,0 +1,50 @@
+//! Quickstart: build one approximate circuit, quantify its error, and get
+//! its ASIC and FPGA cost reports.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use approxfpgas_suite::asic::{synthesize_asic, AsicConfig};
+use approxfpgas_suite::circuits::adders::{loa, ripple_carry};
+use approxfpgas_suite::error::{analyze, ErrorConfig};
+use approxfpgas_suite::fpga::{synthesize_fpga, FpgaConfig};
+use approxfpgas_suite::netlist::export;
+
+fn main() {
+    // An 8-bit lower-part-OR adder: the low 4 bits are approximated.
+    let approx = loa(8, 4);
+    let exact = ripple_carry(8);
+
+    println!("circuit: {}", approx.name());
+    println!("  145 + 99  = {} (exact {})", approx.eval(145, 99), 145 + 99);
+    println!("  255 + 255 = {} (exact {})", approx.eval(255, 255), 510);
+
+    // Behavioural error metrics (exhaustive for 8-bit operands).
+    let err = analyze(&approx, &ErrorConfig::default());
+    println!("\nerror metrics over all {} input pairs:", err.samples);
+    println!("  MED (paper definition): {:.6}", err.med);
+    println!("  worst-case error:       {}", err.wce);
+    println!("  error probability:      {:.3}", err.error_prob);
+
+    // Cost on both targets.
+    let asic_cfg = AsicConfig::default();
+    let fpga_cfg = FpgaConfig::default();
+    for (label, circuit) in [("exact rca8", &exact), ("loa(8,4)", &approx)] {
+        let asic = synthesize_asic(circuit.netlist(), &asic_cfg);
+        let fpga = synthesize_fpga(circuit.netlist(), &fpga_cfg);
+        println!(
+            "\n{label}:\n  ASIC: {:>7.2} um2, {:>6.3} ns, {:>6.4} mW\n  FPGA: {:>4} LUTs, {:>2} slices, {:>6.3} ns, {:>6.3} mW",
+            asic.area_um2, asic.delay_ns, asic.power_mw,
+            fpga.luts, fpga.slices, fpga.delay_ns, fpga.power_mw,
+        );
+    }
+
+    // The RTL is exportable for a real tool-flow.
+    let verilog = export::to_verilog(approx.netlist());
+    println!(
+        "\nstructural Verilog ({} lines), first lines:",
+        verilog.lines().count()
+    );
+    for line in verilog.lines().take(5) {
+        println!("  {line}");
+    }
+}

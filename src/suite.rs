@@ -1,0 +1,14 @@
+//! Umbrella library for the ApproxFPGAs reproduction workspace.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). It re-exports the member crates so
+//! examples can use one coherent namespace.
+
+pub use afp_asic as asic;
+pub use afp_autoax as autoax;
+pub use afp_circuits as circuits;
+pub use afp_error as error;
+pub use afp_fpga as fpga;
+pub use afp_ml as ml;
+pub use afp_netlist as netlist;
+pub use approxfpgas as flow;

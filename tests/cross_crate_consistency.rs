@@ -1,0 +1,161 @@
+//! Integration tests spanning the substrate crates: the same circuit must
+//! tell a consistent story through netlist simulation, error analysis,
+//! ASIC synthesis, FPGA synthesis and Verilog export.
+
+use approxfpgas_suite::asic::{synthesize_asic, AsicConfig};
+use approxfpgas_suite::circuits::{adders, build_library, multipliers, ArithKind, LibrarySpec};
+use approxfpgas_suite::error::{analyze, ErrorConfig};
+use approxfpgas_suite::fpga::{synthesize_fpga, FpgaConfig};
+use approxfpgas_suite::netlist::{export, opt};
+
+#[test]
+fn exact_circuits_have_zero_error_on_both_targets() {
+    for circuit in [
+        adders::ripple_carry(8),
+        adders::carry_lookahead(8),
+        multipliers::wallace_multiplier(8),
+    ] {
+        let err = analyze(&circuit, &ErrorConfig::default());
+        assert!(err.is_exact(), "{} is not exact", circuit.name());
+        // Exactness is a property of the function, not the target; both
+        // cost models must still price the circuit.
+        let asic = synthesize_asic(circuit.netlist(), &AsicConfig::default());
+        let fpga = synthesize_fpga(circuit.netlist(), &FpgaConfig::default());
+        assert!(asic.area_um2 > 0.0);
+        assert!(fpga.luts > 0);
+    }
+}
+
+#[test]
+fn simplification_changes_cost_but_not_function() {
+    let mut approx = multipliers::broken_array(8, 6, 2);
+    let before_gates = approx.netlist().num_logic_gates();
+    let err_before = analyze(&approx, &ErrorConfig::default());
+    approx.simplify();
+    let err_after = analyze(&approx, &ErrorConfig::default());
+    assert!(approx.netlist().num_logic_gates() <= before_gates);
+    assert_eq!(err_before.med, err_after.med, "simplify altered behaviour");
+    assert_eq!(err_before.wce, err_after.wce);
+}
+
+#[test]
+fn approximation_is_cheaper_everywhere_for_heavy_truncation() {
+    let exact = multipliers::wallace_multiplier(8);
+    let mut approx = multipliers::truncated(8, 8);
+    approx.simplify();
+    let asic_cfg = AsicConfig::default();
+    let fpga_cfg = FpgaConfig::default();
+    let (ae, aa) = (
+        synthesize_asic(exact.netlist(), &asic_cfg),
+        synthesize_asic(approx.netlist(), &asic_cfg),
+    );
+    let (fe, fa) = (
+        synthesize_fpga(exact.netlist(), &fpga_cfg),
+        synthesize_fpga(approx.netlist(), &fpga_cfg),
+    );
+    assert!(aa.area_um2 < ae.area_um2);
+    assert!(aa.power_mw < ae.power_mw);
+    assert!(fa.luts < fe.luts);
+    assert!(fa.power_mw < fe.power_mw);
+}
+
+#[test]
+fn asic_and_fpga_rank_a_library_differently() {
+    // The paper's core premise: cost rankings disagree between targets.
+    let lib = build_library(&LibrarySpec::new(ArithKind::Multiplier, 8, 60));
+    let asic_cfg = AsicConfig::default();
+    let fpga_cfg = FpgaConfig::default();
+    let asic_area: Vec<f64> = lib
+        .iter()
+        .map(|c| synthesize_asic(c.netlist(), &asic_cfg).area_um2)
+        .collect();
+    let fpga_area: Vec<f64> = lib
+        .iter()
+        .map(|c| synthesize_fpga(c.netlist(), &fpga_cfg).luts as f64)
+        .collect();
+    let rho = approxfpgas_suite::ml::metrics::spearman(&asic_area, &fpga_area);
+    // Correlated (both measure "size") but visibly not identical ranking.
+    assert!(rho > 0.5, "targets should correlate, rho = {rho}");
+    assert!(rho < 0.999, "targets rank identically (no asymmetry), rho = {rho}");
+}
+
+#[test]
+fn verilog_export_is_structurally_complete() {
+    let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 20));
+    for circuit in &lib {
+        let v = export::to_verilog(circuit.netlist());
+        assert!(v.contains("module "), "{}", circuit.name());
+        assert!(v.trim_end().ends_with("endmodule"));
+        // One output assign per primary output.
+        let po_assigns = v.matches("assign po").count();
+        assert_eq!(po_assigns, circuit.netlist().num_outputs());
+        // Port list covers all inputs.
+        assert!(v.contains(&format!("pi{}", circuit.netlist().num_inputs() - 1)));
+    }
+}
+
+#[test]
+fn verilog_round_trip_preserves_behaviour_and_cost_class() {
+    use approxfpgas_suite::netlist::parse::from_verilog;
+    let lib = build_library(&LibrarySpec::new(ArithKind::Multiplier, 8, 25));
+    let fpga_cfg = FpgaConfig::default();
+    for circuit in &lib {
+        let text = export::to_verilog(circuit.netlist());
+        let back = from_verilog(&text).expect("exported Verilog parses");
+        assert_eq!(back.num_inputs(), 16);
+        assert_eq!(back.num_outputs(), 16);
+        // Behaviour identical on a probe set.
+        for (a, b) in [(0u64, 0u64), (255, 255), (171, 77), (13, 240)] {
+            let mut words = vec![0u64; 16];
+            approxfpgas_suite::netlist::pack_operand(&mut words, 0, 8, 0, a);
+            approxfpgas_suite::netlist::pack_operand(&mut words, 8, 8, 0, b);
+            let mut s1 = approxfpgas_suite::netlist::Simulator::new(circuit.netlist());
+            let mut s2 = approxfpgas_suite::netlist::Simulator::new(&back);
+            assert_eq!(s1.run(&words), s2.run(&words), "{}", circuit.name());
+        }
+        // The re-imported netlist maps to a similar LUT count (maj gates
+        // are re-expressed as AND/OR trees, so allow slack).
+        let orig = synthesize_fpga(circuit.netlist(), &fpga_cfg).luts;
+        let again = synthesize_fpga(&back, &fpga_cfg).luts;
+        assert!(
+            (again as f64) < orig as f64 * 1.6 + 4.0,
+            "{}: {orig} -> {again} LUTs",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn mapped_lut_networks_verify_against_source() {
+    use approxfpgas_suite::fpga::{luts, map};
+    let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 20));
+    let cfg = FpgaConfig::default();
+    for circuit in &lib {
+        let mapping = map::map_luts(circuit.netlist(), &cfg);
+        let programmed = luts::program_luts(circuit.netlist(), &mapping);
+        assert_eq!(
+            luts::verify_mapping(circuit.netlist(), &programmed, 128, 0xC0DE),
+            0,
+            "{} mapping is not equivalent",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn optimizer_is_safe_across_a_whole_library() {
+    let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 40));
+    for circuit in &lib {
+        let simplified = opt::simplify(circuit.netlist());
+        simplified.validate().unwrap();
+        // Spot-check behaviour on a deterministic probe.
+        for (a, b) in [(0u64, 0u64), (255, 255), (170, 85), (1, 254), (99, 100)] {
+            let mut words = vec![0u64; 16];
+            approxfpgas_suite::netlist::pack_operand(&mut words, 0, 8, 0, a);
+            approxfpgas_suite::netlist::pack_operand(&mut words, 8, 8, 0, b);
+            let mut s1 = approxfpgas_suite::netlist::Simulator::new(circuit.netlist());
+            let mut s2 = approxfpgas_suite::netlist::Simulator::new(&simplified);
+            assert_eq!(s1.run(&words), s2.run(&words), "{} @ ({a},{b})", circuit.name());
+        }
+    }
+}

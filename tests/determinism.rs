@@ -1,0 +1,97 @@
+//! Whole-stack determinism: every layer must be bit-reproducible run to
+//! run, because the reproduction's claims rest on seeded experiments.
+
+use approxfpgas_suite::asic::{synthesize_asic, AsicConfig};
+use approxfpgas_suite::circuits::{build_library, ArithKind, LibrarySpec};
+use approxfpgas_suite::error::{analyze, ErrorConfig};
+use approxfpgas_suite::fpga::{synthesize_fpga, FpgaConfig};
+use approxfpgas_suite::ml::MlModelId;
+
+#[test]
+fn library_generation_is_bit_reproducible() {
+    let spec = LibrarySpec::new(ArithKind::Multiplier, 8, 50);
+    let a = build_library(&spec);
+    let b = build_library(&spec);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name(), y.name());
+        assert_eq!(x.netlist().gates(), y.netlist().gates());
+        assert_eq!(x.netlist().outputs(), y.netlist().outputs());
+    }
+}
+
+#[test]
+fn every_report_layer_is_deterministic() {
+    let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 25));
+    let asic_cfg = AsicConfig::default();
+    let fpga_cfg = FpgaConfig::default();
+    let err_cfg = ErrorConfig::default();
+    for c in &lib {
+        assert_eq!(
+            synthesize_asic(c.netlist(), &asic_cfg),
+            synthesize_asic(c.netlist(), &asic_cfg)
+        );
+        assert_eq!(
+            synthesize_fpga(c.netlist(), &fpga_cfg),
+            synthesize_fpga(c.netlist(), &fpga_cfg)
+        );
+        assert_eq!(analyze(c, &err_cfg), analyze(c, &err_cfg));
+    }
+}
+
+#[test]
+fn zoo_training_is_deterministic_end_to_end() {
+    use approxfpgas_suite::flow::dataset::{
+        characterize_library, sample_subset, train_validate_split,
+    };
+    use approxfpgas_suite::flow::fidelity::train_zoo;
+    let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 60));
+    let records = characterize_library(
+        &lib,
+        &AsicConfig::default(),
+        &FpgaConfig::default(),
+        &ErrorConfig::default(),
+    );
+    let subset = sample_subset(records.len(), 0.5, 24, 9);
+    let (train, val) = train_validate_split(&subset, 0.8, 9);
+    // Include the stochastic-by-seed models explicitly.
+    let models = [
+        MlModelId::Ml5,  // random forest
+        MlModelId::Ml9,  // symbolic regression (GP search)
+        MlModelId::Ml15, // SGD
+        MlModelId::Ml17, // MLP
+    ];
+    let z1 = train_zoo(&records, &train, &val, &models, 0.01);
+    let z2 = train_zoo(&records, &train, &val, &models, 0.01);
+    for (a, b) in z1.fidelities.iter().zip(&z2.fidelities) {
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.param, b.param);
+        assert_eq!(a.fidelity, b.fidelity, "{} nondeterministic", a.model);
+        assert_eq!(a.mae, b.mae);
+    }
+}
+
+#[test]
+fn autoax_case_study_is_deterministic() {
+    use approxfpgas_suite::autoax::search::AutoAx;
+    use approxfpgas_suite::autoax::{AutoAxConfig, ComponentLibrary};
+    let lib = ComponentLibrary::paper_defaults(&FpgaConfig::default());
+    let cfg = AutoAxConfig {
+        training_samples: 25,
+        restarts: 3,
+        steps: 6,
+        random_budget: 8,
+        image_size: 16,
+        seed: 11,
+    };
+    let a = AutoAx::new(&lib, cfg.clone()).run();
+    let b = AutoAx::new(&lib, cfg).run();
+    for ((oa, da), (ob, db)) in a.autoax.iter().zip(&b.autoax) {
+        assert_eq!(oa, ob);
+        assert_eq!(da.len(), db.len());
+        for (x, y) in da.iter().zip(db) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.ssim, y.ssim);
+        }
+    }
+}

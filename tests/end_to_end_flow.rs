@@ -1,0 +1,110 @@
+//! End-to-end invariants of the ApproxFPGAs flow across the crate stack.
+
+use approxfpgas_suite::circuits::{ArithKind, LibrarySpec};
+use approxfpgas_suite::flow::record::FpgaParam;
+use approxfpgas_suite::flow::{Flow, FlowConfig};
+use approxfpgas_suite::ml::MlModelId;
+
+fn fast_models() -> Vec<MlModelId> {
+    vec![
+        MlModelId::Ml1,
+        MlModelId::Ml2,
+        MlModelId::Ml3,
+        MlModelId::Ml11,
+        MlModelId::Ml13,
+        MlModelId::Ml14,
+        MlModelId::Ml18,
+    ]
+}
+
+fn run(kind: ArithKind, width: usize, size: usize) -> approxfpgas_suite::flow::FlowOutcome {
+    Flow::new(FlowConfig {
+        library: LibrarySpec::new(kind, width, size),
+        models: fast_models(),
+        min_subset: 24,
+        ..FlowConfig::default()
+    })
+    .run()
+}
+
+#[test]
+fn flow_fronts_are_truly_nondominated_and_synthesized() {
+    let outcome = run(ArithKind::Adder, 8, 90);
+    for (&param, front) in &outcome.final_fronts {
+        let pts = outcome.points(param);
+        for &a in front {
+            assert!(outcome.synthesized.contains(&a), "front member not paid for");
+            for &b in front {
+                if a != b {
+                    assert!(
+                        !approxfpgas_suite::flow::pareto::dominates(pts[a], pts[b]),
+                        "{param:?}: front member dominated"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn found_fronts_are_subsets_of_candidate_plus_subset() {
+    let outcome = run(ArithKind::Adder, 8, 90);
+    let mut allowed: std::collections::BTreeSet<usize> =
+        outcome.subset.iter().copied().collect();
+    for list in outcome.candidates.values() {
+        allowed.extend(list.iter().copied());
+    }
+    assert_eq!(
+        allowed,
+        outcome.synthesized.iter().copied().collect(),
+        "synthesized set must be exactly subset + candidates"
+    );
+}
+
+#[test]
+fn coverage_against_ground_truth_is_computed_correctly() {
+    let outcome = run(ArithKind::Adder, 8, 90);
+    for (&param, &cov) in &outcome.coverage {
+        let truth = &outcome.true_fronts[&param];
+        let found = &outcome.final_fronts[&param];
+        let pts = outcome.points(param);
+        let recomputed = approxfpgas_suite::flow::pareto::coverage(truth, found, &pts);
+        assert_eq!(cov, recomputed);
+    }
+}
+
+#[test]
+fn multiplier_flow_reduces_synthesis_meaningfully() {
+    let outcome = run(ArithKind::Multiplier, 8, 200);
+    assert!(
+        outcome.time.synth_reduction() > 1.3,
+        "only {:.2}x reduction",
+        outcome.time.synth_reduction()
+    );
+    assert!(outcome.mean_coverage() > 0.5);
+    // Exhaustive time must equal the sum over all records.
+    let total: f64 = outcome.records.iter().map(|r| r.fpga.synth_time_s).sum();
+    assert!((outcome.time.exhaustive_s - total).abs() < 1e-6);
+}
+
+#[test]
+fn error_metrics_anchor_the_fronts_at_zero() {
+    // Every library contains exact circuits, so every true front must
+    // include a MED=0 point.
+    let outcome = run(ArithKind::Adder, 8, 90);
+    for (&param, truth) in &outcome.true_fronts {
+        let has_exact = truth.iter().any(|&i| outcome.records[i].error.med == 0.0);
+        assert!(has_exact, "{param:?} front lost its exact anchor");
+    }
+}
+
+#[test]
+fn records_expose_consistent_views() {
+    let outcome = run(ArithKind::Adder, 8, 60);
+    for r in &outcome.records {
+        assert_eq!(r.fpga_param(FpgaParam::Area), r.fpga.luts as f64);
+        assert!(r.stats.gates > 0 || r.error.med > 0.0);
+        assert!(r.fpga.synth_time_s > 0.0);
+        assert!(r.asic.delay_ns >= 0.0);
+    }
+}

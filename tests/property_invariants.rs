@@ -1,0 +1,94 @@
+//! Cross-crate property-based tests: randomized circuits keep their
+//! invariants through the whole substrate stack.
+
+use proptest::prelude::*;
+
+use approxfpgas_suite::asic::{synthesize_asic, AsicConfig};
+use approxfpgas_suite::circuits::{adders, multipliers, mutate, ArithCircuit};
+use approxfpgas_suite::error::{analyze, ErrorConfig};
+use approxfpgas_suite::fpga::{synthesize_fpga, FpgaConfig};
+
+fn err_cfg() -> ErrorConfig {
+    // Small sample keeps the proptest cases fast.
+    ErrorConfig {
+        samples: 2048,
+        ..ErrorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn loa_cost_and_error_are_monotone_in_k(k in 1usize..7) {
+        // More approximation -> more error (exhaustive), never more gates.
+        let smaller = analyze(&adders::loa(8, k), &ErrorConfig::default());
+        let larger = analyze(&adders::loa(8, k + 1), &ErrorConfig::default());
+        prop_assert!(larger.med >= smaller.med);
+        let mut a = adders::loa(8, k);
+        let mut b = adders::loa(8, k + 1);
+        a.simplify();
+        b.simplify();
+        prop_assert!(b.netlist().num_logic_gates() <= a.netlist().num_logic_gates());
+    }
+
+    #[test]
+    fn mutants_never_break_the_toolchain(seed in 0u64..10_000, muts in 1usize..6) {
+        let base = multipliers::wallace_multiplier(6);
+        let m = mutate::mutate(&base, &mutate::MutationConfig {
+            mutations: muts,
+            seed,
+            ..Default::default()
+        });
+        m.netlist().validate().unwrap();
+        let err = analyze(&m, &err_cfg());
+        prop_assert!(err.med >= 0.0 && err.med <= 1.0);
+        let asic = synthesize_asic(m.netlist(), &AsicConfig::default());
+        prop_assert!(asic.area_um2 >= 0.0);
+        let fpga = synthesize_fpga(m.netlist(), &FpgaConfig::default());
+        prop_assert!(fpga.luts <= m.netlist().num_logic_gates());
+        prop_assert!(fpga.delay_ns >= 0.0);
+    }
+
+    #[test]
+    fn truncated_multiplier_bias_is_never_positive(k in 0usize..12) {
+        let c = multipliers::truncated(8, k);
+        let err = analyze(&c, &ErrorConfig::default());
+        prop_assert!(err.bias <= 1e-12, "truncation overestimated: bias {}", err.bias);
+    }
+
+    #[test]
+    fn fpga_report_scales_with_duplicated_logic(w in 3usize..7) {
+        // A circuit that is strictly contained in another must not cost
+        // more LUTs.
+        let small: ArithCircuit = multipliers::truncated(w as usize, w);
+        let full = multipliers::wallace_multiplier(w);
+        let cfg = FpgaConfig::default();
+        let mut s = small;
+        s.simplify();
+        let rs = synthesize_fpga(s.netlist(), &cfg);
+        let rf = synthesize_fpga(full.netlist(), &cfg);
+        prop_assert!(rs.luts <= rf.luts, "truncated ({}) > full ({})", rs.luts, rf.luts);
+    }
+
+    #[test]
+    fn pareto_front_never_contains_a_dominated_point(seed in 0u64..1000) {
+        let mut s = seed | 1;
+        let pts: Vec<(f64, f64)> = (0..120).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (((s >> 16) & 0xFF) as f64, ((s >> 40) & 0xFF) as f64)
+        }).collect();
+        let front = approxfpgas_suite::flow::pareto_front(&pts);
+        for &f in &front {
+            for (i, &p) in pts.iter().enumerate() {
+                if i != f {
+                    prop_assert!(
+                        !approxfpgas_suite::flow::pareto::dominates(p, pts[f])
+                            || front.contains(&i),
+                        "front point {f} dominated by {i}"
+                    );
+                }
+            }
+        }
+    }
+}
