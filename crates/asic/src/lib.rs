@@ -98,16 +98,16 @@ impl CellLibrary {
         // Order must match GateKind::LOGIC:
         // Buf, Not, And, Or, Xor, Nand, Nor, Xnor, Mux, Maj
         let cells = [
-            c(1.06, 28.0, 5.0, 12.0, 0.8),  // Buf
-            c(0.53, 12.0, 4.0, 8.0, 0.5),   // Not
-            c(1.33, 34.0, 6.0, 18.0, 1.2),  // And
-            c(1.33, 36.0, 6.0, 18.0, 1.2),  // Or
-            c(2.13, 55.0, 7.0, 30.0, 2.6),  // Xor
-            c(1.06, 22.0, 6.0, 14.0, 0.9),  // Nand
-            c(1.06, 24.0, 6.0, 14.0, 0.9),  // Nor
-            c(2.13, 57.0, 7.0, 30.0, 2.6),  // Xnor
-            c(2.39, 48.0, 7.0, 26.0, 2.2),  // Mux
-            c(2.39, 50.0, 7.0, 28.0, 2.5),  // Maj
+            c(1.06, 28.0, 5.0, 12.0, 0.8), // Buf
+            c(0.53, 12.0, 4.0, 8.0, 0.5),  // Not
+            c(1.33, 34.0, 6.0, 18.0, 1.2), // And
+            c(1.33, 36.0, 6.0, 18.0, 1.2), // Or
+            c(2.13, 55.0, 7.0, 30.0, 2.6), // Xor
+            c(1.06, 22.0, 6.0, 14.0, 0.9), // Nand
+            c(1.06, 24.0, 6.0, 14.0, 0.9), // Nor
+            c(2.13, 57.0, 7.0, 30.0, 2.6), // Xnor
+            c(2.39, 48.0, 7.0, 26.0, 2.2), // Mux
+            c(2.39, 50.0, 7.0, 28.0, 2.5), // Maj
         ];
         CellLibrary {
             name: "generic45".to_string(),
@@ -292,19 +292,19 @@ pub fn synthesize_asic(netlist: &Netlist, config: &AsicConfig) -> AsicReport {
             // node sees the true cell inputs.
             Some(Role::Absorbed) => input_arrival,
             Some(Role::FaSum) => {
-                input_arrival + lib.full_adder.sum_delay_ps
-                    + lib.full_adder.load_ps_per_fanout * fo
+                input_arrival + lib.full_adder.sum_delay_ps + lib.full_adder.load_ps_per_fanout * fo
             }
             Some(Role::FaCarry) => {
-                input_arrival + lib.full_adder.carry_delay_ps
+                input_arrival
+                    + lib.full_adder.carry_delay_ps
                     + lib.full_adder.load_ps_per_fanout * fo
             }
             Some(Role::HaSum) => {
-                input_arrival + lib.half_adder.sum_delay_ps
-                    + lib.half_adder.load_ps_per_fanout * fo
+                input_arrival + lib.half_adder.sum_delay_ps + lib.half_adder.load_ps_per_fanout * fo
             }
             Some(Role::HaCarry) => {
-                input_arrival + lib.half_adder.carry_delay_ps
+                input_arrival
+                    + lib.half_adder.carry_delay_ps
                     + lib.half_adder.load_ps_per_fanout * fo
             }
         };
@@ -346,6 +346,33 @@ pub fn synthesize_asic(netlist: &Netlist, config: &AsicConfig) -> AsicReport {
         dynamic_mw,
         leakage_mw,
         cells,
+    }
+}
+
+impl afp_runtime::Fingerprint for AsicConfig {
+    fn fingerprint(&self, h: &mut afp_runtime::StableHasher) {
+        h.write_str("asic-config");
+        h.write_str(&self.library.name);
+        for cell in &self.library.cells {
+            h.write_f64(cell.area_um2);
+            h.write_f64(cell.delay_ps);
+            h.write_f64(cell.load_ps_per_fanout);
+            h.write_f64(cell.leakage_nw);
+            h.write_f64(cell.energy_fj);
+        }
+        for compound in [&self.library.full_adder, &self.library.half_adder] {
+            h.write_f64(compound.area_um2);
+            h.write_f64(compound.sum_delay_ps);
+            h.write_f64(compound.carry_delay_ps);
+            h.write_f64(compound.load_ps_per_fanout);
+            h.write_f64(compound.leakage_nw);
+            h.write_f64(compound.sum_energy_fj);
+            h.write_f64(compound.carry_energy_fj);
+        }
+        h.write_f64(self.clock_ghz);
+        h.write_usize(self.activity_passes);
+        h.write_u64(self.seed);
+        h.write_bool(self.fuse_adders);
     }
 }
 
@@ -465,7 +492,12 @@ mod tests {
                 ..AsicConfig::default()
             },
         );
-        assert!(fused.area_um2 < discrete.area_um2 * 0.85, "area {} vs {}", fused.area_um2, discrete.area_um2);
+        assert!(
+            fused.area_um2 < discrete.area_um2 * 0.85,
+            "area {} vs {}",
+            fused.area_um2,
+            discrete.area_um2
+        );
         assert!(fused.power_mw < discrete.power_mw);
         assert!(fused.cells < discrete.cells);
         assert!(fused.delay_ns <= discrete.delay_ns + 1e-9);
@@ -496,6 +528,10 @@ mod tests {
         let cfg = AsicConfig::default();
         let r = synthesize_asic(&rca, &cfg);
         let c = synthesize_asic(&cla, &cfg);
-        assert!(c.area_um2 / r.area_um2 > 2.0, "ratio {}", c.area_um2 / r.area_um2);
+        assert!(
+            c.area_um2 / r.area_um2 > 2.0,
+            "ratio {}",
+            c.area_um2 / r.area_um2
+        );
     }
 }

@@ -210,7 +210,12 @@ mod tests {
             assert!(m.fpga().luts > 0);
             assert!(m.fpga().power_mw > 0.0);
         }
-        let min_luts = lib.multipliers().iter().map(|m| m.fpga().luts).min().unwrap();
+        let min_luts = lib
+            .multipliers()
+            .iter()
+            .map(|m| m.fpga().luts)
+            .min()
+            .unwrap();
         assert!(min_luts < exact_luts, "approximations should save LUTs");
     }
 

@@ -157,7 +157,7 @@ impl<'l> GaussianAccelerator<'l> {
         }
         let data: Vec<u8> = values
             .iter()
-            .map(|taps| ((taps[0] >> 8) as u64).min(255) as u8)
+            .map(|taps| (taps[0] >> 8).min(255) as u8)
             .collect();
         Image::from_raw(w, h, data)
     }
@@ -190,12 +190,7 @@ impl<'l> GaussianAccelerator<'l> {
             depth += c.fpga().depth_levels;
         }
         let delay = mult_delay + tree_delay;
-        let synth_time_s = afp_fpga::synth_time::estimate(
-            gates,
-            luts,
-            depth,
-            config_hash(config),
-        );
+        let synth_time_s = afp_fpga::synth_time::estimate(gates, luts, depth, config_hash(config));
         HwCost {
             luts,
             power_mw: power,
@@ -223,8 +218,7 @@ pub fn exact_gaussian(input: &Image) -> Image {
             let mut sum = 0u32;
             for dy in -2isize..=2 {
                 for dx in -2isize..=2 {
-                    sum += input.pixel_clamped(x + dx, y + dy) as u32
-                        * tap_coeff(dy, dx) as u32;
+                    sum += input.pixel_clamped(x + dx, y + dy) as u32 * tap_coeff(dy, dx) as u32;
                 }
             }
             data.push((sum >> 8).min(255) as u8);

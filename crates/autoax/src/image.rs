@@ -75,7 +75,7 @@ pub fn checkerboard(size: usize, cell: usize) -> Image {
     let mut data = Vec::with_capacity(size * size);
     for y in 0..size {
         for x in 0..size {
-            let on = ((x / cell) + (y / cell)) % 2 == 0;
+            let on = ((x / cell) + (y / cell)).is_multiple_of(2);
             data.push(if on { 230 } else { 25 });
         }
     }
@@ -132,11 +132,20 @@ pub fn plasma(size: usize, seed: u64) -> Image {
         }
         // Square step.
         for y in (0..lattice).step_by(half) {
-            let x0 = if (y / half) % 2 == 0 { half } else { 0 };
+            let x0 = if (y / half).is_multiple_of(2) {
+                half
+            } else {
+                0
+            };
             for x in (x0..lattice).step_by(step) {
                 let mut sum = 0.0;
                 let mut cnt = 0.0;
-                for &(dx, dy) in &[(0i64, -(half as i64)), (0, half as i64), (-(half as i64), 0), (half as i64, 0)] {
+                for &(dx, dy) in &[
+                    (0i64, -(half as i64)),
+                    (0, half as i64),
+                    (-(half as i64), 0),
+                    (half as i64, 0),
+                ] {
                     let nx = x as i64 + dx;
                     let ny = y as i64 + dy;
                     if nx >= 0 && ny >= 0 && (nx as usize) < lattice && (ny as usize) < lattice {

@@ -241,12 +241,8 @@ impl<'l> AutoAx<'l> {
             let mut archive: Vec<(AcceleratorConfig, f64, f64)> = Vec::new(); // (cfg, est_cost, est_err)
             for _ in 0..self.config.restarts {
                 let mut current = self.random_config(&mut rng);
-                let mut cur_score = self.estimate_scalar(
-                    &current,
-                    &qor_estimator,
-                    &cost_estimator,
-                    &mut rng,
-                );
+                let mut cur_score =
+                    self.estimate_scalar(&current, &qor_estimator, &cost_estimator, &mut rng);
                 archive.push((current.clone(), cur_score.1, cur_score.2));
                 for _ in 0..self.config.steps {
                     let cand = self.neighbor(&current, &mut rng);

@@ -84,8 +84,7 @@ impl<'l> SobelAccelerator<'l> {
     pub fn filter(&self, config: &SobelConfig, input: &Image) -> Image {
         let (w, h) = (input.width(), input.height());
         let adders = self.library.adders();
-        let px =
-            |x: isize, y: isize| -> u64 { input.pixel_clamped(x, y) as u64 };
+        let px = |x: isize, y: isize| -> u64 { input.pixel_clamped(x, y) as u64 };
 
         // Stage A (slots 0 and 2): outer sums for both axes.
         let mut pairs_col: Vec<(u64, u64)> = Vec::with_capacity(2 * w * h);

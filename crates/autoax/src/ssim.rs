@@ -65,8 +65,7 @@ fn window_ssim(a: &Image, b: &Image, wx: usize, wy: usize) -> f64 {
     va /= n - 1.0;
     vb /= n - 1.0;
     cov /= n - 1.0;
-    ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
-        / ((ma * ma + mb * mb + C1) * (va + vb + C2))
+    ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2))
 }
 
 /// Mean SSIM of image pairs (e.g. a whole corpus against references).
@@ -102,11 +101,7 @@ mod tests {
     #[test]
     fn heavy_distortion_scores_low() {
         let a = checkerboard(32, 4);
-        let inverted = Image::from_raw(
-            32,
-            32,
-            a.pixels().iter().map(|&p| 255 - p).collect(),
-        );
+        let inverted = Image::from_raw(32, 32, a.pixels().iter().map(|&p| 255 - p).collect());
         assert!(ssim(&a, &inverted) < 0.2);
     }
 

@@ -9,8 +9,14 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("lut_mapping");
     let cases = [
         ("rca16", adders::ripple_carry(16).into_netlist()),
-        ("wallace8", multipliers::wallace_multiplier(8).into_netlist()),
-        ("wallace16", multipliers::wallace_multiplier(16).into_netlist()),
+        (
+            "wallace8",
+            multipliers::wallace_multiplier(8).into_netlist(),
+        ),
+        (
+            "wallace16",
+            multipliers::wallace_multiplier(16).into_netlist(),
+        ),
     ];
     let cfg = FpgaConfig::default();
     for (name, netlist) in &cases {

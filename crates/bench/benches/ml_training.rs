@@ -18,7 +18,12 @@ fn dataset(n: usize, p: usize) -> (Matrix, Vec<f64>) {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
             row.push(((s >> 33) & 0xFFFF) as f64 / 65535.0);
         }
-        ys.push(row.iter().enumerate().map(|(i, v)| v * (i + 1) as f64).sum());
+        ys.push(
+            row.iter()
+                .enumerate()
+                .map(|(i, v)| v * (i + 1) as f64)
+                .sum(),
+        );
         rows.push(row);
     }
     let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();

@@ -29,7 +29,10 @@ fn mask_columns(x: &Matrix, keep: &[usize]) -> Matrix {
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.mul8_spec();
-    println!("ablation_features: characterizing {} 8x8 multipliers...", spec.target_size);
+    println!(
+        "ablation_features: characterizing {} 8x8 multipliers...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
     let records = characterize_library(
         &library,
@@ -55,21 +58,36 @@ fn main() {
         ("asic-only", &asic_only),
     ];
 
-    let models = [MlModelId::Ml11, MlModelId::Ml14, MlModelId::Ml5, MlModelId::Ml18];
+    let models = [
+        MlModelId::Ml11,
+        MlModelId::Ml14,
+        MlModelId::Ml5,
+        MlModelId::Ml18,
+    ];
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (vname, keep) in variants {
         let xt = mask_columns(&x_train_full, keep);
         let xv = mask_columns(&x_val_full, keep);
         for param in FpgaParam::ALL {
-            let yt: Vec<f64> = train.iter().map(|&i| records[i].fpga_param(param)).collect();
+            let yt: Vec<f64> = train
+                .iter()
+                .map(|&i| records[i].fpga_param(param))
+                .collect();
             let yv: Vec<f64> = validate
                 .iter()
                 .map(|&i| records[i].fpga_param(param))
                 .collect();
             let mut mean = 0.0;
             for id in models {
-                let mut m = build_model(id, AsicColumns { power: asic.power, latency: asic.latency, area: asic.area });
+                let mut m = build_model(
+                    id,
+                    AsicColumns {
+                        power: asic.power,
+                        latency: asic.latency,
+                        area: asic.area,
+                    },
+                );
                 m.fit(&xt, &yt).expect("ablation training");
                 let f = fidelity(&m.predict(&xv), &yv, 0.01);
                 mean += f;

@@ -19,9 +19,17 @@ fn main() {
     let scale = Scale::from_args();
     let mut spec = scale.mul8_spec();
     spec.target_size = spec.target_size.min(1500);
-    println!("ablation_jitter: building {} 8x8 multipliers...", spec.target_size);
+    println!(
+        "ablation_jitter: building {} 8x8 multipliers...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
-    let models = [MlModelId::Ml4, MlModelId::Ml11, MlModelId::Ml14, MlModelId::Ml5];
+    let models = [
+        MlModelId::Ml4,
+        MlModelId::Ml11,
+        MlModelId::Ml14,
+        MlModelId::Ml5,
+    ];
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();

@@ -26,7 +26,10 @@ fn main() {
     let scale = Scale::from_args();
     let mut spec = scale.mul8_spec();
     spec.target_size = spec.target_size.min(1200); // mapping twice; keep it brisk
-    println!("ablation_lutk: building {} 8x8 multipliers...", spec.target_size);
+    println!(
+        "ablation_lutk: building {} 8x8 multipliers...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
     let err_cfg = afp_error::ErrorConfig::default();
 
@@ -63,10 +66,7 @@ fn main() {
         fronts.push(front);
     }
     let rho = spearman(&luts_per_k[0], &luts_per_k[1]);
-    let overlap = fronts[0]
-        .iter()
-        .filter(|i| fronts[1].contains(i))
-        .count();
+    let overlap = fronts[0].iter().filter(|i| fronts[1].contains(i)).count();
 
     write_csv(
         "ablation_lutk.csv",

@@ -92,7 +92,13 @@ fn main() {
     }
     write_csv(
         "crossbw_generalization.csv",
-        &["library", "model", "param", "fidelity_native", "fidelity_from_8bit"],
+        &[
+            "library",
+            "model",
+            "param",
+            "fidelity_native",
+            "fidelity_from_8bit",
+        ],
         &csv,
     );
     println!(

@@ -17,7 +17,10 @@ use approxfpgas::record::characterize;
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.mul8_spec();
-    println!("Fig. 1: building the {}-circuit 8x8 multiplier library...", spec.target_size);
+    println!(
+        "Fig. 1: building the {}-circuit 8x8 multiplier library...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
     let asic_cfg = afp_asic::AsicConfig::default();
     let fpga_cfg = afp_fpga::FpgaConfig::default();
@@ -31,8 +34,14 @@ fn main() {
         .map(|(i, c)| characterize(records.len() + i, c, &asic_cfg, &fpga_cfg, &err_cfg))
         .collect();
 
-    let asic_pts: Vec<(f64, f64)> = records.iter().map(|r| (r.asic.power_mw, r.error.med)).collect();
-    let fpga_pts: Vec<(f64, f64)> = records.iter().map(|r| (r.fpga.power_mw, r.error.med)).collect();
+    let asic_pts: Vec<(f64, f64)> = records
+        .iter()
+        .map(|r| (r.asic.power_mw, r.error.med))
+        .collect();
+    let fpga_pts: Vec<(f64, f64)> = records
+        .iter()
+        .map(|r| (r.fpga.power_mw, r.error.med))
+        .collect();
     let asic_front = pareto_front(&asic_pts);
     let fpga_front = pareto_front(&fpga_pts);
 
@@ -100,7 +109,11 @@ fn main() {
         "\nASIC power vs MED (front '#', library '.'):\n{}",
         scatter(
             &[
-                Series { glyph: '.', label: "library".into(), points: lim(&asic_pts) },
+                Series {
+                    glyph: '.',
+                    label: "library".into(),
+                    points: lim(&asic_pts)
+                },
                 Series {
                     glyph: '#',
                     label: "ASIC pareto".into(),
@@ -117,7 +130,11 @@ fn main() {
         "\nFPGA power vs MED (front '#', library '.', SoA 'S'):\n{}",
         scatter(
             &[
-                Series { glyph: '.', label: "library".into(), points: lim(&fpga_pts) },
+                Series {
+                    glyph: '.',
+                    label: "library".into(),
+                    points: lim(&fpga_pts)
+                },
                 Series {
                     glyph: '#',
                     label: "FPGA pareto".into(),

@@ -14,7 +14,10 @@ use approxfpgas::record::FpgaParam;
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.mul8_spec();
-    println!("Fig. 5: characterizing {} 8x8 multipliers...", spec.target_size);
+    println!(
+        "Fig. 5: characterizing {} 8x8 multipliers...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
     let records = characterize_library(
         &library,
@@ -62,15 +65,17 @@ fn main() {
     }
     write_csv(
         "fig5_fidelity.csv",
-        &["model", "fidelity_latency", "fidelity_power", "fidelity_area"],
+        &[
+            "model",
+            "fidelity_latency",
+            "fidelity_power",
+            "fidelity_area",
+        ],
         &csv,
     );
     println!(
         "\n{}",
-        table(
-            &["Id", "Model", "Latency", "Power", "Area"],
-            &rows
-        )
+        table(&["Id", "Model", "Latency", "Power", "Area"], &rows)
     );
     println!("\n=== Fig. 5 observations (paper) ===");
     println!("- tree-based methods above average, ridge-family best");

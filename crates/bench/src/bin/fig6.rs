@@ -15,7 +15,10 @@ use approxfpgas::record::FpgaParam;
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.mul16_spec();
-    println!("Fig. 6: characterizing {} 16x16 multipliers...", spec.target_size);
+    println!(
+        "Fig. 6: characterizing {} 16x16 multipliers...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
     let records = characterize_library(
         &library,
@@ -60,15 +63,18 @@ fn main() {
                 ]);
             }
             if model == zoo.top_models(param, 1, false)[0] {
-                let pts: Vec<(f64, f64)> =
-                    mes.iter().zip(&est).map(|(&m, &e)| (m, e)).collect();
+                let pts: Vec<(f64, f64)> = mes.iter().zip(&est).map(|(&m, &e)| (m, e)).collect();
                 let diag_hi = pts.iter().map(|p| p.0.max(p.1)).fold(0.0f64, f64::max);
                 println!(
                     "\n{param:?} — {} estimated vs measured ('*', diagonal '+'):\n{}",
                     model.label(),
                     scatter(
                         &[
-                            Series { glyph: '*', label: "circuits".into(), points: pts },
+                            Series {
+                                glyph: '*',
+                                label: "circuits".into(),
+                                points: pts
+                            },
                             Series {
                                 glyph: '+',
                                 label: "ideal".into(),
@@ -96,7 +102,10 @@ fn main() {
     );
     println!(
         "\n{}",
-        table(&["param", "model", "pearson", "mean rel. bias"], &summary_rows)
+        table(
+            &["param", "model", "pearson", "mean rel. bias"],
+            &summary_rows
+        )
     );
     println!("\npaper observation: Bayesian Ridge / PLS usable standalone; latency estimates carry a bias (~30% in the paper's setup).");
 }

@@ -18,7 +18,10 @@ use approxfpgas::record::FpgaParam;
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.mul8_spec();
-    println!("Fig. 7: characterizing {} 8x8 multipliers...", spec.target_size);
+    println!(
+        "Fig. 7: characterizing {} 8x8 multipliers...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
     let records = characterize_library(
         &library,

@@ -80,8 +80,16 @@ fn main() {
             "\n{label}: synthesized ('.') and pareto FPGA-ACs ('#'), area vs MED\n{}",
             scatter(
                 &[
-                    Series { glyph: '.', label: "synthesized".into(), points: synth_pts },
-                    Series { glyph: '#', label: "pareto FPGA-ACs".into(), points: front_pts },
+                    Series {
+                        glyph: '.',
+                        label: "synthesized".into(),
+                        points: synth_pts
+                    },
+                    Series {
+                        glyph: '#',
+                        label: "pareto FPGA-ACs".into(),
+                        points: front_pts
+                    },
                 ],
                 70,
                 14,
@@ -105,7 +113,14 @@ fn main() {
     println!(
         "\n{}",
         table(
-            &["library", "param", "true front", "found", "coverage", "speedup"],
+            &[
+                "library",
+                "param",
+                "true front",
+                "found",
+                "coverage",
+                "speedup"
+            ],
             &rows
         )
     );

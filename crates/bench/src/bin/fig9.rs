@@ -112,8 +112,8 @@ fn main() {
         "configuration space: {:.2e} possible accelerators (paper: 4.95e14)",
         AcceleratorConfig::space_size(&library)
     );
-    let explored: usize = outcome.autoax.iter().map(|(_, d)| d.len()).sum::<usize>()
-        + outcome.training.len();
+    let explored: usize =
+        outcome.autoax.iter().map(|(_, d)| d.len()).sum::<usize>() + outcome.training.len();
     println!(
         "designs actually measured/synthesized: {explored} (paper: 368/444/946 per scenario + 5000 training)"
     );

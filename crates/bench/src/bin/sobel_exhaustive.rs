@@ -44,7 +44,10 @@ fn main() {
         // Deterministic subsample: every 11th configuration.
         all = all.into_iter().step_by(11).collect();
     }
-    println!("measuring {} Sobel configurations exhaustively...", all.len());
+    println!(
+        "measuring {} Sobel configurations exhaustively...",
+        all.len()
+    );
     let measured: Vec<(f64, f64)> = all
         .iter()
         .map(|cfg| {
@@ -54,7 +57,11 @@ fn main() {
         })
         .collect();
     let truth = pareto_front(&measured);
-    println!("true pareto front: {} / {} configurations", truth.len(), all.len());
+    println!(
+        "true pareto front: {} / {} configurations",
+        truth.len(),
+        all.len()
+    );
 
     // AutoAx-style estimator flow on the same space.
     let n_adders = library.adders().len();
@@ -91,8 +98,7 @@ fn main() {
     let mut rows_out = Vec::new();
     let mut csv = Vec::new();
     for fronts in 1..=3usize {
-        let mut selected: std::collections::BTreeSet<usize> =
-            train_idx.iter().copied().collect();
+        let mut selected: std::collections::BTreeSet<usize> = train_idx.iter().copied().collect();
         for front in peel_fronts(&est, fronts) {
             selected.extend(front);
         }

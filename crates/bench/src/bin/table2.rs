@@ -13,7 +13,10 @@ use approxfpgas::record::FpgaParam;
 fn main() {
     let scale = Scale::from_args();
     let spec = scale.mul8_spec();
-    println!("Table II: characterizing {} 8x8 multipliers...", spec.target_size);
+    println!(
+        "Table II: characterizing {} 8x8 multipliers...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
     let records = characterize_library(
         &library,
@@ -71,10 +74,7 @@ fn main() {
     );
     println!(
         "\n{}",
-        table(
-            &["rank", "FPGA Latency", "FPGA Power", "FPGA Area"],
-            &rows
-        )
+        table(&["rank", "FPGA Latency", "FPGA Power", "FPGA Area"], &rows)
     );
     println!("\npaper reference: ML11/ML4/ML10 (latency ~87-90%), ML11/ML13/ML4 (power ~89-91%), ML4/ML13/ML11 (area ~86-89%)");
 }

@@ -15,7 +15,10 @@ fn main() {
     let scale = Scale::from_args();
     let mut spec = scale.mul8_spec();
     spec.target_size = spec.target_size.min(2000); // tuning multiplies training cost
-    println!("tuning: characterizing {} 8x8 multipliers...", spec.target_size);
+    println!(
+        "tuning: characterizing {} 8x8 multipliers...",
+        spec.target_size
+    );
     let library = afp_circuits::build_library(&spec);
     let records = characterize_library(
         &library,
@@ -73,7 +76,13 @@ fn main() {
     }
     write_csv(
         "tuning_gains.csv",
-        &["model", "param", "fidelity_untuned", "fidelity_tuned", "chosen_config"],
+        &[
+            "model",
+            "param",
+            "fidelity_untuned",
+            "fidelity_tuned",
+            "chosen_config",
+        ],
         &csv,
     );
     println!(
@@ -83,11 +92,9 @@ fn main() {
             &rows
         )
     );
-    let mean =
-        |zoo: &approxfpgas::fidelity::TrainedZoo| -> f64 {
-            zoo.fidelities.iter().map(|f| f.fidelity).sum::<f64>()
-                / zoo.fidelities.len().max(1) as f64
-        };
+    let mean = |zoo: &approxfpgas::fidelity::TrainedZoo| -> f64 {
+        zoo.fidelities.iter().map(|f| f.fidelity).sum::<f64>() / zoo.fidelities.len().max(1) as f64
+    };
     println!("\n=== tuning summary ===");
     println!("mean fidelity untuned: {:.1}%", 100.0 * mean(&base));
     println!("mean fidelity tuned:   {:.1}%", 100.0 * mean(&tuned));

@@ -52,8 +52,17 @@ pub struct Series {
 
 /// Render ASCII scatter plot(s) on shared axes. Later series overdraw
 /// earlier ones where they collide.
-pub fn scatter(series: &[Series], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+pub fn scatter(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::from("(no points)");
     }
@@ -89,7 +98,12 @@ pub fn scatter(series: &[Series], width: usize, height: usize, x_label: &str, y_
         "    x: [{x0:.4}, {x1:.4}]  y: [{y0:.4}, {y1:.4}]\n"
     ));
     for s in series {
-        out.push_str(&format!("    '{}' = {} ({} pts)\n", s.glyph, s.label, s.points.len()));
+        out.push_str(&format!(
+            "    '{}' = {} ({} pts)\n",
+            s.glyph,
+            s.label,
+            s.points.len()
+        ));
     }
     out
 }

@@ -425,7 +425,9 @@ mod tests {
             let mut p = vec![(0, 0), (mask, mask), (1, mask), (mask, 1)];
             let mut s = 12345u64;
             for _ in 0..2000 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 p.push(((s >> 10) & mask, (s >> 40) & mask));
             }
             p

@@ -120,7 +120,7 @@ pub fn dadda_multiplier(width: usize) -> ArithCircuit {
 /// Panics if `width` is not an even number in `2..=16`.
 pub fn radix4_multiplier(width: usize) -> ArithCircuit {
     assert!(
-        width % 2 == 0 && (2..=16).contains(&width),
+        width.is_multiple_of(2) && (2..=16).contains(&width),
         "width must be even and 2..=16"
     );
     let mut n = Netlist::new(format!("mul{width}u_r4"));
@@ -150,7 +150,11 @@ pub fn radix4_multiplier(width: usize) -> ArithCircuit {
         // pp bit t = mux(b1, mux(b0, 0, a[t]), mux(b0, 2a[t], 3a[t]))
         for t in 0..width + 2 {
             let a_t = if t < width { a[t] } else { zero };
-            let a2_t = if t >= 1 && t - 1 < width { a[t - 1] } else { zero };
+            let a2_t = if t >= 1 && t - 1 < width {
+                a[t - 1]
+            } else {
+                zero
+            };
             let a3_t = three_a[t];
             let low = n.mux(b0, zero, a_t);
             let high = n.mux(b0, a2_t, a3_t);
@@ -404,10 +408,7 @@ mod tests {
         let d = dadda_multiplier(8);
         let w = wallace_multiplier(8);
         // Same function, different reduction schedule => different netlist.
-        assert_ne!(
-            d.netlist().num_logic_gates(),
-            w.netlist().num_logic_gates()
-        );
+        assert_ne!(d.netlist().num_logic_gates(), w.netlist().num_logic_gates());
     }
 
     #[test]

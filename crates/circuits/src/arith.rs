@@ -184,15 +184,20 @@ pub struct BatchEvaluator<'c> {
     circuit: &'c ArithCircuit,
     sim: Simulator<'c>,
     words: Vec<u64>,
+    outputs: Vec<NetId>,
+    out_words: Vec<u64>,
 }
 
 impl<'c> BatchEvaluator<'c> {
     /// Create an evaluator bound to `circuit`.
     pub fn new(circuit: &'c ArithCircuit) -> BatchEvaluator<'c> {
+        let outputs = circuit.netlist().outputs().to_vec();
         BatchEvaluator {
             circuit,
             sim: Simulator::new(circuit.netlist()),
             words: vec![0u64; circuit.netlist().num_inputs()],
+            out_words: vec![0u64; outputs.len()],
+            outputs,
         }
     }
 
@@ -202,6 +207,19 @@ impl<'c> BatchEvaluator<'c> {
     ///
     /// Panics if `pairs.len() > 64`, or if an operand is out of range.
     pub fn eval_chunk(&mut self, pairs: &[(u64, u64)]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(pairs.len());
+        self.eval_chunk_into(pairs, &mut out);
+        out
+    }
+
+    /// Like [`BatchEvaluator::eval_chunk`], but appends the results into a
+    /// caller-provided buffer — the whole evaluation is then allocation-free
+    /// once the evaluator is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs.len() > 64`, or if an operand is out of range.
+    pub fn eval_chunk_into(&mut self, pairs: &[(u64, u64)], out: &mut Vec<u64>) {
         assert!(pairs.len() <= 64, "a chunk is at most 64 lanes");
         let w = self.circuit.width();
         self.words.fill(0);
@@ -209,19 +227,18 @@ impl<'c> BatchEvaluator<'c> {
             afp_netlist::pack_operand(&mut self.words, 0, w, lane, a);
             afp_netlist::pack_operand(&mut self.words, w, w, lane, b);
         }
-        let out_nets: Vec<NetId> = self.circuit.netlist().outputs().to_vec();
         self.sim.run_into(&self.words);
-        let out_words: Vec<u64> = out_nets.iter().map(|&o| self.sim.value(o)).collect();
-        (0..pairs.len())
-            .map(|lane| afp_netlist::unpack_result(&out_words, lane))
-            .collect()
+        for (slot, &o) in self.out_words.iter_mut().zip(&self.outputs) {
+            *slot = self.sim.value(o);
+        }
+        out.extend((0..pairs.len()).map(|lane| afp_netlist::unpack_result(&self.out_words, lane)));
     }
 
     /// Evaluate any number of operand pairs, chunking internally.
     pub fn eval_pairs(&mut self, pairs: &[(u64, u64)]) -> Vec<u64> {
         let mut out = Vec::with_capacity(pairs.len());
         for chunk in pairs.chunks(64) {
-            out.extend(self.eval_chunk(chunk));
+            self.eval_chunk_into(chunk, &mut out);
         }
         out
     }

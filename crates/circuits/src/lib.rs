@@ -42,4 +42,4 @@ pub mod prefix_adders;
 pub mod soa;
 
 pub use arith::{ArithCircuit, ArithKind, BatchEvaluator};
-pub use library::{build_library, LibrarySpec};
+pub use library::{build_library, build_library_with, LibrarySpec};

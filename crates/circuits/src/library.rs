@@ -13,6 +13,7 @@
 //! (mean relative error above [`LibrarySpec::max_mean_rel_error`]) are
 //! dropped, mirroring how a curated AC library ships only usable points.
 
+use afp_runtime::Runtime;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -71,16 +72,27 @@ impl LibrarySpec {
 /// assert!(lib.iter().any(|c| c.name().contains("rca")));
 /// ```
 pub fn build_library(spec: &LibrarySpec) -> Vec<ArithCircuit> {
+    build_library_with(spec, &Runtime::serial())
+}
+
+/// A candidate prepared off the accept path: the (simplified) circuit plus
+/// its garbage-filter verdict and behavioural signature, both of which are
+/// pure functions of the circuit and therefore safe to compute in parallel.
+type Prepared = (ArithCircuit, bool, u64);
+
+/// [`build_library`] on an explicit [`Runtime`].
+///
+/// Candidate generation, simplification, the garbage filter and signature
+/// computation run in parallel; acceptance stays sequential in candidate
+/// order, so the result is identical to the serial build for any thread
+/// count.
+pub fn build_library_with(spec: &LibrarySpec, rt: &Runtime) -> Vec<ArithCircuit> {
     let mut lib: Vec<ArithCircuit> = Vec::with_capacity(spec.target_size);
     let mut seen: HashSet<u64> = HashSet::new();
-    let push = |c: ArithCircuit, lib: &mut Vec<ArithCircuit>, seen: &mut HashSet<u64>| {
-        if lib.len() >= spec.target_size {
+    let accept = |(c, ok, sig): Prepared, lib: &mut Vec<ArithCircuit>, seen: &mut HashSet<u64>| {
+        if lib.len() >= spec.target_size || !ok {
             return false;
         }
-        if !acceptable(&c, spec.max_mean_rel_error) {
-            return false;
-        }
-        let sig = behavioral_signature(&c);
         if seen.insert(sig) {
             lib.push(c);
             true
@@ -88,37 +100,64 @@ pub fn build_library(spec: &LibrarySpec) -> Vec<ArithCircuit> {
             false
         }
     };
+    let prepare = |mut c: ArithCircuit, simplify: bool| -> Prepared {
+        if simplify {
+            c.simplify();
+        }
+        let ok = acceptable(&c, spec.max_mean_rel_error);
+        let sig = behavioral_signature(&c);
+        (c, ok, sig)
+    };
 
     // 1. Exact baselines.
-    for c in exact_seeds(spec.kind, spec.width) {
-        push(c, &mut lib, &mut seen);
+    let seeds = exact_seeds(spec.kind, spec.width);
+    for p in rt.par_map(&seeds, |_, c| prepare(c.clone(), false)) {
+        accept(p, &mut lib, &mut seen);
     }
 
     // 2. Structured approximation grids.
-    for mut c in structured_grid(spec.kind, spec.width) {
-        c.simplify();
-        push(c, &mut lib, &mut seen);
+    let grid = structured_grid(spec.kind, spec.width);
+    for p in rt.par_map(&grid, |_, c| prepare(c.clone(), true)) {
+        accept(p, &mut lib, &mut seen);
     }
 
     // 3. Seeded mutants until the target is reached. Bases cycle over the
     //    library collected so far (structured approximations included) so
-    //    mutants inherit diverse starting points.
+    //    mutants inherit diverse starting points. The rng stream is
+    //    consumed once per attempt regardless of acceptance, so all draws
+    //    can be made up front and the mutants evaluated in parallel waves;
+    //    only the in-order accept loop decides what enters the library.
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     let bases: Vec<ArithCircuit> = lib.clone();
-    let mut budget = spec.target_size * 8; // generation attempts
-    let mut next_seed = 0u64;
-    while lib.len() < spec.target_size && budget > 0 {
-        budget -= 1;
-        let base = &bases[rng.gen_range(0..bases.len())];
-        let mutations = 1 + (next_seed % 6) as usize;
-        let cfg = MutationConfig {
-            mutations,
-            lsb_bias: 0.45 + 0.1 * ((next_seed % 5) as f64),
-            seed: spec.seed ^ next_seed,
-        };
-        next_seed += 1;
-        let m = mutate(base, &cfg);
-        push(m, &mut lib, &mut seen);
+    let budget = spec.target_size * 8; // generation attempts
+    let draws: Vec<(usize, MutationConfig)> = (0..budget as u64)
+        .map(|attempt| {
+            let base = rng.gen_range(0..bases.len());
+            let cfg = MutationConfig {
+                mutations: 1 + (attempt % 6) as usize,
+                lsb_bias: 0.45 + 0.1 * ((attempt % 5) as f64),
+                seed: spec.seed ^ attempt,
+            };
+            (base, cfg)
+        })
+        .collect();
+    // Waves are a fixed size (never a function of the thread count) so the
+    // wasted tail when the library fills mid-wave is bounded and the
+    // accept order is reproducible.
+    const WAVE: usize = 64;
+    'waves: for wave in draws.chunks(WAVE) {
+        if lib.len() >= spec.target_size {
+            break;
+        }
+        let prepared = rt.par_map(wave, |_, (base, cfg)| {
+            prepare(mutate(&bases[*base], cfg), false)
+        });
+        for p in prepared {
+            accept(p, &mut lib, &mut seen);
+            if lib.len() >= spec.target_size {
+                break 'waves;
+            }
+        }
     }
 
     // Stable, human-readable names: kind+width, then ordinal.
@@ -152,7 +191,7 @@ pub fn exact_seeds(kind: ArithKind, width: usize) -> Vec<ArithCircuit> {
                 multipliers::wallace_multiplier(width),
                 advanced_multipliers::dadda_multiplier(width),
             ];
-            if width % 2 == 0 {
+            if width.is_multiple_of(2) {
                 seeds.push(advanced_multipliers::radix4_multiplier(width));
             }
             seeds
@@ -202,7 +241,7 @@ pub fn structured_grid(kind: ArithKind, width: usize) -> Vec<ArithCircuit> {
             for k in 2..width {
                 out.push(advanced_multipliers::drum(width, k));
             }
-            if width % 2 == 0 {
+            if width.is_multiple_of(2) {
                 let blocks = (width / 2) * (width / 2);
                 // LSB-first prefixes of approximate blocks plus a few
                 // scattered masks.
@@ -233,7 +272,9 @@ fn acceptable(c: &ArithCircuit, max_mean_rel_error: f64) -> bool {
     let mut pairs = vec![(mask, mask), (mask >> 1, mask >> 1)];
     let mut s = 0xFACE_u64;
     for _ in 0..190 {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         pairs.push(((s >> 5) & mask, (s >> 37) & mask));
     }
     let mut batch = BatchEvaluator::new(c);

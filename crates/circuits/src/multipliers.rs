@@ -49,11 +49,7 @@ fn reduce_columns(n: &mut Netlist, mut cols: Vec<Vec<NetId>>) -> Vec<NetId> {
         for c in 0..width {
             let col = std::mem::take(&mut cols[c]);
             let mut iter = col.into_iter();
-            loop {
-                let x = match iter.next() {
-                    Some(x) => x,
-                    None => break,
-                };
+            while let Some(x) = iter.next() {
                 match (iter.next(), iter.next()) {
                     (Some(y), Some(z)) => {
                         let (s, cy) = full_adder(n, x, y, z);
@@ -132,8 +128,7 @@ pub fn array_multiplier(width: usize) -> ArithCircuit {
         // acc (width-1 bits) + row (width bits) -> low bit out, new acc.
         let mut new_acc = Vec::with_capacity(width);
         let mut carry: Option<NetId> = None;
-        for i in 0..width {
-            let x = row[i];
+        for (i, &x) in row.iter().enumerate().take(width) {
             let y = acc.get(i).copied();
             let (s, c) = match (y, carry) {
                 (Some(y), Some(cin)) => full_adder(&mut n, x, y, cin),
@@ -223,7 +218,7 @@ pub fn broken_array(width: usize, vbl: usize, hbl: usize) -> ArithCircuit {
 /// Panics if `width` is not an even number in `2..=16`.
 pub fn underdesigned(width: usize, approx_mask: u64) -> ArithCircuit {
     assert!(
-        width % 2 == 0 && (2..=16).contains(&width),
+        width.is_multiple_of(2) && (2..=16).contains(&width),
         "width must be even and 2..=16"
     );
     let blocks = width / 2;

@@ -117,7 +117,11 @@ USAGE:
       LUT-map the circuit, verify LUT-network equivalence, optionally
       write the mapped netlist as LUT primitives.
   afp flow --kind add|mul --width W --size N [--fronts K] [--subset F]
+           [--threads T] [--no-cache] [--cache-dir DIR]
       Run the full ApproxFPGAs methodology and print the summary.
+      --threads 0 (default) uses every core; results are identical for
+      any thread count. --cache-dir persists the characterization cache
+      across runs; --no-cache disables memoization.
   afp help
       This text.
 "
@@ -156,7 +160,11 @@ fn cmd_library(cli: &Cli) -> Result<String, String> {
         }
         std::fs::write(dir.join("library.csv"), csv)
             .map_err(|e| format!("cannot write library.csv: {e}"))?;
-        let _ = writeln!(out, "wrote {} Verilog files + library.csv to {dir:?}", lib.len());
+        let _ = writeln!(
+            out,
+            "wrote {} Verilog files + library.csv to {dir:?}",
+            lib.len()
+        );
     } else {
         for c in lib.iter().take(10) {
             let _ = writeln!(
@@ -168,7 +176,11 @@ fn cmd_library(cli: &Cli) -> Result<String, String> {
             );
         }
         if lib.len() > 10 {
-            let _ = writeln!(out, "  ... ({} more; use --out DIR to export)", lib.len() - 10);
+            let _ = writeln!(
+                out,
+                "  ... ({} more; use --out DIR to export)",
+                lib.len() - 10
+            );
         }
     }
     Ok(out)
@@ -238,8 +250,23 @@ fn cmd_error(cli: &Cli) -> Result<String, String> {
     let circuit = ArithCircuit::new(kind, width, netlist);
     let m = afp_error::analyze(&circuit, &afp_error::ErrorConfig::default());
     let mut out = String::new();
-    let _ = writeln!(out, "{} vs exact {}{}u:", circuit.name(), kind.mnemonic(), width);
-    let _ = writeln!(out, "  samples:     {} ({})", m.samples, if m.exhaustive { "exhaustive" } else { "stratified" });
+    let _ = writeln!(
+        out,
+        "{} vs exact {}{}u:",
+        circuit.name(),
+        kind.mnemonic(),
+        width
+    );
+    let _ = writeln!(
+        out,
+        "  samples:     {} ({})",
+        m.samples,
+        if m.exhaustive {
+            "exhaustive"
+        } else {
+            "stratified"
+        }
+    );
     let _ = writeln!(out, "  MED:         {:.6}", m.med);
     let _ = writeln!(out, "  MAE:         {:.3}", m.mae);
     let _ = writeln!(out, "  WCE:         {}", m.wce);
@@ -265,7 +292,9 @@ fn cmd_map(cli: &Cli) -> Result<String, String> {
         if mismatches == 0 { "PASSED" } else { "FAILED" }
     );
     if mismatches != 0 {
-        return Err(format!("mapping verification failed on {mismatches} vectors"));
+        return Err(format!(
+            "mapping verification failed on {mismatches} vectors"
+        ));
     }
     if let Some(path) = cli.flags.get("out") {
         std::fs::write(path, afp_fpga::luts::to_lut_verilog(&netlist, &programmed))
@@ -280,14 +309,20 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
     let width = cli.usize_flag("width", 8)?;
     let size = cli.usize_flag("size", 300)?;
     let fronts = cli.usize_flag("fronts", 3)?;
+    let threads = cli.usize_flag("threads", 0)?;
     let subset: f64 = cli
         .flag_or("subset", "0.1")
         .parse()
         .map_err(|_| "--subset expects a fraction".to_string())?;
+    let use_cache = cli.flag_or("no-cache", "false") != "true";
+    let cache_dir = cli.flags.get("cache-dir").map(std::path::PathBuf::from);
     let config = approxfpgas::FlowConfig {
         library: LibrarySpec::new(kind, width, size),
         fronts,
         subset_fraction: subset,
+        threads,
+        use_cache,
+        cache_dir,
         ..approxfpgas::FlowConfig::default()
     };
     let outcome = approxfpgas::Flow::new(config).run();
@@ -318,6 +353,20 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
             outcome.final_fronts[param].len()
         );
     }
+    let rt = &outcome.runtime;
+    let _ = writeln!(
+        out,
+        "runtime: {} tasks ({} steals), cache {} hits / {} misses, \
+         {} ASIC + {} FPGA synths, {} error analyses, {:.1} MiB simulated",
+        rt.tasks_executed,
+        rt.steals,
+        rt.cache_hits,
+        rt.cache_misses,
+        rt.asic_synths,
+        rt.fpga_synths,
+        rt.error_analyses,
+        rt.bytes_simulated as f64 / (1024.0 * 1024.0)
+    );
     Ok(out)
 }
 
@@ -354,8 +403,10 @@ mod tests {
 
     #[test]
     fn library_inline_listing_works() {
-        let out = run(&args(&["library", "--kind", "add", "--width", "8", "--size", "12"]))
-            .unwrap();
+        let out = run(&args(&[
+            "library", "--kind", "add", "--width", "8", "--size", "12",
+        ]))
+        .unwrap();
         assert!(out.contains("generated"));
         assert!(out.contains("gates"));
     }
@@ -380,7 +431,10 @@ mod tests {
 
         let err = run(&args(&["error", &p, "--kind", "add", "--width", "8"])).unwrap();
         assert!(err.contains("MED:"));
-        assert!(err.contains("0.000000"), "exact adder must have MED 0:\n{err}");
+        assert!(
+            err.contains("0.000000"),
+            "exact adder must have MED 0:\n{err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -405,5 +459,27 @@ mod tests {
         .unwrap();
         assert!(out.contains("synthesized"));
         assert!(out.contains("coverage"));
+        assert!(out.contains("runtime:"), "missing counter summary:\n{out}");
+    }
+
+    #[test]
+    fn flow_command_accepts_runtime_flags() {
+        let out = run(&args(&[
+            "flow",
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "60",
+            "--subset",
+            "0.4",
+            "--threads",
+            "1",
+            "--no-cache",
+        ]))
+        .unwrap();
+        // --no-cache: every characterization is a miss-free direct compute.
+        assert!(out.contains("cache 0 hits / 0 misses"), "{out}");
     }
 }

@@ -1,0 +1,275 @@
+//! The content-addressed characterization cache.
+//!
+//! Characterizing a circuit — ASIC synthesis, FPGA synthesis, behavioural
+//! error analysis — is the dominant cost of a flow run, yet its result is
+//! a pure function of the circuit *structure* and the three model
+//! configurations. This module keys that computation by a 128-bit
+//! fingerprint of exactly those inputs and memoizes the three reports, in
+//! memory and optionally in an append-only CSV file, so repeated runs (or
+//! repeated circuits) skip synthesis entirely.
+
+use std::path::Path;
+
+use afp_asic::AsicReport;
+use afp_circuits::ArithCircuit;
+use afp_error::ErrorMetrics;
+use afp_fpga::FpgaReport;
+use afp_runtime::{Counters, CsvRecord, DiskTier, Fingerprint, Key128, MemoCache, StableHasher};
+
+/// The memoized result of characterizing one circuit under one
+/// configuration triple: everything expensive, nothing circuit-identity
+/// specific (name, id and stats are recomputed cheaply on a hit).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachedCharacterization {
+    /// ASIC synthesis report.
+    pub asic: AsicReport,
+    /// Behavioural error metrics.
+    pub error: ErrorMetrics,
+    /// FPGA synthesis report.
+    pub fpga: FpgaReport,
+}
+
+impl CsvRecord for CachedCharacterization {
+    const VERSION: u32 = 1;
+
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "asic_area_um2",
+            "asic_delay_ns",
+            "asic_power_mw",
+            "asic_dynamic_mw",
+            "asic_leakage_mw",
+            "asic_cells",
+            "err_samples",
+            "err_exhaustive",
+            "err_med",
+            "err_mae",
+            "err_wce",
+            "err_wce_rel",
+            "err_mre",
+            "err_error_prob",
+            "err_mse",
+            "err_bias",
+            "fpga_luts",
+            "fpga_slices",
+            "fpga_depth",
+            "fpga_delay_ns",
+            "fpga_power_mw",
+            "fpga_synth_time_s",
+        ]
+    }
+
+    fn to_fields(&self) -> Vec<String> {
+        // `{:?}` for f64 is the shortest representation that parses back
+        // to the same bits, so the disk tier is lossless.
+        vec![
+            format!("{:?}", self.asic.area_um2),
+            format!("{:?}", self.asic.delay_ns),
+            format!("{:?}", self.asic.power_mw),
+            format!("{:?}", self.asic.dynamic_mw),
+            format!("{:?}", self.asic.leakage_mw),
+            format!("{}", self.asic.cells),
+            format!("{}", self.error.samples),
+            format!("{}", self.error.exhaustive),
+            format!("{:?}", self.error.med),
+            format!("{:?}", self.error.mae),
+            format!("{}", self.error.wce),
+            format!("{:?}", self.error.wce_rel),
+            format!("{:?}", self.error.mre),
+            format!("{:?}", self.error.error_prob),
+            format!("{:?}", self.error.mse),
+            format!("{:?}", self.error.bias),
+            format!("{}", self.fpga.luts),
+            format!("{}", self.fpga.slices),
+            format!("{}", self.fpga.depth_levels),
+            format!("{:?}", self.fpga.delay_ns),
+            format!("{:?}", self.fpga.power_mw),
+            format!("{:?}", self.fpga.synth_time_s),
+        ]
+    }
+
+    fn from_fields(fields: &[&str]) -> Option<CachedCharacterization> {
+        let [aa, ad, ap, ady, al, ac, es, ee, emed, emae, ewce, ewr, emre, eep, emse, eb, fl, fs, fd, fde, fp, ft] =
+            fields
+        else {
+            return None;
+        };
+        Some(CachedCharacterization {
+            asic: AsicReport {
+                area_um2: aa.parse().ok()?,
+                delay_ns: ad.parse().ok()?,
+                power_mw: ap.parse().ok()?,
+                dynamic_mw: ady.parse().ok()?,
+                leakage_mw: al.parse().ok()?,
+                cells: ac.parse().ok()?,
+            },
+            error: ErrorMetrics {
+                samples: es.parse().ok()?,
+                exhaustive: ee.parse().ok()?,
+                med: emed.parse().ok()?,
+                mae: emae.parse().ok()?,
+                wce: ewce.parse().ok()?,
+                wce_rel: ewr.parse().ok()?,
+                mre: emre.parse().ok()?,
+                error_prob: eep.parse().ok()?,
+                mse: emse.parse().ok()?,
+                bias: eb.parse().ok()?,
+            },
+            fpga: FpgaReport {
+                luts: fl.parse().ok()?,
+                slices: fs.parse().ok()?,
+                depth_levels: fd.parse().ok()?,
+                delay_ns: fde.parse().ok()?,
+                power_mw: fp.parse().ok()?,
+                synth_time_s: ft.parse().ok()?,
+            },
+        })
+    }
+}
+
+/// Two-tier (memory + optional disk) cache of [`CachedCharacterization`]s.
+#[derive(Debug)]
+pub struct CharacterizationCache {
+    memo: MemoCache<CachedCharacterization>,
+    disk: Option<DiskTier<CachedCharacterization>>,
+}
+
+/// File name of the disk tier inside the cache directory.
+pub const CACHE_FILE: &str = "characterization.csv";
+
+impl CharacterizationCache {
+    /// A memory-only cache (per-process; hits across runs of one
+    /// [`crate::flow::Flow`] instance).
+    pub fn in_memory() -> CharacterizationCache {
+        CharacterizationCache {
+            memo: MemoCache::new(),
+            disk: None,
+        }
+    }
+
+    /// A cache persisted to `dir/characterization.csv`; existing entries
+    /// are loaded into the memory tier immediately. Falls back to a
+    /// memory-only cache if the directory is not writable.
+    pub fn with_disk(dir: &Path) -> CharacterizationCache {
+        match DiskTier::open(dir, CACHE_FILE) {
+            Ok(mut disk) => {
+                let memo = MemoCache::new();
+                for (key, value) in disk.take_loaded() {
+                    memo.insert(key, value);
+                }
+                CharacterizationCache {
+                    memo,
+                    disk: Some(disk),
+                }
+            }
+            Err(_) => CharacterizationCache::in_memory(),
+        }
+    }
+
+    /// The content key of one characterization: circuit structure (not
+    /// name) plus every configuration field that affects the reports.
+    pub fn key(
+        circuit: &ArithCircuit,
+        asic: &afp_asic::AsicConfig,
+        fpga: &afp_fpga::FpgaConfig,
+        error: &afp_error::ErrorConfig,
+    ) -> Key128 {
+        let mut h = StableHasher::new();
+        h.write_str("characterization");
+        h.write_str(circuit.kind().mnemonic());
+        h.write_usize(circuit.width());
+        h.write_u64(circuit.netlist().structural_hash());
+        asic.fingerprint(&mut h);
+        fpga.fingerprint(&mut h);
+        error.fingerprint(&mut h);
+        h.finish()
+    }
+
+    /// Look up `key`, recording hit/miss in `counters`.
+    pub fn get(&self, key: Key128, counters: &Counters) -> Option<CachedCharacterization> {
+        self.memo.get(key, counters)
+    }
+
+    /// Store a freshly computed entry in both tiers.
+    pub fn insert(&self, key: Key128, value: CachedCharacterization) {
+        self.memo.insert(key, value);
+        if let Some(disk) = &self.disk {
+            disk.append(key, &value);
+        }
+    }
+
+    /// Number of entries in the memory tier.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuits::adders;
+
+    fn sample() -> CachedCharacterization {
+        let c = adders::loa(8, 3);
+        let asic = afp_asic::synthesize_asic(c.netlist(), &afp_asic::AsicConfig::default());
+        let fpga = afp_fpga::synthesize_fpga(c.netlist(), &afp_fpga::FpgaConfig::default());
+        let error = afp_error::analyze(&c, &afp_error::ErrorConfig::default());
+        CachedCharacterization { asic, error, fpga }
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless() {
+        let v = sample();
+        let fields = v.to_fields();
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        let back = CachedCharacterization::from_fields(&refs).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn key_ignores_name_but_not_structure_or_config() {
+        let a = adders::loa(8, 3);
+        let mut renamed = a.clone();
+        renamed.set_name("something-else");
+        let asic = afp_asic::AsicConfig::default();
+        let fpga = afp_fpga::FpgaConfig::default();
+        let err = afp_error::ErrorConfig::default();
+        let k = |c: &ArithCircuit, e: &afp_error::ErrorConfig| {
+            CharacterizationCache::key(c, &asic, &fpga, e)
+        };
+        assert_eq!(k(&a, &err), k(&renamed, &err));
+        assert_ne!(k(&a, &err), k(&adders::loa(8, 4), &err));
+        let other_err = afp_error::ErrorConfig {
+            seed: err.seed ^ 1,
+            ..err.clone()
+        };
+        assert_ne!(k(&a, &err), k(&a, &other_err));
+    }
+
+    #[test]
+    fn disk_tier_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("afp-core-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let v = sample();
+        let key = CharacterizationCache::key(
+            &adders::loa(8, 3),
+            &afp_asic::AsicConfig::default(),
+            &afp_fpga::FpgaConfig::default(),
+            &afp_error::ErrorConfig::default(),
+        );
+        {
+            let cache = CharacterizationCache::with_disk(&dir);
+            cache.insert(key, v);
+        }
+        let reopened = CharacterizationCache::with_disk(&dir);
+        let counters = Counters::default();
+        assert_eq!(reopened.get(key, &counters), Some(v));
+        assert_eq!(counters.snapshot().cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

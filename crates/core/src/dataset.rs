@@ -2,12 +2,15 @@
 //! sampling and the 80/20 train/validation split.
 
 use afp_circuits::ArithCircuit;
+use afp_runtime::Runtime;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::record::{characterize, CircuitRecord};
+use crate::cache::CharacterizationCache;
+use crate::record::{characterize_with, CircuitRecord};
 
-/// Characterize every circuit in `library` in parallel (scoped threads).
+/// Characterize every circuit in `library` in parallel (one worker per
+/// available core, work-stealing).
 ///
 /// Record ids equal library indices.
 pub fn characterize_library(
@@ -16,36 +19,39 @@ pub fn characterize_library(
     fpga_config: &afp_fpga::FpgaConfig,
     error_config: &afp_error::ErrorConfig,
 ) -> Vec<CircuitRecord> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(library.len().max(1));
-    let chunk = library.len().div_ceil(threads.max(1)).max(1);
-    let mut results: Vec<Option<CircuitRecord>> = vec![None; library.len()];
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, (start, circ_chunk)) in results.chunks_mut(chunk).zip(
-            (0..library.len())
-                .step_by(chunk)
-                .map(|s| (s, &library[s..(s + chunk).min(library.len())])),
-        ) {
-            scope.spawn(move |_| {
-                for (offset, circuit) in circ_chunk.iter().enumerate() {
-                    slot_chunk[offset] = Some(characterize(
-                        start + offset,
-                        circuit,
-                        asic_config,
-                        fpga_config,
-                        error_config,
-                    ));
-                }
-            });
-        }
+    characterize_library_with(
+        library,
+        asic_config,
+        fpga_config,
+        error_config,
+        &Runtime::new(0),
+        None,
+    )
+}
+
+/// [`characterize_library`] on an explicit [`Runtime`], optionally through
+/// the characterization cache. Items are distributed dynamically (circuit
+/// cost varies wildly across a library), but records always come back in
+/// library order, independent of the thread count.
+pub fn characterize_library_with(
+    library: &[ArithCircuit],
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+    rt: &Runtime,
+    cache: Option<&CharacterizationCache>,
+) -> Vec<CircuitRecord> {
+    rt.par_map(library, |id, circuit| {
+        characterize_with(
+            id,
+            circuit,
+            asic_config,
+            fpga_config,
+            error_config,
+            rt,
+            cache,
+        )
     })
-    .expect("characterization threads must not panic");
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
 }
 
 /// Deterministically sample `fraction` of `n` indices (at least
@@ -87,6 +93,7 @@ pub fn train_validate_split(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::characterize;
     use afp_circuits::{build_library, ArithKind, LibrarySpec};
 
     #[test]
@@ -137,7 +144,10 @@ mod tests {
 
     #[test]
     fn different_seeds_sample_differently() {
-        assert_ne!(sample_subset(500, 0.1, 10, 1), sample_subset(500, 0.1, 10, 2));
+        assert_ne!(
+            sample_subset(500, 0.1, 10, 1),
+            sample_subset(500, 0.1, 10, 2)
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use afp_ml::metrics::{fidelity, mae, pearson, r2};
 use afp_ml::{build_model, Matrix, MlModelId, Regressor};
+use afp_runtime::Runtime;
 
 use crate::record::{extract_features, CircuitRecord, FeatureLayout, FpgaParam};
 
@@ -21,6 +22,10 @@ pub struct FidelityRecord {
     /// Pearson correlation on the validation set.
     pub pearson: f64,
 }
+
+/// The hyperparameter-grid label chosen per trained (model, parameter),
+/// as returned by the tuned training entry points.
+pub type ChosenLabels = Vec<((MlModelId, FpgaParam), String)>;
 
 /// A zoo of trained models: one regressor per (model id, FPGA parameter).
 pub struct TrainedZoo {
@@ -63,6 +68,18 @@ impl TrainedZoo {
             .iter()
             .map(|r| self.estimate(model, param, r))
             .collect()
+    }
+
+    /// [`TrainedZoo::estimate_all`] on an explicit [`Runtime`]: records are
+    /// estimated in parallel, results stay in record order.
+    pub fn estimate_all_with(
+        &self,
+        model: MlModelId,
+        param: FpgaParam,
+        records: &[CircuitRecord],
+        rt: &Runtime,
+    ) -> Vec<f64> {
+        rt.par_map(records, |_, r| self.estimate(model, param, r))
     }
 
     /// The `k` models with the highest validation fidelity for `param`,
@@ -115,49 +132,100 @@ pub fn train_zoo(
     models: &[MlModelId],
     tolerance: f64,
 ) -> TrainedZoo {
+    train_zoo_with(
+        records,
+        train,
+        validate,
+        models,
+        tolerance,
+        &Runtime::serial(),
+    )
+}
+
+/// [`train_zoo`] on an explicit [`Runtime`]: the `params × models` grid
+/// trains in parallel. Each (model, parameter) fit is independent, so the
+/// zoo — including the order of its fidelity table — is identical to the
+/// serial build for any thread count.
+pub fn train_zoo_with(
+    records: &[CircuitRecord],
+    train: &[usize],
+    validate: &[usize],
+    models: &[MlModelId],
+    tolerance: f64,
+    rt: &Runtime,
+) -> TrainedZoo {
     let layout = FeatureLayout::standard();
     let x_train = feature_matrix(records, train, &layout);
     let x_val = feature_matrix(records, validate, &layout);
-    let mut trained: Vec<((MlModelId, FpgaParam), Box<dyn Regressor>)> = Vec::new();
-    let mut fidelities = Vec::new();
-    for &param in &FpgaParam::ALL {
-        let y_train: Vec<f64> = train.iter().map(|&i| records[i].fpga_param(param)).collect();
-        let y_val: Vec<f64> = validate
-            .iter()
-            .map(|&i| records[i].fpga_param(param))
-            .collect();
-        for &id in models {
-            let mut model = build_model(id, layout.asic_columns());
-            if let Err(e) = model.fit(&x_train, &y_train) {
-                // A singular fit (degenerate subset) scores zero fidelity
-                // rather than aborting the flow.
-                fidelities.push(FidelityRecord {
-                    model: id,
-                    param,
-                    fidelity: 0.0,
-                    r2: f64::NEG_INFINITY,
-                    mae: f64::INFINITY,
-                    pearson: 0.0,
-                });
-                let _ = e;
-                continue;
-            }
-            let pred = model.predict(&x_val);
-            fidelities.push(FidelityRecord {
-                model: id,
-                param,
-                fidelity: fidelity(&pred, &y_val, tolerance),
-                r2: r2(&pred, &y_val),
-                mae: mae(&pred, &y_val),
-                pearson: pearson(&pred, &y_val),
-            });
-            trained.push(((id, param), model));
+    let targets = target_vectors(records, train, validate);
+    let jobs: Vec<(FpgaParam, MlModelId)> = FpgaParam::ALL
+        .iter()
+        .flat_map(|&param| models.iter().map(move |&id| (param, id)))
+        .collect();
+    let results = rt.par_map(&jobs, |_, &(param, id)| {
+        let (y_train, y_val) = &targets[&param];
+        let mut model = build_model(id, layout.asic_columns());
+        if model.fit(&x_train, y_train).is_err() {
+            // A singular fit (degenerate subset) scores zero fidelity
+            // rather than aborting the flow.
+            return (None, failed_fit(id, param));
         }
+        let pred = model.predict(&x_val);
+        let record = FidelityRecord {
+            model: id,
+            param,
+            fidelity: fidelity(&pred, y_val, tolerance),
+            r2: r2(&pred, y_val),
+            mae: mae(&pred, y_val),
+            pearson: pearson(&pred, y_val),
+        };
+        (Some(((id, param), model)), record)
+    });
+    let mut trained = Vec::new();
+    let mut fidelities = Vec::with_capacity(results.len());
+    for (model, record) in results {
+        if let Some(m) = model {
+            trained.push(m);
+        }
+        fidelities.push(record);
     }
     TrainedZoo {
         layout,
         models: trained,
         fidelities,
+    }
+}
+
+/// The per-parameter (train, validation) target vectors.
+fn target_vectors(
+    records: &[CircuitRecord],
+    train: &[usize],
+    validate: &[usize],
+) -> std::collections::BTreeMap<FpgaParam, (Vec<f64>, Vec<f64>)> {
+    FpgaParam::ALL
+        .iter()
+        .map(|&param| {
+            let y_train: Vec<f64> = train
+                .iter()
+                .map(|&i| records[i].fpga_param(param))
+                .collect();
+            let y_val: Vec<f64> = validate
+                .iter()
+                .map(|&i| records[i].fpga_param(param))
+                .collect();
+            (param, (y_train, y_val))
+        })
+        .collect()
+}
+
+fn failed_fit(model: MlModelId, param: FpgaParam) -> FidelityRecord {
+    FidelityRecord {
+        model,
+        param,
+        fidelity: 0.0,
+        r2: f64::NEG_INFINITY,
+        mae: f64::INFINITY,
+        pearson: 0.0,
     }
 }
 
@@ -175,58 +243,77 @@ pub fn train_zoo_tuned(
     validate: &[usize],
     models: &[MlModelId],
     tolerance: f64,
-) -> (TrainedZoo, Vec<((MlModelId, FpgaParam), String)>) {
+) -> (TrainedZoo, ChosenLabels) {
+    train_zoo_tuned_with(
+        records,
+        train,
+        validate,
+        models,
+        tolerance,
+        &Runtime::serial(),
+    )
+}
+
+/// [`train_zoo_tuned`] on an explicit [`Runtime`]: one parallel task per
+/// (model, parameter) pair, each sweeping its hyperparameter grid.
+pub fn train_zoo_tuned_with(
+    records: &[CircuitRecord],
+    train: &[usize],
+    validate: &[usize],
+    models: &[MlModelId],
+    tolerance: f64,
+    rt: &Runtime,
+) -> (TrainedZoo, ChosenLabels) {
     let layout = FeatureLayout::standard();
     let x_train = feature_matrix(records, train, &layout);
     let x_val = feature_matrix(records, validate, &layout);
-    let mut trained: Vec<((MlModelId, FpgaParam), Box<dyn Regressor>)> = Vec::new();
-    let mut fidelities = Vec::new();
-    let mut chosen_labels = Vec::new();
-    for &param in &FpgaParam::ALL {
-        let y_train: Vec<f64> = train.iter().map(|&i| records[i].fpga_param(param)).collect();
-        let y_val: Vec<f64> = validate
-            .iter()
-            .map(|&i| records[i].fpga_param(param))
-            .collect();
-        for &id in models {
-            let mut best: Option<(FidelityRecord, Box<dyn Regressor>, String)> = None;
-            for candidate in afp_ml::tuning::hyper_grid(id, layout.asic_columns()) {
-                let mut model = candidate.model;
-                if model.fit(&x_train, &y_train).is_err() {
-                    continue;
-                }
-                let pred = model.predict(&x_val);
-                let record = FidelityRecord {
-                    model: id,
-                    param,
-                    fidelity: fidelity(&pred, &y_val, tolerance),
-                    r2: r2(&pred, &y_val),
-                    mae: mae(&pred, &y_val),
-                    pearson: pearson(&pred, &y_val),
-                };
-                let better = best
-                    .as_ref()
-                    .map_or(true, |(b, _, _)| record.fidelity > b.fidelity);
-                if better {
-                    best = Some((record, model, candidate.label));
-                }
+    let targets = target_vectors(records, train, validate);
+    let jobs: Vec<(FpgaParam, MlModelId)> = FpgaParam::ALL
+        .iter()
+        .flat_map(|&param| models.iter().map(move |&id| (param, id)))
+        .collect();
+    type Tuned = (
+        Option<((MlModelId, FpgaParam), Box<dyn Regressor>, String)>,
+        FidelityRecord,
+    );
+    let results: Vec<Tuned> = rt.par_map(&jobs, |_, &(param, id)| {
+        let (y_train, y_val) = &targets[&param];
+        let mut best: Option<(FidelityRecord, Box<dyn Regressor>, String)> = None;
+        for candidate in afp_ml::tuning::hyper_grid(id, layout.asic_columns()) {
+            let mut model = candidate.model;
+            if model.fit(&x_train, y_train).is_err() {
+                continue;
             }
-            match best {
-                Some((record, model, label)) => {
-                    fidelities.push(record);
-                    trained.push(((id, param), model));
-                    chosen_labels.push(((id, param), label));
-                }
-                None => fidelities.push(FidelityRecord {
-                    model: id,
-                    param,
-                    fidelity: 0.0,
-                    r2: f64::NEG_INFINITY,
-                    mae: f64::INFINITY,
-                    pearson: 0.0,
-                }),
+            let pred = model.predict(&x_val);
+            let record = FidelityRecord {
+                model: id,
+                param,
+                fidelity: fidelity(&pred, y_val, tolerance),
+                r2: r2(&pred, y_val),
+                mae: mae(&pred, y_val),
+                pearson: pearson(&pred, y_val),
+            };
+            let better = best
+                .as_ref()
+                .is_none_or(|(b, _, _)| record.fidelity > b.fidelity);
+            if better {
+                best = Some((record, model, candidate.label));
             }
         }
+        match best {
+            Some((record, model, label)) => (Some(((id, param), model, label)), record),
+            None => (None, failed_fit(id, param)),
+        }
+    });
+    let mut trained = Vec::new();
+    let mut fidelities = Vec::with_capacity(results.len());
+    let mut chosen_labels = Vec::new();
+    for (best, record) in results {
+        if let Some((key, model, label)) = best {
+            trained.push((key, model));
+            chosen_labels.push((key, label));
+        }
+        fidelities.push(record);
     }
     (
         TrainedZoo {
@@ -337,7 +424,12 @@ mod tests {
         );
         let subset = sample_subset(records.len(), 0.6, 30, 2);
         let (train, val) = train_validate_split(&subset, 0.8, 2);
-        let models = [MlModelId::Ml10, MlModelId::Ml14, MlModelId::Ml16, MlModelId::Ml18];
+        let models = [
+            MlModelId::Ml10,
+            MlModelId::Ml14,
+            MlModelId::Ml16,
+            MlModelId::Ml18,
+        ];
         let base = train_zoo(&records, &train, &val, &models, 0.01);
         let (tuned, labels) = train_zoo_tuned(&records, &train, &val, &models, 0.01);
         assert_eq!(labels.len(), models.len() * FpgaParam::ALL.len());

@@ -2,12 +2,15 @@
 //! exploration-time accounting behind Fig. 3.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 
-use afp_circuits::{build_library, LibrarySpec};
+use afp_circuits::{build_library_with, LibrarySpec};
 use afp_ml::MlModelId;
+use afp_runtime::{CounterSnapshot, Runtime};
 
-use crate::dataset::{characterize_library, sample_subset, train_validate_split};
-use crate::fidelity::{train_zoo, TrainedZoo};
+use crate::cache::CharacterizationCache;
+use crate::dataset::{characterize_library_with, sample_subset, train_validate_split};
+use crate::fidelity::{train_zoo_tuned_with, train_zoo_with, TrainedZoo};
 use crate::pareto::{coverage, pareto_front, peel_fronts};
 use crate::record::{CircuitRecord, FpgaParam};
 
@@ -39,6 +42,17 @@ pub struct FlowConfig {
     pub tune_models: bool,
     /// Relative tolerance used by the fidelity pair comparison.
     pub fidelity_tolerance: f64,
+    /// Worker threads for the parallel stages (0 = one per available
+    /// core). Results are bit-identical for any thread count.
+    pub threads: usize,
+    /// Memoize characterization results keyed by circuit structure and
+    /// configuration (default on; repeated circuits and repeated runs of
+    /// one [`Flow`] skip synthesis entirely).
+    pub use_cache: bool,
+    /// Persist the characterization cache to
+    /// `<dir>/characterization.csv` so hits survive across processes.
+    /// `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
     /// Master seed for sampling/splitting.
     pub seed: u64,
     /// ASIC synthesis model configuration.
@@ -62,6 +76,9 @@ impl Default for FlowConfig {
             models: MlModelId::ALL.to_vec(),
             tune_models: false,
             fidelity_tolerance: 0.01,
+            threads: 0,
+            use_cache: true,
+            cache_dir: None,
             seed: 0xDAC_2020,
             asic: afp_asic::AsicConfig::default(),
             fpga: afp_fpga::FpgaConfig::default(),
@@ -131,6 +148,10 @@ pub struct FlowOutcome {
     pub coverage: BTreeMap<FpgaParam, f64>,
     /// Exploration-time accounting.
     pub time: TimeAccounting,
+    /// Runtime counters for this run: tasks executed, steals, cache
+    /// hits/misses, synthesis counts and bytes simulated. `steals` is the
+    /// only non-deterministic field; everything else is thread-invariant.
+    pub runtime: CounterSnapshot,
 }
 
 impl FlowOutcome {
@@ -155,12 +176,23 @@ impl FlowOutcome {
 /// The ApproxFPGAs flow runner.
 pub struct Flow {
     config: FlowConfig,
+    cache: Option<CharacterizationCache>,
 }
 
 impl Flow {
-    /// Create a flow with `config`.
+    /// Create a flow with `config`. If caching is enabled, the cache lives
+    /// as long as the `Flow` — repeated [`run`](Flow::run)s on the same
+    /// instance hit it.
     pub fn new(config: FlowConfig) -> Flow {
-        Flow { config }
+        let cache = if config.use_cache {
+            Some(match &config.cache_dir {
+                Some(dir) => CharacterizationCache::with_disk(dir),
+                None => CharacterizationCache::in_memory(),
+            })
+        } else {
+            None
+        };
+        Flow { config, cache }
     }
 
     /// Borrow the configuration.
@@ -171,16 +203,27 @@ impl Flow {
     /// Run the full methodology; see the crate docs for the pipeline.
     pub fn run(&self) -> FlowOutcome {
         let cfg = &self.config;
-        let library = build_library(&cfg.library);
-        let records =
-            characterize_library(&library, &cfg.asic, &cfg.fpga, &cfg.error);
-        self.run_on_records(records)
+        let rt = Runtime::new(cfg.threads);
+        let library = build_library_with(&cfg.library, &rt);
+        let records = characterize_library_with(
+            &library,
+            &cfg.asic,
+            &cfg.fpga,
+            &cfg.error,
+            &rt,
+            self.cache.as_ref(),
+        );
+        self.run_on_records_with(records, &rt)
     }
 
     /// Run the methodology on pre-characterized records (lets callers share
     /// one characterization across multiple flow variants, as the Fig. 7
     /// ablation does).
     pub fn run_on_records(&self, records: Vec<CircuitRecord>) -> FlowOutcome {
+        self.run_on_records_with(records, &Runtime::new(self.config.threads))
+    }
+
+    fn run_on_records_with(&self, records: Vec<CircuitRecord>, rt: &Runtime) -> FlowOutcome {
         let cfg = &self.config;
         let n = records.len();
 
@@ -192,21 +235,23 @@ impl Flow {
         // 2. Train and score the model zoo (optionally with the Fig. 2
         //    hyperparameter-modification loop).
         let zoo = if cfg.tune_models {
-            crate::fidelity::train_zoo_tuned(
+            train_zoo_tuned_with(
                 &records,
                 &train,
                 &validate,
                 &cfg.models,
                 cfg.fidelity_tolerance,
+                rt,
             )
             .0
         } else {
-            train_zoo(
+            train_zoo_with(
                 &records,
                 &train,
                 &validate,
                 &cfg.models,
                 cfg.fidelity_tolerance,
+                rt,
             )
         };
 
@@ -225,20 +270,32 @@ impl Flow {
         }
 
         // 4. Estimate the whole library and peel pseudo-pareto fronts per
-        //    (parameter, model); candidates are the union.
+        //    (parameter, model) in parallel; candidates are the union,
+        //    which is a set and therefore independent of completion order.
+        let jobs: Vec<(FpgaParam, MlModelId)> = FpgaParam::ALL
+            .iter()
+            .flat_map(|&param| selected_models[&param].iter().map(move |&m| (param, m)))
+            .collect();
+        let peeled: Vec<BTreeSet<usize>> = rt.par_map(&jobs, |_, &(param, model)| {
+            let est = zoo.estimate_all(model, param, &records);
+            let points: Vec<(f64, f64)> = est
+                .iter()
+                .zip(&records)
+                .map(|(&e, r)| (e, r.error.med))
+                .collect();
+            let mut set = BTreeSet::new();
+            for front in peel_fronts(&points, cfg.fronts) {
+                set.extend(front);
+            }
+            set
+        });
         let mut candidates: BTreeMap<FpgaParam, Vec<usize>> = BTreeMap::new();
         let mut synthesized: BTreeSet<usize> = subset.iter().copied().collect();
         for &param in &FpgaParam::ALL {
             let mut union: BTreeSet<usize> = BTreeSet::new();
-            for &model in &selected_models[&param] {
-                let est = zoo.estimate_all(model, param, &records);
-                let points: Vec<(f64, f64)> = est
-                    .iter()
-                    .zip(&records)
-                    .map(|(&e, r)| (e, r.error.med))
-                    .collect();
-                for front in peel_fronts(&points, cfg.fronts) {
-                    union.extend(front);
+            for ((p, _), set) in jobs.iter().zip(&peeled) {
+                if *p == param {
+                    union.extend(set.iter().copied());
                 }
             }
             let list: Vec<usize> = union.iter().copied().collect();
@@ -256,8 +313,7 @@ impl Flow {
                 .map(|r| (r.fpga_param(param), r.error.med))
                 .collect();
             let synth_list: Vec<usize> = synthesized.iter().copied().collect();
-            let synth_points: Vec<(f64, f64)> =
-                synth_list.iter().map(|&i| all_points[i]).collect();
+            let synth_points: Vec<(f64, f64)> = synth_list.iter().map(|&i| all_points[i]).collect();
             let local_front = pareto_front(&synth_points);
             let found: Vec<usize> = local_front.iter().map(|&li| synth_list[li]).collect();
             let truth = pareto_front(&all_points);
@@ -277,8 +333,7 @@ impl Flow {
         // Model training/estimation: a flat modeled cost per model-target
         // plus a per-estimate term — minutes, matching the paper's
         // "order of seconds" estimation plus training overhead.
-        let ml_s = (cfg.models.len() * FpgaParam::ALL.len()) as f64 * 20.0
-            + n as f64 * 3.0e-3;
+        let ml_s = (cfg.models.len() * FpgaParam::ALL.len()) as f64 * 20.0 + n as f64 * 3.0e-3;
         let time = TimeAccounting {
             exhaustive_s,
             subset_s,
@@ -301,6 +356,7 @@ impl Flow {
             true_fronts,
             coverage: cov,
             time,
+            runtime: rt.snapshot(),
         }
     }
 }
@@ -362,7 +418,11 @@ mod tests {
     #[test]
     fn more_fronts_synthesize_more_but_cover_more() {
         let base = tiny_config(120);
-        let one = Flow::new(FlowConfig { fronts: 1, ..base.clone() }).run();
+        let one = Flow::new(FlowConfig {
+            fronts: 1,
+            ..base.clone()
+        })
+        .run();
         let three = Flow::new(FlowConfig { fronts: 3, ..base }).run();
         assert!(three.time.flow_count >= one.time.flow_count);
         assert!(three.mean_coverage() >= one.mean_coverage() - 1e-9);

@@ -46,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dataset;
 pub mod fidelity;
 pub mod flow;
 pub mod pareto;
 pub mod record;
 
+pub use cache::{CachedCharacterization, CharacterizationCache};
 pub use fidelity::FidelityRecord;
 pub use flow::{Flow, FlowConfig, FlowOutcome, TimeAccounting};
 pub use pareto::{coverage, pareto_front, peel_fronts};

@@ -189,16 +189,67 @@ pub fn characterize(
     fpga_config: &afp_fpga::FpgaConfig,
     error_config: &afp_error::ErrorConfig,
 ) -> CircuitRecord {
+    characterize_with(
+        id,
+        circuit,
+        asic_config,
+        fpga_config,
+        error_config,
+        &afp_runtime::Runtime::serial(),
+        None,
+    )
+}
+
+/// [`characterize`] on an explicit runtime, optionally through the
+/// characterization cache.
+///
+/// On a cache hit the three reports are reused and no synthesis or error
+/// analysis runs (only the cheap netlist statistics are recomputed); on a
+/// miss the reports are computed, counted on the runtime's counters, and
+/// inserted into the cache.
+pub fn characterize_with(
+    id: usize,
+    circuit: &ArithCircuit,
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+    rt: &afp_runtime::Runtime,
+    cache: Option<&crate::cache::CharacterizationCache>,
+) -> CircuitRecord {
+    use crate::cache::{CachedCharacterization, CharacterizationCache};
+    use afp_runtime::Counters;
+
     let netlist = circuit.netlist();
+    let key =
+        cache.map(|_| CharacterizationCache::key(circuit, asic_config, fpga_config, error_config));
+    let cached = key.and_then(|k| cache.and_then(|c| c.get(k, rt.counters())));
+    let reports = match cached {
+        Some(hit) => hit,
+        None => {
+            let counters = rt.counters();
+            Counters::add(&counters.asic_synths, 1);
+            Counters::add(&counters.fpga_synths, 1);
+            Counters::add(&counters.error_analyses, 1);
+            let computed = CachedCharacterization {
+                asic: afp_asic::synthesize_asic(netlist, asic_config),
+                error: afp_error::analyze_with(circuit, error_config, rt),
+                fpga: afp_fpga::synthesize_fpga(netlist, fpga_config),
+            };
+            if let (Some(cache), Some(key)) = (cache, key) {
+                cache.insert(key, computed);
+            }
+            computed
+        }
+    };
     CircuitRecord {
         id,
         name: circuit.name().to_string(),
         kind: circuit.kind(),
         width: circuit.width(),
         stats: afp_netlist::analyze::stats(netlist),
-        asic: afp_asic::synthesize_asic(netlist, asic_config),
-        error: afp_error::analyze(circuit, error_config),
-        fpga: afp_fpga::synthesize_fpga(netlist, fpga_config),
+        asic: reports.asic,
+        error: reports.error,
+        fpga: reports.fpga,
     }
 }
 

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 use afp_circuits::{ArithCircuit, BatchEvaluator};
+use afp_runtime::{Counters, Runtime};
 
 /// Configuration for [`analyze`].
 #[derive(Clone, Debug)]
@@ -50,6 +51,15 @@ impl Default for ErrorConfig {
             samples: 1 << 16,
             seed: 0xE44_0001,
         }
+    }
+}
+
+impl afp_runtime::Fingerprint for ErrorConfig {
+    fn fingerprint(&self, h: &mut afp_runtime::StableHasher) {
+        h.write_str("error-config");
+        h.write_usize(self.max_exhaustive_bits);
+        h.write_usize(self.samples);
+        h.write_u64(self.seed);
     }
 }
 
@@ -112,42 +122,85 @@ impl ErrorMetrics {
 /// behaviour), one third near the operand maximum (exercising long carry
 /// chains), plus the four corner pairs.
 pub fn analyze(circuit: &ArithCircuit, config: &ErrorConfig) -> ErrorMetrics {
+    analyze_with(circuit, config, &Runtime::serial())
+}
+
+/// Pairs per parallel block. Fixed (never derived from the thread count),
+/// so the partition — and with it every reduction order — is a pure
+/// function of the input and the result is identical for any parallelism.
+const BLOCK_PAIRS: usize = 4096;
+
+/// [`analyze`] on an explicit [`Runtime`].
+///
+/// The input space is split into fixed-size blocks evaluated in parallel;
+/// per-block partial sums use exact integer arithmetic and are merged in
+/// block order, so the metrics are bit-identical for any thread count.
+pub fn analyze_with(circuit: &ArithCircuit, config: &ErrorConfig, rt: &Runtime) -> ErrorMetrics {
     let w = circuit.width();
     let exhaustive = 2 * w <= config.max_exhaustive_bits;
-    let mut acc = Accumulator::new(circuit.kind().max_output(w) as f64);
-    let mut batch = BatchEvaluator::new(circuit);
-    if exhaustive {
+    let max_out = circuit.kind().max_output(w) as f64;
+    let partials: Vec<Accumulator> = if exhaustive {
         let mask = (1u64 << w) - 1;
-        let mut chunk: Vec<(u64, u64)> = Vec::with_capacity(64);
-        for a in 0..=mask {
-            for b in 0..=mask {
-                chunk.push((a, b));
-                if chunk.len() == 64 {
-                    accumulate(circuit, &mut batch, &chunk, &mut acc);
-                    chunk.clear();
+        // Blocks are ranges of `a` rows; each row is `mask + 1` pairs.
+        let rows_per_block = (BLOCK_PAIRS >> w).max(1) as u64;
+        let row_starts: Vec<u64> = (0..=mask).step_by(rows_per_block as usize).collect();
+        rt.par_map(&row_starts, |_, &a_start| {
+            let a_end = (a_start + rows_per_block - 1).min(mask);
+            let mut acc = Accumulator::new(max_out);
+            let mut batch = BatchEvaluator::new(circuit);
+            let mut chunk: Vec<(u64, u64)> = Vec::with_capacity(64);
+            let mut got: Vec<u64> = Vec::with_capacity(64);
+            for a in a_start..=a_end {
+                for b in 0..=mask {
+                    chunk.push((a, b));
+                    if chunk.len() == 64 {
+                        accumulate(circuit, &mut batch, &chunk, &mut got, &mut acc);
+                        chunk.clear();
+                    }
                 }
             }
-        }
-        if !chunk.is_empty() {
-            accumulate(circuit, &mut batch, &chunk, &mut acc);
-        }
+            if !chunk.is_empty() {
+                accumulate(circuit, &mut batch, &chunk, &mut got, &mut acc);
+            }
+            record_bytes(rt, &acc);
+            acc
+        })
     } else {
         let pairs = stratified_pairs(w, config.samples, config.seed);
-        for chunk in pairs.chunks(64) {
-            accumulate(circuit, &mut batch, chunk, &mut acc);
-        }
+        let blocks: Vec<&[(u64, u64)]> = pairs.chunks(BLOCK_PAIRS).collect();
+        rt.par_map(&blocks, |_, block| {
+            let mut acc = Accumulator::new(max_out);
+            let mut batch = BatchEvaluator::new(circuit);
+            let mut got: Vec<u64> = Vec::with_capacity(64);
+            for chunk in block.chunks(64) {
+                accumulate(circuit, &mut batch, chunk, &mut got, &mut acc);
+            }
+            record_bytes(rt, &acc);
+            acc
+        })
+    };
+    let mut total = Accumulator::new(max_out);
+    for p in partials {
+        total.merge(&p);
     }
-    acc.finish(exhaustive)
+    total.finish(exhaustive)
+}
+
+fn record_bytes(rt: &Runtime, acc: &Accumulator) {
+    // 16 bytes of operand data per evaluated pair.
+    Counters::add(&rt.counters().bytes_simulated, acc.n * 16);
 }
 
 fn accumulate(
     circuit: &ArithCircuit,
     batch: &mut BatchEvaluator<'_>,
     pairs: &[(u64, u64)],
+    got: &mut Vec<u64>,
     acc: &mut Accumulator,
 ) {
-    let got = batch.eval_chunk(pairs);
-    for (&(a, b), &g) in pairs.iter().zip(&got) {
+    got.clear();
+    batch.eval_chunk_into(pairs, got);
+    for (&(a, b), &g) in pairs.iter().zip(got.iter()) {
         acc.push(circuit.exact(a, b), g);
     }
 }
@@ -183,12 +236,19 @@ pub fn stratified_pairs(width: usize, samples: usize, seed: u64) -> Vec<(u64, u6
     pairs
 }
 
+/// Partial error sums over one block of input pairs.
+///
+/// The absolute/signed/squared error sums are exact integers (`u128` /
+/// `i128`), so merging partial accumulators is associative and the final
+/// metrics do not depend on how the input space was partitioned. Only
+/// `sum_rel` is inherently fractional; it is merged in fixed block order,
+/// which keeps it deterministic for any thread count.
 struct Accumulator {
     max_out: f64,
     n: u64,
-    sum_abs: f64,
-    sum_signed: f64,
-    sum_sq: f64,
+    sum_abs: u128,
+    sum_signed: i128,
+    sum_sq: u128,
     wce: u64,
     nonzero: u64,
     sum_rel: f64,
@@ -200,9 +260,9 @@ impl Accumulator {
         Accumulator {
             max_out,
             n: 0,
-            sum_abs: 0.0,
-            sum_signed: 0.0,
-            sum_sq: 0.0,
+            sum_abs: 0,
+            sum_signed: 0,
+            sum_sq: 0,
             wce: 0,
             nonzero: 0,
             sum_rel: 0.0,
@@ -214,9 +274,9 @@ impl Accumulator {
         let err = got as i64 - exact as i64;
         let abs = err.unsigned_abs();
         self.n += 1;
-        self.sum_abs += abs as f64;
-        self.sum_signed += err as f64;
-        self.sum_sq += (abs as f64) * (abs as f64);
+        self.sum_abs += abs as u128;
+        self.sum_signed += err as i128;
+        self.sum_sq += (abs as u128) * (abs as u128);
         self.wce = self.wce.max(abs);
         if abs != 0 {
             self.nonzero += 1;
@@ -227,19 +287,30 @@ impl Accumulator {
         }
     }
 
+    fn merge(&mut self, other: &Accumulator) {
+        self.n += other.n;
+        self.sum_abs += other.sum_abs;
+        self.sum_signed += other.sum_signed;
+        self.sum_sq += other.sum_sq;
+        self.wce = self.wce.max(other.wce);
+        self.nonzero += other.nonzero;
+        self.sum_rel += other.sum_rel;
+        self.rel_n += other.rel_n;
+    }
+
     fn finish(self, exhaustive: bool) -> ErrorMetrics {
         let n = self.n.max(1) as f64;
         ErrorMetrics {
             samples: self.n,
             exhaustive,
-            med: self.sum_abs / n / self.max_out,
-            mae: self.sum_abs / n,
+            med: self.sum_abs as f64 / n / self.max_out,
+            mae: self.sum_abs as f64 / n,
             wce: self.wce,
             wce_rel: self.wce as f64 / self.max_out,
             mre: self.sum_rel / self.rel_n.max(1) as f64,
             error_prob: self.nonzero as f64 / n,
-            mse: self.sum_sq / n,
-            bias: self.sum_signed / n,
+            mse: self.sum_sq as f64 / n,
+            bias: self.sum_signed as f64 / n,
         }
     }
 }
@@ -304,7 +375,10 @@ mod tests {
         let small = analyze(&multipliers::truncated(8, 2), &cfg());
         let large = analyze(&multipliers::truncated(8, 8), &cfg());
         assert!(large.med > small.med);
-        assert!(large.bias < small.bias, "more truncation, more negative bias");
+        assert!(
+            large.bias < small.bias,
+            "more truncation, more negative bias"
+        );
     }
 
     #[test]
@@ -350,6 +424,29 @@ mod tests {
     fn error_prob_near_one_for_fully_truncated_adder() {
         let m = analyze(&adders::truncated(8, 8), &cfg());
         assert!(m.error_prob > 0.99);
+    }
+
+    #[test]
+    fn metrics_are_bit_identical_for_any_thread_count() {
+        let circuits = [
+            multipliers::broken_array(8, 6, 2),
+            adders::loa(8, 4),
+            adders::loa(16, 8), // exercises the sampled path
+        ];
+        for c in &circuits {
+            let serial = analyze_with(c, &cfg(), &Runtime::serial());
+            for threads in [2, 4, 8] {
+                let par = Runtime::install(threads, |rt| analyze_with(c, &cfg(), rt));
+                assert_eq!(serial, par, "{} at {threads} threads", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_simulated_counts_sixteen_per_pair() {
+        let rt = Runtime::serial();
+        let m = analyze_with(&adders::loa(8, 4), &cfg(), &rt);
+        assert_eq!(rt.snapshot().bytes_simulated, m.samples * 16);
     }
 
     proptest::proptest! {

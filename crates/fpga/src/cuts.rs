@@ -128,7 +128,11 @@ pub fn enumerate(netlist: &Netlist, k: usize, keep: usize) -> CutSets {
         match ops.len() {
             1 => {
                 for c in &cuts[ops[0]] {
-                    push_candidate(&mut candidates, c.clone());
+                    // Compare by reference; clone only cuts that survive
+                    // the duplicate check.
+                    if !is_duplicate(&candidates, c) {
+                        candidates.push(c.clone());
+                    }
                 }
             }
             2 => {
@@ -173,9 +177,11 @@ pub fn enumerate(netlist: &Netlist, k: usize, keep: usize) -> CutSets {
             })
             .collect();
         scored.sort_by(|a, b| {
-            a.depth
-                .cmp(&b.depth)
-                .then(a.area_flow.partial_cmp(&b.area_flow).unwrap_or(std::cmp::Ordering::Equal))
+            a.depth.cmp(&b.depth).then(
+                a.area_flow
+                    .partial_cmp(&b.area_flow)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         scored.dedup_by(|a, b| a.leaves() == b.leaves());
         scored.truncate(keep);
@@ -194,8 +200,14 @@ pub fn enumerate(netlist: &Netlist, k: usize, keep: usize) -> CutSets {
     }
 }
 
+#[inline]
+fn is_duplicate(candidates: &[Cut], cut: &Cut) -> bool {
+    candidates.iter().any(|c| c.leaves() == cut.leaves())
+}
+
+/// Push a freshly merged cut (already owned — never clones).
 fn push_candidate(candidates: &mut Vec<Cut>, cut: Cut) {
-    if !candidates.iter().any(|c| c.leaves() == cut.leaves()) {
+    if !is_duplicate(candidates, &cut) {
         candidates.push(cut);
     }
 }

@@ -140,6 +140,25 @@ pub fn synthesize_fpga(netlist: &Netlist, config: &FpgaConfig) -> FpgaReport {
     map::evaluate(netlist, &mapping, config)
 }
 
+impl afp_runtime::Fingerprint for FpgaConfig {
+    fn fingerprint(&self, h: &mut afp_runtime::StableHasher) {
+        h.write_str("fpga-config");
+        h.write_usize(self.arch.lut_inputs);
+        h.write_usize(self.arch.luts_per_slice);
+        h.write_f64(self.arch.lut_delay_ns);
+        h.write_f64(self.arch.route_base_ns);
+        h.write_f64(self.arch.route_fanout_ns);
+        h.write_f64(self.arch.lut_energy_pj);
+        h.write_f64(self.arch.route_energy_pj);
+        h.write_f64(self.arch.lut_static_uw);
+        h.write_usize(self.cuts_per_node);
+        h.write_f64(self.clock_mhz);
+        h.write_usize(self.activity_passes);
+        h.write_u64(self.seed);
+        h.write_f64(self.pnr_jitter);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,12 +87,10 @@ fn cone_truth_table(netlist: &Netlist, root: usize, leaves: &[usize]) -> u64 {
             Gate::Nand(a, b) => two(get(&value, a), get(&value, b), |x, y| !(x & y)),
             Gate::Nor(a, b) => two(get(&value, a), get(&value, b), |x, y| !(x | y)),
             Gate::Xnor(a, b) => two(get(&value, a), get(&value, b), |x, y| !(x ^ y)),
-            Gate::Mux(s, a, b) => {
-                match (get(&value, s), get(&value, a), get(&value, b)) {
-                    (Some(sv), Some(av), Some(bv)) => Some((av & !sv) | (bv & sv)),
-                    _ => None,
-                }
-            }
+            Gate::Mux(s, a, b) => match (get(&value, s), get(&value, a), get(&value, b)) {
+                (Some(sv), Some(av), Some(bv)) => Some((av & !sv) | (bv & sv)),
+                _ => None,
+            },
             Gate::Maj(a, b, c) => match (get(&value, a), get(&value, b), get(&value, c)) {
                 (Some(x), Some(y), Some(z)) => Some((x & y) | (x & z) | (y & z)),
                 _ => None,
@@ -120,11 +118,7 @@ fn two(a: Option<u64>, b: Option<u64>, f: impl Fn(u64, u64) -> u64) -> Option<u6
 ///
 /// Returns the value of every netlist node that is either a primary
 /// input, a constant, or a mapped LUT root — enough to read the outputs.
-pub fn eval_lut_network(
-    netlist: &Netlist,
-    luts: &[ProgrammedLut],
-    inputs: &[bool],
-) -> Vec<bool> {
+pub fn eval_lut_network(netlist: &Netlist, luts: &[ProgrammedLut], inputs: &[bool]) -> Vec<bool> {
     assert_eq!(inputs.len(), netlist.num_inputs(), "input arity mismatch");
     let mut value = vec![false; netlist.len()];
     for (i, &b) in inputs.iter().enumerate() {
@@ -145,11 +139,7 @@ pub fn eval_lut_network(
         }
         value[lut.root] = (lut.init >> idx) & 1 == 1;
     }
-    netlist
-        .outputs()
-        .iter()
-        .map(|o| value[o.index()])
-        .collect()
+    netlist.outputs().iter().map(|o| value[o.index()]).collect()
 }
 
 /// Check the mapped + programmed LUT network against the source netlist
@@ -188,9 +178,17 @@ pub fn to_lut_verilog(netlist: &Netlist, luts: &[ProgrammedLut]) -> String {
     let name: String = netlist
         .name()
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
-    let mut ports: Vec<String> = (0..netlist.num_inputs()).map(|i| format!("pi{i}")).collect();
+    let mut ports: Vec<String> = (0..netlist.num_inputs())
+        .map(|i| format!("pi{i}"))
+        .collect();
     ports.extend((0..netlist.num_outputs()).map(|i| format!("po{i}")));
     let _ = writeln!(s, "module {name}_mapped({});", ports.join(", "));
     for i in 0..netlist.num_inputs() {
@@ -222,7 +220,12 @@ pub fn to_lut_verilog(netlist: &Netlist, luts: &[ProgrammedLut]) -> String {
         let _ = writeln!(
             s,
             "  LUT{k} #(.INIT({width}'h{:0hexw$X})) lut_n{} ({});",
-            lut.init & if width >= 64 { u64::MAX } else { (1u64 << width) - 1 },
+            lut.init
+                & if width >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                },
             lut.root,
             conns.join(", "),
             hexw = width.div_ceil(4),

@@ -227,8 +227,7 @@ mod tests {
     fn mapping_covers_all_outputs() {
         let m = multipliers::wallace_multiplier(8);
         let mapping = map_luts(m.netlist(), &cfg());
-        let roots: std::collections::HashSet<usize> =
-            mapping.luts.iter().map(|l| l.root).collect();
+        let roots: std::collections::HashSet<usize> = mapping.luts.iter().map(|l| l.root).collect();
         for out in m.netlist().outputs() {
             let g = m.netlist().gates()[out.index()];
             if g.is_logic() {
@@ -242,8 +241,7 @@ mod tests {
         // Every LUT leaf is either an input, a constant, or another LUT root.
         let m = adders::carry_select(16);
         let mapping = map_luts(m.netlist(), &cfg());
-        let roots: std::collections::HashSet<usize> =
-            mapping.luts.iter().map(|l| l.root).collect();
+        let roots: std::collections::HashSet<usize> = mapping.luts.iter().map(|l| l.root).collect();
         for lut in &mapping.luts {
             for &leaf in &lut.leaves {
                 let g = m.netlist().gates()[leaf];

@@ -34,8 +34,7 @@ pub const NOISE: f64 = 0.15;
 /// `structural_hash` seeds the noise term; see
 /// [`crate::map::structural_hash`].
 pub fn estimate(gates: usize, luts: usize, depth: u32, structural_hash: u64) -> f64 {
-    let nominal =
-        BASE_S + GATE_S * gates as f64 + LUT_S * luts as f64 + DEPTH_S * depth as f64;
+    let nominal = BASE_S + GATE_S * gates as f64 + LUT_S * luts as f64 + DEPTH_S * depth as f64;
     let u = ((structural_hash >> 16) & 0xFFFF) as f64 / 65535.0;
     nominal * (1.0 + NOISE * (2.0 * u - 1.0))
 }

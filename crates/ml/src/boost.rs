@@ -63,13 +63,7 @@ impl Regressor for GradientBoosting {
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         assert!(!self.stages.is_empty(), "model must be fitted first");
-        self.base
-            + self.learning_rate
-                * self
-                    .stages
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.stages.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     fn name(&self) -> &'static str {

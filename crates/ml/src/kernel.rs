@@ -1,7 +1,7 @@
 //! Kernel methods: kernel ridge regression (ML10) and Gaussian-process
 //! regression (ML8), both with an RBF kernel on standardized features.
 
-use crate::linalg::{cholesky, chol_solve};
+use crate::linalg::{chol_solve, cholesky};
 use crate::preprocess::Standardizer;
 use crate::{check_xy, Matrix, MlError, Regressor};
 
@@ -20,12 +20,7 @@ struct KernelState {
 }
 
 impl KernelState {
-    fn fit(
-        x: &Matrix,
-        y: &[f64],
-        gamma: f64,
-        diag_add: f64,
-    ) -> Result<KernelState, MlError> {
+    fn fit(x: &Matrix, y: &[f64], gamma: f64, diag_add: f64) -> Result<KernelState, MlError> {
         let scaler = Standardizer::fit(x);
         let z = scaler.transform(x);
         let n = z.rows();
@@ -161,9 +156,8 @@ impl GaussianProcess {
             .map(|t| rbf(&z, t, self.gamma))
             .collect();
         let v = chol_solve(l, &kstar);
-        let var = (1.0 + self.noise
-            - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>())
-        .max(0.0);
+        let var =
+            (1.0 + self.noise - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>()).max(0.0);
         (mean, var.sqrt())
     }
 }

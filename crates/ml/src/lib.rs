@@ -103,7 +103,7 @@ impl std::error::Error for MlError {}
 ///
 /// All implementations are deterministic for a fixed configuration (models
 /// with internal randomness take an explicit seed).
-pub trait Regressor: Send {
+pub trait Regressor: Send + Sync {
     /// Fit the model on feature matrix `x` (one row per sample) and
     /// targets `y`.
     ///

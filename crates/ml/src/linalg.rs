@@ -54,7 +54,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major vector.
@@ -160,8 +164,8 @@ impl Matrix {
                 if ri == 0.0 {
                     continue;
                 }
-                for j in i..self.cols {
-                    g.data[i * self.cols + j] += ri * r[j];
+                for (j, &rj) in r.iter().enumerate().skip(i) {
+                    g.data[i * self.cols + j] += ri * rj;
                 }
             }
         }
@@ -181,13 +185,12 @@ impl Matrix {
     pub fn t_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "vector length mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let vr = v[r];
+        for (r, &vr) in v.iter().enumerate() {
             if vr == 0.0 {
                 continue;
             }
-            for c in 0..self.cols {
-                out[c] += self.get(r, c) * vr;
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.get(r, c) * vr;
             }
         }
         out
@@ -229,7 +232,12 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, MlError> {
         let mut ok = true;
         'outer: for i in 0..n {
             for j in 0..=i {
-                let mut sum = a.get(i, j) + if i == j { jitter * (1.0 + a.get(i, i).abs()) } else { 0.0 };
+                let mut sum = a.get(i, j)
+                    + if i == j {
+                        jitter * (1.0 + a.get(i, i).abs())
+                    } else {
+                        0.0
+                    };
                 for k in 0..j {
                     sum -= l.get(i, k) * l.get(j, k);
                 }
@@ -273,8 +281,8 @@ pub fn chol_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut s = b[i];
-        for k in 0..i {
-            s -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            s -= l.get(i, k) * yk;
         }
         y[i] = s / l.get(i, i);
     }
@@ -282,8 +290,8 @@ pub fn chol_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut s = y[i];
-        for k in (i + 1)..n {
-            s -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            s -= l.get(k, i) * xk;
         }
         x[i] = s / l.get(i, i);
     }

@@ -5,7 +5,7 @@
 //!
 //! All models standardize features internally and fit an intercept.
 
-use crate::linalg::{cholesky, chol_solve, dot, inv_diag_from_chol};
+use crate::linalg::{chol_solve, cholesky, dot, inv_diag_from_chol};
 use crate::preprocess::{mean, Standardizer};
 use crate::{check_xy, Matrix, MlError, Regressor};
 
@@ -514,7 +514,11 @@ mod tests {
         m.fit(&x, &y).unwrap();
         assert!(r2(&m.predict(&x), &y) > 0.99);
         // The nuisance weight (col 2) should be (near) zero.
-        assert!(m.state.weights[2].abs() < 0.05, "w2 = {}", m.state.weights[2]);
+        assert!(
+            m.state.weights[2].abs() < 0.05,
+            "w2 = {}",
+            m.state.weights[2]
+        );
     }
 
     #[test]
@@ -561,7 +565,11 @@ mod tests {
             &mut BayesianRidge::default(),
         ] {
             model.fit(&x, &y).unwrap();
-            assert!((model.predict_row(&[2.0, 2.0]) - 7.0).abs() < 0.2, "{}", model.name());
+            assert!(
+                (model.predict_row(&[2.0, 2.0]) - 7.0).abs() < 0.2,
+                "{}",
+                model.name()
+            );
         }
     }
 }

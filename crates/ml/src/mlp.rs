@@ -94,8 +94,7 @@ impl Regressor for Mlp {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
-                / (1u64 << 53) as f64;
+            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
             2.0 * u - 1.0
         };
         let scale1 = (1.0 / p as f64).sqrt();
@@ -114,12 +113,12 @@ impl Regressor for Mlp {
         for t in 1..=self.epochs {
             // Full-batch gradients.
             let mut g = vec![0.0; dim];
-            for r in 0..n {
+            for (r, &ytr) in yt.iter().enumerate().take(n) {
                 let zr = z.row(r);
                 let h = self.hidden_out(zr);
                 let out: f64 =
                     self.b2 + h.iter().zip(&self.w2).map(|(hi, wi)| hi * wi).sum::<f64>();
-                let err = out - yt[r];
+                let err = out - ytr;
                 // Output layer.
                 for (hi, idx) in h.iter().zip(0..self.hidden) {
                     g[self.w1.len() + self.b1.len() + idx] += err * hi;
@@ -139,7 +138,8 @@ impl Regressor for Mlp {
                 *gi *= inv_n;
             }
             // Adam update over the flattened parameter vector.
-            let lr = self.learning_rate * (1.0 - beta2f(beta2, t)).sqrt() / (1.0 - beta2f(beta1, t));
+            let lr =
+                self.learning_rate * (1.0 - beta2f(beta2, t)).sqrt() / (1.0 - beta2f(beta1, t));
             let mut apply = |idx: usize, param: &mut f64| {
                 m[idx] = beta1 * m[idx] + (1.0 - beta1) * g[idx];
                 v[idx] = beta2 * v[idx] + (1.0 - beta2) * g[idx] * g[idx];

@@ -31,7 +31,12 @@ impl Expr {
             Expr::Mul(a, b) => a.eval(row) * b.eval(row),
             Expr::Div(a, b) => {
                 let d = b.eval(row);
-                a.eval(row) / if d.abs() < 1e-6 { 1e-6_f64.copysign(d + 1e-12) } else { d }
+                a.eval(row)
+                    / if d.abs() < 1e-6 {
+                        1e-6_f64.copysign(d + 1e-12)
+                    } else {
+                        d
+                    }
             }
             Expr::Sqrt(a) => a.eval(row).abs().sqrt(),
         }
@@ -83,7 +88,12 @@ pub struct SymbolicRegression {
 impl SymbolicRegression {
     /// GP with the given population size, generation count and tree depth
     /// limit.
-    pub fn new(population: usize, generations: usize, max_depth: usize, seed: u64) -> SymbolicRegression {
+    pub fn new(
+        population: usize,
+        generations: usize,
+        max_depth: usize,
+        seed: u64,
+    ) -> SymbolicRegression {
         SymbolicRegression {
             population: population.max(4),
             generations,
@@ -126,9 +136,7 @@ impl SymbolicRegression {
             return self.random_expr(rng, features, self.max_depth.min(2));
         }
         match e {
-            Expr::Feature(_) | Expr::Constant(_) => {
-                self.random_expr(rng, features, 1)
-            }
+            Expr::Feature(_) | Expr::Constant(_) => self.random_expr(rng, features, 1),
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
                 let (na, nb) = if rng.unit() < 0.5 {
                     (self.mutate(a, rng, features), (**b).clone())
@@ -201,7 +209,7 @@ impl Regressor for SymbolicRegression {
                     let mut best: Option<&(Expr, f64)> = None;
                     for _ in 0..3 {
                         let c = &pop[rng.below(pop.len())];
-                        if best.map_or(true, |b| c.1 < b.1) {
+                        if best.is_none_or(|b| c.1 < b.1) {
                             best = Some(c);
                         }
                     }
@@ -245,7 +253,9 @@ mod tests {
     use crate::metrics::{pearson, r2};
 
     fn linear_data(n: usize) -> (Matrix, Vec<f64>) {
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / 8.0, (i % 7) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / 8.0, (i % 7) as f64])
+            .collect();
         let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 0.5).collect();
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         (Matrix::from_rows(&refs), ys)

@@ -128,9 +128,8 @@ impl DecisionTree {
         };
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
         for &f in &candidates {
-            if let Some((thr, score)) = best_split(x, y, w, &idx, f, self.config.min_samples_leaf)
-            {
-                if best.map_or(true, |(_, _, s)| score < s) {
+            if let Some((thr, score)) = best_split(x, y, w, &idx, f, self.config.min_samples_leaf) {
+                if best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((f, thr, score));
                 }
             }
@@ -139,8 +138,9 @@ impl DecisionTree {
             self.nodes.push(Node::Leaf(node_value));
             return self.nodes.len() - 1;
         };
-        let (li, ri): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| x.get(i, feature) <= threshold);
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| x.get(i, feature) <= threshold);
         // Reserve a slot, grow children, then fill it.
         self.nodes.push(Node::Leaf(node_value));
         let slot = self.nodes.len() - 1;
@@ -268,7 +268,7 @@ fn best_split(
         }
         let sse = (ly2 - ly * ly / lw) + (ry2 - ry * ry / rw);
         let thr = 0.5 * (xa + xb);
-        if best.map_or(true, |(_, s)| sse < s) {
+        if best.is_none_or(|(_, s)| sse < s) {
             best = Some((thr, sse));
         }
     }

@@ -53,7 +53,12 @@ pub fn hyper_grid(id: MlModelId, asic: AsicColumns) -> Vec<Candidate> {
         MlModelId::Ml3 => vec![cand("default", Box::new(SingleFeature::new(asic.area)))],
         MlModelId::Ml4 => [4usize, 2, 8]
             .iter()
-            .map(|&c| cand(format!("components={c}"), Box::new(PlsRegression::new(c)) as _))
+            .map(|&c| {
+                cand(
+                    format!("components={c}"),
+                    Box::new(PlsRegression::new(c)) as _,
+                )
+            })
             .collect(),
         MlModelId::Ml5 => [40usize, 20, 80]
             .iter()
@@ -78,7 +83,10 @@ pub fn hyper_grid(id: MlModelId, asic: AsicColumns) -> Vec<Candidate> {
         MlModelId::Ml7 => vec![
             cand("default", Box::new(AdaBoostR2::default())),
             cand("stages=25", Box::new(AdaBoostR2::new(25, tree_cfg(4)))),
-            cand("stages=50,depth=6", Box::new(AdaBoostR2::new(50, tree_cfg(6)))),
+            cand(
+                "stages=50,depth=6",
+                Box::new(AdaBoostR2::new(50, tree_cfg(6))),
+            ),
         ],
         MlModelId::Ml8 => vec![
             cand("default", Box::new(GaussianProcess::default())),
@@ -122,7 +130,10 @@ pub fn hyper_grid(id: MlModelId, asic: AsicColumns) -> Vec<Candidate> {
             .collect(),
         MlModelId::Ml15 => vec![
             cand("default", Box::new(SgdRegressor::default())),
-            cand("lr=0.003", Box::new(SgdRegressor::new(200, 0.003, 1e-4, 17))),
+            cand(
+                "lr=0.003",
+                Box::new(SgdRegressor::new(200, 0.003, 1e-4, 17)),
+            ),
             cand("lr=0.03", Box::new(SgdRegressor::new(200, 0.03, 1e-4, 17))),
         ],
         MlModelId::Ml16 => [5usize, 3, 9]
@@ -191,7 +202,9 @@ mod tests {
         let y: Vec<f64> = (0..8).map(|i| i as f64 * 2.0 + 1.0).collect();
         for id in [MlModelId::Ml14, MlModelId::Ml16, MlModelId::Ml18] {
             for mut c in hyper_grid(id, asic()) {
-                c.model.fit(&x, &y).unwrap_or_else(|e| panic!("{id}/{}: {e}", c.label));
+                c.model
+                    .fit(&x, &y)
+                    .unwrap_or_else(|e| panic!("{id}/{}: {e}", c.label));
                 let p = c.model.predict_row(&[4.0, 1.0, 1.0]);
                 assert!(p.is_finite());
             }

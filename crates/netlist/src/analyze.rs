@@ -11,12 +11,7 @@ pub fn levels(netlist: &Netlist) -> Vec<u32> {
     let mut lv = vec![0u32; netlist.len()];
     for (i, gate) in netlist.gates().iter().enumerate() {
         if gate.is_logic() {
-            lv[i] = gate
-                .operands()
-                .map(|op| lv[op.index()])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            lv[i] = gate.operands().map(|op| lv[op.index()]).max().unwrap_or(0) + 1;
         }
     }
     lv

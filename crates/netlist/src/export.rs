@@ -32,7 +32,9 @@ pub fn to_verilog(netlist: &Netlist) -> String {
     let mut s = String::new();
     let name = sanitize(netlist.name());
     let _ = write!(s, "module {name}(");
-    let mut ports: Vec<String> = (0..netlist.num_inputs()).map(|i| format!("pi{i}")).collect();
+    let mut ports: Vec<String> = (0..netlist.num_inputs())
+        .map(|i| format!("pi{i}"))
+        .collect();
     ports.extend((0..netlist.num_outputs()).map(|i| format!("po{i}")));
     let _ = writeln!(s, "{});", ports.join(", "));
     for i in 0..netlist.num_inputs() {
@@ -115,7 +117,13 @@ pub fn to_dot(netlist: &Netlist) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -37,6 +37,7 @@ pub enum Gate {
 
 impl Gate {
     /// The kind discriminant of this gate (for histograms and cell mapping).
+    #[inline]
     pub fn kind(&self) -> GateKind {
         match self {
             Gate::Input(_) => GateKind::Input,
@@ -55,6 +56,7 @@ impl Gate {
     }
 
     /// Operand nets of this gate, in order. Inputs and constants have none.
+    #[inline]
     pub fn operands(&self) -> OperandIter {
         let (ops, len) = match *self {
             Gate::Input(_) | Gate::Const(_) => ([NetId::from_index(0); 3], 0),
@@ -93,6 +95,7 @@ impl Gate {
 
     /// Whether this gate computes a value from other nets (i.e. is neither a
     /// primary input nor a constant).
+    #[inline]
     pub fn is_logic(&self) -> bool {
         !matches!(self, Gate::Input(_) | Gate::Const(_))
     }
@@ -249,7 +252,10 @@ mod tests {
         assert_eq!(Gate::Not(a).operands().count(), 1);
         assert_eq!(Gate::And(a, b).operands().count(), 2);
         assert_eq!(Gate::Mux(a, b, c).operands().count(), 3);
-        assert_eq!(Gate::Maj(a, b, c).operands().collect::<Vec<_>>(), vec![a, b, c]);
+        assert_eq!(
+            Gate::Maj(a, b, c).operands().collect::<Vec<_>>(),
+            vec![a, b, c]
+        );
     }
 
     #[test]

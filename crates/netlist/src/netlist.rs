@@ -11,11 +11,13 @@ pub struct NetId(u32);
 
 impl NetId {
     /// Construct from a dense index.
+    #[inline]
     pub fn from_index(index: usize) -> NetId {
         NetId(index as u32)
     }
 
     /// The dense index of this net.
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -154,6 +156,44 @@ impl Netlist {
         self.gates.iter().filter(|g| g.is_logic()).count()
     }
 
+    /// A 64-bit hash of the netlist *structure*: gate kinds, operand
+    /// wiring and the output list. The instance name is deliberately
+    /// excluded, so renamed copies of the same circuit hash identically.
+    ///
+    /// The hash is a fixed FNV-1a (not `std::hash`), stable across
+    /// processes and releases — it keys the on-disk characterization
+    /// cache.
+    pub fn structural_hash(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let absorb = |v: u64, h: &mut u64| {
+            for byte in v.to_le_bytes() {
+                *h ^= byte as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        };
+        absorb(self.num_inputs as u64, &mut h);
+        for gate in &self.gates {
+            // Kind discriminant, then payload: input ordinal, constant
+            // value, or operand indices.
+            absorb(gate.kind() as u64, &mut h);
+            match *gate {
+                Gate::Input(ord) => absorb(ord as u64, &mut h),
+                Gate::Const(v) => absorb(v as u64, &mut h),
+                _ => {
+                    for op in gate.operands() {
+                        absorb(op.index() as u64, &mut h);
+                    }
+                }
+            }
+        }
+        absorb(self.outputs.len() as u64, &mut h);
+        for o in &self.outputs {
+            absorb(o.index() as u64, &mut h);
+        }
+        h
+    }
+
     /// The gate driving `id`.
     ///
     /// # Panics
@@ -197,9 +237,7 @@ impl Netlist {
     }
 
     fn push(&mut self, gate: Gate) -> NetId {
-        debug_assert!(gate
-            .operands()
-            .all(|op| op.index() < self.gates.len()));
+        debug_assert!(gate.operands().all(|op| op.index() < self.gates.len()));
         let id = NetId::from_index(self.gates.len());
         self.gates.push(gate);
         id
@@ -449,5 +487,24 @@ mod tests {
         n.set_outputs(vec![y]);
         assert_eq!(n.num_logic_gates(), 1);
         assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn structural_hash_ignores_name_but_not_structure() {
+        let mut a = full_adder();
+        let mut b = full_adder();
+        b.set_name("renamed");
+        assert_eq!(a.structural_hash(), b.structural_hash());
+
+        // Different wiring → different hash.
+        let y = b.outputs()[0];
+        let (i0, i1) = (b.input(0), b.input(1));
+        b.replace_gate(y, Gate::Or(i0, i1));
+        assert_ne!(a.structural_hash(), b.structural_hash());
+
+        // Different output order → different hash.
+        let outs: Vec<NetId> = a.outputs().iter().rev().copied().collect();
+        a.set_outputs(outs);
+        assert_ne!(a.structural_hash(), full_adder().structural_hash());
     }
 }

@@ -92,13 +92,7 @@ pub fn simplify(netlist: &Netlist) -> Netlist {
         remap.push(new_id);
     }
 
-    out.set_outputs(
-        netlist
-            .outputs()
-            .iter()
-            .map(|o| remap[o.index()])
-            .collect(),
-    );
+    out.set_outputs(netlist.outputs().iter().map(|o| remap[o.index()]).collect());
     sweep(&out)
 }
 
@@ -193,9 +187,7 @@ fn fold(gate: Gate, cv: impl Fn(NetId) -> Option<bool>) -> Folded {
         Gate::Maj(a, b, c) => {
             let (ca, cb, cc) = (cv(a), cv(b), cv(c));
             match (ca, cb, cc) {
-                (Some(x), Some(y), Some(z)) => {
-                    Const((x as u8 + y as u8 + z as u8) >= 2)
-                }
+                (Some(x), Some(y), Some(z)) => Const((x as u8 + y as u8 + z as u8) >= 2),
                 // One constant: Maj(a,b,1)=a|b, Maj(a,b,0)=a&b.
                 (Some(true), _, _) => Keep(Gate::Or(b, c)),
                 (_, Some(true), _) => Keep(Gate::Or(a, c)),
@@ -221,8 +213,8 @@ pub fn sweep(netlist: &Netlist) -> Netlist {
     let mut out = Netlist::new(netlist.name().to_string());
     out.add_inputs(netlist.num_inputs());
     let mut remap: Vec<Option<NetId>> = vec![None; netlist.len()];
-    for i in 0..netlist.num_inputs() {
-        remap[i] = Some(NetId::from_index(i));
+    for (i, slot) in remap.iter_mut().enumerate().take(netlist.num_inputs()) {
+        *slot = Some(NetId::from_index(i));
     }
     for (i, gate) in netlist.gates().iter().enumerate() {
         if gate.is_logic() && mask[i] {
@@ -356,9 +348,7 @@ mod tests {
                 };
                 nets.push(g);
             }
-            let outs = (0..3)
-                .map(|_| nets[rng.gen_range(0..nets.len())])
-                .collect();
+            let outs = (0..3).map(|_| nets[rng.gen_range(0..nets.len())]).collect();
             n.set_outputs(outs);
             let s1 = simplify(&n);
             let s2 = simplify(&s1);

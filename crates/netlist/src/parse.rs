@@ -262,7 +262,10 @@ fn parse_expr(text: &str) -> Result<Expr, String> {
     let mut pos = 0usize;
     let expr = parse_mux(&tokens, &mut pos)?;
     if pos != tokens.len() {
-        return Err(format!("trailing tokens after expression: {:?}", &tokens[pos..]));
+        return Err(format!(
+            "trailing tokens after expression: {:?}",
+            &tokens[pos..]
+        ));
     }
     Ok(expr)
 }
@@ -497,7 +500,8 @@ mod tests {
 
     #[test]
     fn undriven_nets_are_reported() {
-        let src = "module m(pi0, po0);\n  input pi0;\n  output po0;\n  assign po0 = ghost;\nendmodule\n";
+        let src =
+            "module m(pi0, po0);\n  input pi0;\n  output po0;\n  assign po0 = ghost;\nendmodule\n";
         assert_eq!(
             from_verilog(src).unwrap_err(),
             ParseError::Undriven {
@@ -514,7 +518,8 @@ mod tests {
 
     #[test]
     fn syntax_errors_carry_line_numbers() {
-        let src = "module m(pi0, po0);\n  input pi0;\n  output po0;\n  assign po0 = pi0 +;\nendmodule\n";
+        let src =
+            "module m(pi0, po0);\n  input pi0;\n  output po0;\n  assign po0 = pi0 +;\nendmodule\n";
         match from_verilog(src).unwrap_err() {
             ParseError::Syntax { line, .. } => assert_eq!(line, 4),
             other => panic!("wrong error {other:?}"),

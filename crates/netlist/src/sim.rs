@@ -68,6 +68,7 @@ impl<'n> Simulator<'n> {
     /// # Panics
     ///
     /// Panics if `input_words.len() != netlist.num_inputs()`.
+    #[inline]
     pub fn run_into(&mut self, input_words: &[u64]) {
         assert_eq!(
             input_words.len(),
@@ -107,6 +108,7 @@ impl<'n> Simulator<'n> {
     }
 
     /// Value word of an arbitrary net after the last pass.
+    #[inline]
     pub fn value(&self, net: crate::NetId) -> u64 {
         self.values[net.index()]
     }
@@ -146,6 +148,7 @@ impl<'n> Simulator<'n> {
 ///
 /// Helper for word-level simulation: arithmetic circuits declare inputs
 /// LSB-first, so operand bit `b` maps to input word `offset + b`.
+#[inline]
 pub fn pack_operand(words: &mut [u64], offset: usize, width: usize, lane: usize, value: u64) {
     for b in 0..width {
         let bit = (value >> b) & 1;
@@ -158,6 +161,7 @@ pub fn pack_operand(words: &mut [u64], offset: usize, width: usize, lane: usize,
 }
 
 /// Extract the integer formed by `output_words` (LSB-first) at `lane`.
+#[inline]
 pub fn unpack_result(output_words: &[u64], lane: usize) -> u64 {
     let mut v = 0u64;
     for (b, w) in output_words.iter().enumerate() {

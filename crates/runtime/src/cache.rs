@@ -1,0 +1,333 @@
+//! Content-addressed memoization: a sharded in-memory tier plus an
+//! optional append-only CSV tier on disk.
+//!
+//! Values are stored under a [`Key128`] produced by fingerprinting the
+//! *inputs* of a computation (netlist structure + configuration), so a
+//! hit is valid regardless of when or where the entry was produced. The
+//! disk format is deliberately plain CSV — one `key,field,field,...` row
+//! per entry with a versioned header — so no serialization dependency is
+//! needed and the file stays greppable.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::counters::Counters;
+use crate::hash::Key128;
+
+/// Number of independently locked shards in a [`MemoCache`]. Sixteen is
+/// plenty: workers only contend on insert, and key→shard spreading makes
+/// simultaneous same-shard inserts rare at pool sizes we run.
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe, in-memory memoization map from [`Key128`] to
+/// cloneable values.
+#[derive(Debug)]
+pub struct MemoCache<V> {
+    shards: Vec<Mutex<HashMap<Key128, V>>>,
+}
+
+impl<V: Clone> Default for MemoCache<V> {
+    fn default() -> MemoCache<V> {
+        MemoCache::new()
+    }
+}
+
+impl<V: Clone> MemoCache<V> {
+    /// An empty cache.
+    pub fn new() -> MemoCache<V> {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Look up `key`, recording a hit/miss in `counters`.
+    pub fn get(&self, key: Key128, counters: &Counters) -> Option<V> {
+        let found = self.shards[key.shard(SHARDS)]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .cloned();
+        match found {
+            Some(_) => Counters::add(&counters.cache_hits, 1),
+            None => Counters::add(&counters.cache_misses, 1),
+        }
+        found
+    }
+
+    /// Insert `value` under `key` (last write wins; entries are
+    /// content-addressed, so concurrent writers insert identical values).
+    pub fn insert(&self, key: Key128, value: V) {
+        self.shards[key.shard(SHARDS)]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Look up `key` silently (no counter traffic) — used when warming
+    /// from disk.
+    pub fn peek(&self, key: Key128) -> Option<V> {
+        self.shards[key.shard(SHARDS)]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A value that can round-trip through the CSV disk tier without serde.
+pub trait CsvRecord: Sized {
+    /// Bumped whenever the field layout changes; mismatching files are
+    /// ignored rather than misparsed.
+    const VERSION: u32;
+    /// Column names written into the header (excluding the leading `key`).
+    fn columns() -> Vec<&'static str>;
+    /// Encode into one CSV row (must not contain commas or newlines).
+    fn to_fields(&self) -> Vec<String>;
+    /// Decode from the fields of one row.
+    fn from_fields(fields: &[&str]) -> Option<Self>;
+}
+
+/// The append-only on-disk tier of the characterization cache.
+///
+/// On open, every well-formed row of the existing file is loaded; new
+/// entries are appended (and flushed) as they are produced, so even an
+/// interrupted run leaves a usable cache behind. Rows that fail to parse
+/// — partial writes, hand edits, stale versions — are skipped silently.
+#[derive(Debug)]
+pub struct DiskTier<V> {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    loaded: Vec<(Key128, V)>,
+}
+
+impl<V: CsvRecord> DiskTier<V> {
+    /// Open (or create) the cache file at `dir/name`, loading any
+    /// existing entries. Returns an I/O error only for unwritable
+    /// locations; a corrupt existing file is truncated and restarted.
+    pub fn open(dir: &Path, name: &str) -> std::io::Result<DiskTier<V>> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let header = Self::header();
+        let mut loaded = Vec::new();
+        let mut valid_header = false;
+        if let Ok(file) = File::open(&path) {
+            let mut lines = BufReader::new(file).lines();
+            if let Some(Ok(first)) = lines.next() {
+                valid_header = first == header;
+            }
+            if valid_header {
+                for line in lines.map_while(Result::ok) {
+                    if let Some(entry) = Self::parse_row(&line) {
+                        loaded.push(entry);
+                    }
+                }
+            }
+        }
+        let mut options = OpenOptions::new();
+        options.create(true).write(true);
+        if valid_header {
+            options.append(true);
+        } else {
+            // Missing, empty, or version-mismatched file: start fresh.
+            options.truncate(true);
+            loaded.clear();
+        }
+        let mut file = options.open(&path)?;
+        if !valid_header {
+            writeln!(file, "{header}")?;
+            file.flush()?;
+        }
+        Ok(DiskTier {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+            loaded,
+        })
+    }
+
+    fn header() -> String {
+        let mut cols = vec!["key".to_string(), format!("v{}", V::VERSION)];
+        cols.extend(V::columns().into_iter().map(str::to_string));
+        cols.join(",")
+    }
+
+    fn parse_row(line: &str) -> Option<(Key128, V)> {
+        let mut parts = line.split(',');
+        let key = Key128::from_hex(parts.next()?)?;
+        let fields: Vec<&str> = parts.collect();
+        Some((key, V::from_fields(&fields)?))
+    }
+
+    /// Entries read from the file at open time; drain them into the
+    /// memory tier before the run starts.
+    pub fn take_loaded(&mut self) -> Vec<(Key128, V)> {
+        std::mem::take(&mut self.loaded)
+    }
+
+    /// Append one entry and flush, so a crash never loses completed work.
+    pub fn append(&self, key: Key128, value: &V) {
+        let row = {
+            let mut fields = vec![key.to_hex()];
+            fields.extend(value.to_fields());
+            fields.join(",")
+        };
+        debug_assert!(
+            !row.contains('\n'),
+            "CsvRecord fields must not contain newlines"
+        );
+        let mut writer = self.writer.lock().expect("cache writer poisoned");
+        // Ignore append errors: losing disk persistence must not fail a
+        // run that already has the value in memory.
+        let _ = writeln!(writer, "{row}");
+        let _ = writer.flush();
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::StableHasher;
+
+    fn key(n: u64) -> Key128 {
+        let mut h = StableHasher::new();
+        h.write_u64(n);
+        h.finish()
+    }
+
+    #[test]
+    fn memo_hit_miss_counting() {
+        let cache = MemoCache::new();
+        let counters = Counters::default();
+        assert_eq!(cache.get(key(1), &counters), None::<u32>);
+        cache.insert(key(1), 42u32);
+        assert_eq!(cache.get(key(1), &counters), Some(42));
+        let snap = counters.snapshot();
+        assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Row {
+        area: f64,
+        tag: String,
+    }
+
+    impl CsvRecord for Row {
+        const VERSION: u32 = 1;
+        fn columns() -> Vec<&'static str> {
+            vec!["area", "tag"]
+        }
+        fn to_fields(&self) -> Vec<String> {
+            vec![format!("{:e}", self.area), self.tag.clone()]
+        }
+        fn from_fields(fields: &[&str]) -> Option<Row> {
+            let [area, tag] = fields else { return None };
+            Some(Row {
+                area: area.parse().ok()?,
+                tag: tag.to_string(),
+            })
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("afp-runtime-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_round_trip() {
+        let dir = temp_dir("roundtrip");
+        {
+            let tier: DiskTier<Row> = DiskTier::open(&dir, "c.csv").unwrap();
+            tier.append(
+                key(7),
+                &Row {
+                    area: 12.5,
+                    tag: "add8".into(),
+                },
+            );
+            tier.append(
+                key(8),
+                &Row {
+                    area: 3.25,
+                    tag: "mult8".into(),
+                },
+            );
+        }
+        let mut tier: DiskTier<Row> = DiskTier::open(&dir, "c.csv").unwrap();
+        let mut loaded = tier.take_loaded();
+        loaded.sort_by_key(|(k, _)| *k);
+        let mut expect = vec![
+            (
+                key(7),
+                Row {
+                    area: 12.5,
+                    tag: "add8".into(),
+                },
+            ),
+            (
+                key(8),
+                Row {
+                    area: 3.25,
+                    tag: "mult8".into(),
+                },
+            ),
+        ];
+        expect.sort_by_key(|(k, _)| *k);
+        assert_eq!(loaded, expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_tier_skips_corrupt_rows_and_stale_versions() {
+        let dir = temp_dir("corrupt");
+        {
+            let tier: DiskTier<Row> = DiskTier::open(&dir, "c.csv").unwrap();
+            tier.append(
+                key(1),
+                &Row {
+                    area: 1.0,
+                    tag: "good".into(),
+                },
+            );
+        }
+        // Inject a torn row.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join("c.csv"))
+                .unwrap();
+            writeln!(f, "not-a-key,oops").unwrap();
+        }
+        let mut tier: DiskTier<Row> = DiskTier::open(&dir, "c.csv").unwrap();
+        assert_eq!(tier.take_loaded().len(), 1);
+
+        // A header from another version is discarded wholesale.
+        fs::write(dir.join("c.csv"), "key,v999,area,tag\nabc,1.0,x\n").unwrap();
+        let mut tier: DiskTier<Row> = DiskTier::open(&dir, "c.csv").unwrap();
+        assert!(tier.take_loaded().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared runtime counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared by a [`crate::Runtime`] and the caches attached
+/// to a flow run. All increments are `Relaxed`: the values are telemetry,
+/// never used for synchronization.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Tasks executed by `par_map` (inline or on a worker).
+    pub tasks_executed: AtomicU64,
+    /// Successful steals (an idle worker taking work from a peer's deque).
+    pub steals: AtomicU64,
+    /// Characterization cache hits.
+    pub cache_hits: AtomicU64,
+    /// Characterization cache misses (entries computed and inserted).
+    pub cache_misses: AtomicU64,
+    /// ASIC synthesis invocations actually performed.
+    pub asic_synths: AtomicU64,
+    /// FPGA synthesis invocations actually performed.
+    pub fpga_synths: AtomicU64,
+    /// Behavioural error analyses actually performed.
+    pub error_analyses: AtomicU64,
+    /// Bytes of operand data pushed through the bit-parallel simulator
+    /// (16 bytes per evaluated input pair).
+    pub bytes_simulated: AtomicU64,
+}
+
+impl Counters {
+    /// Bump a counter by `n`.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            asic_synths: self.asic_synths.load(Ordering::Relaxed),
+            fpga_synths: self.fpga_synths.load(Ordering::Relaxed),
+            error_analyses: self.error_analyses.load(Ordering::Relaxed),
+            bytes_simulated: self.bytes_simulated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value snapshot of [`Counters`], safe to store in results.
+///
+/// Note: `steals` depends on scheduling and is **not** deterministic
+/// across runs or thread counts; everything else is.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Tasks executed by `par_map`.
+    pub tasks_executed: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// ASIC synthesis calls performed.
+    pub asic_synths: u64,
+    /// FPGA synthesis calls performed.
+    pub fpga_synths: u64,
+    /// Error analyses performed.
+    pub error_analyses: u64,
+    /// Bytes of operand data simulated.
+    pub bytes_simulated: u64,
+}
+
+impl CounterSnapshot {
+    /// The delta `self - earlier`, counter-wise (saturating).
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            steals: self.steals.saturating_sub(earlier.steals),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            asic_synths: self.asic_synths.saturating_sub(earlier.asic_synths),
+            fpga_synths: self.fpga_synths.saturating_sub(earlier.fpga_synths),
+            error_analyses: self.error_analyses.saturating_sub(earlier.error_analyses),
+            bytes_simulated: self.bytes_simulated.saturating_sub(earlier.bytes_simulated),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let c = Counters::default();
+        Counters::add(&c.tasks_executed, 10);
+        Counters::add(&c.cache_hits, 3);
+        let a = c.snapshot();
+        Counters::add(&c.tasks_executed, 5);
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.tasks_executed, 5);
+        assert_eq!(d.cache_hits, 0);
+        assert_eq!(b.tasks_executed, 15);
+    }
+}

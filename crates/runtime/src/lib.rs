@@ -1,0 +1,44 @@
+//! `afp-runtime` — the parallel execution and caching substrate of the
+//! ApproxFPGAs reproduction.
+//!
+//! The crate provides two building blocks used by every hot path of the
+//! flow (library generation, characterization, error analysis, model
+//! training, estimation):
+//!
+//! * [`Runtime`] — a work-stealing task pool over per-worker deques.
+//!   [`Runtime::par_map`] distributes items dynamically (idle workers
+//!   steal from busy ones), yet always returns results **in input order**,
+//!   so the output of a parallel stage is bit-for-bit independent of the
+//!   thread count. `threads = 1` executes inline on the caller thread.
+//! * [`cache`] — a sharded, content-addressed memoization cache keyed by
+//!   128-bit structural fingerprints ([`Key128`]), with an optional
+//!   append-only CSV tier on disk so repeated runs of the same
+//!   characterization skip recomputation across processes.
+//!
+//! Both report into shared [`Counters`] (tasks executed, steals, cache
+//! hits/misses, synthesis calls, simulated bytes) that the flow surfaces
+//! in its outcome and the `afp flow` CLI summary.
+//!
+//! # Example
+//!
+//! ```
+//! use afp_runtime::Runtime;
+//!
+//! let squares = Runtime::install(4, |rt| {
+//!     rt.par_map(&[1u64, 2, 3, 4, 5], |_, &x| x * x)
+//! });
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod counters;
+mod hash;
+mod pool;
+
+pub use cache::{CsvRecord, DiskTier, MemoCache};
+pub use counters::{CounterSnapshot, Counters};
+pub use hash::{Fingerprint, Key128, StableHasher};
+pub use pool::Runtime;

@@ -1,0 +1,290 @@
+//! The work-stealing task pool.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+use crate::counters::{CounterSnapshot, Counters};
+
+thread_local! {
+    /// Set while a pool worker is running tasks: nested `par_map` calls
+    /// from inside a task execute inline instead of spawning a second
+    /// scope (rayon-style), which both avoids oversubscription and keeps
+    /// block partitions independent of nesting depth.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A parallel runtime of `threads` workers with shared [`Counters`].
+///
+/// The pool is scoped: workers live only for the duration of one
+/// [`Runtime::par_map`] call, so borrowed inputs need no `'static`
+/// lifetime. Work distribution is dynamic — items start block-cyclically
+/// distributed over per-worker deques and idle workers steal half a deque
+/// at a time from the busiest peer — but results are always returned in
+/// input order, making the output independent of the thread count.
+#[derive(Clone, Debug)]
+pub struct Runtime {
+    threads: usize,
+    counters: Arc<Counters>,
+}
+
+impl Runtime {
+    /// A runtime with `threads` workers; `0` means
+    /// `std::thread::available_parallelism()`.
+    pub fn new(threads: usize) -> Runtime {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            threads
+        };
+        Runtime {
+            threads,
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// A single-threaded runtime (all tasks run inline, in order).
+    pub fn serial() -> Runtime {
+        Runtime::new(1)
+    }
+
+    /// Run `f` with a runtime of `threads` workers (`0` = all cores).
+    pub fn install<R>(threads: usize, f: impl FnOnce(&Runtime) -> R) -> R {
+        let rt = Runtime::new(threads);
+        f(&rt)
+    }
+
+    /// Number of workers this runtime uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// True when called from inside one of this process's pool workers.
+    pub fn in_worker() -> bool {
+        IN_WORKER.with(|w| w.get())
+    }
+
+    /// Map `f` over `items` in parallel; `f` receives `(index, &item)`.
+    ///
+    /// Results are returned in input order regardless of thread count or
+    /// scheduling. Panics in `f` propagate to the caller.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        Counters::add(&self.counters.tasks_executed, n as u64);
+        if workers <= 1 || Runtime::in_worker() {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Block-cyclic initial distribution: worker w starts with items
+        // w, w+workers, w+2*workers, ... so expensive neighbours (circuit
+        // libraries are ordered by construction, i.e. by size) spread out.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+        let steals = &self.counters.steals;
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let deques = &deques;
+                    let f = &f;
+                    scope.spawn(move || {
+                        IN_WORKER.with(|flag| flag.set(true));
+                        let mut local: Vec<(usize, R)> = Vec::with_capacity(n / workers + 1);
+                        while let Some(i) = next_item(deques, w, steals) {
+                            local.push((i, f(i, &items[i])));
+                        }
+                        IN_WORKER.with(|flag| flag.set(false));
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        for (i, r) in collected.into_iter().flatten() {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every item produced a result"))
+            .collect()
+    }
+
+    /// Parallel map over `items` followed by an **in-order** fold of the
+    /// per-item results. Because the fold order is fixed, the reduction
+    /// is deterministic even for non-associative (e.g. floating-point)
+    /// operations.
+    pub fn par_map_reduce<T, R, A, F, G>(&self, items: &[T], map: F, init: A, fold: G) -> A
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        self.par_map(items, map).into_iter().fold(init, fold)
+    }
+}
+
+/// Pop from the own deque front, else steal from the fullest peer.
+fn next_item(
+    deques: &[Mutex<VecDeque<usize>>],
+    worker: usize,
+    steals: &AtomicU64,
+) -> Option<usize> {
+    if let Some(i) = deques[worker].lock().expect("deque poisoned").pop_front() {
+        return Some(i);
+    }
+    // Find the victim with the most remaining work and take the back half
+    // of its deque. One lock round is enough: if everyone is empty the
+    // pool is draining and this worker can retire (tasks never spawn
+    // subtasks — nested par_map runs inline).
+    let victim = (0..deques.len())
+        .filter(|&v| v != worker)
+        .max_by_key(|&v| deques[v].lock().expect("deque poisoned").len())?;
+    let mut vq = deques[victim].lock().expect("deque poisoned");
+    let take = vq.len().div_ceil(2);
+    if take == 0 {
+        return None;
+    }
+    let split = vq.len() - take;
+    let mut stolen: VecDeque<usize> = vq.split_off(split);
+    drop(vq);
+    Counters::add(steals, 1);
+    let first = stolen.pop_front();
+    if !stolen.is_empty() {
+        deques[worker]
+            .lock()
+            .expect("deque poisoned")
+            .append(&mut stolen);
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_ordered_for_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = Runtime::install(threads, |rt| rt.par_map(&items, |_, &x| x * 3 + 1));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_work_is_stolen() {
+        // Front-loaded heavy items: static contiguous chunking would put
+        // all heavy work on worker 0; stealing must spread it.
+        let items: Vec<u64> = (0..64).map(|i| if i < 8 { 400_000 } else { 10 }).collect();
+        let rt = Runtime::new(4);
+        let spin = |n: u64| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            acc
+        };
+        let out = rt.par_map(&items, |_, &n| spin(n));
+        assert_eq!(out.len(), 64);
+        let snap = rt.snapshot();
+        assert_eq!(snap.tasks_executed, 64);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let rt = Runtime::new(8);
+        let empty: Vec<u32> = vec![];
+        assert!(rt.par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(rt.par_map(&[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline() {
+        let rt = Runtime::new(4);
+        let inner_parallel = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..16).collect();
+        let out = rt.par_map(&items, |_, &x| {
+            assert!(Runtime::in_worker());
+            // A nested call must not deadlock and must still be ordered.
+            let inner = rt.par_map(&[1usize, 2, 3], |_, &y| x * y);
+            if inner == vec![x, 2 * x, 3 * x] {
+                inner_parallel.fetch_add(1, Ordering::Relaxed);
+            }
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(inner_parallel.load(Ordering::Relaxed), 16);
+        assert!(!Runtime::in_worker());
+    }
+
+    #[test]
+    fn counters_count_inline_and_parallel_alike() {
+        for threads in [1, 4] {
+            let rt = Runtime::new(threads);
+            rt.par_map(&[1, 2, 3, 4, 5], |_, &x: &i32| x);
+            assert_eq!(rt.snapshot().tasks_executed, 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_in_order() {
+        let rt = Runtime::new(8);
+        let items: Vec<usize> = (0..100).collect();
+        let concat = rt.par_map_reduce(
+            &items,
+            |_, &x| x,
+            Vec::new(),
+            |mut acc: Vec<usize>, x| {
+                acc.push(x);
+                acc
+            },
+        );
+        assert_eq!(concat, items);
+    }
+
+    #[test]
+    fn install_zero_uses_available_parallelism() {
+        let rt = Runtime::new(0);
+        assert!(rt.threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn worker_panics_propagate() {
+        let rt = Runtime::new(2);
+        let items: Vec<u32> = (0..8).collect();
+        rt.par_map(&items, |_, &x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -27,20 +27,23 @@ fn main() {
         (
             "mildly approximate",
             AcceleratorConfig {
-                mult_slots: [1; MULT_SLOTS], // truncated(8,2) multipliers
+                mult_slots: [1; MULT_SLOTS],   // truncated(8,2) multipliers
                 adder_slots: [1; ADDER_SLOTS], // loa(16,4) adders
             },
         ),
         (
             "aggressive",
             AcceleratorConfig {
-                mult_slots: [3; MULT_SLOTS], // truncated(8,6)
+                mult_slots: [3; MULT_SLOTS],   // truncated(8,6)
                 adder_slots: [3; ADDER_SLOTS], // loa(16,8)
             },
         ),
     ];
 
-    println!("\n{:<20} {:>8} {:>10} {:>10} {:>8}", "variant", "SSIM", "LUTs", "power", "delay");
+    println!(
+        "\n{:<20} {:>8} {:>10} {:>10} {:>8}",
+        "variant", "SSIM", "LUTs", "power", "delay"
+    );
     for (label, config) in &variants {
         let output = accel.filter(config, &image);
         let quality = ssim(&output, &reference);

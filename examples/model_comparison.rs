@@ -4,9 +4,7 @@
 //! Run with: `cargo run --release --example model_comparison`
 
 use approxfpgas_suite::circuits::{build_library, ArithKind, LibrarySpec};
-use approxfpgas_suite::flow::dataset::{
-    characterize_library, sample_subset, train_validate_split,
-};
+use approxfpgas_suite::flow::dataset::{characterize_library, sample_subset, train_validate_split};
 use approxfpgas_suite::flow::fidelity::train_zoo;
 use approxfpgas_suite::flow::record::FpgaParam;
 use approxfpgas_suite::ml::MlModelId;
@@ -36,7 +34,10 @@ fn main() {
         .filter(|f| f.param == FpgaParam::Area)
         .collect();
     rows.sort_by(|a, b| b.fidelity.total_cmp(&a.fidelity));
-    println!("\n{:<6} {:<34} {:>9} {:>8} {:>8}", "id", "model", "fidelity", "r2", "mae");
+    println!(
+        "\n{:<6} {:<34} {:>9} {:>8} {:>8}",
+        "id", "model", "fidelity", "r2", "mae"
+    );
     for f in rows {
         println!(
             "{:<6} {:<34} {:>8.1}% {:>8.3} {:>8.2}",

@@ -15,7 +15,11 @@ fn main() {
     let exact = ripple_carry(8);
 
     println!("circuit: {}", approx.name());
-    println!("  145 + 99  = {} (exact {})", approx.eval(145, 99), 145 + 99);
+    println!(
+        "  145 + 99  = {} (exact {})",
+        approx.eval(145, 99),
+        145 + 99
+    );
     println!("  255 + 255 = {} (exact {})", approx.eval(255, 255), 510);
 
     // Behavioural error metrics (exhaustive for 8-bit operands).

@@ -11,4 +11,5 @@ pub use afp_error as error;
 pub use afp_fpga as fpga;
 pub use afp_ml as ml;
 pub use afp_netlist as netlist;
+pub use afp_runtime as runtime;
 pub use approxfpgas as flow;

@@ -76,7 +76,10 @@ fn asic_and_fpga_rank_a_library_differently() {
     let rho = approxfpgas_suite::ml::metrics::spearman(&asic_area, &fpga_area);
     // Correlated (both measure "size") but visibly not identical ranking.
     assert!(rho > 0.5, "targets should correlate, rho = {rho}");
-    assert!(rho < 0.999, "targets rank identically (no asymmetry), rho = {rho}");
+    assert!(
+        rho < 0.999,
+        "targets rank identically (no asymmetry), rho = {rho}"
+    );
 }
 
 #[test]
@@ -155,7 +158,12 @@ fn optimizer_is_safe_across_a_whole_library() {
             approxfpgas_suite::netlist::pack_operand(&mut words, 8, 8, 0, b);
             let mut s1 = approxfpgas_suite::netlist::Simulator::new(circuit.netlist());
             let mut s2 = approxfpgas_suite::netlist::Simulator::new(&simplified);
-            assert_eq!(s1.run(&words), s2.run(&words), "{} @ ({a},{b})", circuit.name());
+            assert_eq!(
+                s1.run(&words),
+                s2.run(&words),
+                "{} @ ({a},{b})",
+                circuit.name()
+            );
         }
     }
 }

@@ -33,7 +33,10 @@ fn flow_fronts_are_truly_nondominated_and_synthesized() {
     for (&param, front) in &outcome.final_fronts {
         let pts = outcome.points(param);
         for &a in front {
-            assert!(outcome.synthesized.contains(&a), "front member not paid for");
+            assert!(
+                outcome.synthesized.contains(&a),
+                "front member not paid for"
+            );
             for &b in front {
                 if a != b {
                     assert!(
@@ -49,8 +52,7 @@ fn flow_fronts_are_truly_nondominated_and_synthesized() {
 #[test]
 fn found_fronts_are_subsets_of_candidate_plus_subset() {
     let outcome = run(ArithKind::Adder, 8, 90);
-    let mut allowed: std::collections::BTreeSet<usize> =
-        outcome.subset.iter().copied().collect();
+    let mut allowed: std::collections::BTreeSet<usize> = outcome.subset.iter().copied().collect();
     for list in outcome.candidates.values() {
         allowed.extend(list.iter().copied());
     }

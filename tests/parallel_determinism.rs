@@ -1,0 +1,134 @@
+//! Thread-count invariance and cache behaviour of the parallel flow.
+//!
+//! The work-stealing runtime distributes items dynamically, so *which
+//! thread* computes an item is nondeterministic — but every partition
+//! boundary is a pure function of the input size and all merges happen in
+//! input order, so the flow's observable output must be bit-identical for
+//! any thread count. These tests pin that guarantee at the whole-flow
+//! level, plus the characterization cache's "second run synthesizes
+//! nothing" promise.
+
+use approxfpgas_suite::circuits::{ArithKind, LibrarySpec};
+use approxfpgas_suite::flow::{Flow, FlowConfig, FlowOutcome};
+use approxfpgas_suite::ml::MlModelId;
+
+fn tiny_config(kind: ArithKind, threads: usize) -> FlowConfig {
+    FlowConfig {
+        library: LibrarySpec::new(kind, 8, 60),
+        min_subset: 24,
+        threads,
+        // A competitive subset of the zoo keeps the test quick while still
+        // exercising deterministic and seeded-stochastic models.
+        models: vec![
+            MlModelId::Ml1,
+            MlModelId::Ml4,
+            MlModelId::Ml5,
+            MlModelId::Ml13,
+            MlModelId::Ml17,
+        ],
+        ..FlowConfig::default()
+    }
+}
+
+fn assert_outcomes_identical(serial: &FlowOutcome, parallel: &FlowOutcome) {
+    assert_eq!(serial.subset, parallel.subset);
+    assert_eq!(serial.train, parallel.train);
+    assert_eq!(serial.validate, parallel.validate);
+    assert_eq!(serial.records.len(), parallel.records.len());
+    for (a, b) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.asic, b.asic, "{}: ASIC report differs", a.name);
+        assert_eq!(a.fpga, b.fpga, "{}: FPGA report differs", a.name);
+        assert_eq!(a.error, b.error, "{}: error metrics differ", a.name);
+    }
+    for (a, b) in serial.zoo.fidelities.iter().zip(&parallel.zoo.fidelities) {
+        assert_eq!((a.model, a.param), (b.model, b.param));
+        assert_eq!(a.fidelity, b.fidelity, "{} fidelity differs", a.model);
+        assert_eq!(a.mae, b.mae);
+        assert_eq!(a.r2, b.r2);
+    }
+    assert_eq!(serial.selected_models, parallel.selected_models);
+    assert_eq!(serial.candidates, parallel.candidates);
+    assert_eq!(serial.synthesized, parallel.synthesized);
+    assert_eq!(serial.final_fronts, parallel.final_fronts);
+    assert_eq!(serial.true_fronts, parallel.true_fronts);
+    assert_eq!(serial.coverage, parallel.coverage);
+    assert_eq!(serial.time, parallel.time);
+}
+
+#[test]
+fn adder_flow_is_identical_for_one_and_eight_threads() {
+    let serial = Flow::new(tiny_config(ArithKind::Adder, 1)).run();
+    let parallel = Flow::new(tiny_config(ArithKind::Adder, 8)).run();
+    assert_outcomes_identical(&serial, &parallel);
+    // Task accounting is thread-invariant too (steals are not).
+    assert_eq!(
+        serial.runtime.tasks_executed,
+        parallel.runtime.tasks_executed
+    );
+}
+
+#[test]
+fn multiplier_flow_is_identical_for_one_and_eight_threads() {
+    let serial = Flow::new(tiny_config(ArithKind::Multiplier, 1)).run();
+    let parallel = Flow::new(tiny_config(ArithKind::Multiplier, 8)).run();
+    assert_outcomes_identical(&serial, &parallel);
+    assert_eq!(
+        serial.runtime.tasks_executed,
+        parallel.runtime.tasks_executed
+    );
+}
+
+#[test]
+fn second_run_on_one_flow_synthesizes_nothing() {
+    let flow = Flow::new(tiny_config(ArithKind::Adder, 4));
+    let cold = flow.run();
+    assert!(cold.runtime.asic_synths > 0);
+    assert!(cold.runtime.fpga_synths > 0);
+    assert_eq!(cold.runtime.cache_hits, 0);
+    assert_eq!(cold.runtime.cache_misses as usize, cold.records.len());
+
+    // Counters are per-run (fresh Runtime), so the warm run's synthesis
+    // counts stand alone: the cache outlives the run and every
+    // characterization must hit.
+    let warm = flow.run();
+    assert_eq!(warm.runtime.asic_synths, 0, "warm run re-synthesized ASIC");
+    assert_eq!(warm.runtime.fpga_synths, 0, "warm run re-synthesized FPGA");
+    assert_eq!(warm.runtime.error_analyses, 0);
+    assert_eq!(warm.runtime.cache_hits as usize, warm.records.len());
+    assert_outcomes_identical(&cold, &warm);
+}
+
+#[test]
+fn disabling_the_cache_disables_memoization() {
+    let flow = Flow::new(FlowConfig {
+        use_cache: false,
+        ..tiny_config(ArithKind::Adder, 2)
+    });
+    let first = flow.run();
+    let second = flow.run();
+    assert_eq!(first.runtime.cache_hits, 0);
+    assert_eq!(first.runtime.cache_misses, 0);
+    assert_eq!(second.runtime.asic_synths, first.runtime.asic_synths);
+    assert!(second.runtime.asic_synths > 0);
+}
+
+#[test]
+fn disk_cache_warms_a_fresh_process_worth_of_state() {
+    let dir = std::env::temp_dir().join(format!("afp-disk-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = FlowConfig {
+        cache_dir: Some(dir.clone()),
+        ..tiny_config(ArithKind::Adder, 4)
+    };
+    let cold = Flow::new(config.clone()).run();
+    assert!(cold.runtime.fpga_synths > 0);
+
+    // A brand-new Flow (fresh memory tier) reloads the CSV tier.
+    let warm = Flow::new(config).run();
+    assert_eq!(warm.runtime.asic_synths, 0);
+    assert_eq!(warm.runtime.fpga_synths, 0);
+    assert_eq!(warm.runtime.cache_hits as usize, warm.records.len());
+    assert_outcomes_identical(&cold, &warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
