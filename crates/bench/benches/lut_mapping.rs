@@ -1,17 +1,27 @@
 //! Cut enumeration + LUT covering cost (the per-circuit price of the FPGA
 //! synthesis model), plus the ablation: depth-only vs area-recovery cover.
+//!
+//! `enumerate`/`map` separate the two phases of the arena cut engine so a
+//! regression in either is visible on its own; `map_reused` runs the same
+//! covering through one warm [`afp_fpga::Mapper`], which is how the flow's
+//! worker threads actually call it (zero steady-state allocation).
 
 use afp_circuits::{adders, multipliers};
-use afp_fpga::{map, FpgaConfig};
+use afp_fpga::{cuts, map, FpgaConfig, Mapper};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("lut_mapping");
     let cases = [
         ("rca16", adders::ripple_carry(16).into_netlist()),
+        ("cla16", adders::carry_lookahead(16).into_netlist()),
         (
             "wallace8",
             multipliers::wallace_multiplier(8).into_netlist(),
+        ),
+        (
+            "wallace12",
+            multipliers::wallace_multiplier(12).into_netlist(),
         ),
         (
             "wallace16",
@@ -20,8 +30,18 @@ fn bench(c: &mut Criterion) {
     ];
     let cfg = FpgaConfig::default();
     for (name, netlist) in &cases {
+        // Phase 1 alone: priority-cut enumeration into the flat arena.
+        group.bench_with_input(BenchmarkId::new("enumerate", name), netlist, |b, nl| {
+            b.iter(|| cuts::enumerate(std::hint::black_box(nl), 6, 8));
+        });
+        // Enumeration + covering, fresh mapper per call (the old API).
         group.bench_with_input(BenchmarkId::new("map", name), netlist, |b, nl| {
             b.iter(|| map::map_luts(std::hint::black_box(nl), &cfg));
+        });
+        // Same, through one reused mapper — the flow's steady state.
+        group.bench_with_input(BenchmarkId::new("map_reused", name), netlist, |b, nl| {
+            let mut mapper = Mapper::new();
+            b.iter(|| mapper.map_luts(std::hint::black_box(nl), &cfg));
         });
         group.bench_with_input(BenchmarkId::new("full_synth", name), netlist, |b, nl| {
             b.iter(|| afp_fpga::synthesize_fpga(std::hint::black_box(nl), &cfg));

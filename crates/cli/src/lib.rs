@@ -367,6 +367,11 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         rt.error_analyses,
         rt.bytes_simulated as f64 / (1024.0 * 1024.0)
     );
+    let _ = writeln!(
+        out,
+        "mapper: {} cut merges ({} sig-rejected, {} dominance-pruned), {} mapper reuses",
+        rt.cuts_merged, rt.cuts_sig_rejected, rt.cuts_dominance_pruned, rt.mapper_reuses
+    );
     Ok(out)
 }
 
@@ -460,6 +465,13 @@ mod tests {
         assert!(out.contains("synthesized"));
         assert!(out.contains("coverage"));
         assert!(out.contains("runtime:"), "missing counter summary:\n{out}");
+        assert!(out.contains("mapper:"), "missing mapper summary:\n{out}");
+        assert!(out.contains("cut merges"), "{out}");
+        assert!(out.contains("sig-rejected"), "{out}");
+        assert!(out.contains("dominance-pruned"), "{out}");
+        assert!(out.contains("mapper reuses"), "{out}");
+        // The flow actually did mapping work, so the counters are live.
+        assert!(!out.contains("0 cut merges"), "{out}");
     }
 
     #[test]

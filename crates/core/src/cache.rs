@@ -252,6 +252,29 @@ mod tests {
     }
 
     #[test]
+    fn key_pins_every_fpga_field_that_affects_reports() {
+        // The power model simulates with `activity_passes` random passes
+        // from `seed`, and `prune_dominated` changes which cuts the mapper
+        // keeps — all three must be part of the content key, or stale
+        // entries would be served after a config change.
+        let a = adders::loa(8, 3);
+        let asic = afp_asic::AsicConfig::default();
+        let err = afp_error::ErrorConfig::default();
+        let base = afp_fpga::FpgaConfig::default();
+        let k = |f: &afp_fpga::FpgaConfig| CharacterizationCache::key(&a, &asic, f, &err);
+        let mut passes = base.clone();
+        passes.activity_passes += 1;
+        assert_ne!(k(&base), k(&passes), "activity_passes must change the key");
+        let mut seed = base.clone();
+        seed.seed ^= 1;
+        assert_ne!(k(&base), k(&seed), "seed must change the key");
+        let mut pruned = base.clone();
+        pruned.prune_dominated = !base.prune_dominated;
+        assert_ne!(k(&base), k(&pruned), "prune_dominated must change the key");
+        assert_eq!(k(&base), k(&base.clone()), "key is deterministic");
+    }
+
+    #[test]
     fn disk_tier_survives_reopen() {
         let dir = std::env::temp_dir().join(format!("afp-core-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

@@ -7,7 +7,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cache::CharacterizationCache;
-use crate::record::{characterize_with, CircuitRecord};
+use crate::record::{characterize_with_mapper, CircuitRecord};
 
 /// Characterize every circuit in `library` in parallel (one worker per
 /// available core, work-stealing).
@@ -33,6 +33,11 @@ pub fn characterize_library(
 /// the characterization cache. Items are distributed dynamically (circuit
 /// cost varies wildly across a library), but records always come back in
 /// library order, independent of the thread count.
+///
+/// Each worker thread owns one [`afp_fpga::Mapper`] and sweeps its share
+/// of the library through it, so repeated FPGA synthesis reuses warm cut
+/// arenas, scratch vectors and simulator buffers instead of reallocating
+/// per circuit. Reports are bit-identical for any thread count.
 pub fn characterize_library_with(
     library: &[ArithCircuit],
     asic_config: &afp_asic::AsicConfig,
@@ -41,8 +46,8 @@ pub fn characterize_library_with(
     rt: &Runtime,
     cache: Option<&CharacterizationCache>,
 ) -> Vec<CircuitRecord> {
-    rt.par_map(library, |id, circuit| {
-        characterize_with(
+    rt.par_map_init(library, afp_fpga::Mapper::new, |mapper, id, circuit| {
+        characterize_with_mapper(
             id,
             circuit,
             asic_config,
@@ -50,6 +55,7 @@ pub fn characterize_library_with(
             error_config,
             rt,
             cache,
+            mapper,
         )
     })
 }

@@ -216,6 +216,36 @@ pub fn characterize_with(
     rt: &afp_runtime::Runtime,
     cache: Option<&crate::cache::CharacterizationCache>,
 ) -> CircuitRecord {
+    characterize_with_mapper(
+        id,
+        circuit,
+        asic_config,
+        fpga_config,
+        error_config,
+        rt,
+        cache,
+        &mut afp_fpga::Mapper::new(),
+    )
+}
+
+/// [`characterize_with`] through a caller-owned [`afp_fpga::Mapper`].
+///
+/// The flow's worker threads each hold one mapper and sweep the whole
+/// library through it, so FPGA synthesis runs with zero steady-state
+/// allocation. The mapper's work counters are drained into the runtime's
+/// shared counters after each synthesis. Results are identical to
+/// [`characterize_with`] — the mapper only recycles scratch buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_with_mapper(
+    id: usize,
+    circuit: &ArithCircuit,
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+    rt: &afp_runtime::Runtime,
+    cache: Option<&crate::cache::CharacterizationCache>,
+    mapper: &mut afp_fpga::Mapper,
+) -> CircuitRecord {
     use crate::cache::{CachedCharacterization, CharacterizationCache};
     use afp_runtime::Counters;
 
@@ -233,8 +263,13 @@ pub fn characterize_with(
             let computed = CachedCharacterization {
                 asic: afp_asic::synthesize_asic(netlist, asic_config),
                 error: afp_error::analyze_with(circuit, error_config, rt),
-                fpga: afp_fpga::synthesize_fpga(netlist, fpga_config),
+                fpga: mapper.synthesize(netlist, fpga_config),
             };
+            let st = mapper.take_stats();
+            Counters::add(&counters.cuts_merged, st.cuts_merged);
+            Counters::add(&counters.cuts_sig_rejected, st.cuts_sig_rejected);
+            Counters::add(&counters.cuts_dominance_pruned, st.cuts_dominance_pruned);
+            Counters::add(&counters.mapper_reuses, st.mapper_reuses);
             if let (Some(cache), Some(key)) = (cache, key) {
                 cache.insert(key, computed);
             }

@@ -5,6 +5,19 @@
 //! (|leaves| ≤ K) corresponds to a K-input LUT implementing `n`. This
 //! module enumerates, bottom-up, the best few cuts per node ranked by
 //! mapping depth and area flow — the standard priority-cuts scheme.
+//!
+//! The enumeration itself lives in [`crate::mapper::Mapper`], which owns
+//! all scratch state so a whole circuit library can be mapped with zero
+//! steady-state allocation; [`enumerate`] is the one-shot convenience
+//! entry point. Two classic accelerations keep the merge cross products
+//! cheap (see DESIGN.md "Cut engine"):
+//!
+//! * every cut carries a 64-bit **leaf signature** (bit `leaf % 64`), so
+//!   an infeasible merge (`popcount(sigA | sigB) > K`) or a non-subset
+//!   pair is rejected in O(1) before any leaf array is touched;
+//! * **dominance pruning** drops any candidate whose leaf set is a
+//!   superset of another candidate's — the dominated cut can never beat
+//!   the dominating one on depth or area flow.
 
 use afp_netlist::Netlist;
 
@@ -14,8 +27,9 @@ pub const MAX_K: usize = 8;
 /// One cut: a sorted leaf set plus its ranking metrics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Cut {
-    leaves: [u32; MAX_K],
-    len: u8,
+    pub(crate) leaves: [u32; MAX_K],
+    pub(crate) len: u8,
+    pub(crate) sig: u64,
     /// LUT levels needed to produce this node when using the cut.
     pub depth: u32,
     /// Area-flow heuristic (shared-logic-aware area estimate).
@@ -30,6 +44,7 @@ impl Cut {
         Cut {
             leaves,
             len: 1,
+            sig: sig_bit(node),
             depth,
             area_flow,
         }
@@ -40,8 +55,47 @@ impl Cut {
         &self.leaves[..self.len as usize]
     }
 
+    /// 64-bit leaf signature: the OR of `1 << (leaf % 64)` over all
+    /// leaves. A superset of leaves always has a superset of signature
+    /// bits, so `sigA & !sigB != 0` proves "A ⊄ B" without touching the
+    /// leaf arrays, and `popcount(sigA | sigB) > k` proves a merge is
+    /// infeasible (the true union is at least as large).
+    pub fn signature(&self) -> u64 {
+        self.sig
+    }
+
+    /// True when `self`'s leaf set is a subset of (or equal to) `other`'s.
+    /// `self` then *dominates* `other`: any LUT realizable from `other`'s
+    /// leaves is realizable from `self`'s, at depth/area-flow no worse.
+    pub(crate) fn subsumes(&self, other: &Cut) -> bool {
+        if self.len > other.len || self.sig & !other.sig != 0 {
+            return false;
+        }
+        // Both leaf sets are sorted: one linear scan.
+        let (a, b) = (self.leaves(), other.leaves());
+        let mut j = 0usize;
+        'outer: for &x in a {
+            while j < b.len() {
+                match b[j].cmp(&x) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
     /// Merge two sorted leaf sets; `None` if the union exceeds `k`.
-    fn merge(a: &Cut, b: &Cut, k: usize) -> Option<Cut> {
+    ///
+    /// Callers are expected to have applied the signature pre-filter
+    /// already; the exact length bound is still enforced here because
+    /// distinct leaves can collide modulo 64.
+    pub(crate) fn merge(a: &Cut, b: &Cut, k: usize) -> Option<Cut> {
         let (mut i, mut j, mut out_len) = (0usize, 0usize, 0usize);
         let mut out = [u32::MAX; MAX_K];
         let (la, lb) = (a.leaves(), b.leaves());
@@ -79,137 +133,68 @@ impl Cut {
         Some(Cut {
             leaves: out,
             len: out_len as u8,
+            sig: a.sig | b.sig,
             depth: 0,
             area_flow: 0.0,
         })
     }
 }
 
+/// The signature bit of one leaf.
+#[inline]
+pub(crate) fn sig_bit(leaf: u32) -> u64 {
+    1u64 << (leaf % 64)
+}
+
 /// Per-node cut sets for a whole netlist.
+///
+/// Cuts are stored in one flat arena with per-node `(offset, len)` ranges
+/// instead of a `Vec<Vec<Cut>>`, so enumeration performs O(1) allocations
+/// regardless of netlist size and node ranges stay contiguous in memory.
 #[derive(Debug)]
 pub struct CutSets {
-    /// `cuts[n]` — the kept cuts of node `n`, best first. For inputs and
-    /// constants this is just the trivial cut.
-    pub cuts: Vec<Vec<Cut>>,
+    /// All kept cuts, node ranges back to back in node-index order.
+    pub(crate) arena: Vec<Cut>,
+    /// `ranges[n]` — `(offset, len)` of node `n`'s cuts in the arena.
+    pub(crate) ranges: Vec<(u32, u32)>,
     /// Best achievable LUT depth per node.
     pub best_depth: Vec<u32>,
     /// Area flow of the best cut per node.
     pub best_area_flow: Vec<f64>,
 }
 
+impl CutSets {
+    /// The kept cuts of node `node`, best first, ending with the trivial
+    /// cut. For inputs and constants this is just the trivial cut.
+    pub fn cuts(&self, node: usize) -> &[Cut] {
+        let (off, len) = self.ranges[node];
+        &self.arena[off as usize..(off + len) as usize]
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total number of cuts kept across all nodes.
+    pub fn total_cuts(&self) -> usize {
+        self.arena.len()
+    }
+}
+
 /// Enumerate priority cuts for every node.
 ///
 /// `k` is the LUT input count (≤ [`MAX_K`]), `keep` the number of cuts
-/// retained per node.
+/// retained per node. One-shot wrapper around
+/// [`crate::mapper::Mapper::enumerate`]; callers mapping many netlists
+/// should hold a [`crate::Mapper`] instead to reuse its scratch arena.
 ///
 /// # Panics
 ///
 /// Panics if `k < 2` (two-input gates need two leaves) or `k` exceeds
 /// [`MAX_K`].
 pub fn enumerate(netlist: &Netlist, k: usize, keep: usize) -> CutSets {
-    assert!((2..=MAX_K).contains(&k), "k must be 2..={MAX_K}");
-    let n_nodes = netlist.len();
-    let fanout = afp_netlist::analyze::fanout(netlist);
-    let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(n_nodes);
-    let mut best_depth = vec![0u32; n_nodes];
-    let mut best_area_flow = vec![0.0f64; n_nodes];
-
-    for (idx, gate) in netlist.gates().iter().enumerate() {
-        if !gate.is_logic() {
-            // Inputs and constants: depth 0, free.
-            cuts.push(vec![Cut::trivial(idx as u32, 0, 0.0)]);
-            best_depth[idx] = 0;
-            best_area_flow[idx] = 0.0;
-            continue;
-        }
-        let ops: Vec<usize> = gate.operands().map(|o| o.index()).collect();
-        let mut candidates: Vec<Cut> = Vec::new();
-        // Cross product of operand cut sets.
-        match ops.len() {
-            1 => {
-                for c in &cuts[ops[0]] {
-                    // Compare by reference; clone only cuts that survive
-                    // the duplicate check.
-                    if !is_duplicate(&candidates, c) {
-                        candidates.push(c.clone());
-                    }
-                }
-            }
-            2 => {
-                for ca in &cuts[ops[0]] {
-                    for cb in &cuts[ops[1]] {
-                        if let Some(cut) = Cut::merge(ca, cb, k) {
-                            push_candidate(&mut candidates, cut);
-                        }
-                    }
-                }
-            }
-            3 => {
-                for ca in &cuts[ops[0]] {
-                    for cb in &cuts[ops[1]] {
-                        let Some(ab) = Cut::merge(ca, cb, k) else {
-                            continue;
-                        };
-                        for cc in &cuts[ops[2]] {
-                            if let Some(cut) = Cut::merge(&ab, cc, k) {
-                                push_candidate(&mut candidates, cut);
-                            }
-                        }
-                    }
-                }
-            }
-            _ => unreachable!("gates have 1..=3 operands"),
-        }
-        // Score candidates.
-        let fo = fanout[idx].max(1) as f64;
-        let mut scored: Vec<Cut> = candidates
-            .into_iter()
-            .map(|mut c| {
-                let mut d = 0u32;
-                let mut af = 1.0; // this LUT
-                for &leaf in c.leaves() {
-                    d = d.max(best_depth[leaf as usize]);
-                    af += best_area_flow[leaf as usize];
-                }
-                c.depth = d + 1;
-                c.area_flow = af / fo;
-                c
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            a.depth.cmp(&b.depth).then(
-                a.area_flow
-                    .partial_cmp(&b.area_flow)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
-        });
-        scored.dedup_by(|a, b| a.leaves() == b.leaves());
-        scored.truncate(keep);
-        let best = scored.first().expect("every logic gate has a cut");
-        best_depth[idx] = best.depth;
-        best_area_flow[idx] = best.area_flow;
-        // The trivial cut lets consumers treat this node as a leaf.
-        scored.push(Cut::trivial(idx as u32, best.depth, best.area_flow));
-        cuts.push(scored);
-    }
-
-    CutSets {
-        cuts,
-        best_depth,
-        best_area_flow,
-    }
-}
-
-#[inline]
-fn is_duplicate(candidates: &[Cut], cut: &Cut) -> bool {
-    candidates.iter().any(|c| c.leaves() == cut.leaves())
-}
-
-/// Push a freshly merged cut (already owned — never clones).
-fn push_candidate(candidates: &mut Vec<Cut>, cut: Cut) {
-    if !is_duplicate(candidates, &cut) {
-        candidates.push(cut);
-    }
+    crate::mapper::Mapper::new().enumerate(netlist, k, keep)
 }
 
 #[cfg(test)]
@@ -224,8 +209,8 @@ mod tests {
         let a = n.add_input();
         n.set_outputs(vec![a]);
         let cs = enumerate(&n, 6, 8);
-        assert_eq!(cs.cuts[0].len(), 1);
-        assert_eq!(cs.cuts[0][0].leaves(), &[0]);
+        assert_eq!(cs.cuts(0).len(), 1);
+        assert_eq!(cs.cuts(0)[0].leaves(), &[0]);
         assert_eq!(cs.best_depth[0], 0);
     }
 
@@ -240,7 +225,7 @@ mod tests {
         n.set_outputs(vec![x3]);
         let cs = enumerate(&n, 6, 8);
         assert_eq!(cs.best_depth[x3.index()], 1);
-        let best = &cs.cuts[x3.index()][0];
+        let best = &cs.cuts(x3.index())[0];
         assert_eq!(best.leaves(), &[0, 1, 2, 3]);
     }
 
@@ -301,16 +286,60 @@ mod tests {
     }
 
     #[test]
+    fn signature_is_union_of_leaf_bits() {
+        let a = Cut::merge(&Cut::trivial(3, 0, 0.0), &Cut::trivial(67, 0, 0.0), 6).unwrap();
+        // 3 and 67 collide modulo 64: two leaves, one signature bit.
+        assert_eq!(a.leaves(), &[3, 67]);
+        assert_eq!(a.signature(), sig_bit(3));
+        let b = Cut::merge(&a, &Cut::trivial(10, 0, 0.0), 6).unwrap();
+        assert_eq!(b.signature(), sig_bit(3) | sig_bit(10));
+    }
+
+    #[test]
+    fn subsumes_is_subset_of_leaves() {
+        let ab = Cut::merge(&Cut::trivial(1, 0, 0.0), &Cut::trivial(2, 0, 0.0), 6).unwrap();
+        let abc = Cut::merge(&ab, &Cut::trivial(3, 0, 0.0), 6).unwrap();
+        assert!(ab.subsumes(&abc));
+        assert!(ab.subsumes(&ab));
+        assert!(!abc.subsumes(&ab));
+        // Signature-equal but not subset: 3 vs 67 (collide mod 64).
+        let x = Cut::trivial(3, 0, 0.0);
+        let y = Cut::trivial(67, 0, 0.0);
+        assert_eq!(x.signature(), y.signature());
+        assert!(!x.subsumes(&y));
+        assert!(!y.subsumes(&x));
+    }
+
+    #[test]
     fn depth_monotone_along_netlist() {
         let add = adders::ripple_carry(8);
         let cs = enumerate(add.netlist(), 6, 8);
         for out in add.netlist().outputs() {
             // Every output is coverable.
-            assert!(!cs.cuts[out.index()].is_empty());
+            assert!(!cs.cuts(out.index()).is_empty());
         }
         // MSB carry needs more levels than the LSB sum.
         let lsb = add.netlist().outputs()[0].index();
         let msb = add.netlist().outputs()[8].index();
         assert!(cs.best_depth[msb] >= cs.best_depth[lsb]);
+    }
+
+    #[test]
+    fn arena_ranges_are_contiguous_and_complete() {
+        let add = adders::ripple_carry(8);
+        let nl = add.netlist();
+        let cs = enumerate(nl, 6, 8);
+        assert_eq!(cs.num_nodes(), nl.len());
+        let mut expect_off = 0u32;
+        for node in 0..nl.len() {
+            let (off, len) = cs.ranges[node];
+            assert_eq!(off, expect_off, "node {node} range not contiguous");
+            assert!(len >= 1, "node {node} has no cuts");
+            expect_off += len;
+            // Last cut of every node is the trivial one.
+            let cuts = cs.cuts(node);
+            assert_eq!(cuts[cuts.len() - 1].leaves(), &[node as u32]);
+        }
+        assert_eq!(expect_off as usize, cs.total_cuts());
     }
 }

@@ -38,7 +38,10 @@
 pub mod cuts;
 pub mod luts;
 pub mod map;
+pub mod mapper;
 pub mod synth_time;
+
+pub use mapper::{Mapper, MapperStats};
 
 use afp_netlist::Netlist;
 
@@ -98,6 +101,17 @@ pub struct FpgaConfig {
     /// Real P&R outcomes vary with netlist hash-like details; the jitter
     /// makes the ML estimation task realistically noisy.
     pub pnr_jitter: f64,
+    /// Prune candidate cuts whose leaf set is a *proper superset* of a
+    /// kept cut's during enumeration.
+    ///
+    /// Dominated cuts can never improve a node's best depth or area flow,
+    /// so pruning them preserves LUT count, depth and synthesis time —
+    /// but evicting them admits other cuts into the bounded keep window,
+    /// which can flip area-recovery tie-breaks and perturb delay/power in
+    /// the last few percent (see DESIGN.md "Cut engine"). The default
+    /// `false` keeps reports bit-identical to the historical mapper;
+    /// equal-leaf-set (mutual-dominance) pruning is always on.
+    pub prune_dominated: bool,
 }
 
 impl Default for FpgaConfig {
@@ -109,6 +123,7 @@ impl Default for FpgaConfig {
             activity_passes: 32,
             seed: 0xF96A,
             pnr_jitter: 0.08,
+            prune_dominated: false,
         }
     }
 }
@@ -135,9 +150,11 @@ pub struct FpgaReport {
 /// Runs cut enumeration, depth-optimal covering with area recovery, slice
 /// packing, timing and power models, and the synthesis-time model. The
 /// result is deterministic for a given netlist and configuration.
+///
+/// One-shot wrapper around [`Mapper::synthesize`]; callers sweeping many
+/// netlists should hold a [`Mapper`] to reuse its scratch buffers.
 pub fn synthesize_fpga(netlist: &Netlist, config: &FpgaConfig) -> FpgaReport {
-    let mapping = map::map_luts(netlist, config);
-    map::evaluate(netlist, &mapping, config)
+    Mapper::new().synthesize(netlist, config)
 }
 
 impl afp_runtime::Fingerprint for FpgaConfig {
@@ -156,6 +173,7 @@ impl afp_runtime::Fingerprint for FpgaConfig {
         h.write_usize(self.activity_passes);
         h.write_u64(self.seed);
         h.write_f64(self.pnr_jitter);
+        h.write_u64(self.prune_dominated as u64);
     }
 }
 

@@ -1,11 +1,14 @@
 //! LUT covering, slice packing and the timing/power models evaluated on
 //! the mapped network.
+//!
+//! The algorithms live in the reusable [`crate::Mapper`] engine; the free
+//! functions here are one-shot conveniences that build (and drop) a
+//! mapper per call. Callers sweeping many netlists — the characterization
+//! flow, benches — should hold a [`crate::Mapper`] instead.
 
-use std::collections::HashMap;
+use afp_netlist::Netlist;
 
-use afp_netlist::{Netlist, Simulator};
-
-use crate::cuts::{self, Cut};
+use crate::mapper::Mapper;
 use crate::{FpgaConfig, FpgaReport};
 
 /// One mapped LUT: the node it produces and the nodes feeding it.
@@ -30,152 +33,13 @@ pub struct LutMapping {
 /// cuts, followed by one area-recovery re-selection pass on non-critical
 /// nodes.
 pub fn map_luts(netlist: &Netlist, config: &FpgaConfig) -> LutMapping {
-    let k = config.arch.lut_inputs;
-    let sets = cuts::enumerate(netlist, k, config.cuts_per_node);
-
-    // Global depth target: best achievable depth over the outputs.
-    let target: u32 = netlist
-        .outputs()
-        .iter()
-        .map(|o| sets.best_depth[o.index()])
-        .max()
-        .unwrap_or(0);
-
-    // Required times, seeded at the outputs, refined as we select covers in
-    // reverse topological order (node indices are topological, so a simple
-    // reverse sweep visits consumers before producers).
-    let mut required = vec![u32::MAX; netlist.len()];
-    let mut needed = vec![false; netlist.len()];
-    for out in netlist.outputs() {
-        let i = out.index();
-        required[i] = target;
-        if netlist.gates()[i].is_logic() {
-            needed[i] = true;
-        }
-    }
-
-    let mut chosen: HashMap<usize, Cut> = HashMap::new();
-    for i in (0..netlist.len()).rev() {
-        if !needed[i] {
-            continue;
-        }
-        let req = required[i];
-        // Among non-trivial cuts (all but the trailing trivial one), pick
-        // the min-area-flow cut meeting the required time; fall back to the
-        // depth-best cut.
-        let node_cuts = &sets.cuts[i];
-        let non_trivial = &node_cuts[..node_cuts.len() - 1];
-        let pick = non_trivial
-            .iter()
-            .filter(|c| c.depth <= req)
-            .min_by(|a, b| {
-                a.area_flow
-                    .partial_cmp(&b.area_flow)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap_or(&non_trivial[0]);
-        for &leaf in pick.leaves() {
-            let leaf = leaf as usize;
-            let leaf_req = req.saturating_sub(1);
-            required[leaf] = required[leaf].min(leaf_req);
-            if netlist.gates()[leaf].is_logic() {
-                needed[leaf] = true;
-            }
-        }
-        chosen.insert(i, pick.clone());
-    }
-
-    // Materialize LUTs and compute levels.
-    let mut luts = Vec::with_capacity(chosen.len());
-    let mut level = vec![0u32; netlist.len()];
-    for i in 0..netlist.len() {
-        if let Some(cut) = chosen.get(&i) {
-            let leaves: Vec<usize> = cut.leaves().iter().map(|&l| l as usize).collect();
-            level[i] = 1 + leaves.iter().map(|&l| level[l]).max().unwrap_or(0);
-            luts.push(Lut { root: i, leaves });
-        }
-    }
-    let depth = netlist
-        .outputs()
-        .iter()
-        .map(|o| level[o.index()])
-        .max()
-        .unwrap_or(0);
-    LutMapping { luts, depth }
+    Mapper::new().map_luts(netlist, config)
 }
 
 /// Evaluate packing, timing, power and synthesis-time models on a mapped
 /// network, producing the final [`FpgaReport`].
 pub fn evaluate(netlist: &Netlist, mapping: &LutMapping, config: &FpgaConfig) -> FpgaReport {
-    let arch = &config.arch;
-    let luts = mapping.luts.len();
-    let slices = luts.div_ceil(arch.luts_per_slice.max(1));
-
-    // Fanout of each LUT output net within the mapped network (+ primary
-    // outputs).
-    let mut fanout = vec![0u32; netlist.len()];
-    for lut in &mapping.luts {
-        for &leaf in &lut.leaves {
-            fanout[leaf] += 1;
-        }
-    }
-    for out in netlist.outputs() {
-        fanout[out.index()] += 1;
-    }
-
-    // Timing: topological arrival over the LUT network (roots ascend).
-    let mut arrival = vec![0.0f64; netlist.len()];
-    for lut in &mapping.luts {
-        let in_arr = lut
-            .leaves
-            .iter()
-            .map(|&l| arrival[l])
-            .fold(0.0f64, f64::max);
-        let route =
-            arch.route_base_ns + arch.route_fanout_ns * (1.0 + fanout[lut.root] as f64).ln();
-        arrival[lut.root] = in_arr + arch.lut_delay_ns + route;
-    }
-    let raw_delay = netlist
-        .outputs()
-        .iter()
-        .map(|o| arrival[o.index()])
-        .fold(0.0f64, f64::max);
-
-    // Power: switching activities of the LUT output nets.
-    let mut sim = Simulator::new(netlist);
-    let probs = sim.signal_probabilities(config.activity_passes, config.seed);
-    let mut dyn_pj_per_cycle = 0.0f64;
-    for lut in &mapping.luts {
-        let p = probs[lut.root];
-        let activity = 2.0 * p * (1.0 - p);
-        dyn_pj_per_cycle +=
-            activity * (arch.lut_energy_pj + arch.route_energy_pj * fanout[lut.root] as f64);
-    }
-    // pJ/cycle * MHz = µW.
-    let dynamic_uw = dyn_pj_per_cycle * config.clock_mhz;
-    let static_uw = luts as f64 * arch.lut_static_uw;
-    let raw_power_mw = (dynamic_uw + static_uw) * 1e-3;
-
-    // Deterministic per-circuit P&R jitter.
-    let (dj, pj) = pnr_jitter(netlist, config.pnr_jitter);
-    let delay_ns = raw_delay * dj;
-    let power_mw = raw_power_mw * pj;
-
-    let synth_time_s = crate::synth_time::estimate(
-        netlist.num_logic_gates(),
-        luts,
-        mapping.depth,
-        structural_hash(netlist),
-    );
-
-    FpgaReport {
-        luts,
-        slices,
-        depth_levels: mapping.depth,
-        delay_ns,
-        power_mw,
-        synth_time_s,
-    }
+    Mapper::new().evaluate(netlist, mapping, config)
 }
 
 /// FNV-1a hash of the netlist structure; seeds the P&R jitter and the
@@ -201,7 +65,7 @@ pub fn structural_hash(netlist: &Netlist) -> u64 {
     h
 }
 
-fn pnr_jitter(netlist: &Netlist, magnitude: f64) -> (f64, f64) {
+pub(crate) fn pnr_jitter(netlist: &Netlist, magnitude: f64) -> (f64, f64) {
     if magnitude == 0.0 {
         return (1.0, 1.0);
     }
@@ -217,6 +81,7 @@ fn pnr_jitter(netlist: &Netlist, magnitude: f64) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cuts;
     use afp_circuits::{adders, multipliers};
 
     fn cfg() -> FpgaConfig {

@@ -49,4 +49,4 @@ mod sim;
 
 pub use gate::{Gate, GateKind};
 pub use netlist::{NetId, Netlist, NetlistError};
-pub use sim::{pack_operand, unpack_result, Simulator};
+pub use sim::{pack_operand, unpack_result, SimScratch, Simulator};

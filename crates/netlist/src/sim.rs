@@ -70,41 +70,7 @@ impl<'n> Simulator<'n> {
     /// Panics if `input_words.len() != netlist.num_inputs()`.
     #[inline]
     pub fn run_into(&mut self, input_words: &[u64]) {
-        assert_eq!(
-            input_words.len(),
-            self.netlist.num_inputs(),
-            "input word count must equal the number of primary inputs"
-        );
-        let values = &mut self.values;
-        for (i, gate) in self.netlist.gates().iter().enumerate() {
-            let v = match *gate {
-                Gate::Input(ord) => input_words[ord as usize],
-                Gate::Const(c) => {
-                    if c {
-                        u64::MAX
-                    } else {
-                        0
-                    }
-                }
-                Gate::Buf(a) => values[a.index()],
-                Gate::Not(a) => !values[a.index()],
-                Gate::And(a, b) => values[a.index()] & values[b.index()],
-                Gate::Or(a, b) => values[a.index()] | values[b.index()],
-                Gate::Xor(a, b) => values[a.index()] ^ values[b.index()],
-                Gate::Nand(a, b) => !(values[a.index()] & values[b.index()]),
-                Gate::Nor(a, b) => !(values[a.index()] | values[b.index()]),
-                Gate::Xnor(a, b) => !(values[a.index()] ^ values[b.index()]),
-                Gate::Mux(s, a, b) => {
-                    let sv = values[s.index()];
-                    (values[a.index()] & !sv) | (values[b.index()] & sv)
-                }
-                Gate::Maj(a, b, c) => {
-                    let (av, bv, cv) = (values[a.index()], values[b.index()], values[c.index()]);
-                    (av & bv) | (av & cv) | (bv & cv)
-                }
-            };
-            values[i] = v;
-        }
+        eval_pass(self.netlist, input_words, &mut self.values);
     }
 
     /// Value word of an arbitrary net after the last pass.
@@ -119,7 +85,55 @@ impl<'n> Simulator<'n> {
     /// Used by the power models: under the temporal-independence assumption
     /// a net with signal probability `p` has switching activity `2·p·(1-p)`.
     pub fn signal_probabilities(&mut self, passes: usize, rng_seed: u64) -> Vec<f64> {
-        let mut ones = vec![0u64; self.netlist.len()];
+        let mut scratch = SimScratch::new();
+        let mut out = Vec::new();
+        scratch.signal_probabilities(self.netlist, passes, rng_seed, &mut out);
+        out
+    }
+}
+
+/// Reusable scratch buffers for repeated [`SimScratch::signal_probabilities`]
+/// runs across many netlists.
+///
+/// A [`Simulator`] is borrowed against one netlist and allocates its value
+/// buffer on construction; callers that sweep a whole circuit library (the
+/// characterization flow's mapper workers) instead keep one `SimScratch`
+/// alive and re-estimate probabilities with zero steady-state allocation.
+/// Results are bit-identical to [`Simulator::signal_probabilities`].
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    values: Vec<u64>,
+    inputs: Vec<u64>,
+    ones: Vec<u64>,
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers grow to the largest netlist seen.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// Estimate the signal probability of every net in `netlist` from
+    /// `passes` passes of uniform random stimulus seeded by `rng_seed`,
+    /// writing one probability per net into `out` (cleared first).
+    ///
+    /// Identical stimulus and accumulation order to
+    /// [`Simulator::signal_probabilities`], so the two agree bit-for-bit.
+    pub fn signal_probabilities(
+        &mut self,
+        netlist: &Netlist,
+        passes: usize,
+        rng_seed: u64,
+        out: &mut Vec<f64>,
+    ) {
+        let n = netlist.len();
+        self.values.clear();
+        self.values.resize(n, 0);
+        self.ones.clear();
+        self.ones.resize(n, 0);
+        self.inputs.clear();
+        self.inputs.resize(netlist.num_inputs(), 0);
+
         let mut state = rng_seed.wrapping_mul(2).wrapping_add(1);
         let mut next = || {
             // xorshift64* — deterministic, dependency-free stimulus.
@@ -128,18 +142,65 @@ impl<'n> Simulator<'n> {
             state ^= state >> 27;
             state.wrapping_mul(0x2545_F491_4F6C_DD1D)
         };
-        let mut inputs = vec![0u64; self.netlist.num_inputs()];
         for _ in 0..passes.max(1) {
-            for w in inputs.iter_mut() {
+            for w in self.inputs.iter_mut() {
                 *w = next();
             }
-            self.run_into(&inputs);
-            for (o, v) in ones.iter_mut().zip(&self.values) {
+            eval_pass(netlist, &self.inputs, &mut self.values);
+            for (o, v) in self.ones.iter_mut().zip(&self.values) {
                 *o += v.count_ones() as u64;
             }
         }
         let total = (passes.max(1) * 64) as f64;
-        ones.into_iter().map(|o| o as f64 / total).collect()
+        out.clear();
+        out.extend(self.ones.iter().map(|&o| o as f64 / total));
+    }
+}
+
+/// One 64-lane evaluation pass shared by [`Simulator`] and [`SimScratch`].
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != netlist.num_inputs()`.
+#[inline]
+fn eval_pass(netlist: &Netlist, input_words: &[u64], values: &mut Vec<u64>) {
+    assert_eq!(
+        input_words.len(),
+        netlist.num_inputs(),
+        "input word count must equal the number of primary inputs"
+    );
+    if values.len() != netlist.len() {
+        values.clear();
+        values.resize(netlist.len(), 0);
+    }
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let v = match *gate {
+            Gate::Input(ord) => input_words[ord as usize],
+            Gate::Const(c) => {
+                if c {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            Gate::Buf(a) => values[a.index()],
+            Gate::Not(a) => !values[a.index()],
+            Gate::And(a, b) => values[a.index()] & values[b.index()],
+            Gate::Or(a, b) => values[a.index()] | values[b.index()],
+            Gate::Xor(a, b) => values[a.index()] ^ values[b.index()],
+            Gate::Nand(a, b) => !(values[a.index()] & values[b.index()]),
+            Gate::Nor(a, b) => !(values[a.index()] | values[b.index()]),
+            Gate::Xnor(a, b) => !(values[a.index()] ^ values[b.index()]),
+            Gate::Mux(s, a, b) => {
+                let sv = values[s.index()];
+                (values[a.index()] & !sv) | (values[b.index()] & sv)
+            }
+            Gate::Maj(a, b, c) => {
+                let (av, bv, cv) = (values[a.index()], values[b.index()], values[c.index()]);
+                (av & bv) | (av & cv) | (bv & cv)
+            }
+        };
+        values[i] = v;
     }
 }
 

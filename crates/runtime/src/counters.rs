@@ -24,6 +24,15 @@ pub struct Counters {
     /// Bytes of operand data pushed through the bit-parallel simulator
     /// (16 bytes per evaluated input pair).
     pub bytes_simulated: AtomicU64,
+    /// Cut-pair merges performed by the LUT mapper (post signature filter).
+    pub cuts_merged: AtomicU64,
+    /// Cut merges rejected O(1) by the leaf-signature popcount filter.
+    pub cuts_sig_rejected: AtomicU64,
+    /// Candidate cuts dropped by dominance pruning (duplicate or superset
+    /// leaf sets).
+    pub cuts_dominance_pruned: AtomicU64,
+    /// Synthesis calls that reused a worker's warm mapper scratch state.
+    pub mapper_reuses: AtomicU64,
 }
 
 impl Counters {
@@ -44,6 +53,10 @@ impl Counters {
             fpga_synths: self.fpga_synths.load(Ordering::Relaxed),
             error_analyses: self.error_analyses.load(Ordering::Relaxed),
             bytes_simulated: self.bytes_simulated.load(Ordering::Relaxed),
+            cuts_merged: self.cuts_merged.load(Ordering::Relaxed),
+            cuts_sig_rejected: self.cuts_sig_rejected.load(Ordering::Relaxed),
+            cuts_dominance_pruned: self.cuts_dominance_pruned.load(Ordering::Relaxed),
+            mapper_reuses: self.mapper_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -70,6 +83,14 @@ pub struct CounterSnapshot {
     pub error_analyses: u64,
     /// Bytes of operand data simulated.
     pub bytes_simulated: u64,
+    /// Cut-pair merges performed by the LUT mapper.
+    pub cuts_merged: u64,
+    /// Cut merges rejected by the signature filter.
+    pub cuts_sig_rejected: u64,
+    /// Candidate cuts dropped by dominance pruning.
+    pub cuts_dominance_pruned: u64,
+    /// Synthesis calls that reused warm mapper state.
+    pub mapper_reuses: u64,
 }
 
 impl CounterSnapshot {
@@ -84,6 +105,14 @@ impl CounterSnapshot {
             fpga_synths: self.fpga_synths.saturating_sub(earlier.fpga_synths),
             error_analyses: self.error_analyses.saturating_sub(earlier.error_analyses),
             bytes_simulated: self.bytes_simulated.saturating_sub(earlier.bytes_simulated),
+            cuts_merged: self.cuts_merged.saturating_sub(earlier.cuts_merged),
+            cuts_sig_rejected: self
+                .cuts_sig_rejected
+                .saturating_sub(earlier.cuts_sig_rejected),
+            cuts_dominance_pruned: self
+                .cuts_dominance_pruned
+                .saturating_sub(earlier.cuts_dominance_pruned),
+            mapper_reuses: self.mapper_reuses.saturating_sub(earlier.mapper_reuses),
         }
     }
 }

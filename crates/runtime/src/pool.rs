@@ -87,11 +87,38 @@ impl Runtime {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.par_map_init(items, || (), |(), i, t| f(i, t))
+    }
+
+    /// [`Runtime::par_map`] with per-worker scratch state.
+    ///
+    /// `init` runs once on each worker (and once for the inline path) to
+    /// build a scratch value `S`; `f` receives `(&mut scratch, index,
+    /// &item)`. The scratch lives on the worker's own stack — it is
+    /// neither `Send` nor shared — which lets tasks reuse expensive
+    /// buffers (e.g. an `afp-fpga` mapper) across every item the worker
+    /// processes.
+    ///
+    /// `f` must stay a pure function of `(index, &item)` for outputs to be
+    /// independent of the thread count; scratch is for *allocation* reuse,
+    /// not for carrying state between items.
+    pub fn par_map_init<T, R, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
         let n = items.len();
         let workers = self.threads.min(n);
         Counters::add(&self.counters.tasks_executed, n as u64);
         if workers <= 1 || Runtime::in_worker() {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut scratch = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut scratch, i, t))
+                .collect();
         }
 
         // Block-cyclic initial distribution: worker w starts with items
@@ -108,11 +135,13 @@ impl Runtime {
                 .map(|w| {
                     let deques = &deques;
                     let f = &f;
+                    let init = &init;
                     scope.spawn(move || {
                         IN_WORKER.with(|flag| flag.set(true));
+                        let mut scratch = init();
                         let mut local: Vec<(usize, R)> = Vec::with_capacity(n / workers + 1);
                         while let Some(i) = next_item(deques, w, steals) {
-                            local.push((i, f(i, &items[i])));
+                            local.push((i, f(&mut scratch, i, &items[i])));
                         }
                         IN_WORKER.with(|flag| flag.set(false));
                         local
@@ -250,6 +279,33 @@ mod tests {
             let rt = Runtime::new(threads);
             rt.par_map(&[1, 2, 3, 4, 5], |_, &x: &i32| x);
             assert_eq!(rt.snapshot().tasks_executed, 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_init_reuses_scratch_and_stays_ordered() {
+        let items: Vec<u64> = (0..200).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        for threads in [1, 2, 4, 8] {
+            let inits = AtomicUsize::new(0);
+            let got = Runtime::install(threads, |rt| {
+                rt.par_map_init(
+                    &items,
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        Vec::<u64>::new()
+                    },
+                    |scratch, _, &x| {
+                        // Scratch is reusable worker-local storage.
+                        scratch.clear();
+                        scratch.push(x);
+                        scratch[0] * 2
+                    },
+                )
+            });
+            assert_eq!(got, expect, "threads={threads}");
+            // One scratch per worker, not per item.
+            assert!(inits.load(Ordering::Relaxed) <= threads.max(1));
         }
     }
 

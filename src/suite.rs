@@ -4,6 +4,8 @@
 //! and runnable examples (`examples/`). It re-exports the member crates so
 //! examples can use one coherent namespace.
 
+#![forbid(unsafe_code)]
+
 pub use afp_asic as asic;
 pub use afp_autoax as autoax;
 pub use afp_circuits as circuits;
