@@ -164,7 +164,7 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         let mut sorted = bencher.sample_ns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(f64::total_cmp);
         let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
         let mean = if sorted.is_empty() {
             0.0

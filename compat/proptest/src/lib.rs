@@ -276,7 +276,6 @@ mod tests {
     #[should_panic(expected = "property `always_fails` failed")]
     fn failures_panic_with_inputs() {
         proptest! {
-            #[test]
             fn always_fails(x in 0u8..2) {
                 prop_assert!(x > 200, "x was {}", x);
             }

@@ -17,6 +17,9 @@ use crate::ssim::mean_ssim;
 
 /// Which FPGA cost the search trades against SSIM (the paper's three
 /// scenarios).
+// Safe total order (`Eq + Ord`, no float keys): the clippy.toml
+// `partial_cmp` ban fires inside the derive expansion, not here.
+#[allow(clippy::disallowed_methods)]
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CostObjective {
     /// Latency-SSIM.
@@ -259,14 +262,26 @@ impl<'l> AutoAx<'l> {
             // "synthesize" (measure).
             // The paper constructs 3 pseudo-pareto fronts from the
             // hill-climber's archive and synthesizes all of them.
-            let pts: Vec<(f64, f64)> = archive.iter().map(|(_, c, e)| (*c, *e)).collect();
+            // Estimator output is untrusted input: archive entries with a
+            // non-finite estimated coordinate are quarantined from the
+            // peeling (same policy as the main flow) instead of leaking
+            // into the synthesis budget.
+            let mut kept: Vec<usize> = Vec::with_capacity(archive.len());
+            let mut pts: Vec<(f64, f64)> = Vec::with_capacity(archive.len());
+            for (i, (_, c, e)) in archive.iter().enumerate() {
+                if c.is_finite() && e.is_finite() {
+                    kept.push(i);
+                    pts.push((*c, *e));
+                }
+            }
             let mut seen: std::collections::HashSet<AcceleratorConfig> =
                 std::collections::HashSet::new();
             let mut measured: Vec<MeasuredDesign> = Vec::new();
             for front in peel_fronts(&pts, 3) {
                 for i in front {
-                    if seen.insert(archive[i].0.clone()) {
-                        measured.push(self.measure(&archive[i].0));
+                    let ai = kept[i];
+                    if seen.insert(archive[ai].0.clone()) {
+                        measured.push(self.measure(&archive[ai].0));
                     }
                 }
             }
@@ -297,8 +312,21 @@ impl<'l> AutoAx<'l> {
         rng: &mut SmallRng,
     ) -> (f64, f64, f64) {
         let f = config.features(self.library);
-        let est_ssim = qor.predict_row(&f).clamp(-1.0, 1.0);
-        let est_cost = cost.predict_row(&f).max(0.0);
+        // Estimates are untrusted: `clamp` propagates NaN, so pin
+        // non-finite predictions to their worst rankable value instead of
+        // letting them poison the hill-climb's accept comparison.
+        let est_ssim = qor.predict_row(&f);
+        let est_ssim = if est_ssim.is_finite() {
+            est_ssim.clamp(-1.0, 1.0)
+        } else {
+            -1.0
+        };
+        let est_cost = cost.predict_row(&f);
+        let est_cost = if est_cost.is_finite() {
+            est_cost.max(0.0)
+        } else {
+            f64::INFINITY
+        };
         let err = 1.0 - est_ssim;
         // Mild stochastic weighting (seeded) keeps different climbs on
         // different parts of the front.

@@ -58,11 +58,11 @@ fn main() {
             .collect();
         let fronts = peel_fronts(&est_points, 3);
         let mut cumulative: BTreeSet<usize> = BTreeSet::new();
-        for n in 0..3 {
+        for (n, union) in union_per_n.iter_mut().enumerate() {
             if let Some(front) = fronts.get(n) {
                 cumulative.extend(front.iter().copied());
             }
-            union_per_n[n].extend(cumulative.iter().copied());
+            union.extend(cumulative.iter().copied());
             let new_synth = cumulative
                 .iter()
                 .filter(|i| !subset_set.contains(i))

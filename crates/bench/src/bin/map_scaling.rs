@@ -31,7 +31,7 @@ fn time_us(iters: u32, runs: usize, mut f: impl FnMut()) -> f64 {
             t.elapsed().as_secs_f64() * 1e6 / iters as f64
         })
         .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(|a, b| afp_ord::asc(*a, *b));
     samples[samples.len() / 2]
 }
 

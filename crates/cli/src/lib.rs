@@ -372,6 +372,12 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         "mapper: {} cut merges ({} sig-rejected, {} dominance-pruned), {} mapper reuses",
         rt.cuts_merged, rt.cuts_sig_rejected, rt.cuts_dominance_pruned, rt.mapper_reuses
     );
+    let dropped: usize = outcome.dropped_models.values().map(|v| v.len()).sum();
+    let _ = writeln!(
+        out,
+        "quarantine: {} non-finite estimates excluded, {} models dropped",
+        rt.estimates_quarantined, dropped
+    );
     Ok(out)
 }
 

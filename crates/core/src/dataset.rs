@@ -79,11 +79,21 @@ pub fn sample_subset(n: usize, fraction: f64, min_count: usize, seed: u64) -> Ve
 
 /// Split `subset` into (train, validation) with the given train fraction,
 /// deterministically shuffled.
+///
+/// Degenerate inputs are explicit rather than accidental: with fewer
+/// than two elements there is nothing to divide, so **both** halves get
+/// the whole subset. A one-element subset therefore trains and validates
+/// on its single sample (fidelity is computed over at least one pair
+/// instead of zero), and an empty subset yields two empty halves. With
+/// two or more elements the validation half is never empty.
 pub fn train_validate_split(
     subset: &[usize],
     train_fraction: f64,
     seed: u64,
 ) -> (Vec<usize>, Vec<usize>) {
+    if subset.len() < 2 {
+        return (subset.to_vec(), subset.to_vec());
+    }
     let mut idx = subset.to_vec();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x7EA1);
     for i in (1..idx.len()).rev() {
@@ -173,5 +183,30 @@ mod tests {
         let (train, val) = train_validate_split(&subset, 0.8, 3);
         assert_eq!(train.len(), 8);
         assert_eq!(val.len(), 2);
+    }
+
+    #[test]
+    fn split_validation_is_never_empty_for_any_size_ge_two() {
+        for n in 2..20 {
+            let subset: Vec<usize> = (0..n).collect();
+            for frac in [0.0, 0.5, 0.8, 0.99, 1.0] {
+                let (train, val) = train_validate_split(&subset, frac, 5);
+                assert!(!val.is_empty(), "n={n} frac={frac}: empty validation");
+                assert!(!train.is_empty(), "n={n} frac={frac}: empty train");
+                assert_eq!(train.len() + val.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_splits_are_explicit() {
+        // One element: both halves see the single sample, so downstream
+        // fidelity is computed over one pair instead of zero.
+        let (train, val) = train_validate_split(&[42], 0.8, 3);
+        assert_eq!(train, vec![42]);
+        assert_eq!(val, vec![42]);
+        // Empty subset: two empty halves, no panic.
+        let (train, val) = train_validate_split(&[], 0.8, 3);
+        assert!(train.is_empty() && val.is_empty());
     }
 }

@@ -85,6 +85,10 @@ impl TrainedZoo {
     /// The `k` models with the highest validation fidelity for `param`,
     /// best first. `include_asic_regressions` controls whether ML1–ML3
     /// compete (the paper reports them separately in Table II).
+    ///
+    /// Ranking uses the workspace total-order policy: a NaN validation
+    /// fidelity ranks *last*, so a degenerate model can only enter the
+    /// top-k when fewer than `k` models scored a real fidelity.
     pub fn top_models(
         &self,
         param: FpgaParam,
@@ -97,26 +101,88 @@ impl TrainedZoo {
             .filter(|f| f.param == param)
             .filter(|f| include_asic_regressions || !f.model.is_asic_regression())
             .collect();
-        rows.sort_by(|a, b| {
-            b.fidelity
-                .partial_cmp(&a.fidelity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        rows.sort_by(|a, b| afp_ord::desc(a.fidelity, b.fidelity));
         rows.into_iter().take(k).map(|f| f.model).collect()
     }
 
     /// The best plain ASIC-regression model (among ML1–ML3) for `param`.
+    ///
+    /// A NaN fidelity never wins; the result is `None` only when no
+    /// ASIC-regression rows exist for `param` at all.
     pub fn best_asic_regression(&self, param: FpgaParam) -> Option<MlModelId> {
         self.fidelities
             .iter()
             .filter(|f| f.param == param && f.model.is_asic_regression())
-            .max_by(|a, b| {
-                a.fidelity
-                    .partial_cmp(&b.fidelity)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| afp_ord::for_max(a.fidelity, b.fidelity))
             .map(|f| f.model)
     }
+
+    /// Every ASIC-regression model for `param`, ranked best-first with
+    /// NaN fidelities last. The first element matches
+    /// [`TrainedZoo::best_asic_regression`] exactly, including its
+    /// last-of-ties behaviour, so the flow can use this list as the
+    /// promotion pool when a quarantined model is dropped.
+    pub fn ranked_asic_regressions(&self, param: FpgaParam) -> Vec<MlModelId> {
+        let mut rows: Vec<(usize, &FidelityRecord)> = self
+            .fidelities
+            .iter()
+            .filter(|f| f.param == param && f.model.is_asic_regression())
+            .enumerate()
+            .collect();
+        // `max_by` keeps the *last* of equal maxima; break fidelity ties
+        // by descending position to reproduce that choice at rank 0.
+        rows.sort_by(|(ia, a), (ib, b)| {
+            afp_ord::desc(a.fidelity, b.fidelity).then_with(|| ib.cmp(ia))
+        });
+        rows.into_iter().map(|(_, f)| f.model).collect()
+    }
+
+    /// Wrap every trained regressor in a fault-injecting
+    /// [`afp_ml::chaos::ChaosRegressor`], each on its own deterministic
+    /// injection stream. Validation fidelities are left untouched (they
+    /// were computed on the clean models); only *estimates* get corrupted,
+    /// which is exactly the untrusted-input surface the quarantine stage
+    /// defends.
+    pub fn inject_chaos(&mut self, config: &afp_ml::chaos::ChaosConfig) {
+        let models = std::mem::take(&mut self.models);
+        self.models = models
+            .into_iter()
+            .map(|((id, param), m)| {
+                let cfg = config.with_stream(pair_stream(id, param));
+                ((id, param), afp_ml::chaos::ChaosRegressor::wrap(m, cfg))
+            })
+            .collect();
+    }
+
+    /// Like [`TrainedZoo::inject_chaos`], but only for the single
+    /// `(model, param)` pair — the surgical variant used to test that a
+    /// fully non-finite model is dropped and replaced.
+    pub fn inject_chaos_for(
+        &mut self,
+        model: MlModelId,
+        param: FpgaParam,
+        config: &afp_ml::chaos::ChaosConfig,
+    ) {
+        let models = std::mem::take(&mut self.models);
+        self.models = models
+            .into_iter()
+            .map(|((id, p), m)| {
+                if id == model && p == param {
+                    let cfg = config.with_stream(pair_stream(id, p));
+                    ((id, p), afp_ml::chaos::ChaosRegressor::wrap(m, cfg))
+                } else {
+                    ((id, p), m)
+                }
+            })
+            .collect();
+    }
+}
+
+/// Stable per-(model, parameter) stream id for chaos injection.
+fn pair_stream(model: MlModelId, param: FpgaParam) -> u64 {
+    let mi = MlModelId::ALL.iter().position(|&m| m == model).unwrap_or(0) as u64;
+    let pi = FpgaParam::ALL.iter().position(|&p| p == param).unwrap_or(0) as u64;
+    mi * 64 + pi
 }
 
 /// Train every Table I model for every FPGA parameter on `train` records
@@ -454,6 +520,80 @@ mod tests {
             let grid = afp_ml::tuning::hyper_grid(*id, tuned.layout().asic_columns());
             assert!(grid.iter().any(|c| &c.label == label), "{id}: {label}");
         }
+    }
+
+    fn hand_zoo(fids: &[(MlModelId, f64)]) -> TrainedZoo {
+        TrainedZoo {
+            layout: FeatureLayout::standard(),
+            models: Vec::new(),
+            fidelities: fids
+                .iter()
+                .map(|&(model, fidelity)| FidelityRecord {
+                    model,
+                    param: FpgaParam::Area,
+                    fidelity,
+                    r2: 0.0,
+                    mae: 0.0,
+                    pearson: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn nan_fidelity_ranks_last_not_top() {
+        let zoo = hand_zoo(&[
+            (MlModelId::Ml1, f64::NAN),
+            (MlModelId::Ml2, 0.4),
+            (MlModelId::Ml3, 0.9),
+            (MlModelId::Ml11, f64::NAN),
+            (MlModelId::Ml14, 0.7),
+            (MlModelId::Ml18, 0.8),
+        ]);
+        // The planted NaN row must not float into the top-k.
+        assert_eq!(
+            zoo.top_models(FpgaParam::Area, 2, false),
+            vec![MlModelId::Ml18, MlModelId::Ml14]
+        );
+        // With k spanning everything, NaN sits strictly last.
+        assert_eq!(
+            zoo.top_models(FpgaParam::Area, 10, false),
+            vec![MlModelId::Ml18, MlModelId::Ml14, MlModelId::Ml11]
+        );
+        // A NaN ASIC-regression fidelity never wins the ML1–ML3 slot.
+        assert_eq!(
+            zoo.best_asic_regression(FpgaParam::Area),
+            Some(MlModelId::Ml3)
+        );
+        assert_eq!(
+            zoo.ranked_asic_regressions(FpgaParam::Area),
+            vec![MlModelId::Ml3, MlModelId::Ml2, MlModelId::Ml1]
+        );
+        // No rows at all for another parameter.
+        assert_eq!(zoo.best_asic_regression(FpgaParam::Power), None);
+    }
+
+    #[test]
+    fn ranked_asic_regressions_head_matches_best_on_ties() {
+        let zoo = hand_zoo(&[
+            (MlModelId::Ml1, 0.5),
+            (MlModelId::Ml2, 0.5),
+            (MlModelId::Ml3, 0.5),
+        ]);
+        let best = zoo.best_asic_regression(FpgaParam::Area).unwrap();
+        let ranked = zoo.ranked_asic_regressions(FpgaParam::Area);
+        assert_eq!(ranked[0], best);
+        assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn all_nan_fidelities_still_rank_totally() {
+        let zoo = hand_zoo(&[(MlModelId::Ml11, f64::NAN), (MlModelId::Ml14, f64::NAN)]);
+        // No panic, deterministic order (stable sort keeps row order).
+        assert_eq!(
+            zoo.top_models(FpgaParam::Area, 5, false),
+            vec![MlModelId::Ml11, MlModelId::Ml14]
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
 use afp_circuits::{build_library_with, LibrarySpec};
+use afp_ml::chaos::ChaosConfig;
 use afp_ml::MlModelId;
-use afp_runtime::{CounterSnapshot, Runtime};
+use afp_runtime::{CounterSnapshot, Counters, Runtime};
 
 use crate::cache::CharacterizationCache;
 use crate::dataset::{characterize_library_with, sample_subset, train_validate_split};
@@ -55,12 +56,39 @@ pub struct FlowConfig {
     pub cache_dir: Option<PathBuf>,
     /// Master seed for sampling/splitting.
     pub seed: u64,
+    /// Fault injection for the numeric-robustness harness: corrupt model
+    /// *estimates* (never training or ground truth) with NaN/inf/huge
+    /// values. `None` (the default) disables injection entirely.
+    pub chaos: Option<ChaosSpec>,
     /// ASIC synthesis model configuration.
     pub asic: afp_asic::AsicConfig,
     /// FPGA synthesis model configuration.
     pub fpga: afp_fpga::FpgaConfig,
     /// Error analysis configuration.
     pub error: afp_error::ErrorConfig,
+}
+
+/// Fault-injection specification for a flow run (see
+/// [`afp_ml::chaos::ChaosRegressor`]). Injection is a pure function of
+/// the feature row and seed, so chaos runs stay bit-identical across
+/// thread counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosSpec {
+    /// Rate, seed and corruption kind.
+    pub config: ChaosConfig,
+    /// Restrict injection to one `(model, parameter)` pair; `None`
+    /// corrupts every trained model.
+    pub only: Option<(MlModelId, FpgaParam)>,
+}
+
+impl ChaosSpec {
+    /// Mixed-kind injection of every model at `rate` with `seed`.
+    pub fn mixed(rate: f64, seed: u64) -> ChaosSpec {
+        ChaosSpec {
+            config: ChaosConfig::new(rate, seed),
+            only: None,
+        }
+    }
 }
 
 impl Default for FlowConfig {
@@ -80,6 +108,7 @@ impl Default for FlowConfig {
             use_cache: true,
             cache_dir: None,
             seed: 0xDAC_2020,
+            chaos: None,
             asic: afp_asic::AsicConfig::default(),
             fpga: afp_fpga::FpgaConfig::default(),
             error: afp_error::ErrorConfig::default(),
@@ -133,8 +162,13 @@ pub struct FlowOutcome {
     pub validate: Vec<usize>,
     /// The trained model zoo with validation fidelities.
     pub zoo: TrainedZoo,
-    /// Models selected per parameter (top-k by fidelity).
+    /// Models selected per parameter (top-k by fidelity, after estimate
+    /// quarantine: a model whose estimates were all non-finite is dropped
+    /// and the next-best fidelity model promoted in its place).
     pub selected_models: BTreeMap<FpgaParam, Vec<MlModelId>>,
+    /// Models dropped by the quarantine stage per parameter (every
+    /// estimate non-finite), in the order they were tried.
+    pub dropped_models: BTreeMap<FpgaParam, Vec<MlModelId>>,
     /// Union of pseudo-pareto candidate indices per parameter.
     pub candidates: BTreeMap<FpgaParam, Vec<usize>>,
     /// Every index the flow synthesized (subset ∪ all candidates).
@@ -255,51 +289,135 @@ impl Flow {
             )
         };
 
-        // 3. Model selection per parameter.
-        let mut selected_models = BTreeMap::new();
+        // Fault injection (numeric-robustness harness): corrupt model
+        // estimates only — training and validation fidelities stay clean.
+        let zoo = {
+            let mut zoo = zoo;
+            if let Some(spec) = &cfg.chaos {
+                match spec.only {
+                    Some((model, param)) => zoo.inject_chaos_for(model, param, &spec.config),
+                    None => zoo.inject_chaos(&spec.config),
+                }
+            }
+            zoo
+        };
+
+        // 3+4. Model selection, whole-library estimation and pseudo-pareto
+        //    peeling, with estimate quarantine. Selection walks each
+        //    parameter's fidelity ranking: the top-k models are estimated
+        //    in parallel; non-finite estimates are quarantined (excluded
+        //    from peeling and counted), and a model whose estimates are
+        //    *all* non-finite is dropped with the next-ranked model
+        //    promoted in a subsequent wave. With finite estimates (the
+        //    default) wave one accepts everything and this reduces to the
+        //    plain top-k selection. Promotion order follows the fidelity
+        //    ranking, never completion order, so outcomes are
+        //    thread-invariant.
+        let ranked: BTreeMap<FpgaParam, Vec<MlModelId>> = FpgaParam::ALL
+            .iter()
+            .map(|&param| (param, zoo.top_models(param, usize::MAX, false)))
+            .collect();
+        let asic_ranked: BTreeMap<FpgaParam, Vec<MlModelId>> = FpgaParam::ALL
+            .iter()
+            .map(|&param| (param, zoo.ranked_asic_regressions(param)))
+            .collect();
+        // Per-parameter cursors into the ranking pools and accepted
+        // (model, peeled-candidate-set) lists.
+        let mut cursor: BTreeMap<FpgaParam, usize> = Default::default();
+        let mut asic_cursor: BTreeMap<FpgaParam, usize> = Default::default();
+        let mut accepted: BTreeMap<FpgaParam, Vec<(MlModelId, BTreeSet<usize>)>> =
+            Default::default();
+        let mut asic_accepted: BTreeMap<FpgaParam, Option<(MlModelId, BTreeSet<usize>)>> =
+            Default::default();
+        let mut dropped_models: BTreeMap<FpgaParam, Vec<MlModelId>> = Default::default();
         for &param in &FpgaParam::ALL {
-            let mut chosen = zoo.top_models(param, cfg.top_models, false);
-            if cfg.include_asic_regression {
-                if let Some(asic_model) = zoo.best_asic_regression(param) {
-                    if !chosen.contains(&asic_model) {
-                        chosen.push(asic_model);
+            cursor.insert(param, 0);
+            asic_cursor.insert(param, 0);
+            accepted.insert(param, Vec::new());
+            asic_accepted.insert(param, None);
+            dropped_models.insert(param, Vec::new());
+        }
+        loop {
+            // Next wave: per parameter, enough ranked models to fill the
+            // top-k slots, plus the ASIC-regression slot when requested.
+            let mut jobs: Vec<(FpgaParam, MlModelId, bool)> = Vec::new();
+            for &param in &FpgaParam::ALL {
+                let pool = &ranked[&param];
+                let cur = cursor.get_mut(&param).expect("param initialized");
+                let mut missing = cfg.top_models.saturating_sub(accepted[&param].len());
+                while missing > 0 && *cur < pool.len() {
+                    jobs.push((param, pool[*cur], false));
+                    *cur += 1;
+                    missing -= 1;
+                }
+                if cfg.include_asic_regression && asic_accepted[&param].is_none() {
+                    let pool = &asic_ranked[&param];
+                    let cur = asic_cursor.get_mut(&param).expect("param initialized");
+                    if *cur < pool.len() {
+                        jobs.push((param, pool[*cur], true));
+                        *cur += 1;
                     }
                 }
             }
-            selected_models.insert(param, chosen);
-        }
-
-        // 4. Estimate the whole library and peel pseudo-pareto fronts per
-        //    (parameter, model) in parallel; candidates are the union,
-        //    which is a set and therefore independent of completion order.
-        let jobs: Vec<(FpgaParam, MlModelId)> = FpgaParam::ALL
-            .iter()
-            .flat_map(|&param| selected_models[&param].iter().map(move |&m| (param, m)))
-            .collect();
-        let peeled: Vec<BTreeSet<usize>> = rt.par_map(&jobs, |_, &(param, model)| {
-            let est = zoo.estimate_all(model, param, &records);
-            let points: Vec<(f64, f64)> = est
-                .iter()
-                .zip(&records)
-                .map(|(&e, r)| (e, r.error.med))
-                .collect();
-            let mut set = BTreeSet::new();
-            for front in peel_fronts(&points, cfg.fronts) {
-                set.extend(front);
+            if jobs.is_empty() {
+                break;
             }
-            set
-        });
+            // Estimate + quarantine + peel, one parallel task per model.
+            type Peeled = (BTreeSet<usize>, usize, u64);
+            let results: Vec<Peeled> = rt.par_map(&jobs, |_, &(param, model, _)| {
+                let est = zoo.estimate_all(model, param, &records);
+                let mut keep: Vec<usize> = Vec::with_capacity(est.len());
+                let mut points: Vec<(f64, f64)> = Vec::with_capacity(est.len());
+                let mut quarantined = 0u64;
+                for (i, (&e, r)) in est.iter().zip(&records).enumerate() {
+                    if e.is_finite() {
+                        keep.push(i);
+                        points.push((e, r.error.med));
+                    } else {
+                        quarantined += 1;
+                    }
+                }
+                let mut set = BTreeSet::new();
+                for front in peel_fronts(&points, cfg.fronts) {
+                    set.extend(front.into_iter().map(|li| keep[li]));
+                }
+                (set, keep.len(), quarantined)
+            });
+            for (&(param, model, asic_slot), (set, finite, quarantined)) in jobs.iter().zip(results)
+            {
+                Counters::add(&rt.counters().estimates_quarantined, quarantined);
+                if finite == 0 {
+                    dropped_models
+                        .get_mut(&param)
+                        .expect("param initialized")
+                        .push(model);
+                } else if asic_slot {
+                    *asic_accepted.get_mut(&param).expect("param initialized") = Some((model, set));
+                } else {
+                    accepted
+                        .get_mut(&param)
+                        .expect("param initialized")
+                        .push((model, set));
+                }
+            }
+        }
+        let mut selected_models: BTreeMap<FpgaParam, Vec<MlModelId>> = BTreeMap::new();
         let mut candidates: BTreeMap<FpgaParam, Vec<usize>> = BTreeMap::new();
         let mut synthesized: BTreeSet<usize> = subset.iter().copied().collect();
         for &param in &FpgaParam::ALL {
+            let mut chosen: Vec<MlModelId> = Vec::new();
             let mut union: BTreeSet<usize> = BTreeSet::new();
-            for ((p, _), set) in jobs.iter().zip(&peeled) {
-                if *p == param {
-                    union.extend(set.iter().copied());
-                }
+            for (model, set) in &accepted[&param] {
+                chosen.push(*model);
+                union.extend(set.iter().copied());
+            }
+            if let Some((model, set)) = &asic_accepted[&param] {
+                chosen.push(*model);
+                union.extend(set.iter().copied());
             }
             let list: Vec<usize> = union.iter().copied().collect();
             synthesized.extend(list.iter().copied());
+            selected_models.insert(param, chosen);
             candidates.insert(param, list);
         }
 
@@ -325,9 +443,12 @@ impl Flow {
         // 6. Time accounting over the modeled synthesis times.
         let exhaustive_s: f64 = records.iter().map(|r| r.fpga.synth_time_s).sum();
         let subset_s: f64 = subset.iter().map(|&i| records[i].fpga.synth_time_s).sum();
+        // Membership set built once: the old per-candidate `subset.contains`
+        // scan was O(subset × synthesized).
+        let subset_set: std::collections::HashSet<usize> = subset.iter().copied().collect();
         let candidate_extra: f64 = synthesized
             .iter()
-            .filter(|i| !subset.contains(i))
+            .filter(|i| !subset_set.contains(i))
             .map(|&i| records[i].fpga.synth_time_s)
             .sum();
         // Model training/estimation: a flat modeled cost per model-target
@@ -350,6 +471,7 @@ impl Flow {
             validate,
             zoo,
             selected_models,
+            dropped_models,
             candidates,
             synthesized,
             final_fronts,

@@ -55,6 +55,14 @@ pub mod record;
 
 pub use cache::{CachedCharacterization, CharacterizationCache};
 pub use fidelity::FidelityRecord;
-pub use flow::{Flow, FlowConfig, FlowOutcome, TimeAccounting};
+pub use flow::{ChaosSpec, Flow, FlowConfig, FlowOutcome, TimeAccounting};
 pub use pareto::{coverage, pareto_front, peel_fronts};
 pub use record::{CircuitRecord, FeatureLayout, FpgaParam};
+
+/// The workspace float-ordering policy (re-export of [`afp_ord`]).
+///
+/// Every ranking in the flow — pareto sweeps, fidelity top-k, split
+/// search — uses these total-order comparators; NaN ranks worst and can
+/// neither panic a sort nor win a selection. See the [`afp_ord`] crate
+/// docs for the full policy table.
+pub use afp_ord as ord;

@@ -4,11 +4,19 @@
 //! All fronts are over 2-D points `(cost, error)` with *both* objectives
 //! minimized; a point is pareto-optimal when no other point is at least as
 //! good in both objectives and strictly better in one.
+//!
+//! Numeric policy: all orderings go through the workspace total-order
+//! helpers ([`afp_ord`]), so NaN points can never panic a sort or corrupt
+//! the peeling. A point with a NaN coordinate is **never** a front
+//! member; `±inf` behaves as an ordinary extreme value.
 
 /// Indices of the pareto-optimal points of `points = (cost, error)`.
 ///
 /// Ties: duplicate points are all kept (none dominates the other strictly).
 /// The result is sorted by ascending cost.
+///
+/// Points with a NaN coordinate are ignored: they are neither front
+/// members nor able to dominate anything.
 ///
 /// # Example
 ///
@@ -21,12 +29,9 @@
 pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..points.len()).collect();
     // Sort by cost, then error: a sweep keeping the running error minimum
-    // yields the non-dominated set.
-    order.sort_by(|&a, &b| {
-        points[a]
-            .partial_cmp(&points[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // yields the non-dominated set. The total order places NaN-cost
+    // points last, where the sweep stops.
+    order.sort_by(|&a, &b| afp_ord::pair_asc(points[a], points[b]));
     let mut front = Vec::new();
     let mut best_error = f64::INFINITY;
     let mut i = 0;
@@ -34,9 +39,16 @@ pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
         // Group equal-cost points; among them only the min-error ones are
         // candidates.
         let cost = points[order[i]].0;
+        if cost.is_nan() {
+            // NaN costs sort last; nothing beyond this point is rankable.
+            break;
+        }
         let mut j = i;
         let mut group_min = f64::INFINITY;
         while j < order.len() && points[order[j]].0 == cost {
+            // `f64::min` skips NaN errors, so a NaN-error point can never
+            // set the group minimum (and `NaN == group_min` below is
+            // false, so it can never join the front either).
             group_min = group_min.min(points[order[j]].1);
             j += 1;
         }
@@ -58,6 +70,10 @@ pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
 /// on `C`, `C \ F1`, `C \ (F1 ∪ F2)`, ...). Returns one index list per
 /// front; fewer than `n` lists when the points run out.
 ///
+/// Points with a NaN coordinate are never peeled ([`pareto_front`] skips
+/// them); peeling stops early instead of emitting empty fronts when only
+/// unrankable points remain.
+///
 /// # Example
 ///
 /// ```
@@ -78,6 +94,10 @@ pub fn peel_fronts(points: &[(f64, f64)], n: usize) -> Vec<Vec<usize>> {
         }
         let sub: Vec<(f64, f64)> = remaining.iter().map(|&i| points[i]).collect();
         let local = pareto_front(&sub);
+        if local.is_empty() {
+            // Only NaN points left; further peels would all be empty.
+            break;
+        }
         let global: Vec<usize> = local.iter().map(|&li| remaining[li]).collect();
         let taken: std::collections::HashSet<usize> = global.iter().copied().collect();
         remaining.retain(|i| !taken.contains(i));
@@ -95,20 +115,36 @@ pub fn coverage(true_front: &[usize], found: &[usize], points: &[(f64, f64)]) ->
     if true_front.is_empty() {
         return 1.0;
     }
-    let found_pts: Vec<(f64, f64)> = found.iter().map(|&i| points[i]).collect();
+    // Index and value-key sets are built once: membership checks are O(1)
+    // instead of rescanning `found` per true-front point.
+    let found_idx: std::collections::HashSet<usize> = found.iter().copied().collect();
+    let found_keys: std::collections::HashSet<(u64, u64)> =
+        found.iter().filter_map(|&i| point_key(points[i])).collect();
     let covered = true_front
         .iter()
         .filter(|&&t| {
-            found.contains(&t)
-                || found_pts
-                    .iter()
-                    .any(|&p| p.0 == points[t].0 && p.1 == points[t].1)
+            found_idx.contains(&t) || point_key(points[t]).is_some_and(|k| found_keys.contains(&k))
         })
         .count();
     covered as f64 / true_front.len() as f64
 }
 
+/// Bit-pattern key for exact value-equality lookups, matching `==`
+/// semantics: `-0.0` normalizes to `+0.0`, and NaN coordinates yield no
+/// key (NaN never equals anything under `==`).
+fn point_key(p: (f64, f64)) -> Option<(u64, u64)> {
+    if p.0.is_nan() || p.1.is_nan() {
+        None
+    } else {
+        Some(((p.0 + 0.0).to_bits(), (p.1 + 0.0).to_bits()))
+    }
+}
+
 /// True if point `a` dominates point `b` (both minimized).
+///
+/// NaN coordinates make every comparison false: a NaN point neither
+/// dominates nor is dominated, consistent with [`pareto_front`] ignoring
+/// such points.
 pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
     a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
 }
@@ -206,6 +242,59 @@ mod tests {
     }
 
     #[test]
+    fn nan_points_are_never_front_members() {
+        let nan = f64::NAN;
+        let pts = [(1.0, 1.0), (nan, 0.0), (0.5, nan), (nan, nan), (2.0, 0.5)];
+        assert_eq!(pareto_front(&pts), vec![0, 4]);
+        // All-NaN input: empty front, no panic, no infinite loop.
+        assert_eq!(pareto_front(&[(nan, 1.0), (nan, nan)]), Vec::<usize>::new());
+        // NaN-cost duplicates grouped at the tail must not stall the sweep.
+        assert_eq!(pareto_front(&[(nan, 1.0), (nan, 1.0)]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn infinities_rank_as_extreme_values() {
+        let inf = f64::INFINITY;
+        // inf cost but uniquely small error: non-dominated.
+        let pts = [(1.0, 5.0), (inf, 1.0), (2.0, 3.0)];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 2]);
+        // -inf cost dominates everything with larger error.
+        let pts = [(-inf, 1.0), (0.0, 2.0), (0.0, 0.5)];
+        assert_eq!(pareto_front(&pts), vec![0, 2]);
+        // inf error is never on the front while finite errors exist.
+        let pts = [(1.0, inf), (2.0, 3.0)];
+        assert_eq!(pareto_front(&pts), vec![1]);
+    }
+
+    #[test]
+    fn peeling_skips_nan_points_and_terminates() {
+        let nan = f64::NAN;
+        let pts = [(1.0, 2.0), (nan, 0.0), (2.0, 1.0), (3.0, nan), (2.5, 2.5)];
+        let fronts = peel_fronts(&pts, 10);
+        // NaN points never appear in any front.
+        for f in &fronts {
+            assert!(!f.contains(&1) && !f.contains(&3), "{fronts:?}");
+        }
+        // No trailing empty fronts once only NaN points remain.
+        assert!(fronts.iter().all(|f| !f.is_empty()));
+        let peeled: usize = fronts.iter().map(|f| f.len()).sum();
+        assert_eq!(peeled, 3);
+        // All-NaN input peels nothing.
+        assert!(peel_fronts(&[(nan, nan)], 3).is_empty());
+    }
+
+    #[test]
+    fn coverage_with_nan_points_stays_in_unit_range() {
+        let nan = f64::NAN;
+        let pts = [(1.0, 1.0), (nan, 0.5), (2.0, 0.25)];
+        // A NaN true-front point is only covered by its own index.
+        assert_eq!(coverage(&[0, 1], &[0], &pts), 0.5);
+        assert_eq!(coverage(&[0, 1], &[0, 1], &pts), 1.0);
+        // A NaN found point never value-covers anything.
+        assert_eq!(coverage(&[0], &[1], &pts), 0.0);
+    }
+
+    #[test]
     fn coverage_counts_value_duplicates() {
         let pts = [(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)];
         // True front indices {0,1,2}; found only {1,2} — but 0 has the same
@@ -219,11 +308,32 @@ mod tests {
         #[test]
         fn front_is_subset_and_idempotent(seed in 0u64..300) {
             let mut s = seed | 1;
-            let pts: Vec<(f64, f64)> = (0..50).map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (((s >> 16) & 0x3F) as f64, ((s >> 36) & 0x3F) as f64)
-            }).collect();
+            // Roughly every 8th coordinate is degenerate: NaN, ±inf or a
+            // huge magnitude, mimicking untrusted estimator output.
+            let coord = |s: &mut u64| -> f64 {
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                match (*s >> 59) & 0x7 {
+                    0 => match (*s >> 56) & 0x3 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => f64::NEG_INFINITY,
+                        _ => 1e300,
+                    },
+                    _ => ((*s >> 16) & 0x3F) as f64,
+                }
+            };
+            let pts: Vec<(f64, f64)> = (0..50).map(|_| (coord(&mut s), coord(&mut s))).collect();
             let f1 = pareto_front(&pts);
+            // No NaN point is ever a front member.
+            for &i in &f1 {
+                proptest::prop_assert!(!pts[i].0.is_nan() && !pts[i].1.is_nan());
+            }
+            // Front members are mutually non-dominated.
+            for &a in &f1 {
+                for &b in &f1 {
+                    proptest::prop_assert!(a == b || !dominates(pts[a], pts[b]));
+                }
+            }
             let sub: Vec<(f64, f64)> = f1.iter().map(|&i| pts[i]).collect();
             let f2 = pareto_front(&sub);
             proptest::prop_assert_eq!(f2.len(), f1.len(), "front not idempotent");

@@ -280,8 +280,10 @@ mod tests {
     #[test]
     fn jitter_is_bounded_and_seeded_by_structure() {
         let m = multipliers::wallace_multiplier(8);
-        let mut no_jitter_cfg = FpgaConfig::default();
-        no_jitter_cfg.pnr_jitter = 0.0;
+        let no_jitter_cfg = FpgaConfig {
+            pnr_jitter: 0.0,
+            ..FpgaConfig::default()
+        };
         let clean = synthesize_fpga(m.netlist(), &no_jitter_cfg);
         let noisy = report(m.netlist());
         let rel = (noisy.delay_ns - clean.delay_ns).abs() / clean.delay_ns;

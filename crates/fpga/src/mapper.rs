@@ -554,15 +554,15 @@ impl Mapper {
     }
 }
 
-/// Ranking order: depth first, then area flow (NaN-tolerant, matching the
-/// pre-arena `sort_by` comparator).
+/// Ranking order: depth first, then area flow. Area flow is compared
+/// with the workspace total-order policy ([`afp_ord::asc`]): a NaN (never
+/// produced by well-formed netlists, but possible on pathological inputs)
+/// ranks worst instead of poisoning the keep-window order.
 #[inline]
 fn cut_order(a: &Cut, b: &Cut) -> std::cmp::Ordering {
-    a.depth.cmp(&b.depth).then(
-        a.area_flow
-            .partial_cmp(&b.area_flow)
-            .unwrap_or(std::cmp::Ordering::Equal),
-    )
+    a.depth
+        .cmp(&b.depth)
+        .then_with(|| afp_ord::asc(a.area_flow, b.area_flow))
 }
 
 /// Score `cut` for a node with fanout `fo` from its leaves' best metrics.

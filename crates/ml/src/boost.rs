@@ -163,7 +163,7 @@ impl Regressor for AdaBoostR2 {
             .iter()
             .map(|(t, a)| (t.predict_row(row), *a))
             .collect();
-        preds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        preds.sort_by(|a, b| afp_ord::asc(a.0, b.0));
         let total: f64 = preds.iter().map(|(_, a)| a).sum();
         let mut acc = 0.0;
         for (p, a) in &preds {

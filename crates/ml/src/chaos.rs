@@ -1,0 +1,226 @@
+//! Deterministic fault injection for regressors.
+//!
+//! Model estimates are untrusted input: a GP, MLP or symbolic regressor
+//! trained on a degenerate subset can emit NaN, ±inf or absurd
+//! magnitudes. [`ChaosRegressor`] wraps any [`Regressor`] and corrupts a
+//! configurable fraction of its predictions with exactly those values,
+//! so the downstream pipeline (ranking, pareto peeling, coverage) can be
+//! tested against worst-case estimator output.
+//!
+//! Injection is a pure function of the **feature row and the seed** —
+//! never of call order or a mutable RNG — so a wrapped model corrupts
+//! the same rows regardless of thread count or evaluation order. That
+//! keeps chaos runs bit-identical across `Runtime` configurations, which
+//! is precisely the property the numeric-robustness tests pin down.
+
+use crate::{Matrix, MlError, Regressor};
+
+/// Which corrupted value an injection produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Rotate through NaN, `+inf`, `-inf` and ±huge, picked per row.
+    Mixed,
+    /// Always NaN.
+    Nan,
+    /// Always `+inf`.
+    PosInf,
+    /// Always `-inf`.
+    NegInf,
+    /// Always a huge finite magnitude (`±1e300`, sign picked per row).
+    Huge,
+}
+
+/// Configuration of one injection stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Fraction of predictions corrupted, in `[0, 1]`.
+    pub rate: f64,
+    /// Seed of the per-row injection hash.
+    pub seed: u64,
+    /// What a corrupted prediction becomes.
+    pub kind: ChaosKind,
+}
+
+impl ChaosConfig {
+    /// Mixed-kind injection at `rate` with `seed`.
+    pub fn new(rate: f64, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            rate,
+            seed,
+            kind: ChaosKind::Mixed,
+        }
+    }
+
+    /// Corrupt *every* prediction with `kind` (rate 1).
+    pub fn always(kind: ChaosKind, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            rate: 1.0,
+            seed,
+            kind,
+        }
+    }
+
+    /// The same configuration on an independent injection stream: mixes
+    /// `stream` into the seed so sibling models corrupt different rows.
+    pub fn with_stream(self, stream: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed: splitmix(self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..self
+        }
+    }
+}
+
+/// A [`Regressor`] wrapper that deterministically corrupts predictions.
+pub struct ChaosRegressor {
+    inner: Box<dyn Regressor>,
+    config: ChaosConfig,
+}
+
+impl ChaosRegressor {
+    /// Wrap `inner` with the injection `config`.
+    pub fn wrap(inner: Box<dyn Regressor>, config: ChaosConfig) -> Box<dyn Regressor> {
+        Box::new(ChaosRegressor { inner, config })
+    }
+}
+
+impl Regressor for ChaosRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        self.inner.fit(x, y)
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let clean = self.inner.predict_row(row);
+        let h = hash_row(self.config.seed, row);
+        // Top 53 bits -> uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.config.rate {
+            return clean;
+        }
+        match self.config.kind {
+            ChaosKind::Nan => f64::NAN,
+            ChaosKind::PosInf => f64::INFINITY,
+            ChaosKind::NegInf => f64::NEG_INFINITY,
+            ChaosKind::Huge => {
+                if h & 1 == 0 {
+                    1e300
+                } else {
+                    -1e300
+                }
+            }
+            ChaosKind::Mixed => match h & 3 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => {
+                    if h & 4 == 0 {
+                        1e300
+                    } else {
+                        -1e300
+                    }
+                }
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "chaos-injected"
+    }
+}
+
+/// FNV-1a over the seed and the bit patterns of the row, finished with a
+/// splitmix avalanche. Depends only on its inputs.
+fn hash_row(seed: u64, row: &[f64]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ seed;
+    for &v in row {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix(h)
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_model, MlModelId};
+
+    fn fitted(config: ChaosConfig) -> (Box<dyn Regressor>, Box<dyn Regressor>) {
+        let cols = crate::zoo::AsicColumns {
+            power: 0,
+            latency: 1,
+            area: 1,
+        };
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 2.0], &[2.0, 3.0], &[3.0, 5.0]]);
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let mut clean = build_model(MlModelId::Ml4, cols);
+        clean.fit(&x, &y).unwrap();
+        let mut inner = build_model(MlModelId::Ml4, cols);
+        inner.fit(&x, &y).unwrap();
+        (clean, ChaosRegressor::wrap(inner, config))
+    }
+
+    #[test]
+    fn rate_zero_is_a_passthrough() {
+        let (clean, chaotic) = fitted(ChaosConfig::new(0.0, 7));
+        for row in [[0.5, 1.5], [2.5, 4.0]] {
+            assert_eq!(clean.predict_row(&row), chaotic.predict_row(&row));
+        }
+    }
+
+    #[test]
+    fn rate_one_always_corrupts_with_the_configured_kind() {
+        let (_, chaotic) = fitted(ChaosConfig::always(ChaosKind::Nan, 7));
+        for row in [[0.5, 1.5], [2.5, 4.0], [9.0, 9.0]] {
+            assert!(chaotic.predict_row(&row).is_nan());
+        }
+        let (_, inf) = fitted(ChaosConfig::always(ChaosKind::PosInf, 7));
+        assert_eq!(inf.predict_row(&[0.5, 1.5]), f64::INFINITY);
+    }
+
+    #[test]
+    fn injection_depends_only_on_row_and_seed() {
+        let (_, a) = fitted(ChaosConfig::new(0.5, 42));
+        let (_, b) = fitted(ChaosConfig::new(0.5, 42));
+        // Same rows in different orders: bit-identical predictions.
+        let rows = [[0.1, 0.2], [3.0, 4.0], [5.0, 6.0], [0.1, 0.2]];
+        let fwd: Vec<u64> = rows.iter().map(|r| a.predict_row(r).to_bits()).collect();
+        let rev: Vec<u64> = rows
+            .iter()
+            .rev()
+            .map(|r| b.predict_row(r).to_bits())
+            .collect();
+        assert_eq!(fwd[0], fwd[3], "same row must corrupt identically");
+        for (i, bits) in fwd.iter().enumerate() {
+            assert_eq!(*bits, rev[rows.len() - 1 - i]);
+        }
+    }
+
+    #[test]
+    fn mixed_rate_corrupts_roughly_the_requested_fraction() {
+        let (_, chaotic) = fitted(ChaosConfig::new(0.3, 1234));
+        let n = 2000;
+        let bad = (0..n)
+            .filter(|&i| {
+                let row = [i as f64 * 0.01, i as f64 * 0.02 + 1.0];
+                !chaotic.predict_row(&row).is_finite() || chaotic.predict_row(&row).abs() >= 1e299
+            })
+            .count();
+        let frac = bad as f64 / n as f64;
+        assert!((0.2..0.4).contains(&frac), "injection rate off: {frac}");
+    }
+
+    #[test]
+    fn streams_differ_but_are_deterministic() {
+        let base = ChaosConfig::new(0.5, 9);
+        let s1 = base.with_stream(1);
+        let s2 = base.with_stream(2);
+        assert_ne!(s1.seed, s2.seed);
+        assert_eq!(s1, base.with_stream(1));
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod boost;
+pub mod chaos;
 pub mod forest;
 pub mod kernel;
 pub mod linalg;
@@ -59,6 +60,7 @@ pub mod tree;
 pub mod tuning;
 pub mod zoo;
 
+pub use chaos::{ChaosConfig, ChaosKind, ChaosRegressor};
 pub use linalg::Matrix;
 pub use zoo::{build_model, MlModelId};
 

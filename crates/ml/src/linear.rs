@@ -338,7 +338,7 @@ impl Regressor for LeastAngle {
             let best = (0..p)
                 .filter(|j| !active.contains(j))
                 .map(|j| (j, dot(&cols[j], &resid).abs()))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                .max_by(|a, b| afp_ord::for_max(a.1, b.1));
             let Some((j, corr)) = best else { break };
             if corr < 1e-9 {
                 break;

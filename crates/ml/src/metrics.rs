@@ -140,7 +140,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 
 fn ranks(v: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&i, &j| afp_ord::asc(v[i], v[j]));
     let mut out = vec![0.0; v.len()];
     let mut i = 0;
     while i < idx.len() {

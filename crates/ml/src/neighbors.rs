@@ -68,7 +68,7 @@ impl Regressor for KNearest {
                 (d2.sqrt(), y)
             })
             .collect();
-        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dist.sort_by(|a, b| afp_ord::asc(a.0, b.0));
         let k = self.k.min(dist.len());
         // Inverse-distance weights; exact hits dominate.
         let mut num = 0.0;
@@ -96,8 +96,8 @@ mod tests {
         let y = [5.0, 7.0, 9.0];
         let mut m = KNearest::new(1);
         m.fit(&x, &y).unwrap();
-        for r in 0..3 {
-            assert!((m.predict_row(x.row(r)) - y[r]).abs() < 1e-6);
+        for (r, &expected) in y.iter().enumerate() {
+            assert!((m.predict_row(x.row(r)) - expected).abs() < 1e-6);
         }
     }
 

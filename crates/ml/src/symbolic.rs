@@ -199,7 +199,7 @@ impl Regressor for SymbolicRegression {
             // Elitism: keep the best individual.
             let best = pop
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .min_by(|a, b| afp_ord::asc(a.1, b.1))
                 .expect("population is non-empty")
                 .clone();
             next.push(best);
@@ -209,7 +209,7 @@ impl Regressor for SymbolicRegression {
                     let mut best: Option<&(Expr, f64)> = None;
                     for _ in 0..3 {
                         let c = &pop[rng.below(pop.len())];
-                        if best.is_none_or(|b| c.1 < b.1) {
+                        if best.is_none_or(|b| afp_ord::asc(c.1, b.1).is_lt()) {
                             best = Some(c);
                         }
                     }
@@ -226,7 +226,7 @@ impl Regressor for SymbolicRegression {
         }
         let best = pop
             .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| afp_ord::asc(a.1, b.1))
             .expect("population is non-empty");
         self.best = Some(best.0);
         self.scaler = Some(scaler);

@@ -235,11 +235,7 @@ fn best_split(
     min_leaf: usize,
 ) -> Option<(f64, f64)> {
     let mut order: Vec<usize> = idx.to_vec();
-    order.sort_by(|&a, &b| {
-        x.get(a, feature)
-            .partial_cmp(&x.get(b, feature))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| afp_ord::asc(x.get(a, feature), x.get(b, feature)));
     let n = order.len();
     if n < 2 * min_leaf {
         return None;

@@ -30,6 +30,9 @@ pub struct AsicColumns {
 }
 
 /// Identifier of one of the 18 statistical/ML models of Table I.
+// Safe total order (`Eq + Ord`, no float keys): the clippy.toml
+// `partial_cmp` ban fires inside the derive expansion, not here.
+#[allow(clippy::disallowed_methods)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum MlModelId {

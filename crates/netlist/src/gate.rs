@@ -180,6 +180,9 @@ impl ExactSizeIterator for OperandIter {}
 
 /// Discriminant of [`Gate`] — the "cell type" used for histograms, ASIC cell
 /// selection and feature extraction.
+// Safe total order (`Eq + Ord`, no float keys): the clippy.toml
+// `partial_cmp` ban fires inside the derive expansion, not here.
+#[allow(clippy::disallowed_methods)]
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum GateKind {

@@ -1,0 +1,192 @@
+//! The workspace's single float-ordering policy.
+//!
+//! Every ranking site in the flow — pareto sorting, model selection by
+//! fidelity, split-point search, nearest-neighbour distances — orders
+//! `f64` keys. `partial_cmp(..).unwrap_or(Equal)` is **not** a total
+//! order once a NaN shows up: `sort_by` may panic under the standard
+//! library's comparator-consistency checks, and `min_by`/`max_by` can
+//! silently crown a NaN as the winner. Since model estimates are
+//! untrusted input (a GP or MLP trained on a degenerate subset happily
+//! emits NaN/inf), every comparison goes through the helpers here
+//! instead.
+//!
+//! The policy, in one line: **comparisons are total (`f64::total_cmp`
+//! based), all NaNs compare equal to each other, and NaN always ranks
+//! worst** — last in an ascending sort of minimized keys, last in a
+//! descending sort of maximized keys, and never the winner of a
+//! `max_by`/`min_by` selection (unless every key is NaN).
+//!
+//! For non-NaN keys the helpers agree exactly with the IEEE order, with
+//! the usual `total_cmp` refinement that `-0.0 < +0.0`.
+//!
+//! | helper       | use with                                  | NaN placement |
+//! |--------------|-------------------------------------------|---------------|
+//! | [`asc`]      | `sort_by`/`min_by` on minimized keys      | greatest      |
+//! | [`desc`]     | best-first `sort_by` on maximized keys    | greatest      |
+//! | [`for_max`]  | `max_by` on maximized keys                | least         |
+//! | [`pair_asc`] | lexicographic `(f64, f64)` sorts          | greatest      |
+//!
+//! [`for_max`] places NaN *least* so that `Iterator::max_by` — which
+//! keeps the last of equal maxima — never selects a NaN while preserving
+//! the standard library's tie behaviour for non-NaN keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::cmp::Ordering;
+
+/// Ascending total order; every NaN ranks greater than every non-NaN
+/// (including `+inf`) and all NaNs compare equal.
+///
+/// Use for `sort_by` on minimized keys (losses, distances, costs) so NaN
+/// lands last, and for `min_by` so NaN never wins the selection.
+///
+/// ```
+/// let mut v = [2.0, f64::NAN, 1.0, f64::INFINITY];
+/// v.sort_by(|a, b| afp_ord::asc(*a, *b));
+/// assert_eq!(&v[..3], &[1.0, 2.0, f64::INFINITY]);
+/// assert!(v[3].is_nan());
+/// ```
+#[inline]
+pub fn asc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Descending (best-first) total order for maximized keys; NaN still
+/// ranks last.
+///
+/// Use for `sort_by` where the largest key should come first (fidelity
+/// rankings): non-NaN keys sort descending, NaN keys sink to the end.
+///
+/// ```
+/// let mut v = [0.2, f64::NAN, 0.9];
+/// v.sort_by(|a, b| afp_ord::desc(*a, *b));
+/// assert_eq!(&v[..2], &[0.9, 0.2]);
+/// assert!(v[2].is_nan());
+/// ```
+#[inline]
+pub fn desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+/// Ascending total order with NaN ranked *least*; pass to
+/// `Iterator::max_by` so a NaN key never wins while ties between non-NaN
+/// keys keep the standard library's last-max behaviour.
+///
+/// ```
+/// let best = [0.3, f64::NAN, 0.8, 0.8]
+///     .iter()
+///     .enumerate()
+///     .max_by(|(_, a), (_, b)| afp_ord::for_max(**a, **b))
+///     .map(|(i, _)| i);
+/// assert_eq!(best, Some(3)); // last of the tied maxima, never the NaN
+/// ```
+#[inline]
+pub fn for_max(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Lexicographic ascending total order over `(f64, f64)` pairs, each
+/// coordinate compared with [`asc`] (NaN greatest).
+///
+/// ```
+/// use std::cmp::Ordering;
+/// assert_eq!(afp_ord::pair_asc((1.0, 2.0), (1.0, 3.0)), Ordering::Less);
+/// assert_eq!(afp_ord::pair_asc((f64::NAN, 0.0), (9.9, 9.9)), Ordering::Greater);
+/// ```
+#[inline]
+pub fn pair_asc(a: (f64, f64), b: (f64, f64)) -> Ordering {
+    asc(a.0, b.0).then_with(|| asc(a.1, b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAN: f64 = f64::NAN;
+    const INF: f64 = f64::INFINITY;
+
+    #[test]
+    fn asc_matches_ieee_on_ordinary_values() {
+        assert_eq!(asc(1.0, 2.0), Ordering::Less);
+        assert_eq!(asc(2.0, 1.0), Ordering::Greater);
+        assert_eq!(asc(1.5, 1.5), Ordering::Equal);
+        assert_eq!(asc(-INF, INF), Ordering::Less);
+        assert_eq!(asc(-0.0, 0.0), Ordering::Less); // total_cmp refinement
+    }
+
+    #[test]
+    fn nan_ranks_worst_in_every_direction() {
+        // Ascending (minimized keys): NaN greatest.
+        assert_eq!(asc(NAN, INF), Ordering::Greater);
+        assert_eq!(asc(INF, NAN), Ordering::Less);
+        assert_eq!(asc(NAN, NAN), Ordering::Equal);
+        assert_eq!(asc(-NAN, 0.0), Ordering::Greater); // sign of NaN ignored
+                                                       // Descending (maximized keys): NaN still last.
+        assert_eq!(desc(NAN, -INF), Ordering::Greater);
+        assert_eq!(desc(0.9, NAN), Ordering::Less);
+        // max_by selection: NaN least, so it never wins.
+        assert_eq!(for_max(NAN, -INF), Ordering::Less);
+        assert_eq!(for_max(1.0, NAN), Ordering::Greater);
+    }
+
+    #[test]
+    fn desc_reverses_non_nan() {
+        assert_eq!(desc(2.0, 1.0), Ordering::Less);
+        assert_eq!(desc(1.0, 2.0), Ordering::Greater);
+        assert_eq!(desc(1.0, 1.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn comparators_are_total_orders() {
+        // Transitivity + antisymmetry over a value set that includes every
+        // special case; sort_by panics on inconsistent comparators, so a
+        // clean sort of all permutations is a strong witness.
+        let vals = [NAN, -NAN, INF, -INF, 0.0, -0.0, 1.0, -1.0, 1e300];
+        for cmp in [asc, desc, for_max] {
+            let mut v = vals.to_vec();
+            v.sort_by(|a, b| cmp(*a, *b));
+            for i in 0..v.len() {
+                for j in 0..v.len() {
+                    let c = cmp(v[i], v[j]);
+                    assert_eq!(c.reverse(), cmp(v[j], v[i]), "antisymmetry");
+                    if i < j {
+                        assert_ne!(c, Ordering::Greater, "sorted order violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_order_is_lexicographic() {
+        let mut pts = [(2.0, 1.0), (1.0, NAN), (1.0, 2.0), (NAN, 0.0)];
+        pts.sort_by(|a, b| pair_asc(*a, *b));
+        assert_eq!(pts[0], (1.0, 2.0));
+        assert!(pts[1].1.is_nan() && pts[1].0 == 1.0);
+        assert_eq!(pts[2], (2.0, 1.0));
+        assert!(pts[3].0.is_nan());
+    }
+
+    #[test]
+    fn min_by_never_picks_nan() {
+        let v = [NAN, 3.0, 1.0, NAN];
+        let m = v.iter().copied().min_by(|a, b| asc(*a, *b)).unwrap();
+        assert_eq!(m, 1.0);
+    }
+}

@@ -33,6 +33,9 @@ pub struct Counters {
     pub cuts_dominance_pruned: AtomicU64,
     /// Synthesis calls that reused a worker's warm mapper scratch state.
     pub mapper_reuses: AtomicU64,
+    /// Non-finite model estimates quarantined by the flow (excluded from
+    /// pseudo-pareto peeling instead of corrupting the ranking).
+    pub estimates_quarantined: AtomicU64,
 }
 
 impl Counters {
@@ -57,6 +60,7 @@ impl Counters {
             cuts_sig_rejected: self.cuts_sig_rejected.load(Ordering::Relaxed),
             cuts_dominance_pruned: self.cuts_dominance_pruned.load(Ordering::Relaxed),
             mapper_reuses: self.mapper_reuses.load(Ordering::Relaxed),
+            estimates_quarantined: self.estimates_quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -91,6 +95,8 @@ pub struct CounterSnapshot {
     pub cuts_dominance_pruned: u64,
     /// Synthesis calls that reused warm mapper state.
     pub mapper_reuses: u64,
+    /// Non-finite model estimates quarantined by the flow.
+    pub estimates_quarantined: u64,
 }
 
 impl CounterSnapshot {
@@ -113,6 +119,9 @@ impl CounterSnapshot {
                 .cuts_dominance_pruned
                 .saturating_sub(earlier.cuts_dominance_pruned),
             mapper_reuses: self.mapper_reuses.saturating_sub(earlier.mapper_reuses),
+            estimates_quarantined: self
+                .estimates_quarantined
+                .saturating_sub(earlier.estimates_quarantined),
         }
     }
 }

@@ -1,0 +1,99 @@
+//! Golden pinning of the default (no-injection) flow outputs.
+//!
+//! The values below were captured **before** the NaN-safe ordering
+//! migration (total-order comparators + estimate quarantine): the
+//! migration must not change any front, coverage bit, model selection or
+//! synthesis set when every estimate is finite. If a deliberate
+//! behavioural change moves these, re-capture them and say why in the
+//! commit message.
+
+use approxfpgas_suite::circuits::{ArithKind, LibrarySpec};
+use approxfpgas_suite::flow::record::FpgaParam;
+use approxfpgas_suite::flow::{Flow, FlowConfig};
+use approxfpgas_suite::ml::MlModelId;
+
+fn golden_config() -> FlowConfig {
+    FlowConfig {
+        library: LibrarySpec::new(ArithKind::Adder, 8, 100),
+        min_subset: 24,
+        models: vec![
+            MlModelId::Ml1,
+            MlModelId::Ml2,
+            MlModelId::Ml3,
+            MlModelId::Ml4,
+            MlModelId::Ml11,
+            MlModelId::Ml13,
+            MlModelId::Ml14,
+            MlModelId::Ml18,
+        ],
+        ..FlowConfig::default()
+    }
+}
+
+#[test]
+fn default_flow_outputs_match_pre_migration_goldens() {
+    let outcome = Flow::new(golden_config()).run();
+
+    assert_eq!(
+        outcome.subset,
+        vec![
+            0, 4, 7, 8, 17, 20, 22, 23, 30, 32, 34, 36, 38, 58, 65, 68, 73, 80, 81, 82, 83, 94, 97,
+            98
+        ]
+    );
+    assert_eq!(
+        outcome.synthesized.iter().copied().collect::<Vec<_>>(),
+        vec![
+            0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+            26, 27, 28, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 40, 42, 46, 49, 58, 59, 60, 61, 62,
+            63, 64, 65, 67, 68, 71, 73, 74, 77, 80, 81, 82, 83, 85, 88, 89, 90, 91, 94, 95, 97, 98
+        ]
+    );
+
+    // Coverage pinned to the exact bit pattern, not an epsilon.
+    assert_eq!(
+        outcome.coverage[&FpgaParam::Latency].to_bits(),
+        0x3feccccccccccccd
+    );
+    assert_eq!(
+        outcome.coverage[&FpgaParam::Power].to_bits(),
+        0x3ff0000000000000
+    );
+    assert_eq!(
+        outcome.coverage[&FpgaParam::Area].to_bits(),
+        0x3ff0000000000000
+    );
+    assert_eq!(outcome.mean_coverage().to_bits(), 0x3feeeeeeeeeeeeef);
+
+    assert_eq!(
+        outcome.final_fronts[&FpgaParam::Latency],
+        vec![0, 1, 3, 10, 16, 20, 26, 28, 61]
+    );
+    assert_eq!(
+        outcome.final_fronts[&FpgaParam::Power],
+        vec![0, 1, 7, 11, 16, 17, 22, 32, 59, 60, 61, 62, 63, 64, 65]
+    );
+    assert_eq!(
+        outcome.final_fronts[&FpgaParam::Area],
+        vec![0, 59, 60, 61, 62, 63, 64, 65]
+    );
+
+    assert_eq!(
+        outcome.selected_models[&FpgaParam::Latency],
+        vec![MlModelId::Ml13, MlModelId::Ml14, MlModelId::Ml4]
+    );
+    assert_eq!(
+        outcome.selected_models[&FpgaParam::Power],
+        vec![MlModelId::Ml4, MlModelId::Ml11, MlModelId::Ml13]
+    );
+    assert_eq!(
+        outcome.selected_models[&FpgaParam::Area],
+        vec![MlModelId::Ml4, MlModelId::Ml11, MlModelId::Ml13]
+    );
+
+    assert_eq!(outcome.time.flow_count, 68);
+
+    // With finite estimates the quarantine stage is a no-op.
+    assert_eq!(outcome.runtime.estimates_quarantined, 0);
+    assert!(outcome.dropped_models.values().all(|v| v.is_empty()));
+}
