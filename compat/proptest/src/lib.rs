@@ -110,6 +110,49 @@ impl Strategy for std::ops::Range<f64> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::{test_runner::TestRng, Strategy};
+
+    /// Strategy for a `Vec` whose length is drawn from a range and whose
+    /// elements are drawn from an element strategy. Built by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector of `len` elements, each drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
 pub mod test_runner {
     //! The deterministic RNG driving value generation.
 
@@ -141,6 +184,7 @@ pub mod test_runner {
 
 pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate as prop;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
     pub use crate::{ProptestConfig, Strategy, TestCaseError};
 }
@@ -260,6 +304,17 @@ mod tests {
         fn eq_assertion_passes(x in 0u32..100) {
             prop_assert_eq!(x + 1, 1 + x);
             prop_assert_ne!(x, x + 1);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            v in prop::collection::vec((0usize..3, 10u64..20), 0..8)
+        ) {
+            prop_assert!(v.len() < 8);
+            for &(i, x) in &v {
+                prop_assert!(i < 3);
+                prop_assert!((10..20).contains(&x));
+            }
         }
     }
 

@@ -209,13 +209,26 @@ impl<'l> AutoAx<'l> {
 
     /// Run the full AutoAx-FPGA methodology.
     pub fn run(&self) -> AutoAxOutcome {
+        self.run_traced(&afp_obs::Recorder::disabled())
+    }
+
+    /// [`AutoAx::run`] with structured tracing: the training-sample
+    /// measurement, estimator fits, hill climb, candidate synthesis and
+    /// random baseline each record an `autoax/...` span. Tracing never
+    /// influences the search, so traced and untraced runs are identical.
+    pub fn run_traced(&self, recorder: &afp_obs::Recorder) -> AutoAxOutcome {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         // 1. Random training sample, measured.
-        let training: Vec<MeasuredDesign> = (0..self.config.training_samples)
-            .map(|_| self.measure(&self.random_config(&mut rng)))
-            .collect();
+        let training: Vec<MeasuredDesign> = {
+            let mut span = recorder.span("autoax/train_sample");
+            span.add_items(self.config.training_samples as u64);
+            (0..self.config.training_samples)
+                .map(|_| self.measure(&self.random_config(&mut rng)))
+                .collect()
+        };
 
         // 2. Estimators: QoR and one per cost objective.
+        let mut estimator_span = recorder.span("autoax/estimators");
         let x_rows: Vec<Vec<f64>> = training
             .iter()
             .map(|d| d.config.features(self.library))
@@ -227,20 +240,27 @@ impl<'l> AutoAx<'l> {
         qor_estimator
             .fit(&x, &y_ssim)
             .expect("training sample is non-degenerate");
+        estimator_span.add_items(1);
+        drop(estimator_span);
 
         let mut autoax = Vec::new();
         for objective in CostObjective::ALL {
             let y_cost: Vec<f64> = training.iter().map(|d| objective.of(&d.cost)).collect();
             let mut cost_estimator =
                 RandomForest::new(30, Default::default(), self.config.seed ^ 0x91);
-            cost_estimator
-                .fit(&x, &y_cost)
-                .expect("training sample is non-degenerate");
+            {
+                let mut span = recorder.span("autoax/estimators");
+                cost_estimator
+                    .fit(&x, &y_cost)
+                    .expect("training sample is non-degenerate");
+                span.add_items(1);
+            }
 
             // 3. Hill-climb an estimated pareto archive. Every *accepted*
             //    step is archived (not just the endpoint), so the archive
             //    traces the whole descent and its estimated front carries
             //    enough candidates to synthesize, as in the paper.
+            let mut climb_span = recorder.span("autoax/hill_climb");
             let mut archive: Vec<(AcceleratorConfig, f64, f64)> = Vec::new(); // (cfg, est_cost, est_err)
             for _ in 0..self.config.restarts {
                 let mut current = self.random_config(&mut rng);
@@ -258,6 +278,8 @@ impl<'l> AutoAx<'l> {
                     }
                 }
             }
+            climb_span.add_items(archive.len() as u64);
+            drop(climb_span);
             // Estimated pareto front of the archive -> candidates to
             // "synthesize" (measure).
             // The paper constructs 3 pseudo-pareto fronts from the
@@ -274,6 +296,7 @@ impl<'l> AutoAx<'l> {
                     pts.push((*c, *e));
                 }
             }
+            let mut synth_span = recorder.span("autoax/synthesize");
             let mut seen: std::collections::HashSet<AcceleratorConfig> =
                 std::collections::HashSet::new();
             let mut measured: Vec<MeasuredDesign> = Vec::new();
@@ -285,13 +308,19 @@ impl<'l> AutoAx<'l> {
                     }
                 }
             }
+            synth_span.add_items(measured.len() as u64);
+            drop(synth_span);
             autoax.push((objective, measured));
         }
 
         // 4. Random-search baseline: same synthesis budget, no estimators.
-        let random: Vec<MeasuredDesign> = (0..self.config.random_budget)
-            .map(|_| self.measure(&self.random_config(&mut rng)))
-            .collect();
+        let random: Vec<MeasuredDesign> = {
+            let mut span = recorder.span("autoax/random_baseline");
+            span.add_items(self.config.random_budget as u64);
+            (0..self.config.random_budget)
+                .map(|_| self.measure(&self.random_config(&mut rng)))
+                .collect()
+        };
 
         AutoAxOutcome {
             training,
@@ -438,6 +467,35 @@ mod tests {
         for (x, y) in a.training.iter().zip(&b.training) {
             assert_eq!(x.config, y.config);
             assert_eq!(x.ssim, y.ssim);
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_stages() {
+        let lib = ComponentLibrary::paper_defaults(&FpgaConfig::default());
+        let plain = AutoAx::new(&lib, quick()).run();
+        let recorder = afp_obs::Recorder::enabled();
+        let traced = AutoAx::new(&lib, quick()).run_traced(&recorder);
+        assert_eq!(plain.training.len(), traced.training.len());
+        for (x, y) in plain.training.iter().zip(&traced.training) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.ssim, y.ssim);
+        }
+        for ((oa, da), (ob, db)) in plain.autoax.iter().zip(&traced.autoax) {
+            assert_eq!(oa, ob);
+            assert_eq!(da.len(), db.len());
+        }
+        if recorder.is_enabled() {
+            let names: Vec<String> = recorder.stages().into_iter().map(|(n, _)| n).collect();
+            for stage in [
+                "autoax/train_sample",
+                "autoax/estimators",
+                "autoax/hill_climb",
+                "autoax/synthesize",
+                "autoax/random_baseline",
+            ] {
+                assert!(names.iter().any(|n| n == stage), "missing stage {stage}");
+            }
         }
     }
 }

@@ -5,6 +5,7 @@
 
 use afp_bench::render::table;
 use afp_bench::{human_time, write_csv, Scale};
+use afp_obs::fmt_ratio;
 use approxfpgas::{Flow, FlowConfig};
 
 fn main() {
@@ -30,7 +31,7 @@ fn main() {
             human_time(t.exhaustive_s),
             format!("{}", t.flow_count),
             human_time(t.flow_s()),
-            format!("{:.1}x", t.speedup()),
+            fmt_ratio(t.speedup()),
         ]);
         csv_rows.push(vec![
             label,
@@ -38,7 +39,10 @@ fn main() {
             format!("{:.1}", t.exhaustive_s),
             format!("{}", t.flow_count),
             format!("{:.1}", t.flow_s()),
-            format!("{:.3}", t.speedup()),
+            match t.speedup() {
+                Some(s) => format!("{s:.3}"),
+                None => String::new(),
+            },
         ]);
     }
     write_csv(
@@ -76,8 +80,13 @@ fn main() {
         "cumulative ApproxFPGAs: {}  (paper: 8.2 d)",
         human_time(cum_flow)
     );
+    let overall = if cum_flow > 0.0 {
+        Some(cum_exhaustive / cum_flow)
+    } else {
+        None
+    };
     println!(
-        "overall exploration-time reduction: {:.1}x (paper: ~10x)",
-        cum_exhaustive / cum_flow.max(1e-9)
+        "overall exploration-time reduction: {} (paper: ~10x)",
+        fmt_ratio(overall)
     );
 }

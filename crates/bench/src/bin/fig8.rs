@@ -41,7 +41,7 @@ fn main() {
                 format!("{}", outcome.true_fronts[&param].len()),
                 format!("{}", front.len()),
                 format!("{:.0}%", 100.0 * cov),
-                format!("{:.1}x", outcome.time.speedup()),
+                afp_obs::fmt_ratio(outcome.time.speedup()),
             ]);
             for &i in front {
                 let r = &outcome.records[i];

@@ -129,21 +129,48 @@ pub fn results_dir() -> PathBuf {
     results
 }
 
-/// Write rows as CSV under `results/<name>` (header first).
+/// Write rows as CSV under `results/<name>` (header first), creating the
+/// parent directory.
+///
+/// # Errors
+///
+/// Returns a typed [`afp_obs::ObsError`] when the directory cannot be
+/// created or the file cannot be written.
+pub fn try_write_csv(
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> Result<PathBuf, afp_obs::ObsError> {
+    let path = results_dir().join(name);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|source| afp_obs::ObsError {
+            op: "create results directory",
+            path: parent.to_path_buf(),
+            source,
+        })?;
+    }
+    let io_err = |source| afp_obs::ObsError {
+        op: "write csv",
+        path: path.clone(),
+        source,
+    };
+    let mut file = std::fs::File::create(&path).map_err(io_err)?;
+    writeln!(file, "{}", header.join(",")).map_err(io_err)?;
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).map_err(io_err)?;
+    }
+    println!("wrote {}", path.display());
+    Ok(path)
+}
+
+/// [`try_write_csv`] for callers that want loud failure (the figure
+/// binaries: a missing result file must abort the run).
 ///
 /// # Panics
 ///
-/// Panics if the file cannot be written (benchmarks want loud failures).
+/// Panics with the typed error's message if the file cannot be written.
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
-    let path = results_dir().join(name);
-    let mut file = std::fs::File::create(&path)
-        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
-    writeln!(file, "{}", header.join(",")).expect("csv header write");
-    for row in rows {
-        writeln!(file, "{}", row.join(",")).expect("csv row write");
-    }
-    println!("wrote {}", path.display());
-    path
+    try_write_csv(name, header, rows).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Format seconds as a human-readable duration (`12.3 h`, `4.5 d`, ...).
@@ -197,5 +224,19 @@ mod tests {
         let text = std::fs::read_to_string(&p).unwrap();
         assert_eq!(text, "a,b\n1,2\n");
         let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn try_write_csv_creates_nested_dirs_and_types_errors() {
+        // A name with a subdirectory: the parent is created on demand.
+        let p = try_write_csv("test_nested/deep.csv", &["x"], &[vec!["1".into()]]).unwrap();
+        assert_csv_written(&p);
+        let _ = std::fs::remove_dir_all(p.parent().unwrap());
+        // A path *under a file* cannot be created: typed error, no panic.
+        let blocker = write_csv("test_blocker.csv", &["x"], &[]);
+        let err = try_write_csv("test_blocker.csv/child.csv", &["x"], &[]).unwrap_err();
+        assert!(err.to_string().contains("cannot"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
+        let _ = std::fs::remove_file(blocker);
     }
 }

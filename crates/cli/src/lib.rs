@@ -118,10 +118,15 @@ USAGE:
       write the mapped netlist as LUT primitives.
   afp flow --kind add|mul --width W --size N [--fronts K] [--subset F]
            [--threads T] [--no-cache] [--cache-dir DIR]
+           [--report table|json|none] [--report-out PATH]
       Run the full ApproxFPGAs methodology and print the summary.
       --threads 0 (default) uses every core; results are identical for
       any thread count. --cache-dir persists the characterization cache
-      across runs; --no-cache disables memoization.
+      across runs (an unusable directory is an error); --no-cache
+      disables memoization. --report table (default) appends a per-stage
+      timing table; --report json writes the structured run report to
+      --report-out (default results/run_report.json) and prints only the
+      JSON document; --report none skips tracing entirely.
   afp help
       This text.
 "
@@ -316,6 +321,14 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         .map_err(|_| "--subset expects a fraction".to_string())?;
     let use_cache = cli.flag_or("no-cache", "false") != "true";
     let cache_dir = cli.flags.get("cache-dir").map(std::path::PathBuf::from);
+    let report_mode = cli.flag_or("report", "table");
+    if !matches!(report_mode, "table" | "json" | "none") {
+        return Err(format!(
+            "--report must be table|json|none, got `{report_mode}`"
+        ));
+    }
+    let report_out = std::path::PathBuf::from(cli.flag_or("report-out", "results/run_report.json"));
+    let explicit_cache_dir = cache_dir.is_some();
     let config = approxfpgas::FlowConfig {
         library: LibrarySpec::new(kind, width, size),
         fronts,
@@ -325,7 +338,29 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         cache_dir,
         ..approxfpgas::FlowConfig::default()
     };
-    let outcome = approxfpgas::Flow::new(config).run();
+    // A cache dir the user asked for must work: fail loudly instead of
+    // silently degrading to a memory-only cache.
+    let flow = if explicit_cache_dir {
+        approxfpgas::Flow::try_new(config.clone())
+            .map_err(|e| format!("cannot open --cache-dir: {e}"))?
+    } else {
+        approxfpgas::Flow::new(config.clone())
+    };
+    let recorder = if report_mode == "none" {
+        afp_obs::Recorder::disabled()
+    } else {
+        afp_obs::Recorder::enabled()
+    };
+    let outcome = flow.run_traced(&recorder);
+    if report_mode == "json" {
+        // Stdout carries the JSON document and nothing else, so the
+        // output pipes straight into `python3 -m json.tool`, `jq`, etc.
+        let report = approxfpgas::run_report(&config, &outcome, &recorder);
+        report.write_json(&report_out).map_err(|e| e.to_string())?;
+        let mut doc = report.to_json();
+        doc.push('\n');
+        return Ok(doc);
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -338,10 +373,10 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
     );
     let _ = writeln!(
         out,
-        "exploration: {:.1} h flow vs {:.1} h exhaustive ({:.1}x)",
+        "exploration: {:.1} h flow vs {:.1} h exhaustive ({})",
         outcome.time.flow_s() / 3600.0,
         outcome.time.exhaustive_s / 3600.0,
-        outcome.time.speedup()
+        afp_obs::fmt_ratio(outcome.time.speedup())
     );
     for (param, models) in &outcome.selected_models {
         let names: Vec<&str> = models.iter().map(|m| m.label()).collect();
@@ -378,6 +413,15 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         "quarantine: {} non-finite estimates excluded, {} models dropped",
         rt.estimates_quarantined, dropped
     );
+    if report_mode == "table" {
+        let report = approxfpgas::run_report(&config, &outcome, &recorder);
+        let _ = writeln!(out, "\nper-stage timing:");
+        out.push_str(&report.render_table());
+        if cli.flags.contains_key("report-out") {
+            let written = report.write_json(&report_out).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "wrote run report to {}", written.display());
+        }
+    }
     Ok(out)
 }
 
@@ -478,6 +522,106 @@ mod tests {
         assert!(out.contains("mapper reuses"), "{out}");
         // The flow actually did mapping work, so the counters are live.
         assert!(!out.contains("0 cut merges"), "{out}");
+    }
+
+    #[test]
+    fn flow_command_emits_stage_table_by_default() {
+        let out = run(&args(&[
+            "flow", "--kind", "add", "--width", "8", "--size", "60", "--subset", "0.4",
+        ]))
+        .unwrap();
+        assert!(out.contains("per-stage timing:"), "{out}");
+        assert!(out.contains("flow/characterize"), "{out}");
+        assert!(out.contains("flow/train_zoo"), "{out}");
+        assert!(out.contains("items/s"), "{out}");
+        // No report file was requested, so none is written.
+        assert!(!out.contains("wrote run report"), "{out}");
+    }
+
+    #[test]
+    fn flow_report_json_prints_a_single_json_document_and_writes_the_file() {
+        let dir = std::env::temp_dir().join(format!("afp_cli_report_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report_path = dir.join("results/run_report.json");
+        let out = run(&args(&[
+            "flow",
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "60",
+            "--subset",
+            "0.4",
+            "--report",
+            "json",
+            "--report-out",
+            &report_path.to_string_lossy(),
+        ]))
+        .unwrap();
+        // Stdout is exactly one JSON document.
+        assert!(out.starts_with("{\"version\":1,"), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+        assert_eq!(out.lines().count(), 1, "{out}");
+        for key in [
+            "\"stages\":[",
+            "\"flow\":{",
+            "\"time\":{",
+            "\"runtime\":{",
+            "\"cache\":{",
+            "\"quarantine\":{",
+            "\"coverage\":{",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // Clean path: nothing quarantined.
+        assert!(out.contains("\"estimates_quarantined\":0"), "{out}");
+        // The file holds the same document (parent dirs were created).
+        let on_disk = std::fs::read_to_string(&report_path).unwrap();
+        assert_eq!(on_disk, out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flow_report_none_skips_tracing_output() {
+        let out = run(&args(&[
+            "flow", "--kind", "add", "--width", "8", "--size", "60", "--subset", "0.4", "--report",
+            "none",
+        ]))
+        .unwrap();
+        assert!(out.contains("synthesized"));
+        assert!(!out.contains("per-stage timing:"), "{out}");
+    }
+
+    #[test]
+    fn flow_report_mode_is_validated() {
+        let e = run(&args(&[
+            "flow", "--kind", "add", "--width", "8", "--size", "40", "--report", "xml",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--report must be"), "{e}");
+    }
+
+    #[test]
+    fn flow_rejects_unusable_cache_dir() {
+        let dir = std::env::temp_dir().join(format!("afp_cli_cachedir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("file");
+        std::fs::write(&blocker, b"x").unwrap();
+        let e = run(&args(&[
+            "flow",
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "40",
+            "--cache-dir",
+            &blocker.to_string_lossy(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("cannot open --cache-dir"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -149,21 +149,27 @@ impl CharacterizationCache {
 
     /// A cache persisted to `dir/characterization.csv`; existing entries
     /// are loaded into the memory tier immediately. Falls back to a
-    /// memory-only cache if the directory is not writable.
+    /// memory-only cache if the directory is not writable — callers that
+    /// need loud failure use [`CharacterizationCache::try_with_disk`].
     pub fn with_disk(dir: &Path) -> CharacterizationCache {
-        match DiskTier::open(dir, CACHE_FILE) {
-            Ok(mut disk) => {
-                let memo = MemoCache::new();
-                for (key, value) in disk.take_loaded() {
-                    memo.insert(key, value);
-                }
-                CharacterizationCache {
-                    memo,
-                    disk: Some(disk),
-                }
-            }
-            Err(_) => CharacterizationCache::in_memory(),
+        CharacterizationCache::try_with_disk(dir)
+            .unwrap_or_else(|_| CharacterizationCache::in_memory())
+    }
+
+    /// Like [`CharacterizationCache::with_disk`], but an unusable cache
+    /// directory (cannot be created, or the cache file cannot be opened
+    /// for append) is returned as the underlying I/O error instead of
+    /// silently degrading to a memory-only cache.
+    pub fn try_with_disk(dir: &Path) -> std::io::Result<CharacterizationCache> {
+        let mut disk = DiskTier::open(dir, CACHE_FILE)?;
+        let memo = MemoCache::new();
+        for (key, value) in disk.take_loaded() {
+            memo.insert(key, value);
         }
+        Ok(CharacterizationCache {
+            memo,
+            disk: Some(disk),
+        })
     }
 
     /// The content key of one characterization: circuit structure (not
@@ -272,6 +278,23 @@ mod tests {
         pruned.prune_dominated = !base.prune_dominated;
         assert_ne!(k(&base), k(&pruned), "prune_dominated must change the key");
         assert_eq!(k(&base), k(&base.clone()), "key is deterministic");
+    }
+
+    #[test]
+    fn try_with_disk_surfaces_unusable_directories() {
+        let dir = std::env::temp_dir().join(format!("afp-core-trydisk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A plain file where the directory should be: create_dir_all fails.
+        let blocker = dir.join("not-a-dir");
+        std::fs::write(&blocker, b"x").unwrap();
+        assert!(CharacterizationCache::try_with_disk(&blocker).is_err());
+        // with_disk on the same path degrades to memory-only, silently.
+        let fallback = CharacterizationCache::with_disk(&blocker);
+        assert!(fallback.is_empty());
+        // A good directory works.
+        assert!(CharacterizationCache::try_with_disk(&dir.join("ok")).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! sampling and the 80/20 train/validation split.
 
 use afp_circuits::ArithCircuit;
+use afp_obs::Recorder;
 use afp_runtime::Runtime;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +47,33 @@ pub fn characterize_library_with(
     rt: &Runtime,
     cache: Option<&CharacterizationCache>,
 ) -> Vec<CircuitRecord> {
+    characterize_library_traced(
+        library,
+        asic_config,
+        fpga_config,
+        error_config,
+        rt,
+        cache,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`characterize_library_with`] with a `flow/characterize` tracing span
+/// (items = circuits characterized). Tracing wraps the whole parallel
+/// stage, so the span measures the stage's wall-clock latency; it never
+/// touches the per-circuit hot path.
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_library_traced(
+    library: &[ArithCircuit],
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+    rt: &Runtime,
+    cache: Option<&CharacterizationCache>,
+    recorder: &Recorder,
+) -> Vec<CircuitRecord> {
+    let mut span = recorder.span("flow/characterize");
+    span.add_items(library.len() as u64);
     rt.par_map_init(library, afp_fpga::Mapper::new, |mapper, id, circuit| {
         characterize_with_mapper(
             id,

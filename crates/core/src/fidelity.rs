@@ -2,6 +2,7 @@
 
 use afp_ml::metrics::{fidelity, mae, pearson, r2};
 use afp_ml::{build_model, Matrix, MlModelId, Regressor};
+use afp_obs::Recorder;
 use afp_runtime::Runtime;
 
 use crate::record::{extract_features, CircuitRecord, FeatureLayout, FpgaParam};
@@ -68,6 +69,26 @@ impl TrainedZoo {
             .iter()
             .map(|r| self.estimate(model, param, r))
             .collect()
+    }
+
+    /// [`TrainedZoo::estimate_all`] with a per-model `estimate/<model>`
+    /// tracing span (items = records estimated). With a disabled recorder
+    /// this is exactly [`TrainedZoo::estimate_all`] — no span name is even
+    /// allocated.
+    pub fn estimate_all_traced(
+        &self,
+        model: MlModelId,
+        param: FpgaParam,
+        records: &[CircuitRecord],
+        recorder: &Recorder,
+    ) -> Vec<f64> {
+        if !recorder.is_enabled() {
+            return self.estimate_all(model, param, records);
+        }
+        let name = format!("estimate/{}", model.label());
+        let mut span = recorder.span(&name);
+        span.add_items(records.len() as u64);
+        self.estimate_all(model, param, records)
     }
 
     /// [`TrainedZoo::estimate_all`] on an explicit [`Runtime`]: records are
@@ -205,6 +226,7 @@ pub fn train_zoo(
         models,
         tolerance,
         &Runtime::serial(),
+        &Recorder::disabled(),
     )
 }
 
@@ -212,6 +234,11 @@ pub fn train_zoo(
 /// trains in parallel. Each (model, parameter) fit is independent, so the
 /// zoo — including the order of its fidelity table — is identical to the
 /// serial build for any thread count.
+///
+/// Per-model `train/<model>` spans are recorded into `recorder`; workers
+/// running concurrently each add their own wall time, so a stage's total
+/// measures *work*, not latency.
+#[allow(clippy::too_many_arguments)]
 pub fn train_zoo_with(
     records: &[CircuitRecord],
     train: &[usize],
@@ -219,6 +246,7 @@ pub fn train_zoo_with(
     models: &[MlModelId],
     tolerance: f64,
     rt: &Runtime,
+    recorder: &Recorder,
 ) -> TrainedZoo {
     let layout = FeatureLayout::standard();
     let x_train = feature_matrix(records, train, &layout);
@@ -231,7 +259,7 @@ pub fn train_zoo_with(
     let results = rt.par_map(&jobs, |_, &(param, id)| {
         let (y_train, y_val) = &targets[&param];
         let mut model = build_model(id, layout.asic_columns());
-        if model.fit(&x_train, y_train).is_err() {
+        if afp_ml::zoo::fit_traced(model.as_mut(), id, &x_train, y_train, recorder).is_err() {
             // A singular fit (degenerate subset) scores zero fidelity
             // rather than aborting the flow.
             return (None, failed_fit(id, param));
@@ -317,11 +345,14 @@ pub fn train_zoo_tuned(
         models,
         tolerance,
         &Runtime::serial(),
+        &Recorder::disabled(),
     )
 }
 
 /// [`train_zoo_tuned`] on an explicit [`Runtime`]: one parallel task per
-/// (model, parameter) pair, each sweeping its hyperparameter grid.
+/// (model, parameter) pair, each sweeping its hyperparameter grid. Every
+/// grid fit adds to the model's `train/<model>` span.
+#[allow(clippy::too_many_arguments)]
 pub fn train_zoo_tuned_with(
     records: &[CircuitRecord],
     train: &[usize],
@@ -329,6 +360,7 @@ pub fn train_zoo_tuned_with(
     models: &[MlModelId],
     tolerance: f64,
     rt: &Runtime,
+    recorder: &Recorder,
 ) -> (TrainedZoo, ChosenLabels) {
     let layout = FeatureLayout::standard();
     let x_train = feature_matrix(records, train, &layout);
@@ -347,7 +379,7 @@ pub fn train_zoo_tuned_with(
         let mut best: Option<(FidelityRecord, Box<dyn Regressor>, String)> = None;
         for candidate in afp_ml::tuning::hyper_grid(id, layout.asic_columns()) {
             let mut model = candidate.model;
-            if model.fit(&x_train, y_train).is_err() {
+            if afp_ml::zoo::fit_traced(model.as_mut(), id, &x_train, y_train, recorder).is_err() {
                 continue;
             }
             let pred = model.predict(&x_val);

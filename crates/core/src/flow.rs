@@ -7,10 +7,11 @@ use std::path::PathBuf;
 use afp_circuits::{build_library_with, LibrarySpec};
 use afp_ml::chaos::ChaosConfig;
 use afp_ml::MlModelId;
+use afp_obs::Recorder;
 use afp_runtime::{CounterSnapshot, Counters, Runtime};
 
 use crate::cache::CharacterizationCache;
-use crate::dataset::{characterize_library_with, sample_subset, train_validate_split};
+use crate::dataset::{characterize_library_traced, sample_subset, train_validate_split};
 use crate::fidelity::{train_zoo_tuned_with, train_zoo_with, TrainedZoo};
 use crate::pareto::{coverage, pareto_front, peel_fronts};
 use crate::record::{CircuitRecord, FpgaParam};
@@ -140,13 +141,29 @@ impl TimeAccounting {
     }
 
     /// Exhaustive / flow speed-up factor.
-    pub fn speedup(&self) -> f64 {
-        self.exhaustive_s / self.flow_s().max(1e-9)
+    ///
+    /// `None` when the flow time is zero (e.g. a fully warm-cache run of
+    /// an empty model set): the ratio is undefined, and reports render it
+    /// as `--` instead of `inf`/`NaN`.
+    pub fn speedup(&self) -> Option<f64> {
+        let flow = self.flow_s();
+        if flow > 0.0 && self.exhaustive_s.is_finite() {
+            Some(self.exhaustive_s / flow)
+        } else {
+            None
+        }
     }
 
     /// Synthesized-circuit reduction factor (the paper's ~9.9x).
-    pub fn synth_reduction(&self) -> f64 {
-        self.exhaustive_count as f64 / self.flow_count.max(1) as f64
+    ///
+    /// `None` when the flow synthesized nothing — the ratio is undefined
+    /// rather than infinite.
+    pub fn synth_reduction(&self) -> Option<f64> {
+        if self.flow_count > 0 {
+            Some(self.exhaustive_count as f64 / self.flow_count as f64)
+        } else {
+            None
+        }
     }
 }
 
@@ -229,6 +246,22 @@ impl Flow {
         Flow { config, cache }
     }
 
+    /// [`Flow::new`], but a `cache_dir` that cannot be created or opened
+    /// is a hard error instead of a silent fall-back to a memory-only
+    /// cache. Use this when the caller asked for persistence explicitly
+    /// (as the CLI's `--cache-dir` does).
+    pub fn try_new(config: FlowConfig) -> std::io::Result<Flow> {
+        let cache = if config.use_cache {
+            Some(match &config.cache_dir {
+                Some(dir) => CharacterizationCache::try_with_disk(dir)?,
+                None => CharacterizationCache::in_memory(),
+            })
+        } else {
+            None
+        };
+        Ok(Flow { config, cache })
+    }
+
     /// Borrow the configuration.
     pub fn config(&self) -> &FlowConfig {
         &self.config
@@ -236,57 +269,101 @@ impl Flow {
 
     /// Run the full methodology; see the crate docs for the pipeline.
     pub fn run(&self) -> FlowOutcome {
+        self.run_traced(&Recorder::disabled())
+    }
+
+    /// [`Flow::run`] with structured tracing: every pipeline stage (library
+    /// generation, characterization, subset split, zoo training, model
+    /// estimation, front peeling) records a span into `recorder`, plus
+    /// per-model `train/<id>` and `estimate/<id>` stages.
+    ///
+    /// Tracing is strictly observational — the outcome is bit-identical to
+    /// the untraced run for any thread count, and a disabled recorder
+    /// costs one branch per stage.
+    pub fn run_traced(&self, recorder: &Recorder) -> FlowOutcome {
         let cfg = &self.config;
         let rt = Runtime::new(cfg.threads);
-        let library = build_library_with(&cfg.library, &rt);
-        let records = characterize_library_with(
+        let library = {
+            let mut span = recorder.span("flow/build_library");
+            let library = build_library_with(&cfg.library, &rt);
+            span.add_items(library.len() as u64);
+            library
+        };
+        let records = characterize_library_traced(
             &library,
             &cfg.asic,
             &cfg.fpga,
             &cfg.error,
             &rt,
             self.cache.as_ref(),
+            recorder,
         );
-        self.run_on_records_with(records, &rt)
+        self.run_on_records_inner(records, &rt, recorder)
     }
 
     /// Run the methodology on pre-characterized records (lets callers share
     /// one characterization across multiple flow variants, as the Fig. 7
     /// ablation does).
     pub fn run_on_records(&self, records: Vec<CircuitRecord>) -> FlowOutcome {
-        self.run_on_records_with(records, &Runtime::new(self.config.threads))
+        self.run_on_records_traced(records, &Recorder::disabled())
     }
 
-    fn run_on_records_with(&self, records: Vec<CircuitRecord>, rt: &Runtime) -> FlowOutcome {
+    /// [`Flow::run_on_records`] with structured tracing (see
+    /// [`Flow::run_traced`]).
+    pub fn run_on_records_traced(
+        &self,
+        records: Vec<CircuitRecord>,
+        recorder: &Recorder,
+    ) -> FlowOutcome {
+        self.run_on_records_inner(records, &Runtime::new(self.config.threads), recorder)
+    }
+
+    fn run_on_records_inner(
+        &self,
+        records: Vec<CircuitRecord>,
+        rt: &Runtime,
+        recorder: &Recorder,
+    ) -> FlowOutcome {
         let cfg = &self.config;
         let n = records.len();
 
         // 1. Subset synthesis (the only FPGA synthesis the flow "pays" for
         //    up front).
-        let subset = sample_subset(n, cfg.subset_fraction, cfg.min_subset, cfg.seed);
-        let (train, validate) = train_validate_split(&subset, cfg.train_fraction, cfg.seed);
+        let (subset, train, validate) = {
+            let mut span = recorder.span("flow/subset_split");
+            let subset = sample_subset(n, cfg.subset_fraction, cfg.min_subset, cfg.seed);
+            let (train, validate) = train_validate_split(&subset, cfg.train_fraction, cfg.seed);
+            span.add_items(subset.len() as u64);
+            (subset, train, validate)
+        };
 
         // 2. Train and score the model zoo (optionally with the Fig. 2
         //    hyperparameter-modification loop).
-        let zoo = if cfg.tune_models {
-            train_zoo_tuned_with(
-                &records,
-                &train,
-                &validate,
-                &cfg.models,
-                cfg.fidelity_tolerance,
-                rt,
-            )
-            .0
-        } else {
-            train_zoo_with(
-                &records,
-                &train,
-                &validate,
-                &cfg.models,
-                cfg.fidelity_tolerance,
-                rt,
-            )
+        let zoo = {
+            let mut span = recorder.span("flow/train_zoo");
+            span.add_items(cfg.models.len() as u64);
+            if cfg.tune_models {
+                train_zoo_tuned_with(
+                    &records,
+                    &train,
+                    &validate,
+                    &cfg.models,
+                    cfg.fidelity_tolerance,
+                    rt,
+                    recorder,
+                )
+                .0
+            } else {
+                train_zoo_with(
+                    &records,
+                    &train,
+                    &validate,
+                    &cfg.models,
+                    cfg.fidelity_tolerance,
+                    rt,
+                    recorder,
+                )
+            }
         };
 
         // Fault injection (numeric-robustness harness): corrupt model
@@ -337,6 +414,7 @@ impl Flow {
             asic_accepted.insert(param, None);
             dropped_models.insert(param, Vec::new());
         }
+        let mut select_span = recorder.span("flow/select_estimate");
         loop {
             // Next wave: per parameter, enough ranked models to fill the
             // top-k slots, plus the ASIC-regression slot when requested.
@@ -365,7 +443,7 @@ impl Flow {
             // Estimate + quarantine + peel, one parallel task per model.
             type Peeled = (BTreeSet<usize>, usize, u64);
             let results: Vec<Peeled> = rt.par_map(&jobs, |_, &(param, model, _)| {
-                let est = zoo.estimate_all(model, param, &records);
+                let est = zoo.estimate_all_traced(model, param, &records, recorder);
                 let mut keep: Vec<usize> = Vec::with_capacity(est.len());
                 let mut points: Vec<(f64, f64)> = Vec::with_capacity(est.len());
                 let mut quarantined = 0u64;
@@ -420,8 +498,11 @@ impl Flow {
             selected_models.insert(param, chosen);
             candidates.insert(param, list);
         }
+        select_span.add_items(synthesized.len() as u64);
+        drop(select_span);
 
         // 5. Final measured pareto fronts over what the flow synthesized.
+        let mut fronts_span = recorder.span("flow/fronts");
         let mut final_fronts = BTreeMap::new();
         let mut true_fronts = BTreeMap::new();
         let mut cov = BTreeMap::new();
@@ -439,6 +520,8 @@ impl Flow {
             final_fronts.insert(param, found);
             true_fronts.insert(param, truth);
         }
+        fronts_span.add_items(FpgaParam::ALL.len() as u64);
+        drop(fronts_span);
 
         // 6. Time accounting over the modeled synthesis times.
         let exhaustive_s: f64 = records.iter().map(|r| r.fpga.synth_time_s).sum();
@@ -512,8 +595,11 @@ mod tests {
         let outcome = Flow::new(tiny_config(120)).run();
         assert_eq!(outcome.records.len(), outcome.time.exhaustive_count);
         assert!(outcome.time.flow_count < outcome.time.exhaustive_count);
-        assert!(outcome.time.speedup() > 1.0, "no speedup");
-        assert!(outcome.time.synth_reduction() > 1.0);
+        assert!(
+            outcome.time.speedup().is_some_and(|s| s > 1.0),
+            "no speedup"
+        );
+        assert!(outcome.time.synth_reduction().is_some_and(|r| r > 1.0));
         // Everything the flow reports as a front member was synthesized.
         for front in outcome.final_fronts.values() {
             for i in front {
@@ -575,5 +661,78 @@ mod tests {
         assert_eq!(a.synthesized, b.synthesized);
         assert_eq!(a.final_fronts, b.final_fronts);
         assert_eq!(a.time, b.time);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_outcome() {
+        let untraced = Flow::new(tiny_config(80)).run();
+        let recorder = Recorder::enabled();
+        let traced = Flow::new(tiny_config(80)).run_traced(&recorder);
+        assert_eq!(untraced.subset, traced.subset);
+        assert_eq!(untraced.synthesized, traced.synthesized);
+        assert_eq!(untraced.final_fronts, traced.final_fronts);
+        assert_eq!(untraced.coverage, traced.coverage);
+        assert_eq!(untraced.time, traced.time);
+        if recorder.is_enabled() {
+            let names: Vec<String> = recorder.stages().into_iter().map(|(n, _)| n).collect();
+            for stage in [
+                "flow/build_library",
+                "flow/characterize",
+                "flow/subset_split",
+                "flow/train_zoo",
+                "flow/select_estimate",
+                "flow/fronts",
+            ] {
+                assert!(names.iter().any(|n| n == stage), "missing stage {stage}");
+            }
+            assert!(
+                names.iter().any(|n| n.starts_with("train/")),
+                "no per-model training spans"
+            );
+            assert!(
+                names.iter().any(|n| n.starts_with("estimate/")),
+                "no per-model estimation spans"
+            );
+        }
+    }
+
+    #[test]
+    fn undefined_time_ratios_are_none_not_inf() {
+        // A flow that synthesized nothing in zero time: both ratios are
+        // undefined, not inf/NaN.
+        let zero = TimeAccounting::default();
+        assert_eq!(zero.speedup(), None);
+        assert_eq!(zero.synth_reduction(), None);
+        let nonfinite = TimeAccounting {
+            exhaustive_s: f64::INFINITY,
+            subset_s: 1.0,
+            flow_count: 3,
+            exhaustive_count: 30,
+            ..TimeAccounting::default()
+        };
+        assert_eq!(nonfinite.speedup(), None);
+        assert_eq!(nonfinite.synth_reduction(), Some(10.0));
+    }
+
+    #[test]
+    fn try_new_rejects_unusable_cache_dir() {
+        let dir = std::env::temp_dir().join(format!("afp-flow-trynew-{}", std::process::id()));
+        let file = dir.join("occupied");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        std::fs::write(&file, b"x").expect("write blocker file");
+        // A *file* where the cache dir should go cannot be created as a
+        // directory: try_new must surface the error.
+        let config = FlowConfig {
+            cache_dir: Some(file.clone()),
+            ..tiny_config(40)
+        };
+        assert!(Flow::try_new(config).is_err());
+        // And a usable directory succeeds.
+        let ok = FlowConfig {
+            cache_dir: Some(dir.join("cache")),
+            ..tiny_config(40)
+        };
+        assert!(Flow::try_new(ok).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

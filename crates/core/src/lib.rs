@@ -52,12 +52,21 @@ pub mod fidelity;
 pub mod flow;
 pub mod pareto;
 pub mod record;
+pub mod report;
 
 pub use cache::{CachedCharacterization, CharacterizationCache};
 pub use fidelity::FidelityRecord;
 pub use flow::{ChaosSpec, Flow, FlowConfig, FlowOutcome, TimeAccounting};
 pub use pareto::{coverage, pareto_front, peel_fronts};
 pub use record::{CircuitRecord, FeatureLayout, FpgaParam};
+pub use report::run_report;
+
+/// Structured tracing and run reports (re-export of [`afp_obs`]).
+///
+/// [`flow::Flow::run_traced`] records per-stage spans into an
+/// [`obs::Recorder`]; [`report::run_report`] folds the recorder plus a
+/// [`FlowOutcome`] into an [`obs::RunReport`] with table and JSON sinks.
+pub use afp_obs as obs;
 
 /// The workspace float-ordering policy (re-export of [`afp_ord`]).
 ///

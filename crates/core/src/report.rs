@@ -1,0 +1,172 @@
+//! Assembly of the per-run observability report.
+//!
+//! [`run_report`] folds a finished [`FlowOutcome`] plus the stage spans of
+//! an [`afp_obs::Recorder`] into one [`RunReport`]: the stage table from
+//! tracing, and typed sections for configuration, time accounting,
+//! runtime counters, cache behaviour, estimate quarantine and pareto
+//! coverage. The JSON schema is stable by construction — fields are
+//! emitted in fixed builder order — so goldens can compare documents
+//! byte-for-byte after [`normalized`] strips the nondeterministic
+//! surfaces (wall-clock timings and the scheduling-dependent `steals`
+//! and `mapper_reuses` counters).
+
+use afp_obs::{Recorder, RunReport, Section, Value};
+
+use crate::flow::{FlowConfig, FlowOutcome};
+use crate::record::FpgaParam;
+
+/// Stable lower-case report key of one FPGA parameter.
+fn param_key(param: FpgaParam) -> &'static str {
+    match param {
+        FpgaParam::Latency => "latency",
+        FpgaParam::Power => "power",
+        FpgaParam::Area => "area",
+    }
+}
+
+/// Build the structured run report of one flow outcome.
+///
+/// Sections, in order: `flow` (what ran), `time` (the paper's
+/// exploration-time accounting; undefined ratios are `null`), `runtime`
+/// (scheduler/synthesis counters; `steals` and `mapper_reuses` are the
+/// schedule-dependent fields), `cache` (hit/miss totals and hit rate),
+/// `quarantine` (non-finite estimate defenses from the robustness
+/// harness) and `coverage` (per-parameter pareto coverage plus the
+/// mean).
+pub fn run_report(config: &FlowConfig, outcome: &FlowOutcome, recorder: &Recorder) -> RunReport {
+    let mut report = RunReport::from_recorder(recorder);
+    report.push_section(
+        Section::new("flow")
+            .field(
+                "library_kind",
+                Value::Str(config.library.kind.mnemonic().to_string()),
+            )
+            .field("library_width", Value::UInt(config.library.width as u64))
+            .field("library_size", Value::UInt(outcome.records.len() as u64))
+            .field("subset_size", Value::UInt(outcome.subset.len() as u64))
+            .field("train_size", Value::UInt(outcome.train.len() as u64))
+            .field("validate_size", Value::UInt(outcome.validate.len() as u64))
+            .field("models", Value::UInt(config.models.len() as u64))
+            .field("fronts", Value::UInt(config.fronts as u64))
+            .field("top_models", Value::UInt(config.top_models as u64))
+            .field("threads", Value::UInt(config.threads as u64))
+            .field("seed", Value::UInt(config.seed)),
+    );
+    let time = &outcome.time;
+    report.push_section(
+        Section::new("time")
+            .field("exhaustive_s", Value::Num(time.exhaustive_s))
+            .field("flow_s", Value::Num(time.flow_s()))
+            .field("subset_s", Value::Num(time.subset_s))
+            .field("candidates_s", Value::Num(time.candidates_s))
+            .field("ml_s", Value::Num(time.ml_s))
+            .field(
+                "exhaustive_count",
+                Value::UInt(time.exhaustive_count as u64),
+            )
+            .field("flow_count", Value::UInt(time.flow_count as u64))
+            .field("speedup", Value::ratio(time.speedup()))
+            .field("synth_reduction", Value::ratio(time.synth_reduction())),
+    );
+    let rt = &outcome.runtime;
+    report.push_section(
+        Section::new("runtime")
+            .field("tasks_executed", Value::UInt(rt.tasks_executed))
+            .field("steals", Value::UInt(rt.steals))
+            .field("asic_synths", Value::UInt(rt.asic_synths))
+            .field("fpga_synths", Value::UInt(rt.fpga_synths))
+            .field("error_analyses", Value::UInt(rt.error_analyses))
+            .field("mapper_reuses", Value::UInt(rt.mapper_reuses)),
+    );
+    let lookups = rt.cache_hits + rt.cache_misses;
+    let hit_rate = if lookups > 0 {
+        Some(rt.cache_hits as f64 / lookups as f64)
+    } else {
+        None
+    };
+    report.push_section(
+        Section::new("cache")
+            .field("hits", Value::UInt(rt.cache_hits))
+            .field("misses", Value::UInt(rt.cache_misses))
+            .field("hit_rate", Value::ratio(hit_rate)),
+    );
+    let dropped: u64 = outcome
+        .dropped_models
+        .values()
+        .map(|v| v.len() as u64)
+        .sum();
+    report.push_section(
+        Section::new("quarantine")
+            .field(
+                "estimates_quarantined",
+                Value::UInt(rt.estimates_quarantined),
+            )
+            .field("models_dropped", Value::UInt(dropped)),
+    );
+    let mut coverage = Section::new("coverage");
+    for &param in &FpgaParam::ALL {
+        let c = outcome.coverage.get(&param).copied();
+        coverage = coverage.field(param_key(param), Value::ratio(c));
+    }
+    report.push_section(coverage.field("mean", Value::Num(outcome.mean_coverage())));
+    report
+}
+
+/// Strip the run-to-run unstable surfaces from a report — wall-clock
+/// stage timings and the two scheduling-dependent counters (`steals`,
+/// and `mapper_reuses`, which depends on how work-stealing distributed
+/// circuits over per-worker mapper arenas) — leaving a document that is
+/// byte-identical across repeated runs and thread counts. This is what
+/// the schema goldens and CI diffs compare.
+pub fn normalized(report: &RunReport) -> RunReport {
+    let mut out = report.normalized();
+    out.set_field("runtime", "steals", Value::UInt(0));
+    out.set_field("runtime", "mapper_reuses", Value::UInt(0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Flow;
+    use afp_circuits::{ArithKind, LibrarySpec};
+    use afp_ml::MlModelId;
+
+    fn small_outcome() -> (FlowConfig, FlowOutcome, Recorder) {
+        let config = FlowConfig {
+            library: LibrarySpec::new(ArithKind::Adder, 8, 60),
+            models: vec![MlModelId::Ml11, MlModelId::Ml14, MlModelId::Ml18],
+            top_models: 2,
+            ..FlowConfig::default()
+        };
+        let recorder = Recorder::enabled();
+        let outcome = Flow::new(config.clone()).run_traced(&recorder);
+        (config, outcome, recorder)
+    }
+
+    #[test]
+    fn report_has_every_section_in_order() {
+        let (config, outcome, recorder) = small_outcome();
+        let report = run_report(&config, &outcome, &recorder);
+        let names: Vec<&str> = report.sections.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["flow", "time", "runtime", "cache", "quarantine", "coverage"]
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"quarantine\":{\"estimates_quarantined\":0"));
+        assert!(json.contains("\"coverage\":{\"latency\":"));
+    }
+
+    #[test]
+    fn normalized_report_is_reproducible() {
+        let (config, outcome, recorder) = small_outcome();
+        let a = normalized(&run_report(&config, &outcome, &recorder));
+        let (config2, outcome2, recorder2) = small_outcome();
+        let b = normalized(&run_report(&config2, &outcome2, &recorder2));
+        assert_eq!(a.to_json(), b.to_json());
+        // Timings and steals are genuinely gone.
+        assert!(a.to_json().contains("\"steals\":0"));
+        assert_eq!(a.total_wall_s(), 0.0);
+    }
+}

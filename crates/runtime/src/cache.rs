@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::counters::Counters;
 use crate::hash::Key128;
@@ -44,10 +44,15 @@ impl<V: Clone> MemoCache<V> {
     }
 
     /// Look up `key`, recording a hit/miss in `counters`.
+    ///
+    /// Locking is poison-proof: a worker that panicked while holding a
+    /// shard lock leaves the map in a consistent state (every mutation is
+    /// a single `HashMap` call), so readers recover the guard instead of
+    /// cascading the panic.
     pub fn get(&self, key: Key128, counters: &Counters) -> Option<V> {
         let found = self.shards[key.shard(SHARDS)]
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
             .cloned();
         match found {
@@ -62,7 +67,7 @@ impl<V: Clone> MemoCache<V> {
     pub fn insert(&self, key: Key128, value: V) {
         self.shards[key.shard(SHARDS)]
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, value);
     }
 
@@ -71,7 +76,7 @@ impl<V: Clone> MemoCache<V> {
     pub fn peek(&self, key: Key128) -> Option<V> {
         self.shards[key.shard(SHARDS)]
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
             .cloned()
     }
@@ -80,7 +85,7 @@ impl<V: Clone> MemoCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 
@@ -190,7 +195,7 @@ impl<V: CsvRecord> DiskTier<V> {
             !row.contains('\n'),
             "CsvRecord fields must not contain newlines"
         );
-        let mut writer = self.writer.lock().expect("cache writer poisoned");
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         // Ignore append errors: losing disk persistence must not fail a
         // run that already has the value in memory.
         let _ = writeln!(writer, "{row}");

@@ -53,10 +53,10 @@ fn main() {
         t.exhaustive_s / 3600.0
     );
     println!(
-        "  this flow:  {} circuits, {:.1} h -> {:.1}x faster",
+        "  this flow:  {} circuits, {:.1} h -> {} faster",
         t.flow_count,
         t.flow_s() / 3600.0,
-        t.speedup()
+        approxfpgas::obs::fmt_ratio(t.speedup())
     );
 
     println!("\npareto-optimal FPGA-ACs (area vs MED):");

@@ -13,5 +13,6 @@ pub use afp_error as error;
 pub use afp_fpga as fpga;
 pub use afp_ml as ml;
 pub use afp_netlist as netlist;
+pub use afp_obs as obs;
 pub use afp_runtime as runtime;
 pub use approxfpgas as flow;

@@ -9,8 +9,9 @@
 
 use approxfpgas_suite::circuits::{ArithKind, LibrarySpec};
 use approxfpgas_suite::flow::record::FpgaParam;
-use approxfpgas_suite::flow::{Flow, FlowConfig};
+use approxfpgas_suite::flow::{Flow, FlowConfig, FlowOutcome};
 use approxfpgas_suite::ml::MlModelId;
+use approxfpgas_suite::obs::Recorder;
 
 fn golden_config() -> FlowConfig {
     FlowConfig {
@@ -30,10 +31,7 @@ fn golden_config() -> FlowConfig {
     }
 }
 
-#[test]
-fn default_flow_outputs_match_pre_migration_goldens() {
-    let outcome = Flow::new(golden_config()).run();
-
+fn assert_matches_goldens(outcome: &FlowOutcome) {
     assert_eq!(
         outcome.subset,
         vec![
@@ -96,4 +94,40 @@ fn default_flow_outputs_match_pre_migration_goldens() {
     // With finite estimates the quarantine stage is a no-op.
     assert_eq!(outcome.runtime.estimates_quarantined, 0);
     assert!(outcome.dropped_models.values().all(|v| v.is_empty()));
+}
+
+#[test]
+fn default_flow_outputs_match_pre_migration_goldens() {
+    let outcome = Flow::new(golden_config()).run();
+    assert_matches_goldens(&outcome);
+}
+
+#[test]
+fn tracing_enabled_flow_matches_the_same_goldens_bit_exactly() {
+    // Tracing is strictly observational: an enabled recorder must not
+    // move a single golden bit relative to the untraced run.
+    let recorder = Recorder::enabled();
+    let outcome = Flow::new(golden_config()).run_traced(&recorder);
+    assert_matches_goldens(&outcome);
+    if recorder.is_enabled() {
+        // Every golden model has a train stage; every *selected* model
+        // additionally has an estimate stage.
+        let names: Vec<String> = recorder.stages().into_iter().map(|(n, _)| n).collect();
+        for id in golden_config().models {
+            assert!(
+                names.contains(&format!("train/{}", id.label())),
+                "no train stage for {}",
+                id.label()
+            );
+        }
+        for models in outcome.selected_models.values() {
+            for id in models {
+                assert!(
+                    names.contains(&format!("estimate/{}", id.label())),
+                    "no estimate stage for selected model {}",
+                    id.label()
+                );
+            }
+        }
+    }
 }

@@ -38,6 +38,10 @@ fn chaotic_config(rate: f64, threads: usize) -> FlowConfig {
 }
 
 fn assert_sane(outcome: &FlowOutcome) {
+    assert!(
+        outcome.mean_coverage().is_finite(),
+        "mean coverage went non-finite"
+    );
     for (&param, &c) in &outcome.coverage {
         assert!(
             (0.0..=1.0).contains(&c),
@@ -146,6 +150,18 @@ fn fully_nan_model_is_dropped_and_replaced() {
     assert!(outcome.selected_models[&FpgaParam::Power].contains(&MlModelId::Ml4));
     assert!(outcome.dropped_models[&FpgaParam::Power].is_empty());
     assert!(outcome.dropped_models[&FpgaParam::Latency].is_empty());
+}
+
+#[test]
+fn mean_coverage_of_an_empty_coverage_map_is_zero_not_nan() {
+    // Regression: an empty coverage map used to divide 0.0 by 0, turning
+    // the report's headline number into NaN. The mean of nothing is
+    // defined as 0.0 — "nothing covered", not "undefined".
+    let mut outcome = Flow::new(chaotic_config(0.2, 1)).run();
+    outcome.coverage.clear();
+    let mean = outcome.mean_coverage();
+    assert!(mean.is_finite(), "empty coverage produced {mean}");
+    assert_eq!(mean.to_bits(), 0.0f64.to_bits());
 }
 
 #[test]

@@ -80,6 +80,33 @@ fn multiplier_flow_is_identical_for_one_and_eight_threads() {
 }
 
 #[test]
+fn traced_flow_keeps_the_thread_invariance_guarantee() {
+    // Same bit-identity contract, but with a live recorder attached to
+    // both runs: spans read clocks and take a mutex, yet must never leak
+    // into what the flow computes.
+    use approxfpgas_suite::obs::Recorder;
+    let rec_serial = Recorder::enabled();
+    let rec_parallel = Recorder::enabled();
+    let serial = Flow::new(tiny_config(ArithKind::Adder, 1)).run_traced(&rec_serial);
+    let parallel = Flow::new(tiny_config(ArithKind::Adder, 8)).run_traced(&rec_parallel);
+    assert_outcomes_identical(&serial, &parallel);
+    // And tracing vs no tracing is equally invisible.
+    let untraced = Flow::new(tiny_config(ArithKind::Adder, 8)).run();
+    assert_outcomes_identical(&untraced, &parallel);
+    if rec_serial.is_enabled() {
+        // Call/item tallies are scheduling-independent; only wall time
+        // (and the runtime's steal counter) may differ across threads.
+        let strip = |rec: &Recorder| -> Vec<(String, u64, u64)> {
+            rec.stages()
+                .into_iter()
+                .map(|(name, s)| (name, s.calls, s.items))
+                .collect()
+        };
+        assert_eq!(strip(&rec_serial), strip(&rec_parallel));
+    }
+}
+
+#[test]
 fn second_run_on_one_flow_synthesizes_nothing() {
     let flow = Flow::new(tiny_config(ArithKind::Adder, 4));
     let cold = flow.run();
