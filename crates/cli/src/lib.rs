@@ -96,6 +96,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "error" => cmd_error(&cli),
         "map" => cmd_map(&cli),
         "flow" => cmd_flow(&cli),
+        "targets" => cmd_targets(&cli),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
@@ -118,15 +119,23 @@ USAGE:
       write the mapped netlist as LUT primitives.
   afp flow --kind add|mul --width W --size N [--fronts K] [--subset F]
            [--threads T] [--no-cache] [--cache-dir DIR]
+           [--target NAME] [--all-targets]
            [--report table|json|none] [--report-out PATH]
       Run the full ApproxFPGAs methodology and print the summary.
       --threads 0 (default) uses every core; results are identical for
       any thread count. --cache-dir persists the characterization cache
       across runs (an unusable directory is an error); --no-cache
-      disables memoization. --report table (default) appends a per-stage
-      timing table; --report json writes the structured run report to
-      --report-out (default results/run_report.json) and prints only the
-      JSON document; --report none skips tracing entirely.
+      disables memoization. --target retargets the FPGA model to a named
+      device profile (see `afp targets`; default lut6-7series);
+      --all-targets sweeps every registry profile and prints a
+      per-target comparison instead of one run's summary. --report table
+      (default) appends a per-stage timing table; --report json writes
+      the structured run report to --report-out (default
+      results/run_report.json) and prints only the JSON document;
+      --report none skips tracing entirely.
+  afp targets [NAME]
+      List the named device profiles the flow can target, or describe
+      one profile in detail.
   afp help
       This text.
 "
@@ -309,6 +318,69 @@ fn cmd_map(cli: &Cli) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_targets(cli: &Cli) -> Result<String, String> {
+    let mut out = String::new();
+    if let Some(name) = cli.positional.first() {
+        let p = afp_fpga::target::named(name)
+            .ok_or_else(|| approxfpgas::UnknownTargetError { name: name.clone() }.to_string())?;
+        let _ = writeln!(out, "{}: {}", p.name, p.description);
+        let _ = writeln!(out, "  LUT inputs (K):    {}", p.arch.lut_inputs);
+        let _ = writeln!(out, "  LUTs per slice:    {}", p.arch.luts_per_slice);
+        let _ = writeln!(out, "  LUT delay:         {:.3} ns", p.arch.lut_delay_ns);
+        let _ = writeln!(
+            out,
+            "  routing delay:     {:.3} ns base + {:.3} ns/ln(1+fanout)",
+            p.arch.route_base_ns, p.arch.route_fanout_ns
+        );
+        let _ = writeln!(
+            out,
+            "  dynamic energy:    {:.2} pJ/LUT toggle + {:.2} pJ/route toggle",
+            p.arch.lut_energy_pj, p.arch.route_energy_pj
+        );
+        let _ = writeln!(
+            out,
+            "  static power:      {:.1} uW/LUT",
+            p.arch.lut_static_uw
+        );
+        let _ = writeln!(out, "  default clock:     {:.0} MHz", p.clock_mhz);
+        let _ = writeln!(out, "  P&R jitter:        +/-{:.0}%", p.pnr_jitter * 100.0);
+        if p.name == afp_fpga::DEFAULT_TARGET {
+            let _ = writeln!(
+                out,
+                "  (default target; historical goldens are pinned to it)"
+            );
+        }
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "{:<18} {:>2} {:>9} {:>11} {:>9}  description",
+        "name", "K", "LUT/slice", "clock [MHz]", "jitter"
+    );
+    for p in afp_fpga::target::registry() {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>2} {:>9} {:>11.0} {:>8.0}%  {}{}",
+            p.name,
+            p.arch.lut_inputs,
+            p.arch.luts_per_slice,
+            p.clock_mhz,
+            p.pnr_jitter * 100.0,
+            p.description,
+            if p.name == afp_fpga::DEFAULT_TARGET {
+                " [default]"
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nuse `afp targets NAME` for details, `afp flow --target NAME` to retarget the flow"
+    );
+    Ok(out)
+}
+
 fn cmd_flow(cli: &Cli) -> Result<String, String> {
     let kind = cli.kind_flag()?;
     let width = cli.usize_flag("width", 8)?;
@@ -329,7 +401,14 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
     }
     let report_out = std::path::PathBuf::from(cli.flag_or("report-out", "results/run_report.json"));
     let explicit_cache_dir = cache_dir.is_some();
-    let config = approxfpgas::FlowConfig {
+    let all_targets = cli.flag_or("all-targets", "false") == "true";
+    let target_name = cli.flag_or("target", afp_fpga::DEFAULT_TARGET).to_string();
+    if all_targets && cli.flags.contains_key("target") {
+        return Err("--target and --all-targets are mutually exclusive".to_string());
+    }
+    let profile = afp_fpga::target::named(&target_name)
+        .ok_or_else(|| approxfpgas::UnknownTargetError { name: target_name }.to_string())?;
+    let mut config = approxfpgas::FlowConfig {
         library: LibrarySpec::new(kind, width, size),
         fronts,
         subset_fraction: subset,
@@ -338,6 +417,10 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         cache_dir,
         ..approxfpgas::FlowConfig::default()
     };
+    config.fpga = profile.apply(&config.fpga);
+    if all_targets {
+        return cmd_flow_all_targets(&config);
+    }
     // A cache dir the user asked for must work: fail loudly instead of
     // silently degrading to a memory-only cache.
     let flow = if explicit_cache_dir {
@@ -370,6 +453,11 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         outcome.records.len(),
         outcome.time.flow_count,
         outcome.time.exhaustive_count
+    );
+    let _ = writeln!(
+        out,
+        "target: {} (K={}, {:.0} MHz)",
+        config.fpga.target, config.fpga.arch.lut_inputs, config.fpga.clock_mhz
     );
     let _ = writeln!(
         out,
@@ -425,6 +513,57 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_flow_all_targets(base: &approxfpgas::FlowConfig) -> Result<String, String> {
+    use approxfpgas::record::FpgaParam;
+    let set = approxfpgas::TargetSet::all();
+    let sweep = approxfpgas::sweep_targets(base, &set);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "target sweep: {} profiles, library {}{}u x{}",
+        sweep.runs.len(),
+        base.library.kind.mnemonic(),
+        base.library.width,
+        sweep
+            .runs
+            .first()
+            .map(|r| r.outcome.records.len())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "target", "latency", "power", "area", "mean", "synth", "front sizes"
+    );
+    for run in &sweep.runs {
+        let o = &run.outcome;
+        let pct = |p: FpgaParam| 100.0 * o.coverage.get(&p).copied().unwrap_or(0.0);
+        let fronts: Vec<String> = FpgaParam::ALL
+            .iter()
+            .map(|p| format!("{}", o.final_fronts.get(p).map(|f| f.len()).unwrap_or(0)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}% {:>6}/{:<4} {:>12}",
+            run.target,
+            pct(FpgaParam::Latency),
+            pct(FpgaParam::Power),
+            pct(FpgaParam::Area),
+            100.0 * o.mean_coverage(),
+            o.time.flow_count,
+            o.time.exhaustive_count,
+            fronts.join("/")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ncoverage = share of each target's true pareto front recovered; front \
+         sizes are latency/power/area.\nsee `cross_target` (afp-bench) for the \
+         train-on-A / evaluate-on-B transfer matrix."
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,9 +585,83 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let text = run(&args(&["help"])).unwrap();
-        for cmd in ["library", "synth", "error", "map", "flow"] {
+        for cmd in ["library", "synth", "error", "map", "flow", "targets"] {
             assert!(text.contains(cmd), "missing {cmd}");
         }
+        assert!(text.contains("--target"), "{text}");
+        assert!(text.contains("--all-targets"), "{text}");
+    }
+
+    #[test]
+    fn targets_lists_every_registry_profile() {
+        let out = run(&args(&["targets"])).unwrap();
+        for p in afp_fpga::target::registry() {
+            assert!(out.contains(p.name), "missing {} in {out}", p.name);
+        }
+        assert!(out.contains("[default]"), "{out}");
+    }
+
+    #[test]
+    fn targets_describes_one_profile() {
+        let out = run(&args(&["targets", "lut4-ice40"])).unwrap();
+        assert!(out.contains("lut4-ice40:"), "{out}");
+        assert!(out.contains("LUT inputs (K):    4"), "{out}");
+        let e = run(&args(&["targets", "lut9-none"])).unwrap_err();
+        assert!(e.contains("unknown target"), "{e}");
+        assert!(e.contains("lut6-7series"), "{e}");
+    }
+
+    #[test]
+    fn flow_accepts_a_named_target() {
+        let out = run(&args(&[
+            "flow",
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "60",
+            "--subset",
+            "0.4",
+            "--target",
+            "lut4-ice40",
+            "--report",
+            "none",
+        ]))
+        .unwrap();
+        assert!(out.contains("target: lut4-ice40 (K=4, 48 MHz)"), "{out}");
+        assert!(out.contains("coverage"), "{out}");
+    }
+
+    #[test]
+    fn flow_rejects_unknown_and_conflicting_targets() {
+        let e = run(&args(&[
+            "flow",
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "40",
+            "--target",
+            "lut9-none",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("unknown target `lut9-none`"), "{e}");
+        let e = run(&args(&[
+            "flow",
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "40",
+            "--target",
+            "lut4-ice40",
+            "--all-targets",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
     }
 
     #[test]
@@ -566,6 +779,7 @@ mod tests {
         for key in [
             "\"stages\":[",
             "\"flow\":{",
+            "\"target\":{\"name\":\"lut6-7series\"",
             "\"time\":{",
             "\"runtime\":{",
             "\"cache\":{",

@@ -53,6 +53,7 @@ pub mod flow;
 pub mod pareto;
 pub mod record;
 pub mod report;
+pub mod targets;
 
 pub use cache::{CachedCharacterization, CharacterizationCache};
 pub use fidelity::FidelityRecord;
@@ -60,6 +61,10 @@ pub use flow::{ChaosSpec, Flow, FlowConfig, FlowOutcome, TimeAccounting};
 pub use pareto::{coverage, pareto_front, peel_fronts};
 pub use record::{CircuitRecord, FeatureLayout, FpgaParam};
 pub use report::run_report;
+pub use targets::{
+    sweep_targets, transfer_experiment, transfer_matrix, TargetRun, TargetSet, TargetSweep,
+    TransferOutcome, UnknownTargetError,
+};
 
 /// Structured tracing and run reports (re-export of [`afp_obs`]).
 ///

@@ -61,6 +61,11 @@ pub struct CircuitRecord {
     pub kind: ArithKind,
     /// Operand width.
     pub width: usize,
+    /// Device-profile identity the FPGA report was synthesized for (see
+    /// [`afp_fpga::target`]). Records from different fabrics carry
+    /// different names, so cross-target experiments can never mix up
+    /// whose ground truth is whose.
+    pub target: String,
     /// Structural statistics of the (simplified) netlist.
     pub stats: NetlistStats,
     /// ASIC synthesis report (cheap; known for every circuit).
@@ -284,6 +289,7 @@ pub fn characterize_with_mapper(
         name: circuit.name().to_string(),
         kind: circuit.kind(),
         width: circuit.width(),
+        target: fpga_config.target.clone(),
         stats: afp_netlist::analyze::stats(netlist),
         asic: reports.asic,
         error: reports.error,
@@ -338,6 +344,21 @@ mod tests {
         assert!(rec.error.med > 0.0);
         assert!(rec.fpga.luts > 0);
         assert_eq!(rec.width, 8);
+        assert_eq!(rec.target, afp_fpga::DEFAULT_TARGET);
+    }
+
+    #[test]
+    fn records_carry_the_configured_target_identity() {
+        let c = adders::loa(8, 3);
+        let profile = afp_fpga::target::named("lut4-ice40").unwrap();
+        let rec = characterize(
+            0,
+            &c,
+            &afp_asic::AsicConfig::default(),
+            &profile.config(),
+            &afp_error::ErrorConfig::default(),
+        );
+        assert_eq!(rec.target, "lut4-ice40");
     }
 
     #[test]

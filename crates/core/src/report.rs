@@ -26,7 +26,8 @@ fn param_key(param: FpgaParam) -> &'static str {
 
 /// Build the structured run report of one flow outcome.
 ///
-/// Sections, in order: `flow` (what ran), `time` (the paper's
+/// Sections, in order: `flow` (what ran), `target` (which device profile
+/// the FPGA ground truth was synthesized for), `time` (the paper's
 /// exploration-time accounting; undefined ratios are `null`), `runtime`
 /// (scheduler/synthesis counters; `steals` and `mapper_reuses` are the
 /// schedule-dependent fields), `cache` (hit/miss totals and hit rate),
@@ -51,6 +52,18 @@ pub fn run_report(config: &FlowConfig, outcome: &FlowOutcome, recorder: &Recorde
             .field("top_models", Value::UInt(config.top_models as u64))
             .field("threads", Value::UInt(config.threads as u64))
             .field("seed", Value::UInt(config.seed)),
+    );
+    let fpga = &config.fpga;
+    report.push_section(
+        Section::new("target")
+            .field("name", Value::Str(fpga.target.clone()))
+            .field("lut_inputs", Value::UInt(fpga.arch.lut_inputs as u64))
+            .field(
+                "luts_per_slice",
+                Value::UInt(fpga.arch.luts_per_slice as u64),
+            )
+            .field("clock_mhz", Value::Num(fpga.clock_mhz))
+            .field("pnr_jitter", Value::Num(fpga.pnr_jitter)),
     );
     let time = &outcome.time;
     report.push_section(
@@ -151,11 +164,23 @@ mod tests {
         let names: Vec<&str> = report.sections.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            ["flow", "time", "runtime", "cache", "quarantine", "coverage"]
+            [
+                "flow",
+                "target",
+                "time",
+                "runtime",
+                "cache",
+                "quarantine",
+                "coverage"
+            ]
         );
         let json = report.to_json();
         assert!(json.contains("\"quarantine\":{\"estimates_quarantined\":0"));
         assert!(json.contains("\"coverage\":{\"latency\":"));
+        assert!(
+            json.contains("\"target\":{\"name\":\"lut6-7series\",\"lut_inputs\":6"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -40,13 +40,15 @@ pub mod luts;
 pub mod map;
 pub mod mapper;
 pub mod synth_time;
+pub mod target;
 
 pub use mapper::{Mapper, MapperStats};
+pub use target::{TargetProfile, DEFAULT_TARGET};
 
 use afp_netlist::Netlist;
 
 /// Target-architecture description (LUT-6 fabric defaults).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FpgaArch {
     /// LUT input count K.
     pub lut_inputs: usize,
@@ -112,6 +114,15 @@ pub struct FpgaConfig {
     /// `false` keeps reports bit-identical to the historical mapper;
     /// equal-leaf-set (mutual-dominance) pruning is always on.
     pub prune_dominated: bool,
+    /// Identity of the device profile this configuration targets (a
+    /// [`target::REGISTRY`] name for registry profiles, or any caller
+    /// label for hand-built configurations).
+    ///
+    /// The identity travels with every characterization-cache key,
+    /// circuit record and run report, so results from different fabrics
+    /// can never be conflated even when two profiles happen to share
+    /// cost constants.
+    pub target: String,
 }
 
 impl Default for FpgaConfig {
@@ -124,6 +135,7 @@ impl Default for FpgaConfig {
             seed: 0xF96A,
             pnr_jitter: 0.08,
             prune_dominated: false,
+            target: target::DEFAULT_TARGET.to_string(),
         }
     }
 }
@@ -174,6 +186,7 @@ impl afp_runtime::Fingerprint for FpgaConfig {
         h.write_u64(self.seed);
         h.write_f64(self.pnr_jitter);
         h.write_u64(self.prune_dominated as u64);
+        h.write_str(&self.target);
     }
 }
 

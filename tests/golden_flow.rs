@@ -103,6 +103,19 @@ fn default_flow_outputs_match_pre_migration_goldens() {
 }
 
 #[test]
+fn default_target_profile_reproduces_the_goldens_bit_exactly() {
+    // `lut6-7series` is the registry spelling of the historical default
+    // fabric: routing the same run through the profile registry must not
+    // move a single golden bit.
+    let mut config = golden_config();
+    let profile = approxfpgas_suite::fpga::target::named(approxfpgas_suite::fpga::DEFAULT_TARGET)
+        .expect("default target registered");
+    config.fpga = profile.apply(&config.fpga);
+    let outcome = Flow::new(config).run();
+    assert_matches_goldens(&outcome);
+}
+
+#[test]
 fn tracing_enabled_flow_matches_the_same_goldens_bit_exactly() {
     // Tracing is strictly observational: an enabled recorder must not
     // move a single golden bit relative to the untraced run.

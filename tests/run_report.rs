@@ -93,6 +93,7 @@ fn normalized_report_schema_is_golden() {
             "total_wall_s",
             "stages",
             "flow",
+            "target",
             "time",
             "runtime",
             "cache",
