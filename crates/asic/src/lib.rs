@@ -32,7 +32,7 @@
 
 pub mod fusion;
 
-use afp_netlist::{analyze, GateKind, Netlist, Simulator};
+use afp_netlist::{analyze, GateKind, Netlist, SimScratch};
 
 use fusion::FusedCell;
 
@@ -215,6 +215,38 @@ pub struct AsicReport {
     pub cells: usize,
 }
 
+/// Per-node role in a fused compound cell (FA/HA pattern fusion).
+#[derive(Clone, Copy, Debug)]
+enum Role {
+    FaSum,
+    FaCarry,
+    Absorbed,
+    HaSum,
+    HaCarry,
+}
+
+/// Reusable buffers for repeated [`synthesize_asic_with`] calls.
+///
+/// Activity estimation is the dominant allocation in ASIC synthesis (a
+/// simulator value buffer plus a probability vector per call); workers
+/// that synthesize a whole library keep one `AsicScratch` alive so the
+/// steady state is allocation-free. Results are bit-identical to
+/// [`synthesize_asic`].
+#[derive(Debug, Default)]
+pub struct AsicScratch {
+    sim: SimScratch,
+    probs: Vec<f64>,
+    role: Vec<Option<Role>>,
+    arrival_ps: Vec<f64>,
+}
+
+impl AsicScratch {
+    /// An empty scratch; buffers grow to the largest netlist seen.
+    pub fn new() -> AsicScratch {
+        AsicScratch::default()
+    }
+}
+
 /// Map `netlist` onto the configured cell library and report area, timing
 /// and power.
 ///
@@ -224,20 +256,27 @@ pub struct AsicReport {
 /// * **Power** — zero-delay switching activity `2·p·(1−p)` per net from
 ///   seeded random simulation; dynamic power is `Σ activity · E_cell · f`,
 ///   plus cell leakage.
+///
+/// Convenience wrapper over [`synthesize_asic_with`] with a fresh
+/// [`AsicScratch`] per call.
 pub fn synthesize_asic(netlist: &Netlist, config: &AsicConfig) -> AsicReport {
+    synthesize_asic_with(netlist, config, &mut AsicScratch::new())
+}
+
+/// [`synthesize_asic`] with caller-owned scratch buffers — allocation-free
+/// in steady state when sweeping a library.
+pub fn synthesize_asic_with(
+    netlist: &Netlist,
+    config: &AsicConfig,
+    scratch: &mut AsicScratch,
+) -> AsicReport {
     let lib = &config.library;
     let fanout = analyze::fanout(netlist);
 
     // Optional FA/HA pattern fusion: per-node role in a compound cell.
-    #[derive(Clone, Copy)]
-    enum Role {
-        FaSum,
-        FaCarry,
-        Absorbed,
-        HaSum,
-        HaCarry,
-    }
-    let mut role: Vec<Option<Role>> = vec![None; netlist.len()];
+    let role = &mut scratch.role;
+    role.clear();
+    role.resize(netlist.len(), None);
     let mut compound_cells = 0usize;
     let mut compound_area = 0.0f64;
     let mut compound_leak = 0.0f64;
@@ -269,7 +308,9 @@ pub fn synthesize_asic(netlist: &Netlist, config: &AsicConfig) -> AsicReport {
     let mut area = compound_area;
     let mut leak_nw = compound_leak;
     let mut cells = compound_cells;
-    let mut arrival_ps = vec![0.0f64; netlist.len()];
+    let arrival_ps = &mut scratch.arrival_ps;
+    arrival_ps.clear();
+    arrival_ps.resize(netlist.len(), 0.0);
     for (i, gate) in netlist.gates().iter().enumerate() {
         if !gate.is_logic() {
             continue;
@@ -316,8 +357,13 @@ pub fn synthesize_asic(netlist: &Netlist, config: &AsicConfig) -> AsicReport {
         .fold(0.0f64, f64::max);
 
     // Switching activity from zero-delay signal probabilities.
-    let mut sim = Simulator::new(netlist);
-    let probs = sim.signal_probabilities(config.activity_passes, config.seed);
+    scratch.sim.signal_probabilities(
+        netlist,
+        config.activity_passes,
+        config.seed,
+        &mut scratch.probs,
+    );
+    let probs = &scratch.probs;
     let mut dynamic_fj_per_cycle = 0.0f64;
     for (i, gate) in netlist.gates().iter().enumerate() {
         if !gate.is_logic() {
@@ -451,6 +497,23 @@ mod tests {
         let r1 = report(m.netlist());
         let r2 = report(m.netlist());
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        // One warm scratch across dissimilar netlists (shrinking and
+        // growing buffers) must reproduce fresh-scratch reports exactly.
+        let mut scratch = AsicScratch::new();
+        let cfg = AsicConfig::default();
+        for nl in [
+            multipliers::wallace_multiplier(8).into_netlist(),
+            adders::ripple_carry(4).into_netlist(),
+            adders::carry_lookahead(16).into_netlist(),
+        ] {
+            let fresh = synthesize_asic(&nl, &cfg);
+            let reused = synthesize_asic_with(&nl, &cfg, &mut scratch);
+            assert_eq!(fresh, reused, "{}", nl.name());
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Word-level wrapper around gate-level netlists for two-operand arithmetic
 //! circuits, plus batch evaluation helpers.
 
-use afp_netlist::{NetId, Netlist, Simulator};
+use afp_netlist::{Netlist, SimTape, LANES, LANE_WORDS};
 
 /// The arithmetic function a circuit is *supposed* to compute.
 // Safe total order (`Eq + Ord`, no float keys): the clippy.toml
@@ -168,8 +168,21 @@ impl ArithCircuit {
     }
 }
 
-/// Bit-parallel batch evaluator for an [`ArithCircuit`]: evaluates up to 64
-/// operand pairs per simulation pass.
+/// How a [`BatchEvaluator`] holds its compiled tape: its own copy, or a
+/// borrow of a tape the caller compiled once and shares across evaluators
+/// (the error-analysis workers share one tape per circuit).
+#[derive(Debug)]
+enum TapeRef<'c> {
+    Owned(SimTape),
+    Shared(&'c SimTape),
+}
+
+/// Bit-parallel batch evaluator for an [`ArithCircuit`].
+///
+/// The circuit's netlist is compiled once into a [`SimTape`]; evaluation
+/// then runs either the scalar kernel (≤ 64 operand pairs per pass) or the
+/// wide kernel ([`LANES`] pairs per pass, autovectorized). Both produce
+/// identical results — [`BatchEvaluator::eval_pairs`] picks per chunk.
 ///
 /// # Example
 ///
@@ -185,26 +198,84 @@ impl ArithCircuit {
 #[derive(Debug)]
 pub struct BatchEvaluator<'c> {
     circuit: &'c ArithCircuit,
-    sim: Simulator<'c>,
+    tape: TapeRef<'c>,
+    /// Net indices of the primary outputs, LSB-first.
+    outputs: Vec<usize>,
+    // Scalar (≤ 64 lane) buffers.
     words: Vec<u64>,
-    outputs: Vec<NetId>,
+    values: Vec<u64>,
     out_words: Vec<u64>,
+    // Wide ([`LANES`] lane) buffers, kept separate so alternating between
+    // the two kernels never thrashes a shared allocation.
+    wide_words: Vec<u64>,
+    wide_values: Vec<u64>,
 }
 
+/// Periodic input-word patterns for exhaustive enumeration: bit `l` of
+/// `EXHAUSTIVE_PAT[q]` is bit `q` of the lane index `l` (valid for any
+/// 64-aligned block of consecutive pair indices).
+const EXHAUSTIVE_PAT: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
 impl<'c> BatchEvaluator<'c> {
-    /// Create an evaluator bound to `circuit`.
+    /// Create an evaluator bound to `circuit`, compiling its own tape.
     pub fn new(circuit: &'c ArithCircuit) -> BatchEvaluator<'c> {
-        let outputs = circuit.netlist().outputs().to_vec();
+        Self::build(circuit, TapeRef::Owned(SimTape::compile(circuit.netlist())))
+    }
+
+    /// Create an evaluator that executes a tape the caller already
+    /// compiled from this circuit's netlist — lets many evaluators (e.g.
+    /// parallel error-analysis workers) share one lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tape` was not compiled from a netlist with the same
+    /// net and input counts as `circuit.netlist()`.
+    pub fn with_tape(circuit: &'c ArithCircuit, tape: &'c SimTape) -> BatchEvaluator<'c> {
+        assert_eq!(
+            tape.num_nets(),
+            circuit.netlist().len(),
+            "tape was compiled from a different netlist (net count mismatch)"
+        );
+        assert_eq!(
+            tape.num_inputs(),
+            circuit.netlist().num_inputs(),
+            "tape was compiled from a different netlist (input count mismatch)"
+        );
+        Self::build(circuit, TapeRef::Shared(tape))
+    }
+
+    fn build(circuit: &'c ArithCircuit, tape: TapeRef<'c>) -> BatchEvaluator<'c> {
+        let outputs: Vec<usize> = circuit
+            .netlist()
+            .outputs()
+            .iter()
+            .map(|o| o.index())
+            .collect();
+        assert!(
+            outputs.len() <= 64,
+            "batch evaluation supports at most 64 output bits"
+        );
+        let num_inputs = circuit.netlist().num_inputs();
         BatchEvaluator {
             circuit,
-            sim: Simulator::new(circuit.netlist()),
-            words: vec![0u64; circuit.netlist().num_inputs()],
+            tape,
+            words: vec![0u64; num_inputs],
+            values: Vec::new(),
             out_words: vec![0u64; outputs.len()],
+            wide_words: vec![0u64; num_inputs * LANE_WORDS],
+            wide_values: Vec::new(),
             outputs,
         }
     }
 
-    /// Evaluate a chunk of at most 64 operand pairs in one pass.
+    /// Evaluate a chunk of at most 64 operand pairs in one scalar pass.
     ///
     /// # Panics
     ///
@@ -230,18 +301,122 @@ impl<'c> BatchEvaluator<'c> {
             afp_netlist::pack_operand(&mut self.words, 0, w, lane, a);
             afp_netlist::pack_operand(&mut self.words, w, w, lane, b);
         }
-        self.sim.run_into(&self.words);
+        let tape = match &self.tape {
+            TapeRef::Owned(t) => t,
+            TapeRef::Shared(t) => t,
+        };
+        tape.execute(&self.words, &mut self.values);
         for (slot, &o) in self.out_words.iter_mut().zip(&self.outputs) {
-            *slot = self.sim.value(o);
+            *slot = self.values[o];
         }
         out.extend((0..pairs.len()).map(|lane| afp_netlist::unpack_result(&self.out_words, lane)));
     }
 
-    /// Evaluate any number of operand pairs, chunking internally.
+    /// Evaluate a block of at most [`LANES`] operand pairs in one wide
+    /// pass, appending one result per pair. Operand packing and result
+    /// extraction go through 64×64 bit transposes, so the per-pair
+    /// conversion cost is a handful of word operations rather than one
+    /// shift/mask chain per operand bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs.len() > LANES`.
+    pub fn eval_block_into(&mut self, pairs: &[(u64, u64)], out: &mut Vec<u64>) {
+        assert!(pairs.len() <= LANES, "a block is at most LANES lanes");
+        const W: usize = LANE_WORDS;
+        let w = self.circuit.width();
+        let mask = (1u64 << w) - 1;
+        for (j, group) in pairs.chunks(64).enumerate() {
+            // Lane-major matrix: row l = the pair's packed input word.
+            // After transposing, row o = simulation word of input o.
+            let mut m = [0u64; 64];
+            for (l, &(a, b)) in group.iter().enumerate() {
+                m[l] = (a & mask) | ((b & mask) << w);
+            }
+            afp_netlist::transpose64(&mut m);
+            for (o, &word) in m.iter().enumerate().take(2 * w) {
+                self.wide_words[o * W + j] = word;
+            }
+        }
+        self.exec_wide_and_unpack(pairs.len(), out);
+    }
+
+    /// Evaluate `n` consecutive pairs of the exhaustive enumeration
+    /// starting at pair index `start`, where index `p` encodes the
+    /// operands `(p >> w, p & ((1 << w) - 1))` — the row-major order the
+    /// error analysis walks. When `start` is 64-aligned (always true for
+    /// the analysis blocks) the operand packing collapses to writing
+    /// precomputed periodic constants: zero per-pair packing work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > LANES`.
+    pub fn eval_exhaustive_block_into(&mut self, start: u64, n: usize, out: &mut Vec<u64>) {
+        assert!(n <= LANES, "a block is at most LANES lanes");
+        const W: usize = LANE_WORDS;
+        let w = self.circuit.width();
+        let mask = (1u64 << w) - 1;
+        if start.is_multiple_of(64) {
+            for o in 0..2 * w {
+                // Input o carries pair-index bit q: operand a occupies
+                // the high w index bits, operand b the low w.
+                let q = if o < w { w + o } else { o - w };
+                for j in 0..W {
+                    self.wide_words[o * W + j] = if q < 6 {
+                        EXHAUSTIVE_PAT[q]
+                    } else {
+                        let base = start + (j * 64) as u64;
+                        0u64.wrapping_sub((base >> q) & 1)
+                    };
+                }
+            }
+        } else {
+            for l in 0..n {
+                let p = start + l as u64;
+                afp_netlist::pack_operand_wide(&mut self.wide_words, 0, w, l, p >> w);
+                afp_netlist::pack_operand_wide(&mut self.wide_words, w, w, l, p & mask);
+            }
+        }
+        self.exec_wide_and_unpack(n, out);
+    }
+
+    /// Run the wide kernel over the packed `wide_words` and append the
+    /// first `n` lane results to `out` via transpose extraction.
+    fn exec_wide_and_unpack(&mut self, n: usize, out: &mut Vec<u64>) {
+        const W: usize = LANE_WORDS;
+        let tape = match &self.tape {
+            TapeRef::Owned(t) => t,
+            TapeRef::Shared(t) => t,
+        };
+        tape.execute_wide(&self.wide_words, &mut self.wide_values);
+        let mut j = 0;
+        let mut done = 0;
+        while done < n {
+            // Row b = simulation word of output bit b for lane word j;
+            // after transposing, row l = the integer result of lane l.
+            let mut m = [0u64; 64];
+            for (b, &o) in self.outputs.iter().enumerate() {
+                m[b] = self.wide_values[o * W + j];
+            }
+            afp_netlist::transpose64(&mut m);
+            let lanes = (n - done).min(64);
+            out.extend_from_slice(&m[..lanes]);
+            j += 1;
+            done += lanes;
+        }
+    }
+
+    /// Evaluate any number of operand pairs, chunking internally: blocks
+    /// of [`LANES`] pairs run the wide kernel, a short tail (≤ 64 pairs)
+    /// runs the scalar kernel.
     pub fn eval_pairs(&mut self, pairs: &[(u64, u64)]) -> Vec<u64> {
         let mut out = Vec::with_capacity(pairs.len());
-        for chunk in pairs.chunks(64) {
-            self.eval_chunk_into(chunk, &mut out);
+        for chunk in pairs.chunks(LANES) {
+            if chunk.len() <= 64 {
+                self.eval_chunk_into(chunk, &mut out);
+            } else {
+                self.eval_block_into(chunk, &mut out);
+            }
         }
         out
     }
@@ -286,6 +461,7 @@ pub fn behavioral_signature(circuit: &ArithCircuit) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use afp_netlist::NetId;
 
     fn wire_adder(width: usize) -> ArithCircuit {
         // "Adder" that just returns operand a (zero-extended): legal
@@ -332,6 +508,62 @@ mod tests {
         let out = batch.eval_pairs(&pairs);
         for (i, &(a, b)) in pairs.iter().enumerate() {
             assert_eq!(out[i], c.eval(a, b));
+        }
+    }
+
+    #[test]
+    fn wide_block_matches_scalar_chunks() {
+        let c = crate::adders::ripple_carry(6);
+        let pairs: Vec<(u64, u64)> = (0..300).map(|i| ((i * 31) % 64, (i * 17) % 64)).collect();
+        let mut batch = BatchEvaluator::new(&c);
+        let mut wide = Vec::new();
+        batch.eval_block_into(&pairs, &mut wide);
+        let mut scalar = Vec::new();
+        for chunk in pairs.chunks(64) {
+            batch.eval_chunk_into(chunk, &mut scalar);
+        }
+        assert_eq!(wide, scalar);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(wide[i], a + b, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_block_matches_explicit_pairs() {
+        let c = crate::adders::ripple_carry(5);
+        let w = 5;
+        let mask = (1u64 << w) - 1;
+        let mut batch = BatchEvaluator::new(&c);
+        // Aligned starts take the periodic-constant fast path, unaligned
+        // ones the generic wide pack; both must agree with pair-by-pair
+        // evaluation.
+        for start in [0u64, 512, 64, 33, 97] {
+            let n = 300;
+            let mut fast = Vec::new();
+            batch.eval_exhaustive_block_into(start, n, &mut fast);
+            let pairs: Vec<(u64, u64)> = (0..n as u64)
+                .map(|l| {
+                    let p = start + l;
+                    ((p >> w) & mask, p & mask)
+                })
+                .collect();
+            assert_eq!(fast, batch.eval_pairs(&pairs), "start {start}");
+        }
+    }
+
+    #[test]
+    fn shared_tape_matches_owned_tape() {
+        let c = crate::multipliers::wallace_multiplier(4);
+        let tape = SimTape::compile(c.netlist());
+        let pairs: Vec<(u64, u64)> = (0..16u64)
+            .flat_map(|a| (0..16u64).map(move |b| (a, b)))
+            .collect();
+        let mut owned = BatchEvaluator::new(&c);
+        let mut shared = BatchEvaluator::with_tape(&c, &tape);
+        let out = owned.eval_pairs(&pairs);
+        assert_eq!(out, shared.eval_pairs(&pairs));
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(out[i], a * b, "pair {i}");
         }
     }
 

@@ -495,6 +495,11 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         "mapper: {} cut merges ({} sig-rejected, {} dominance-pruned), {} mapper reuses",
         rt.cuts_merged, rt.cuts_sig_rejected, rt.cuts_dominance_pruned, rt.mapper_reuses
     );
+    let _ = writeln!(
+        out,
+        "sim: {} tape reuses, {} structural dedup hits",
+        rt.sim_tape_reuses, rt.structural_dedup_hits
+    );
     let dropped: usize = outcome.dropped_models.values().map(|v| v.len()).sum();
     let _ = writeln!(
         out,
@@ -733,8 +738,12 @@ mod tests {
         assert!(out.contains("sig-rejected"), "{out}");
         assert!(out.contains("dominance-pruned"), "{out}");
         assert!(out.contains("mapper reuses"), "{out}");
+        assert!(out.contains("sim:"), "missing sim summary:\n{out}");
+        assert!(out.contains("tape reuses"), "{out}");
+        assert!(out.contains("structural dedup hits"), "{out}");
         // The flow actually did mapping work, so the counters are live.
         assert!(!out.contains("0 cut merges"), "{out}");
+        assert!(!out.contains(" 0 tape reuses"), "{out}");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cache::CharacterizationCache;
-use crate::record::{characterize_with_mapper, CircuitRecord};
+use crate::record::{characterize_with_scratch, CharacterizeScratch, CircuitRecord};
 
 /// Characterize every circuit in `library` in parallel (one worker per
 /// available core, work-stealing).
@@ -62,6 +62,15 @@ pub fn characterize_library_with(
 /// (items = circuits characterized). Tracing wraps the whole parallel
 /// stage, so the span measures the stage's wall-clock latency; it never
 /// touches the per-circuit hot path.
+///
+/// Structurally identical circuits (same kind, width and
+/// [`afp_netlist::Netlist::structural_hash`] — approximate variants of one
+/// generator are frequently gate-identical after simplification) are
+/// simulated and synthesized **once**: each duplicate's record is copied
+/// from its representative with the duplicate's own id and name. Every
+/// report is a pure function of the netlist structure and the configs, so
+/// the fan-out is bit-identical to characterizing each copy separately;
+/// the skipped work is surfaced as the `structural_dedup_hits` counter.
 #[allow(clippy::too_many_arguments)]
 pub fn characterize_library_traced(
     library: &[ArithCircuit],
@@ -72,20 +81,60 @@ pub fn characterize_library_traced(
     cache: Option<&CharacterizationCache>,
     recorder: &Recorder,
 ) -> Vec<CircuitRecord> {
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+
     let mut span = recorder.span("flow/characterize");
     span.add_items(library.len() as u64);
-    rt.par_map_init(library, afp_fpga::Mapper::new, |mapper, id, circuit| {
-        characterize_with_mapper(
-            id,
-            circuit,
-            asic_config,
-            fpga_config,
-            error_config,
-            rt,
-            cache,
-            mapper,
-        )
-    })
+
+    // Group structurally identical circuits; `reps` holds the library
+    // index of each group's first member, `rep_of[i]` that group's index.
+    let mut rep_of: Vec<usize> = Vec::with_capacity(library.len());
+    let mut reps: Vec<usize> = Vec::new();
+    let mut seen: HashMap<(afp_circuits::ArithKind, usize, u64), usize> =
+        HashMap::with_capacity(library.len());
+    for (i, c) in library.iter().enumerate() {
+        match seen.entry((c.kind(), c.width(), c.netlist().structural_hash())) {
+            Entry::Occupied(e) => rep_of.push(*e.get()),
+            Entry::Vacant(v) => {
+                v.insert(reps.len());
+                rep_of.push(reps.len());
+                reps.push(i);
+            }
+        }
+    }
+    let dedup_hits = (library.len() - reps.len()) as u64;
+    if dedup_hits > 0 {
+        afp_runtime::Counters::add(&rt.counters().structural_dedup_hits, dedup_hits);
+    }
+
+    let rep_records: Vec<CircuitRecord> = rt.par_map_init(
+        &reps,
+        CharacterizeScratch::default,
+        |scratch, _, &lib_ix| {
+            characterize_with_scratch(
+                lib_ix,
+                &library[lib_ix],
+                asic_config,
+                fpga_config,
+                error_config,
+                rt,
+                cache,
+                scratch,
+            )
+        },
+    );
+
+    library
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut record = rep_records[rep_of[i]].clone();
+            record.id = i;
+            record.name = c.name().to_string();
+            record
+        })
+        .collect()
 }
 
 /// Deterministically sample `fraction` of `n` indices (at least
@@ -168,6 +217,47 @@ mod tests {
             assert_eq!(s.fpga, par[i].fpga);
             assert_eq!(s.asic, par[i].asic);
             assert_eq!(s.error, par[i].error);
+        }
+    }
+
+    #[test]
+    fn structural_duplicates_are_characterized_once_and_fanned_out() {
+        let base = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 6));
+        // Interleave a renamed structural copy behind every circuit.
+        let mut lib: Vec<ArithCircuit> = Vec::new();
+        for c in &base {
+            lib.push(c.clone());
+            let mut copy = c.clone();
+            copy.set_name(format!("{}_copy", c.name()));
+            lib.push(copy);
+        }
+        let asic = afp_asic::AsicConfig::default();
+        let fpga = afp_fpga::FpgaConfig::default();
+        let err = afp_error::ErrorConfig::default();
+        let rt = Runtime::serial();
+        let recs = characterize_library_with(&lib, &asic, &fpga, &err, &rt, None);
+        assert_eq!(recs.len(), lib.len());
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.id, i, "ids follow library order");
+            assert_eq!(r.name, lib[i].name(), "names stay per-duplicate");
+        }
+        for pair in recs.chunks(2) {
+            assert_eq!(pair[0].asic, pair[1].asic);
+            assert_eq!(pair[0].error, pair[1].error);
+            assert_eq!(pair[0].fpga, pair[1].fpga);
+            assert_eq!(pair[0].stats, pair[1].stats);
+        }
+        let snap = rt.snapshot();
+        assert_eq!(snap.structural_dedup_hits, base.len() as u64);
+        // Only the representatives were actually analyzed.
+        assert_eq!(snap.error_analyses, base.len() as u64);
+        assert_eq!(snap.asic_synths, base.len() as u64);
+        assert_eq!(snap.fpga_synths, base.len() as u64);
+        // The duplicated-library records match the plain library's.
+        let plain = characterize_library_with(&base, &asic, &fpga, &err, &Runtime::serial(), None);
+        for (i, p) in plain.iter().enumerate() {
+            assert_eq!(p.fpga, recs[2 * i].fpga);
+            assert_eq!(p.error, recs[2 * i].error);
         }
     }
 

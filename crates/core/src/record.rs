@@ -224,7 +224,7 @@ pub fn characterize_with(
     rt: &afp_runtime::Runtime,
     cache: Option<&crate::cache::CharacterizationCache>,
 ) -> CircuitRecord {
-    characterize_with_mapper(
+    characterize_with_scratch(
         id,
         circuit,
         asic_config,
@@ -232,17 +232,53 @@ pub fn characterize_with(
         error_config,
         rt,
         cache,
-        &mut afp_fpga::Mapper::new(),
+        &mut CharacterizeScratch::default(),
+    )
+}
+
+/// Per-worker scratch state for sweeping a library through
+/// [`characterize_with_scratch`]: a warm FPGA mapper (cut arenas, simulator
+/// buffers) plus ASIC activity-estimation buffers. One of these per worker
+/// thread makes the whole characterization loop allocation-free in steady
+/// state; results are bit-identical to fresh-state calls.
+#[derive(Debug, Default)]
+pub struct CharacterizeScratch {
+    mapper: afp_fpga::Mapper,
+    asic: afp_asic::AsicScratch,
+}
+
+/// [`characterize_with`] through caller-owned scratch state (warm mapper
+/// and ASIC buffers).
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_with_scratch(
+    id: usize,
+    circuit: &ArithCircuit,
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+    rt: &afp_runtime::Runtime,
+    cache: Option<&crate::cache::CharacterizationCache>,
+    scratch: &mut CharacterizeScratch,
+) -> CircuitRecord {
+    let CharacterizeScratch { mapper, asic } = scratch;
+    characterize_inner(
+        id,
+        circuit,
+        asic_config,
+        fpga_config,
+        error_config,
+        rt,
+        cache,
+        mapper,
+        asic,
     )
 }
 
 /// [`characterize_with`] through a caller-owned [`afp_fpga::Mapper`].
 ///
-/// The flow's worker threads each hold one mapper and sweep the whole
-/// library through it, so FPGA synthesis runs with zero steady-state
-/// allocation. The mapper's work counters are drained into the runtime's
-/// shared counters after each synthesis. Results are identical to
-/// [`characterize_with`] — the mapper only recycles scratch buffers.
+/// The mapper's work counters are drained into the runtime's shared
+/// counters after each synthesis. Results are identical to
+/// [`characterize_with`] — warm state only recycles scratch buffers.
 #[allow(clippy::too_many_arguments)]
 pub fn characterize_with_mapper(
     id: usize,
@@ -253,6 +289,31 @@ pub fn characterize_with_mapper(
     rt: &afp_runtime::Runtime,
     cache: Option<&crate::cache::CharacterizationCache>,
     mapper: &mut afp_fpga::Mapper,
+) -> CircuitRecord {
+    characterize_inner(
+        id,
+        circuit,
+        asic_config,
+        fpga_config,
+        error_config,
+        rt,
+        cache,
+        mapper,
+        &mut afp_asic::AsicScratch::new(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn characterize_inner(
+    id: usize,
+    circuit: &ArithCircuit,
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+    rt: &afp_runtime::Runtime,
+    cache: Option<&crate::cache::CharacterizationCache>,
+    mapper: &mut afp_fpga::Mapper,
+    asic_scratch: &mut afp_asic::AsicScratch,
 ) -> CircuitRecord {
     use crate::cache::{CachedCharacterization, CharacterizationCache};
     use afp_runtime::Counters;
@@ -269,7 +330,7 @@ pub fn characterize_with_mapper(
             Counters::add(&counters.fpga_synths, 1);
             Counters::add(&counters.error_analyses, 1);
             let computed = CachedCharacterization {
-                asic: afp_asic::synthesize_asic(netlist, asic_config),
+                asic: afp_asic::synthesize_asic_with(netlist, asic_config, asic_scratch),
                 error: afp_error::analyze_with(circuit, error_config, rt),
                 fpga: mapper.synthesize(netlist, fpga_config),
             };

@@ -89,7 +89,12 @@ pub fn run_report(config: &FlowConfig, outcome: &FlowOutcome, recorder: &Recorde
             .field("asic_synths", Value::UInt(rt.asic_synths))
             .field("fpga_synths", Value::UInt(rt.fpga_synths))
             .field("error_analyses", Value::UInt(rt.error_analyses))
-            .field("mapper_reuses", Value::UInt(rt.mapper_reuses)),
+            .field("mapper_reuses", Value::UInt(rt.mapper_reuses))
+            .field("sim_tape_reuses", Value::UInt(rt.sim_tape_reuses))
+            .field(
+                "structural_dedup_hits",
+                Value::UInt(rt.structural_dedup_hits),
+            ),
     );
     let lookups = rt.cache_hits + rt.cache_misses;
     let hit_rate = if lookups > 0 {

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 use afp_circuits::{ArithCircuit, BatchEvaluator};
+use afp_netlist::{SimTape, LANES};
 use afp_runtime::{Counters, Runtime};
 
 /// Configuration for [`analyze`].
@@ -139,6 +140,8 @@ pub fn analyze_with(circuit: &ArithCircuit, config: &ErrorConfig, rt: &Runtime) 
     let w = circuit.width();
     let exhaustive = 2 * w <= config.max_exhaustive_bits;
     let max_out = circuit.kind().max_output(w) as f64;
+    // Lower the netlist once; every block worker shares the same tape.
+    let tape = SimTape::compile(circuit.netlist());
     let partials: Vec<Accumulator> = if exhaustive {
         let mask = (1u64 << w) - 1;
         // Blocks are ranges of `a` rows; each row is `mask + 1` pairs.
@@ -147,21 +150,26 @@ pub fn analyze_with(circuit: &ArithCircuit, config: &ErrorConfig, rt: &Runtime) 
         rt.par_map(&row_starts, |_, &a_start| {
             let a_end = (a_start + rows_per_block - 1).min(mask);
             let mut acc = Accumulator::new(max_out);
-            let mut batch = BatchEvaluator::new(circuit);
-            let mut chunk: Vec<(u64, u64)> = Vec::with_capacity(64);
-            let mut got: Vec<u64> = Vec::with_capacity(64);
-            for a in a_start..=a_end {
-                for b in 0..=mask {
-                    chunk.push((a, b));
-                    if chunk.len() == 64 {
-                        accumulate(circuit, &mut batch, &chunk, &mut got, &mut acc);
-                        chunk.clear();
-                    }
+            let mut batch = BatchEvaluator::with_tape(circuit, &tape);
+            let mut got: Vec<u64> = Vec::with_capacity(LANES);
+            // The block's pairs are the consecutive pair indices
+            // `a_start·2^w .. (a_end+1)·2^w` in the row-major order
+            // `p = (a << w) | b` — the same order the nested a/b loops
+            // used to push, so the accumulator state is unchanged.
+            let start = a_start << w;
+            let end = (a_end + 1) << w;
+            let mut p = start;
+            while p < end {
+                let n = ((end - p) as usize).min(LANES);
+                got.clear();
+                batch.eval_exhaustive_block_into(p, n, &mut got);
+                for (l, &g) in got.iter().enumerate() {
+                    let q = p + l as u64;
+                    acc.push(circuit.exact(q >> w, q & mask), g);
                 }
+                p += n as u64;
             }
-            if !chunk.is_empty() {
-                accumulate(circuit, &mut batch, &chunk, &mut got, &mut acc);
-            }
+            Counters::add(&rt.counters().sim_tape_reuses, 1);
             record_bytes(rt, &acc);
             acc
         })
@@ -170,11 +178,12 @@ pub fn analyze_with(circuit: &ArithCircuit, config: &ErrorConfig, rt: &Runtime) 
         let blocks: Vec<&[(u64, u64)]> = pairs.chunks(BLOCK_PAIRS).collect();
         rt.par_map(&blocks, |_, block| {
             let mut acc = Accumulator::new(max_out);
-            let mut batch = BatchEvaluator::new(circuit);
-            let mut got: Vec<u64> = Vec::with_capacity(64);
-            for chunk in block.chunks(64) {
+            let mut batch = BatchEvaluator::with_tape(circuit, &tape);
+            let mut got: Vec<u64> = Vec::with_capacity(LANES);
+            for chunk in block.chunks(LANES) {
                 accumulate(circuit, &mut batch, chunk, &mut got, &mut acc);
             }
+            Counters::add(&rt.counters().sim_tape_reuses, 1);
             record_bytes(rt, &acc);
             acc
         })
@@ -199,7 +208,11 @@ fn accumulate(
     acc: &mut Accumulator,
 ) {
     got.clear();
-    batch.eval_chunk_into(pairs, got);
+    if pairs.len() <= 64 {
+        batch.eval_chunk_into(pairs, got);
+    } else {
+        batch.eval_block_into(pairs, got);
+    }
     for (&(a, b), &g) in pairs.iter().zip(got.iter()) {
         acc.push(circuit.exact(a, b), g);
     }

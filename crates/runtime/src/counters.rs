@@ -33,6 +33,12 @@ pub struct Counters {
     pub cuts_dominance_pruned: AtomicU64,
     /// Synthesis calls that reused a worker's warm mapper scratch state.
     pub mapper_reuses: AtomicU64,
+    /// Simulation blocks that executed a pre-compiled gate tape instead
+    /// of re-lowering the netlist.
+    pub sim_tape_reuses: AtomicU64,
+    /// Characterizations answered by copying the record of a structurally
+    /// identical circuit instead of simulating again.
+    pub structural_dedup_hits: AtomicU64,
     /// Non-finite model estimates quarantined by the flow (excluded from
     /// pseudo-pareto peeling instead of corrupting the ranking).
     pub estimates_quarantined: AtomicU64,
@@ -60,6 +66,8 @@ impl Counters {
             cuts_sig_rejected: self.cuts_sig_rejected.load(Ordering::Relaxed),
             cuts_dominance_pruned: self.cuts_dominance_pruned.load(Ordering::Relaxed),
             mapper_reuses: self.mapper_reuses.load(Ordering::Relaxed),
+            sim_tape_reuses: self.sim_tape_reuses.load(Ordering::Relaxed),
+            structural_dedup_hits: self.structural_dedup_hits.load(Ordering::Relaxed),
             estimates_quarantined: self.estimates_quarantined.load(Ordering::Relaxed),
         }
     }
@@ -95,6 +103,10 @@ pub struct CounterSnapshot {
     pub cuts_dominance_pruned: u64,
     /// Synthesis calls that reused warm mapper state.
     pub mapper_reuses: u64,
+    /// Simulation blocks that reused a pre-compiled gate tape.
+    pub sim_tape_reuses: u64,
+    /// Characterizations served by structural dedup.
+    pub structural_dedup_hits: u64,
     /// Non-finite model estimates quarantined by the flow.
     pub estimates_quarantined: u64,
 }
@@ -119,6 +131,10 @@ impl CounterSnapshot {
                 .cuts_dominance_pruned
                 .saturating_sub(earlier.cuts_dominance_pruned),
             mapper_reuses: self.mapper_reuses.saturating_sub(earlier.mapper_reuses),
+            sim_tape_reuses: self.sim_tape_reuses.saturating_sub(earlier.sim_tape_reuses),
+            structural_dedup_hits: self
+                .structural_dedup_hits
+                .saturating_sub(earlier.structural_dedup_hits),
             estimates_quarantined: self
                 .estimates_quarantined
                 .saturating_sub(earlier.estimates_quarantined),

@@ -1,0 +1,233 @@
+//! Simulation-kernel equivalence suite.
+//!
+//! The compiled-tape / wide-lane kernel replaced the per-gate interpreter
+//! as the simulation hot path. These tests pin that swap three ways:
+//! property tests proving the tape (scalar and wide) is bit-identical to
+//! the legacy interpreter (kept as `eval_pass_reference`) on random
+//! netlists over every gate kind, golden `ErrorMetrics` captured with the
+//! pre-tape kernel that must not move by a single bit, and the
+//! signal-probability estimate pinned the same way. If a deliberate
+//! kernel change moves the goldens, re-capture them and say why in the
+//! commit message.
+
+use approxfpgas_suite::circuits::{adders, multipliers, ArithCircuit};
+use approxfpgas_suite::error::{analyze, analyze_with, ErrorConfig, ErrorMetrics};
+use approxfpgas_suite::netlist::{
+    eval_pass_reference, NetId, Netlist, SimScratch, SimTape, Simulator, LANE_WORDS,
+};
+use approxfpgas_suite::runtime::Runtime;
+use proptest::prelude::*;
+
+/// Captured with the pre-tape interpreter kernel (64-lane `eval_pass`).
+struct ErrorGolden {
+    samples: u64,
+    exhaustive: bool,
+    med: u64,
+    mae: u64,
+    wce: u64,
+    mre: u64,
+    error_prob: u64,
+    mse: u64,
+    bias: u64,
+}
+
+fn assert_matches_golden(m: &ErrorMetrics, g: &ErrorGolden, who: &str) {
+    assert_eq!(m.samples, g.samples, "{who}: samples");
+    assert_eq!(m.exhaustive, g.exhaustive, "{who}: exhaustive");
+    assert_eq!(m.med.to_bits(), g.med, "{who}: med");
+    assert_eq!(m.mae.to_bits(), g.mae, "{who}: mae");
+    assert_eq!(m.wce, g.wce, "{who}: wce");
+    assert_eq!(m.mre.to_bits(), g.mre, "{who}: mre");
+    assert_eq!(m.error_prob.to_bits(), g.error_prob, "{who}: error_prob");
+    assert_eq!(m.mse.to_bits(), g.mse, "{who}: mse");
+    assert_eq!(m.bias.to_bits(), g.bias, "{who}: bias");
+}
+
+fn golden_cases() -> Vec<(ArithCircuit, ErrorGolden)> {
+    vec![
+        // Exhaustive adder path.
+        (
+            adders::loa(8, 4),
+            ErrorGolden {
+                samples: 65536,
+                exhaustive: true,
+                med: 0x3f770b85c2e170b8,
+                mae: 0x4007000000000000,
+                wce: 8,
+                mre: 0x3f8e7caa01111ce3,
+                error_prob: 0x3fe5e00000000000,
+                mse: 0x4030000000000000,
+                bias: 0x3fd0000000000000,
+            },
+        ),
+        // Exhaustive multiplier path (16 output bits, widest unpack).
+        (
+            multipliers::broken_array(8, 6, 2),
+            ErrorGolden {
+                samples: 65536,
+                exhaustive: true,
+                med: 0x3f66081608160816,
+                mae: 0x4066080000000000,
+                wce: 705,
+                mre: 0x3fa64761d16ad860,
+                error_prob: 0x3fee600000000000,
+                mse: 0x40e755c800000000,
+                bias: 0xc066080000000000,
+            },
+        ),
+        // Sampled (stratified) path for wide operands.
+        (
+            adders::loa(16, 8),
+            ErrorGolden {
+                samples: 65540,
+                exhaustive: false,
+                med: 0x3f38056bed364c9a,
+                mae: 0x4048055fea8055ff,
+                wce: 128,
+                mre: 0x3f5ea174112559b2,
+                error_prob: 0x3fecd16cba4d16cc,
+                mse: 0x40b00e15afa9415b,
+                bias: 0x3fceb8851deb8852,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn error_metrics_match_pre_tape_goldens_bit_exactly() {
+    let cfg = ErrorConfig::default();
+    for (circuit, golden) in &golden_cases() {
+        let m = analyze(circuit, &cfg);
+        assert_matches_golden(&m, golden, circuit.name());
+    }
+}
+
+#[test]
+fn error_metrics_goldens_hold_on_eight_threads() {
+    let cfg = ErrorConfig::default();
+    for (circuit, golden) in &golden_cases() {
+        let m = Runtime::install(8, |rt| analyze_with(circuit, &cfg, rt));
+        assert_matches_golden(&m, golden, circuit.name());
+    }
+}
+
+/// FNV-1a over f64 bit patterns.
+fn fnv(values: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[test]
+fn signal_probabilities_match_pre_tape_goldens_bit_exactly() {
+    // Captured with the pre-tape kernel at the ASIC model's default
+    // stimulus parameters (32 passes, seed 0xA51C).
+    let m = multipliers::wallace_multiplier(8);
+    let mut sim = Simulator::new(m.netlist());
+    let probs = sim.signal_probabilities(32, 0xA51C);
+    assert_eq!(probs.len(), 270);
+    assert_eq!(probs[42].to_bits(), 0x3fd0b00000000000);
+    assert_eq!(fnv(&probs), 0xbc46d058acf8cb51);
+
+    // The reusable-scratch estimator agrees bit for bit.
+    let mut scratch = SimScratch::new();
+    let mut out = Vec::new();
+    scratch.signal_probabilities(m.netlist(), 32, 0xA51C, &mut out);
+    let a: Vec<u64> = probs.iter().map(|p| p.to_bits()).collect();
+    let b: Vec<u64> = out.iter().map(|p| p.to_bits()).collect();
+    assert_eq!(a, b);
+}
+
+/// Build a random but well-formed netlist from flat generator choices:
+/// every gate kind (including both constants, `Mux` and `Maj`), operands
+/// drawn from all earlier nets so folding through constants gets
+/// exercised. Each gate is `(kind, a, b, c)` with operand draws reduced
+/// modulo the nets created so far.
+fn build_netlist(n_inputs: usize, gates: &[(u8, usize, usize, usize)]) -> Netlist {
+    let mut n = Netlist::new("random");
+    let mut nets: Vec<NetId> = (0..n_inputs).map(|_| n.add_input()).collect();
+    for &(kind, a, b, c) in gates {
+        let pick = |raw: usize, nets: &[NetId]| nets[raw % nets.len()];
+        let (x, y, z) = (pick(a, &nets), pick(b, &nets), pick(c, &nets));
+        let id = match kind % 12 {
+            0 => n.constant(false),
+            1 => n.constant(true),
+            2 => n.buf(x),
+            3 => n.not(x),
+            4 => n.and(x, y),
+            5 => n.or(x, y),
+            6 => n.xor(x, y),
+            7 => n.nand(x, y),
+            8 => n.nor(x, y),
+            9 => n.xnor(x, y),
+            10 => n.mux(x, y, z),
+            _ => n.maj(x, y, z),
+        };
+        nets.push(id);
+    }
+    let outs: Vec<NetId> = nets.iter().rev().take(4).copied().collect();
+    n.set_outputs(outs);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The compiled tape — scalar and wide — is bit-identical to the
+    /// legacy per-gate interpreter on every net of random netlists.
+    #[test]
+    fn tape_kernels_match_the_reference_interpreter(
+        n_inputs in 1usize..6,
+        gates in prop::collection::vec(
+            (0u8..12, 0usize..1 << 30, 0usize..1 << 30, 0usize..1 << 30),
+            1..60,
+        ),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let nl = build_netlist(n_inputs, &gates);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+
+        // Scalar pass: one 64-lane word per input.
+        let inputs: Vec<u64> = (0..nl.num_inputs()).map(|_| next()).collect();
+        let mut reference = Vec::new();
+        eval_pass_reference(&nl, &inputs, &mut reference);
+        let tape = SimTape::compile(&nl);
+        let mut scalar = Vec::new();
+        tape.execute(&inputs, &mut scalar);
+        prop_assert_eq!(&scalar, &reference, "scalar tape diverged");
+
+        // Wide pass: every word column must equal an independent scalar
+        // reference pass over that column's inputs.
+        let wide_inputs: Vec<u64> =
+            (0..nl.num_inputs() * LANE_WORDS).map(|_| next()).collect();
+        let mut wide = Vec::new();
+        tape.execute_wide(&wide_inputs, &mut wide);
+        for j in 0..LANE_WORDS {
+            let column: Vec<u64> = (0..nl.num_inputs())
+                .map(|i| wide_inputs[i * LANE_WORDS + j])
+                .collect();
+            let mut column_ref = Vec::new();
+            eval_pass_reference(&nl, &column, &mut column_ref);
+            for net in 0..nl.len() {
+                prop_assert_eq!(
+                    wide[net * LANE_WORDS + j],
+                    column_ref[net],
+                    "wide tape diverged at net {} word {}",
+                    net,
+                    j
+                );
+            }
+        }
+    }
+}
