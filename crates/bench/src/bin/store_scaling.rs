@@ -1,0 +1,309 @@
+//! Circuit-store scaling measurement: cache warm-start and circuit-corpus
+//! round-trips through the legacy CSV/Verilog disk formats vs the binary
+//! frame store.
+//!
+//! This is the regenerator behind EXPERIMENTS.md "Circuit store" and the
+//! `BENCH_store.json` baseline. Three measurements, each with the legacy
+//! path as the `csv_us` column and the store path as `store_us`:
+//!
+//! * `warm_start_mul8` — loading a fully-characterized mul8 cache from
+//!   disk: CSV row parsing ([`DiskTier::open`]) vs binary record decode
+//!   ([`StoreTier::open`]). Both caches are populated by real flow runs
+//!   and the loaded entry sets are checked identical before any timing.
+//! * `stream_mul8` — reopening a generated mul8 circuit corpus:
+//!   re-parsing structural Verilog vs streaming the sealed store file
+//!   ([`afp_circuits::store::read_library`]). The `size_ratio` column is
+//!   the on-disk ratio (Verilog bytes / store bytes).
+//! * `cold_open_mul8` — answering "how many records, which version?"
+//!   without a prior open: parsing every CSV row vs reading the sealed
+//!   store's index footer ([`afp_store::inspect`]).
+//!
+//! Usage: `cargo run --release -p afp-bench --bin store_scaling [--quick]`
+//!
+//! Writes `results/store_scaling.csv`.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use afp_bench::render::table;
+use afp_bench::write_csv;
+use afp_circuits::store::read_library;
+use afp_circuits::{build_library, ArithKind, LibrarySpec};
+use afp_netlist::export::to_verilog;
+use afp_netlist::parse::from_verilog;
+use afp_runtime::cache::DiskTier;
+use afp_runtime::Key128;
+use afp_store::StoreTier;
+use approxfpgas::cache::{CACHE_FILE, STORE_FILE};
+use approxfpgas::{CacheBackend, CachedCharacterization, Flow, FlowConfig};
+
+/// Median-of-runs wall time of `f`, in microseconds.
+fn time_us(iters: u32, runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e6 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| afp_ord::asc(*a, *b));
+    samples[samples.len() / 2]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("afp-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Populate a characterization cache directory by running the real flow
+/// on the mul8 library with the given disk backend.
+fn populate_cache(dir: &Path, backend: CacheBackend) {
+    let config = FlowConfig {
+        library: LibrarySpec::new(ArithKind::Multiplier, 8, 320),
+        min_subset: 24,
+        threads: 1,
+        cache_dir: Some(dir.to_path_buf()),
+        cache_backend: backend,
+        ..FlowConfig::default()
+    };
+    let outcome = Flow::new(config).run();
+    assert!(!outcome.records.is_empty(), "flow produced no records");
+}
+
+/// Load-and-sort every cache entry, so the CSV and store tiers can be
+/// compared for exact equality before their load paths are timed.
+fn sorted_entries(mut entries: Vec<(Key128, CachedCharacterization)>) -> Vec<(Key128, String)> {
+    entries.sort_by_key(|(k, _)| (k.hi, k.lo));
+    entries
+        .into_iter()
+        .map(|(k, v)| (k, format!("{v:?}")))
+        .collect()
+}
+
+fn file_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (iters, runs) = if quick { (3, 3) } else { (20, 5) };
+    println!("store_scaling: {iters} iters x {runs} runs (median)\n");
+
+    // ---- warm_start_mul8: characterization cache load --------------------
+    let csv_dir = temp_dir("csv");
+    let store_dir = temp_dir("store");
+    populate_cache(&csv_dir, CacheBackend::Csv);
+    populate_cache(&store_dir, CacheBackend::Store);
+    // One settling open: the store tier compacts an append-heavy file into
+    // block frames on first open, which is the steady state every later
+    // warm start sees.
+    drop(StoreTier::<CachedCharacterization>::open(&store_dir, STORE_FILE).unwrap());
+
+    // Equivalence gate: both tiers must decode the exact same entries.
+    let csv_entries = sorted_entries(
+        DiskTier::<CachedCharacterization>::open(&csv_dir, CACHE_FILE)
+            .unwrap()
+            .take_loaded(),
+    );
+    let store_entries = sorted_entries(
+        StoreTier::<CachedCharacterization>::open(&store_dir, STORE_FILE)
+            .unwrap()
+            .take_loaded(),
+    );
+    assert!(!csv_entries.is_empty(), "cache ended up empty");
+    assert_eq!(
+        csv_entries, store_entries,
+        "csv and store tiers disagree on cache contents"
+    );
+    let entries = csv_entries.len();
+
+    let csv_bytes = file_len(&csv_dir.join(CACHE_FILE));
+    let store_bytes = file_len(&store_dir.join(STORE_FILE));
+    let cache_ratio = csv_bytes as f64 / store_bytes as f64;
+    let warm_csv_us = time_us(iters, runs, || {
+        std::hint::black_box(
+            DiskTier::<CachedCharacterization>::open(std::hint::black_box(&csv_dir), CACHE_FILE)
+                .unwrap(),
+        );
+    });
+    let warm_store_us = time_us(iters, runs, || {
+        std::hint::black_box(
+            StoreTier::<CachedCharacterization>::open(std::hint::black_box(&store_dir), STORE_FILE)
+                .unwrap(),
+        );
+    });
+
+    // ---- stream_mul8: circuit corpus round-trip --------------------------
+    let corpus_dir = temp_dir("corpus");
+    let library = build_library(&LibrarySpec::new(ArithKind::Multiplier, 8, 320));
+    let verilog: Vec<String> = library.iter().map(|c| to_verilog(c.netlist())).collect();
+    let verilog_path = corpus_dir.join("library.v");
+    std::fs::write(&verilog_path, verilog.join("\n")).unwrap();
+    let store_path = corpus_dir.join("library.afps");
+    let summary = afp_circuits::store::write_library(&store_path, &library).unwrap();
+    assert_eq!(
+        summary.written + summary.deduplicated,
+        library.len(),
+        "write_library lost circuits"
+    );
+
+    // Equivalence gate, store side: streaming back is structurally exact
+    // (modulo the store's structural dedup — compare deduplicated hash
+    // sets against the generated library itself).
+    let streamed = read_library(&store_path).unwrap();
+    let hashes = |ns: &[&afp_netlist::Netlist]| {
+        let mut h: Vec<u64> = ns.iter().map(|n| n.structural_hash()).collect();
+        h.sort_unstable();
+        h.dedup();
+        h
+    };
+    assert_eq!(
+        hashes(&streamed.iter().map(|c| c.netlist()).collect::<Vec<_>>()),
+        hashes(&library.iter().map(|c| c.netlist()).collect::<Vec<_>>()),
+        "store round trip lost circuit structures"
+    );
+    // Verilog side: parsing rebuilds an equivalent but not gate-identical
+    // netlist, so check behaviour on sampled operand pairs instead.
+    let parsed: Vec<_> = verilog
+        .iter()
+        .map(|v| from_verilog(v).expect("exported verilog parses"))
+        .collect();
+    assert_eq!(parsed.len(), library.len());
+    let mut rng_state = 0x5EEDu64;
+    let mut next = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    for (circuit, back) in library.iter().zip(&parsed) {
+        let n_in = circuit.netlist().num_inputs();
+        assert_eq!(n_in, back.num_inputs());
+        for _ in 0..16 {
+            let sample = next();
+            let bits: Vec<bool> = (0..n_in).map(|i| (sample >> (i % 64)) & 1 == 1).collect();
+            assert_eq!(
+                circuit.netlist().eval_bits(&bits),
+                back.eval_bits(&bits),
+                "verilog round trip changed behaviour for {}",
+                circuit.name()
+            );
+        }
+    }
+
+    let verilog_bytes = file_len(&verilog_path);
+    let corpus_ratio = verilog_bytes as f64 / summary.bytes as f64;
+    let stream_csv_us = time_us(iters, runs, || {
+        let text = std::fs::read_to_string(std::hint::black_box(&verilog_path)).unwrap();
+        for module in text.split("\nmodule ") {
+            let src = if module.starts_with("module ") {
+                module.to_string()
+            } else {
+                format!("module {module}")
+            };
+            std::hint::black_box(from_verilog(&src).unwrap());
+        }
+    });
+    let stream_store_us = time_us(iters, runs, || {
+        std::hint::black_box(read_library(std::hint::black_box(&store_path)).unwrap());
+    });
+
+    // ---- cold_open_mul8: record count without a warm cache ---------------
+    let cold_csv_us = time_us(iters, runs, || {
+        let entries = DiskTier::<CachedCharacterization>::read_entries(std::hint::black_box(
+            &csv_dir.join(CACHE_FILE),
+        ))
+        .unwrap();
+        std::hint::black_box(entries.len());
+    });
+    let cold_store_us = time_us(iters, runs, || {
+        let info = afp_store::inspect(std::hint::black_box(&store_path)).unwrap();
+        std::hint::black_box(info.records);
+    });
+
+    // ---- report ----------------------------------------------------------
+    let cases = [
+        (
+            "warm_start_mul8",
+            format!("{entries}e"),
+            warm_csv_us,
+            warm_store_us,
+            cache_ratio,
+        ),
+        (
+            "stream_mul8",
+            format!("{}c", streamed.len()),
+            stream_csv_us,
+            stream_store_us,
+            corpus_ratio,
+        ),
+        (
+            "cold_open_mul8",
+            format!("{entries}e"),
+            cold_csv_us,
+            cold_store_us,
+            cache_ratio,
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (name, work, legacy_us, store_us, size_ratio) in &cases {
+        let speedup = legacy_us / store_us;
+        println!(
+            "  {name}: legacy {legacy_us:.0} us, store {store_us:.0} us  \
+             ({speedup:.2}x, {size_ratio:.2}x smaller)"
+        );
+        rows.push(vec![
+            name.to_string(),
+            work.clone(),
+            format!("{legacy_us:.1}"),
+            format!("{store_us:.1}"),
+            format!("{speedup:.2}"),
+            format!("{size_ratio:.2}"),
+        ]);
+        csv_rows.push(vec![
+            name.to_string(),
+            work.clone(),
+            format!("{legacy_us:.2}"),
+            format!("{store_us:.2}"),
+            format!("{speedup:.2}"),
+            format!("{size_ratio:.2}"),
+        ]);
+    }
+
+    write_csv(
+        "store_scaling.csv",
+        &[
+            "case",
+            "work",
+            "legacy_us",
+            "store_us",
+            "speedup",
+            "size_ratio",
+        ],
+        &csv_rows,
+    );
+    println!(
+        "\n{}",
+        table(
+            &[
+                "case",
+                "work",
+                "legacy us",
+                "store us",
+                "speedup",
+                "size ratio"
+            ],
+            &rows
+        )
+    );
+    println!("baseline for regression checks: BENCH_store.json (repo root)");
+
+    for dir in [csv_dir, store_dir, corpus_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -17,6 +17,8 @@
 //!   structural diversity of CGP-evolved circuits.
 //! * [`library`] — enumeration of whole circuit libraries
 //!   ([`LibrarySpec`] → `Vec<ArithCircuit>`) with behavioural dedup.
+//! * [`store`] — persisting libraries as sealed [`afp_store`] files with
+//!   structural dedup, and streaming them back lazily.
 //! * [`soa`] — a small set of "state-of-the-art FPGA-tailored" multipliers
 //!   used as comparison points in Fig. 1.
 //!
@@ -40,6 +42,8 @@ pub mod multipliers;
 pub mod mutate;
 pub mod prefix_adders;
 pub mod soa;
+pub mod store;
 
 pub use arith::{ArithCircuit, ArithKind, BatchEvaluator};
 pub use library::{build_library, build_library_with, LibrarySpec};
+pub use store::{read_library, stream_library, write_library, LibraryStream, WriteSummary};

@@ -1,0 +1,267 @@
+//! Persisting circuit libraries in the binary frame store.
+//!
+//! A generated library is a pure function of its [`crate::LibrarySpec`],
+//! but generating a large one (enumeration + mutation + behavioural
+//! dedup) takes real time. This module saves a library to one sealed
+//! [`afp_store`] file and streams it back lazily, so downstream tools
+//! (benchmarks, the CLI `library` command, cross-process experiments)
+//! can reopen a corpus in milliseconds without re-enumeration.
+//!
+//! Each record payload is `kind` byte + operand-width varint + the
+//! varint-packed netlist ([`afp_store::encode_netlist`]), keyed by a
+//! content hash of the circuit structure — writing is therefore
+//! idempotent per structure, and structural duplicates collapse to one
+//! record ([`WriteSummary::deduplicated`] counts them).
+//!
+//! # Example
+//!
+//! ```
+//! use afp_circuits::{adders, store};
+//!
+//! let dir = std::env::temp_dir().join(format!("afp-store-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("lib.afps");
+//! let circuits = vec![adders::ripple_carry(4), adders::loa(4, 2)];
+//! store::write_library(&path, &circuits).unwrap();
+//! let back: Vec<_> = store::stream_library(&path)
+//!     .unwrap()
+//!     .collect::<std::io::Result<_>>()
+//!     .unwrap();
+//! assert_eq!(back.len(), 2);
+//! assert_eq!(back[0].eval(3, 4), 7);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use std::io;
+use std::path::Path;
+
+use afp_runtime::{Key128, StableHasher};
+use afp_store::bytes::{put_uvarint, ByteReader};
+use afp_store::{decode_netlist, encode_netlist, FrameStream, StoreWriter};
+
+use crate::arith::{ArithCircuit, ArithKind};
+
+/// Record version of the circuit payload encoding.
+const CIRCUIT_VERSION: u32 = 1;
+
+const KIND_ADDER: u8 = 0;
+const KIND_MULTIPLIER: u8 = 1;
+
+/// What [`write_library`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// Records written to the store.
+    pub written: usize,
+    /// Circuits skipped because a structurally identical circuit (same
+    /// kind, width and netlist structure) was already written.
+    pub deduplicated: usize,
+    /// Bytes of the finished store file.
+    pub bytes: u64,
+}
+
+/// The content key of one circuit: kind, width and netlist structure
+/// (names excluded — a renamed circuit is the same record).
+fn circuit_key(circuit: &ArithCircuit) -> Key128 {
+    let mut h = StableHasher::new();
+    h.write_str("circuit");
+    h.write_str(circuit.kind().mnemonic());
+    h.write_usize(circuit.width());
+    h.write_u64(circuit.netlist().structural_hash());
+    h.finish()
+}
+
+fn encode_circuit(circuit: &ArithCircuit, out: &mut Vec<u8>) {
+    out.push(match circuit.kind() {
+        ArithKind::Adder => KIND_ADDER,
+        ArithKind::Multiplier => KIND_MULTIPLIER,
+    });
+    put_uvarint(out, circuit.width() as u64);
+    encode_netlist(circuit.netlist(), out);
+}
+
+fn decode_circuit(payload: &[u8]) -> Option<ArithCircuit> {
+    let mut r = ByteReader::new(payload);
+    let kind = match r.u8()? {
+        KIND_ADDER => ArithKind::Adder,
+        KIND_MULTIPLIER => ArithKind::Multiplier,
+        _ => return None,
+    };
+    let width = usize::try_from(r.uvarint()?).ok()?;
+    let netlist = decode_netlist(&mut r)?;
+    if !r.is_empty() {
+        return None;
+    }
+    // Check the interface instead of letting `ArithCircuit::new` panic on
+    // a corrupted or hand-edited record.
+    if netlist.num_inputs() != 2 * width || netlist.num_outputs() != kind.out_width(width) {
+        return None;
+    }
+    Some(ArithCircuit::new(kind, width, netlist))
+}
+
+/// Write `circuits` to a sealed store file at `path` (created or
+/// truncated), deduplicating structurally identical circuits by content
+/// key. The parent directory must exist.
+pub fn write_library(path: &Path, circuits: &[ArithCircuit]) -> io::Result<WriteSummary> {
+    let mut writer = StoreWriter::create(path, CIRCUIT_VERSION)?;
+    let mut seen = std::collections::HashSet::new();
+    let mut summary = WriteSummary::default();
+    let mut payload = Vec::new();
+    for circuit in circuits {
+        let key = circuit_key(circuit);
+        if !seen.insert(key) {
+            summary.deduplicated += 1;
+            continue;
+        }
+        payload.clear();
+        encode_circuit(circuit, &mut payload);
+        writer.append(key, payload.clone())?;
+        summary.written += 1;
+    }
+    writer.finish_sealed()?;
+    summary.bytes = std::fs::metadata(path)?.len();
+    Ok(summary)
+}
+
+/// Lazy iterator over the circuits of a store file written by
+/// [`write_library`]. Frames are read and decompressed on demand —
+/// opening the stream does not load the library.
+#[derive(Debug)]
+pub struct LibraryStream {
+    inner: FrameStream,
+    bad_version: bool,
+}
+
+impl LibraryStream {
+    /// Whether the underlying file ended in a torn (truncated or
+    /// corrupted) frame; circuits yielded before that point are intact.
+    pub fn truncated(&self) -> bool {
+        self.inner.truncated()
+    }
+}
+
+impl Iterator for LibraryStream {
+    type Item = io::Result<ArithCircuit>;
+
+    fn next(&mut self) -> Option<io::Result<ArithCircuit>> {
+        if self.bad_version {
+            return None;
+        }
+        let record = self.inner.next()?;
+        Some(decode_circuit(&record.payload).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "store frame does not decode as a circuit",
+            )
+        }))
+    }
+}
+
+/// Open a lazy circuit stream over the store file at `path`.
+///
+/// Fails with [`io::ErrorKind::InvalidData`] if the file is not a store
+/// file; a store file with an unexpected record version yields an empty
+/// stream (forward compatibility: newer payloads are skipped, not
+/// misparsed).
+pub fn stream_library(path: &Path) -> io::Result<LibraryStream> {
+    let inner = FrameStream::open(path)?;
+    let bad_version = inner.header().record_version != CIRCUIT_VERSION;
+    Ok(LibraryStream { inner, bad_version })
+}
+
+/// Read a whole library eagerly; see [`stream_library`].
+pub fn read_library(path: &Path) -> io::Result<Vec<ArithCircuit>> {
+    stream_library(path)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{adders, build_library, multipliers, LibrarySpec};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("afp-circstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("lib.afps")
+    }
+
+    #[test]
+    fn round_trips_a_generated_library() {
+        let path = temp_path("roundtrip");
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 40));
+        let summary = write_library(&path, &lib).unwrap();
+        assert_eq!(summary.written, lib.len());
+        assert_eq!(summary.deduplicated, 0, "library is already deduped");
+        let back = read_library(&path).unwrap();
+        assert_eq!(back.len(), lib.len());
+        // Streaming preserves structure exactly (netlists compare equal up
+        // to the name, which the content key deliberately ignores).
+        let mut originals: Vec<_> = lib
+            .iter()
+            .map(|c| {
+                let mut n = c.netlist().clone();
+                n.set_name("");
+                n
+            })
+            .collect();
+        let mut decoded: Vec<_> = back
+            .iter()
+            .map(|c| {
+                let mut n = c.netlist().clone();
+                n.set_name("");
+                n
+            })
+            .collect();
+        let by_hash = |n: &afp_netlist::Netlist| n.structural_hash();
+        originals.sort_by_key(by_hash);
+        decoded.sort_by_key(by_hash);
+        assert_eq!(originals, decoded);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn streaming_preserves_behaviour() {
+        let path = temp_path("behaviour");
+        let circuits = vec![
+            adders::ripple_carry(6),
+            adders::loa(6, 2),
+            multipliers::wallace_multiplier(4),
+        ];
+        write_library(&path, &circuits).unwrap();
+        for (orig, got) in circuits.iter().zip(read_library(&path).unwrap().iter()) {
+            assert_eq!(orig.kind(), got.kind());
+            assert_eq!(orig.width(), got.width());
+            for (a, b) in [(3, 5), (0, 0), (13, 11)] {
+                assert_eq!(orig.eval(a, b), got.eval(a, b));
+            }
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn structural_duplicates_collapse() {
+        let path = temp_path("dedup");
+        let a = adders::ripple_carry(4);
+        let mut renamed = a.clone();
+        renamed.set_name("same-structure-other-name");
+        let summary = write_library(&path, &[a, renamed]).unwrap();
+        assert_eq!(summary.written, 1);
+        assert_eq!(summary.deduplicated, 1);
+        assert_eq!(read_library(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn rejects_non_store_files_and_skips_foreign_versions() {
+        let path = temp_path("reject");
+        std::fs::write(&path, b"name,v1,cols\n").unwrap();
+        assert!(stream_library(&path).is_err());
+        // A valid store with a different record version streams empty.
+        let mut w = StoreWriter::create(&path, CIRCUIT_VERSION + 1).unwrap();
+        w.append(Key128 { hi: 1, lo: 2 }, vec![0xFF; 4]).unwrap();
+        w.finish_sealed().unwrap();
+        assert_eq!(read_library(&path).unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

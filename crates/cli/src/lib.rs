@@ -9,6 +9,7 @@
 //! * `map`      — LUT-map a Verilog file, verify equivalence, emit the
 //!   mapped LUT netlist
 //! * `flow`     — run the full ApproxFPGAs methodology on a library
+//! * `cache`    — inspect or migrate a characterization cache directory
 //!
 //! The parsing layer is deliberately dependency-free: flags are
 //! `--name value` pairs.
@@ -96,6 +97,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "error" => cmd_error(&cli),
         "map" => cmd_map(&cli),
         "flow" => cmd_flow(&cli),
+        "cache" => cmd_cache(&cli),
         "targets" => cmd_targets(&cli),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -110,21 +112,25 @@ USAGE:
   afp library --kind add|mul --width W --size N [--out DIR]
       Enumerate an approximate-circuit library; write one Verilog file per
       circuit plus library.csv when --out is given.
-  afp synth FILE.v [--target asic|fpga|both]
-      Parse structural Verilog and report synthesis cost.
-  afp error FILE.v --kind add|mul --width W
+  afp synth FILE.v|FILE.bristol [--target asic|fpga|both]
+      Parse a circuit (structural Verilog, or Bristol fashion for
+      .bristol files) and report synthesis cost.
+  afp error FILE.v|FILE.bristol --kind add|mul --width W
       Behavioural error metrics against the exact golden function.
-  afp map FILE.v [--out MAPPED.v]
+  afp map FILE.v|FILE.bristol [--out MAPPED.v]
       LUT-map the circuit, verify LUT-network equivalence, optionally
       write the mapped netlist as LUT primitives.
   afp flow --kind add|mul --width W --size N [--fronts K] [--subset F]
            [--threads T] [--no-cache] [--cache-dir DIR]
-           [--target NAME] [--all-targets]
+           [--cache-format store|csv] [--target NAME] [--all-targets]
            [--report table|json|none] [--report-out PATH]
+           [--report-normalized]
       Run the full ApproxFPGAs methodology and print the summary.
       --threads 0 (default) uses every core; results are identical for
       any thread count. --cache-dir persists the characterization cache
-      across runs (an unusable directory is an error); --no-cache
+      across runs (an unusable directory is an error); --cache-format
+      picks the disk tier: the binary frame store (default) or the
+      legacy CSV file — both lossless, identical outcomes. --no-cache
       disables memoization. --target retargets the FPGA model to a named
       device profile (see `afp targets`; default lut6-7series);
       --all-targets sweeps every registry profile and prints a
@@ -132,7 +138,16 @@ USAGE:
       (default) appends a per-stage timing table; --report json writes
       the structured run report to --report-out (default
       results/run_report.json) and prints only the JSON document;
-      --report none skips tracing entirely.
+      --report-normalized strips the nondeterministic surfaces (stage
+      timings, steals, mapper reuses) from the JSON so documents from
+      different runs or machines compare byte-for-byte; --report none
+      skips tracing entirely.
+  afp cache stats DIR
+      Describe the characterization cache in DIR: entries, bytes and
+      format version of the binary store and/or legacy CSV file.
+  afp cache migrate DIR
+      Migrate a legacy CSV cache in DIR to the binary store, once
+      (idempotent; the CSV is kept as characterization.csv.migrated).
   afp targets [NAME]
       List the named device profiles the flow can target, or describe
       one profile in detail.
@@ -204,9 +219,13 @@ fn load_netlist(cli: &Cli) -> Result<Netlist, String> {
     let path = cli
         .positional
         .first()
-        .ok_or("expected a Verilog file argument")?;
+        .ok_or("expected a circuit file argument (.v or .bristol)")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    afp_netlist::parse::from_verilog(&text).map_err(|e| format!("{path}: {e}"))
+    if path.ends_with(".bristol") {
+        afp_netlist::bristol::from_bristol(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        afp_netlist::parse::from_verilog(&text).map_err(|e| format!("{path}: {e}"))
+    }
 }
 
 fn cmd_synth(cli: &Cli) -> Result<String, String> {
@@ -393,6 +412,12 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         .map_err(|_| "--subset expects a fraction".to_string())?;
     let use_cache = cli.flag_or("no-cache", "false") != "true";
     let cache_dir = cli.flags.get("cache-dir").map(std::path::PathBuf::from);
+    let cache_backend = match cli.flag_or("cache-format", "store") {
+        "store" => approxfpgas::CacheBackend::Store,
+        "csv" => approxfpgas::CacheBackend::Csv,
+        other => return Err(format!("--cache-format must be store|csv, got `{other}`")),
+    };
+    let report_normalized = cli.flag_or("report-normalized", "false") == "true";
     let report_mode = cli.flag_or("report", "table");
     if !matches!(report_mode, "table" | "json" | "none") {
         return Err(format!(
@@ -415,6 +440,7 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         threads,
         use_cache,
         cache_dir,
+        cache_backend,
         ..approxfpgas::FlowConfig::default()
     };
     config.fpga = profile.apply(&config.fpga);
@@ -438,7 +464,10 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
     if report_mode == "json" {
         // Stdout carries the JSON document and nothing else, so the
         // output pipes straight into `python3 -m json.tool`, `jq`, etc.
-        let report = approxfpgas::run_report(&config, &outcome, &recorder);
+        let mut report = approxfpgas::run_report(&config, &outcome, &recorder);
+        if report_normalized {
+            report = approxfpgas::report::normalized(&report);
+        }
         report.write_json(&report_out).map_err(|e| e.to_string())?;
         let mut doc = report.to_json();
         doc.push('\n');
@@ -490,6 +519,14 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         rt.error_analyses,
         rt.bytes_simulated as f64 / (1024.0 * 1024.0)
     );
+    if rt.cache_write_errors > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} cache entries were not persisted to disk (disk append failed; \
+             see cache.write_errors in the report)",
+            rt.cache_write_errors
+        );
+    }
     let _ = writeln!(
         out,
         "mapper: {} cut merges ({} sig-rejected, {} dominance-pruned), {} mapper reuses",
@@ -569,6 +606,90 @@ fn cmd_flow_all_targets(base: &approxfpgas::FlowConfig) -> Result<String, String
     Ok(out)
 }
 
+fn cmd_cache(cli: &Cli) -> Result<String, String> {
+    let action = cli
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("expected `afp cache stats DIR` or `afp cache migrate DIR`")?;
+    let dir = cli
+        .positional
+        .get(1)
+        .ok_or("expected a cache directory argument")?;
+    let dir = Path::new(dir);
+    let store_path = dir.join(approxfpgas::cache::STORE_FILE);
+    let csv_path = dir.join(approxfpgas::cache::CACHE_FILE);
+    match action {
+        "stats" => {
+            let mut out = String::new();
+            let _ = writeln!(out, "cache directory: {}", dir.display());
+            match afp_store::inspect(&store_path) {
+                Ok(info) => {
+                    let _ = writeln!(
+                        out,
+                        "store: {} — {} entries, {} bytes (format v{}, records v{}, {}{})",
+                        approxfpgas::cache::STORE_FILE,
+                        info.records,
+                        info.bytes,
+                        info.format_version,
+                        info.record_version,
+                        if info.sealed { "sealed" } else { "unsealed" },
+                        if info.truncated {
+                            ", torn tail — repaired on next open"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    let _ = writeln!(out, "store: absent");
+                }
+                Err(e) => return Err(format!("cannot inspect {}: {e}", store_path.display())),
+            }
+            match std::fs::read_to_string(&csv_path) {
+                Ok(text) => {
+                    let rows = text.lines().count().saturating_sub(1);
+                    let _ = writeln!(
+                        out,
+                        "csv: {} — {} entries, {} bytes (legacy; run `afp cache migrate` \
+                         or any store-backed flow to convert)",
+                        approxfpgas::cache::CACHE_FILE,
+                        rows,
+                        text.len()
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    let _ = writeln!(out, "csv: absent");
+                }
+                Err(e) => return Err(format!("cannot read {}: {e}", csv_path.display())),
+            }
+            Ok(out)
+        }
+        "migrate" => {
+            let summary = approxfpgas::CharacterizationCache::migrate_csv_cache(dir)
+                .map_err(|e| format!("migration failed: {e}"))?;
+            let mut out = String::new();
+            if summary.performed {
+                let _ = writeln!(
+                    out,
+                    "migrated {} entries from {} to {} (CSV kept as {}.migrated)",
+                    summary.migrated,
+                    approxfpgas::cache::CACHE_FILE,
+                    approxfpgas::cache::STORE_FILE,
+                    approxfpgas::cache::CACHE_FILE
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "nothing to migrate (no legacy CSV, or the store already exists)"
+                );
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown cache action `{other}` (stats|migrate)")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,11 +711,15 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let text = run(&args(&["help"])).unwrap();
-        for cmd in ["library", "synth", "error", "map", "flow", "targets"] {
+        for cmd in [
+            "library", "synth", "error", "map", "flow", "cache", "targets",
+        ] {
             assert!(text.contains(cmd), "missing {cmd}");
         }
         assert!(text.contains("--target"), "{text}");
         assert!(text.contains("--all-targets"), "{text}");
+        assert!(text.contains("--cache-format"), "{text}");
+        assert!(text.contains("--report-normalized"), "{text}");
     }
 
     #[test]
@@ -844,6 +969,139 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.contains("cannot open --cache-dir"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn synth_reads_bristol_files() {
+        let dir = std::env::temp_dir().join(format!("afp_cli_bristol_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let circuit = afp_circuits::adders::ripple_carry(4);
+        let path = dir.join("adder.bristol");
+        std::fs::write(&path, afp_netlist::bristol::to_bristol(circuit.netlist())).unwrap();
+        let p = path.to_string_lossy().to_string();
+        let out = run(&args(&["synth", &p])).unwrap();
+        assert!(out.contains("8 inputs, 5 outputs"), "{out}");
+        assert!(out.contains("ASIC:") && out.contains("FPGA:"), "{out}");
+        // The error command agrees the import is behaviourally exact.
+        let err = run(&args(&["error", &p, "--kind", "add", "--width", "4"])).unwrap();
+        assert!(err.contains("MED:         0.000000"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_stats_and_migrate_round_trip() {
+        let dir = std::env::temp_dir().join(format!("afp_cli_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_string_lossy().to_string();
+        // Empty directory: both tiers absent.
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = run(&args(&["cache", "stats", &d])).unwrap();
+        assert!(out.contains("store: absent"), "{out}");
+        assert!(out.contains("csv: absent"), "{out}");
+        // Produce a legacy CSV cache, then migrate it via the CLI.
+        let flow_args = [
+            "flow",
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "60",
+            "--subset",
+            "0.4",
+            "--report",
+            "none",
+            "--cache-dir",
+            &d,
+            "--cache-format",
+            "csv",
+        ];
+        run(&args(&flow_args)).unwrap();
+        let out = run(&args(&["cache", "stats", &d])).unwrap();
+        assert!(out.contains("csv: characterization.csv"), "{out}");
+        let out = run(&args(&["cache", "migrate", &d])).unwrap();
+        assert!(out.contains("migrated "), "{out}");
+        // Idempotent: a second migrate is a no-op.
+        let out = run(&args(&["cache", "migrate", &d])).unwrap();
+        assert!(out.contains("nothing to migrate"), "{out}");
+        let out = run(&args(&["cache", "stats", &d])).unwrap();
+        assert!(out.contains("store: characterization.afps"), "{out}");
+        assert!(out.contains("unsealed"), "{out}");
+        assert!(out.contains("csv: absent"), "{out}");
+        // The migrated store warms a default (store-backend) flow run.
+        let mut warm_args: Vec<&str> = flow_args[..flow_args.len() - 2].to_vec();
+        warm_args.push("--threads");
+        warm_args.push("1");
+        let out = run(&args(&warm_args)).unwrap();
+        assert!(
+            out.contains(" 0 misses"),
+            "warm run must be all hits: {out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_command_validates_arguments() {
+        assert!(run(&args(&["cache"])).is_err());
+        assert!(run(&args(&["cache", "stats"])).is_err());
+        let e = run(&args(&["cache", "frob", "/tmp"])).unwrap_err();
+        assert!(e.contains("unknown cache action"), "{e}");
+    }
+
+    #[test]
+    fn flow_validates_cache_format() {
+        let e = run(&args(&[
+            "flow",
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "40",
+            "--cache-format",
+            "sqlite",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--cache-format must be store|csv"), "{e}");
+    }
+
+    #[test]
+    fn flow_report_normalized_is_stable_across_backends() {
+        let dir = std::env::temp_dir().join(format!("afp_cli_norm_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = |cache_dir: &str, format: &str, report_out: &str| {
+            args(&[
+                "flow",
+                "--kind",
+                "add",
+                "--width",
+                "8",
+                "--size",
+                "60",
+                "--subset",
+                "0.4",
+                "--report",
+                "json",
+                "--report-normalized",
+                "--report-out",
+                report_out,
+                "--cache-dir",
+                cache_dir,
+                "--cache-format",
+                format,
+            ])
+        };
+        let csv_dir = dir.join("csv").to_string_lossy().to_string();
+        let store_dir = dir.join("store").to_string_lossy().to_string();
+        let csv_out = dir.join("csv.json").to_string_lossy().to_string();
+        let store_out = dir.join("store.json").to_string_lossy().to_string();
+        let a = run(&base(&csv_dir, "csv", &csv_out)).unwrap();
+        let b = run(&base(&store_dir, "store", &store_out)).unwrap();
+        assert_eq!(a, b, "normalized reports must not depend on the backend");
+        // Normalization really stripped the wall-clock surfaces.
+        assert!(a.contains("\"steals\":0"), "{a}");
+        assert!(a.contains("\"write_errors\":0"), "{a}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -5,8 +5,15 @@
 //! a pure function of the circuit *structure* and the three model
 //! configurations. This module keys that computation by a 128-bit
 //! fingerprint of exactly those inputs and memoizes the three reports, in
-//! memory and optionally in an append-only CSV file, so repeated runs (or
-//! repeated circuits) skip synthesis entirely.
+//! memory and optionally on disk, so repeated runs (or repeated circuits)
+//! skip synthesis entirely.
+//!
+//! The disk tier has two backends: the default binary store
+//! ([`afp_store::StoreTier`], compact frames + fast decode) and the
+//! legacy plain-CSV tier ([`afp_runtime::DiskTier`], greppable). Both are
+//! lossless — float fields round-trip bit-exactly — so flow outcomes are
+//! identical whichever backend persisted the entries. Opening the default
+//! backend transparently migrates a legacy CSV file once.
 
 use std::path::Path;
 
@@ -15,6 +22,8 @@ use afp_circuits::ArithCircuit;
 use afp_error::ErrorMetrics;
 use afp_fpga::FpgaReport;
 use afp_runtime::{Counters, CsvRecord, DiskTier, Fingerprint, Key128, MemoCache, StableHasher};
+use afp_store::bytes::{put_f64, put_ivarint, put_uvarint, ByteReader};
+use afp_store::{BinRecord, CsvMigration, StoreTier};
 
 /// The memoized result of characterizing one circuit under one
 /// configuration triple: everything expensive, nothing circuit-identity
@@ -127,15 +136,160 @@ impl CsvRecord for CachedCharacterization {
     }
 }
 
+/// Binary payload layout (see `DESIGN.md` "Circuit store"): raw-bits
+/// `f64` for full-entropy model outputs, varints for counts, and a
+/// rational reconstruction for the error metrics, which are almost always
+/// exact multiples of `1/samples` — those collapse from 8 bytes to a flag
+/// byte plus a short varint while staying bit-exact.
+impl BinRecord for CachedCharacterization {
+    const VERSION: u32 = 1;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.asic.area_um2);
+        put_f64(out, self.asic.delay_ns);
+        put_f64(out, self.asic.power_mw);
+        put_f64(out, self.asic.dynamic_mw);
+        put_f64(out, self.asic.leakage_mw);
+        put_uvarint(out, self.asic.cells as u64);
+        put_uvarint(out, self.error.samples);
+        out.push(self.error.exhaustive as u8);
+        let den = self.error.samples;
+        put_metric(out, self.error.med, den);
+        put_metric(out, self.error.mae, den);
+        put_uvarint(out, self.error.wce);
+        put_metric(out, self.error.wce_rel, den);
+        put_metric(out, self.error.mre, den);
+        put_metric(out, self.error.error_prob, den);
+        put_metric(out, self.error.mse, den);
+        put_metric(out, self.error.bias, den);
+        put_uvarint(out, self.fpga.luts as u64);
+        put_uvarint(out, self.fpga.slices as u64);
+        put_uvarint(out, self.fpga.depth_levels as u64);
+        put_f64(out, self.fpga.delay_ns);
+        put_f64(out, self.fpga.power_mw);
+        put_f64(out, self.fpga.synth_time_s);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<CachedCharacterization> {
+        let asic = AsicReport {
+            area_um2: r.f64_le()?,
+            delay_ns: r.f64_le()?,
+            power_mw: r.f64_le()?,
+            dynamic_mw: r.f64_le()?,
+            leakage_mw: r.f64_le()?,
+            cells: usize::try_from(r.uvarint()?).ok()?,
+        };
+        let samples = r.uvarint()?;
+        let exhaustive = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let error = ErrorMetrics {
+            samples,
+            exhaustive,
+            med: read_metric(r, samples)?,
+            mae: read_metric(r, samples)?,
+            wce: r.uvarint()?,
+            wce_rel: read_metric(r, samples)?,
+            mre: read_metric(r, samples)?,
+            error_prob: read_metric(r, samples)?,
+            mse: read_metric(r, samples)?,
+            bias: read_metric(r, samples)?,
+        };
+        let fpga = FpgaReport {
+            luts: usize::try_from(r.uvarint()?).ok()?,
+            slices: usize::try_from(r.uvarint()?).ok()?,
+            depth_levels: u32::try_from(r.uvarint()?).ok()?,
+            delay_ns: r.f64_le()?,
+            power_mw: r.f64_le()?,
+            synth_time_s: r.f64_le()?,
+        };
+        Some(CachedCharacterization { asic, error, fpga })
+    }
+}
+
+/// Encode a metric that is usually an exact rational `n / den`: flag 1 +
+/// signed varint numerator when the reconstruction is bit-exact, flag 0 +
+/// raw 8 bytes otherwise. Decoding recomputes `n as f64 / den as f64`,
+/// which [`exact_ratio`] already verified reproduces the original bits.
+fn put_metric(out: &mut Vec<u8>, v: f64, den: u64) {
+    match exact_ratio(v, den) {
+        Some(n) => {
+            out.push(1);
+            put_ivarint(out, n);
+        }
+        None => {
+            out.push(0);
+            put_f64(out, v);
+        }
+    }
+}
+
+fn read_metric(r: &mut ByteReader<'_>, den: u64) -> Option<f64> {
+    match r.u8()? {
+        1 => {
+            let n = r.ivarint()?;
+            if den == 0 {
+                return None;
+            }
+            Some(n as f64 / den as f64)
+        }
+        0 => r.f64_le(),
+        _ => None,
+    }
+}
+
+/// The numerator `n` such that `n as f64 / den as f64` is bit-identical
+/// to `v`, when one exists in safe integer range.
+fn exact_ratio(v: f64, den: u64) -> Option<i64> {
+    if den == 0 {
+        return None;
+    }
+    let den_f = den as f64;
+    let scaled = v * den_f;
+    if !scaled.is_finite() || scaled.abs() >= 9_007_199_254_740_992.0 {
+        return None; // out of exact-integer f64 range (2^53)
+    }
+    let n = scaled.round() as i64;
+    // Bit comparison (not `==`) so -0.0 and 0.0 stay distinct.
+    if (n as f64 / den_f).to_bits() == v.to_bits() {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Disk persistence backend for the characterization cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheBackend {
+    /// The binary frame store (`characterization.afps`): compact,
+    /// CRC-checked, compacted into compressed blocks. The default.
+    #[default]
+    Store,
+    /// The legacy append-only CSV file (`characterization.csv`):
+    /// greppable, kept for comparison runs and old tooling.
+    Csv,
+}
+
+#[derive(Debug)]
+enum DiskBackend {
+    Csv(DiskTier<CachedCharacterization>),
+    Store(StoreTier<CachedCharacterization>),
+}
+
 /// Two-tier (memory + optional disk) cache of [`CachedCharacterization`]s.
 #[derive(Debug)]
 pub struct CharacterizationCache {
     memo: MemoCache<CachedCharacterization>,
-    disk: Option<DiskTier<CachedCharacterization>>,
+    disk: Option<DiskBackend>,
 }
 
-/// File name of the disk tier inside the cache directory.
+/// File name of the legacy CSV disk tier inside the cache directory.
 pub const CACHE_FILE: &str = "characterization.csv";
+
+/// File name of the binary store disk tier inside the cache directory.
+pub const STORE_FILE: &str = "characterization.afps";
 
 impl CharacterizationCache {
     /// A memory-only cache (per-process; hits across runs of one
@@ -147,10 +301,12 @@ impl CharacterizationCache {
         }
     }
 
-    /// A cache persisted to `dir/characterization.csv`; existing entries
-    /// are loaded into the memory tier immediately. Falls back to a
-    /// memory-only cache if the directory is not writable — callers that
-    /// need loud failure use [`CharacterizationCache::try_with_disk`].
+    /// A cache persisted to `dir/characterization.afps` (the binary store
+    /// backend); existing entries are loaded into the memory tier
+    /// immediately, and a legacy `characterization.csv` in the same
+    /// directory is migrated on first open. Falls back to a memory-only
+    /// cache if the directory is not writable — callers that need loud
+    /// failure use [`CharacterizationCache::try_with_disk`].
     pub fn with_disk(dir: &Path) -> CharacterizationCache {
         CharacterizationCache::try_with_disk(dir)
             .unwrap_or_else(|_| CharacterizationCache::in_memory())
@@ -161,15 +317,58 @@ impl CharacterizationCache {
     /// for append) is returned as the underlying I/O error instead of
     /// silently degrading to a memory-only cache.
     pub fn try_with_disk(dir: &Path) -> std::io::Result<CharacterizationCache> {
-        let mut disk = DiskTier::open(dir, CACHE_FILE)?;
+        let disk = StoreTier::open_migrating(dir, STORE_FILE, CACHE_FILE)?;
+        Ok(CharacterizationCache::from_backend(DiskBackend::Store(
+            disk,
+        )))
+    }
+
+    /// A cache persisted to the legacy CSV backend
+    /// (`dir/characterization.csv`), falling back to memory-only on an
+    /// unwritable directory.
+    pub fn with_csv_disk(dir: &Path) -> CharacterizationCache {
+        CharacterizationCache::try_with_csv_disk(dir)
+            .unwrap_or_else(|_| CharacterizationCache::in_memory())
+    }
+
+    /// Like [`CharacterizationCache::with_csv_disk`], but loud about an
+    /// unusable cache directory.
+    pub fn try_with_csv_disk(dir: &Path) -> std::io::Result<CharacterizationCache> {
+        let disk = DiskTier::open(dir, CACHE_FILE)?;
+        Ok(CharacterizationCache::from_backend(DiskBackend::Csv(disk)))
+    }
+
+    fn from_backend(mut disk: DiskBackend) -> CharacterizationCache {
         let memo = MemoCache::new();
-        for (key, value) in disk.take_loaded() {
+        let loaded = match &mut disk {
+            DiskBackend::Csv(tier) => tier.take_loaded(),
+            DiskBackend::Store(tier) => tier.take_loaded(),
+        };
+        for (key, value) in loaded {
             memo.insert(key, value);
         }
-        Ok(CharacterizationCache {
+        CharacterizationCache {
             memo,
             disk: Some(disk),
-        })
+        }
+    }
+
+    /// Migrate a legacy CSV cache in `dir` to the binary store, once.
+    /// No-op when the store already exists or there is no CSV (that is
+    /// what makes `afp cache migrate` idempotent).
+    pub fn migrate_csv_cache(dir: &Path) -> std::io::Result<CsvMigration> {
+        afp_store::migrate_csv::<CachedCharacterization>(dir, STORE_FILE, CACHE_FILE)
+    }
+
+    /// Entries whose disk append failed since this cache was opened (the
+    /// run kept the values in memory; persistence was lost). Always zero
+    /// for a memory-only cache.
+    pub fn write_errors(&self) -> u64 {
+        match &self.disk {
+            Some(DiskBackend::Csv(tier)) => tier.write_errors(),
+            Some(DiskBackend::Store(tier)) => tier.write_errors(),
+            None => 0,
+        }
     }
 
     /// The content key of one characterization: circuit structure (not
@@ -199,8 +398,10 @@ impl CharacterizationCache {
     /// Store a freshly computed entry in both tiers.
     pub fn insert(&self, key: Key128, value: CachedCharacterization) {
         self.memo.insert(key, value);
-        if let Some(disk) = &self.disk {
-            disk.append(key, &value);
+        match &self.disk {
+            Some(DiskBackend::Csv(tier)) => tier.append(key, &value),
+            Some(DiskBackend::Store(tier)) => tier.append(key, &value),
+            None => {}
         }
     }
 
@@ -235,6 +436,69 @@ mod tests {
         let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
         let back = CachedCharacterization::from_fields(&refs).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn bin_round_trip_is_lossless() {
+        let v = sample();
+        let mut bytes = Vec::new();
+        v.encode(&mut bytes);
+        let mut r = ByteReader::new(&bytes);
+        let back = CachedCharacterization::decode(&mut r).unwrap();
+        assert!(r.is_empty(), "decode must consume the whole payload");
+        assert_eq!(v, back);
+        // The rational metric packing should beat the 22-column CSV row.
+        let csv_len: usize = v.to_fields().iter().map(|f| f.len() + 1).sum();
+        assert!(
+            bytes.len() * 2 < csv_len,
+            "binary ({}) should be <half the CSV row ({csv_len})",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn bin_round_trip_survives_awkward_floats() {
+        let mut v = sample();
+        v.error.bias = -0.0;
+        v.error.mre = f64::NAN;
+        v.error.mse = 1.0 / 3.0 + 1e-18; // not an exact multiple of 1/samples
+        v.fpga.delay_ns = f64::INFINITY;
+        let mut bytes = Vec::new();
+        v.encode(&mut bytes);
+        let back = CachedCharacterization::decode(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(v.error.bias.to_bits(), back.error.bias.to_bits());
+        assert!(back.error.mre.is_nan());
+        assert_eq!(v.error.mse.to_bits(), back.error.mse.to_bits());
+        assert_eq!(v.fpga.delay_ns, back.fpga.delay_ns);
+    }
+
+    #[test]
+    fn csv_cache_migrates_to_store_on_open() {
+        let dir = std::env::temp_dir().join(format!("afp-core-migrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let v = sample();
+        let key = Key128 {
+            hi: 0x1234_5678,
+            lo: 0x9abc_def0,
+        };
+        {
+            let cache = CharacterizationCache::with_csv_disk(&dir);
+            cache.insert(key, v);
+        }
+        assert!(dir.join(CACHE_FILE).exists());
+        // Default open migrates the CSV once and serves the entry.
+        let migrated = CharacterizationCache::with_disk(&dir);
+        let counters = Counters::default();
+        assert_eq!(migrated.get(key, &counters), Some(v));
+        assert!(dir.join(STORE_FILE).exists());
+        assert!(
+            !dir.join(CACHE_FILE).exists(),
+            "CSV renamed after migration"
+        );
+        // And an explicit migrate afterwards is a no-op.
+        let again = CharacterizationCache::migrate_csv_cache(&dir).unwrap();
+        assert!(!again.performed);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

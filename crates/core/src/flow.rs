@@ -10,7 +10,7 @@ use afp_ml::MlModelId;
 use afp_obs::Recorder;
 use afp_runtime::{CounterSnapshot, Counters, Runtime};
 
-use crate::cache::CharacterizationCache;
+use crate::cache::{CacheBackend, CharacterizationCache};
 use crate::dataset::{characterize_library_traced, sample_subset, train_validate_split};
 use crate::fidelity::{train_zoo_tuned_with, train_zoo_with, TrainedZoo};
 use crate::pareto::{coverage, pareto_front, peel_fronts};
@@ -51,10 +51,14 @@ pub struct FlowConfig {
     /// configuration (default on; repeated circuits and repeated runs of
     /// one [`Flow`] skip synthesis entirely).
     pub use_cache: bool,
-    /// Persist the characterization cache to
-    /// `<dir>/characterization.csv` so hits survive across processes.
-    /// `None` keeps the cache in memory only.
+    /// Persist the characterization cache under `cache_dir` so hits
+    /// survive across processes. `None` keeps the cache in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Which disk format backs a persistent cache (ignored without
+    /// `cache_dir`). [`CacheBackend::Store`] is the compact binary
+    /// default; [`CacheBackend::Csv`] keeps the legacy greppable file.
+    /// Both are lossless, so outcomes are identical either way.
+    pub cache_backend: CacheBackend,
     /// Master seed for sampling/splitting.
     pub seed: u64,
     /// Fault injection for the numeric-robustness harness: corrupt model
@@ -108,6 +112,7 @@ impl Default for FlowConfig {
             threads: 0,
             use_cache: true,
             cache_dir: None,
+            cache_backend: CacheBackend::default(),
             seed: 0xDAC_2020,
             chaos: None,
             asic: afp_asic::AsicConfig::default(),
@@ -236,9 +241,10 @@ impl Flow {
     /// instance hit it.
     pub fn new(config: FlowConfig) -> Flow {
         let cache = if config.use_cache {
-            Some(match &config.cache_dir {
-                Some(dir) => CharacterizationCache::with_disk(dir),
-                None => CharacterizationCache::in_memory(),
+            Some(match (&config.cache_dir, config.cache_backend) {
+                (Some(dir), CacheBackend::Store) => CharacterizationCache::with_disk(dir),
+                (Some(dir), CacheBackend::Csv) => CharacterizationCache::with_csv_disk(dir),
+                (None, _) => CharacterizationCache::in_memory(),
             })
         } else {
             None
@@ -252,9 +258,10 @@ impl Flow {
     /// (as the CLI's `--cache-dir` does).
     pub fn try_new(config: FlowConfig) -> std::io::Result<Flow> {
         let cache = if config.use_cache {
-            Some(match &config.cache_dir {
-                Some(dir) => CharacterizationCache::try_with_disk(dir)?,
-                None => CharacterizationCache::in_memory(),
+            Some(match (&config.cache_dir, config.cache_backend) {
+                (Some(dir), CacheBackend::Store) => CharacterizationCache::try_with_disk(dir)?,
+                (Some(dir), CacheBackend::Csv) => CharacterizationCache::try_with_csv_disk(dir)?,
+                (None, _) => CharacterizationCache::in_memory(),
             })
         } else {
             None
@@ -546,6 +553,16 @@ impl Flow {
             exhaustive_count: n,
             flow_count: synthesized.len(),
         };
+
+        // Surface persistence failures: the cache counts appends it had to
+        // drop; fold the lifetime total into this run's counters so the
+        // report and `afp flow` summary can show it.
+        if let Some(cache) = &self.cache {
+            let dropped = cache.write_errors();
+            if dropped > 0 {
+                Counters::add(&rt.counters().cache_write_errors, dropped);
+            }
+        }
 
         FlowOutcome {
             records,

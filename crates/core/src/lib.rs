@@ -55,7 +55,7 @@ pub mod record;
 pub mod report;
 pub mod targets;
 
-pub use cache::{CachedCharacterization, CharacterizationCache};
+pub use cache::{CacheBackend, CachedCharacterization, CharacterizationCache};
 pub use fidelity::FidelityRecord;
 pub use flow::{ChaosSpec, Flow, FlowConfig, FlowOutcome, TimeAccounting};
 pub use pareto::{coverage, pareto_front, peel_fronts};

@@ -30,7 +30,8 @@ fn param_key(param: FpgaParam) -> &'static str {
 /// the FPGA ground truth was synthesized for), `time` (the paper's
 /// exploration-time accounting; undefined ratios are `null`), `runtime`
 /// (scheduler/synthesis counters; `steals` and `mapper_reuses` are the
-/// schedule-dependent fields), `cache` (hit/miss totals and hit rate),
+/// schedule-dependent fields), `cache` (hit/miss totals, hit rate and
+/// dropped disk writes),
 /// `quarantine` (non-finite estimate defenses from the robustness
 /// harness) and `coverage` (per-parameter pareto coverage plus the
 /// mean).
@@ -106,7 +107,8 @@ pub fn run_report(config: &FlowConfig, outcome: &FlowOutcome, recorder: &Recorde
         Section::new("cache")
             .field("hits", Value::UInt(rt.cache_hits))
             .field("misses", Value::UInt(rt.cache_misses))
-            .field("hit_rate", Value::ratio(hit_rate)),
+            .field("hit_rate", Value::ratio(hit_rate))
+            .field("write_errors", Value::UInt(rt.cache_write_errors)),
     );
     let dropped: u64 = outcome
         .dropped_models

@@ -1,0 +1,488 @@
+//! Bristol-fashion circuit import/export.
+//!
+//! The "Bristol fashion" text format is the lingua franca of the MPC and
+//! garbled-circuit communities: a header (`ngates nwires`, input and
+//! output value widths) followed by one line per gate over the primitive
+//! vocabulary `XOR AND INV EQ EQW`. Supporting it lets circuits move
+//! between this reproduction and external tools (SCALE-MAMBA, MOTION,
+//! EMP) in both directions.
+//!
+//! Export lowers the richer [`Gate`] vocabulary onto the Bristol
+//! primitives (`Or` becomes `XOR`+`AND`, `Mux`/`Maj` become small
+//! XOR/AND networks, every primary output gets an `EQW` copy so the
+//! output wires are the final wires, as the format requires). Import
+//! rebuilds a [`Netlist`]; a `to_bristol → from_bristol` round trip is
+//! behaviourally equivalent, not gate-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use afp_netlist::{bristol, Netlist};
+//!
+//! let mut n = Netlist::new("fa");
+//! let a = n.add_input();
+//! let b = n.add_input();
+//! let c = n.add_input();
+//! let x = n.xor(a, b);
+//! let s = n.xor(x, c);
+//! let co = n.maj(a, b, c);
+//! n.set_outputs(vec![s, co]);
+//!
+//! let text = bristol::to_bristol(&n);
+//! let back = bristol::from_bristol(&text)?;
+//! assert_eq!(back.eval_bits(&[true, true, false]), n.eval_bits(&[true, true, false]));
+//! # Ok::<(), afp_netlist::bristol::BristolError>(())
+//! ```
+
+use crate::gate::Gate;
+use crate::netlist::{NetId, Netlist};
+
+/// Error produced by [`from_bristol`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BristolError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A gate op outside the supported `XOR AND INV EQ EQW` vocabulary.
+    UnsupportedOp {
+        /// The offending mnemonic.
+        op: String,
+    },
+    /// A gate reads a wire no earlier line has driven (the format
+    /// requires topological order).
+    UseBeforeDefine {
+        /// 1-based line number.
+        line: usize,
+        /// The undriven wire index.
+        wire: usize,
+    },
+}
+
+impl std::fmt::Display for BristolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BristolError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            BristolError::UnsupportedOp { op } => write!(f, "unsupported bristol op `{op}`"),
+            BristolError::UseBeforeDefine { line, wire } => {
+                write!(f, "line {line}: wire {wire} used before it is driven")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BristolError {}
+
+/// Render `netlist` in Bristol fashion. Each primary input and output is
+/// declared as its own 1-bit value (the format's per-value widths carry
+/// no behaviour; word grouping is a caller convention).
+pub fn to_bristol(netlist: &Netlist) -> String {
+    let num_inputs = netlist.num_inputs();
+    // wire_of[i]: the Bristol wire holding the value of net i.
+    let mut wire_of: Vec<usize> = vec![usize::MAX; netlist.len()];
+    let mut next_wire = num_inputs;
+    let mut lines: Vec<String> = Vec::new();
+    let fresh = |lines: &mut Vec<String>, op: &str, ins: &[usize], next_wire: &mut usize| {
+        let out = *next_wire;
+        *next_wire += 1;
+        let ins_text: Vec<String> = ins.iter().map(usize::to_string).collect();
+        lines.push(format!("{} 1 {} {out} {op}", ins.len(), ins_text.join(" ")));
+        out
+    };
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let w = |id: NetId| wire_of[id.index()];
+        wire_of[i] = match *gate {
+            Gate::Input(ordinal) => ordinal as usize,
+            Gate::Const(v) => fresh(&mut lines, "EQ", &[v as usize], &mut next_wire),
+            Gate::Buf(a) => fresh(&mut lines, "EQW", &[w(a)], &mut next_wire),
+            Gate::Not(a) => fresh(&mut lines, "INV", &[w(a)], &mut next_wire),
+            Gate::And(a, b) => fresh(&mut lines, "AND", &[w(a), w(b)], &mut next_wire),
+            Gate::Xor(a, b) => fresh(&mut lines, "XOR", &[w(a), w(b)], &mut next_wire),
+            Gate::Or(a, b) => {
+                // a | b = (a ^ b) ^ (a & b)
+                let x = fresh(&mut lines, "XOR", &[w(a), w(b)], &mut next_wire);
+                let c = fresh(&mut lines, "AND", &[w(a), w(b)], &mut next_wire);
+                fresh(&mut lines, "XOR", &[x, c], &mut next_wire)
+            }
+            Gate::Nand(a, b) => {
+                let c = fresh(&mut lines, "AND", &[w(a), w(b)], &mut next_wire);
+                fresh(&mut lines, "INV", &[c], &mut next_wire)
+            }
+            Gate::Nor(a, b) => {
+                let x = fresh(&mut lines, "XOR", &[w(a), w(b)], &mut next_wire);
+                let c = fresh(&mut lines, "AND", &[w(a), w(b)], &mut next_wire);
+                let o = fresh(&mut lines, "XOR", &[x, c], &mut next_wire);
+                fresh(&mut lines, "INV", &[o], &mut next_wire)
+            }
+            Gate::Xnor(a, b) => {
+                let x = fresh(&mut lines, "XOR", &[w(a), w(b)], &mut next_wire);
+                fresh(&mut lines, "INV", &[x], &mut next_wire)
+            }
+            Gate::Mux(s, a, b) => {
+                // s ? b : a  =  a ^ (s & (a ^ b))
+                let x = fresh(&mut lines, "XOR", &[w(a), w(b)], &mut next_wire);
+                let g = fresh(&mut lines, "AND", &[w(s), x], &mut next_wire);
+                fresh(&mut lines, "XOR", &[w(a), g], &mut next_wire)
+            }
+            Gate::Maj(a, b, c) => {
+                // maj(a,b,c) = (a & b) ^ (c & (a ^ b))
+                let ab = fresh(&mut lines, "AND", &[w(a), w(b)], &mut next_wire);
+                let x = fresh(&mut lines, "XOR", &[w(a), w(b)], &mut next_wire);
+                let cx = fresh(&mut lines, "AND", &[w(c), x], &mut next_wire);
+                fresh(&mut lines, "XOR", &[ab, cx], &mut next_wire)
+            }
+        };
+    }
+    // The format requires the output values to be the final wires, in
+    // order; an EQW copy per output guarantees it unconditionally.
+    for out in netlist.outputs() {
+        let src = wire_of[out.index()];
+        fresh(&mut lines, "EQW", &[src], &mut next_wire);
+    }
+    let ones = |n: usize| " 1".repeat(n);
+    let mut text = String::new();
+    text.push_str(&format!("{} {next_wire}\n", lines.len()));
+    text.push_str(&format!("{num_inputs}{}\n", ones(num_inputs)));
+    text.push_str(&format!(
+        "{}{}\n",
+        netlist.num_outputs(),
+        ones(netlist.num_outputs())
+    ));
+    for line in &lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    text
+}
+
+/// One whitespace-tokenized, non-empty line with its 1-based number.
+fn numbered_lines(source: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
+    source.lines().enumerate().filter_map(|(i, raw)| {
+        let tokens: Vec<&str> = raw.split_whitespace().collect();
+        if tokens.is_empty() {
+            None
+        } else {
+            Some((i + 1, tokens))
+        }
+    })
+}
+
+fn parse_usize(line: usize, token: &str, what: &str) -> Result<usize, BristolError> {
+    token.parse().map_err(|_| BristolError::Syntax {
+        line,
+        message: format!("{what}: expected a number, got `{token}`"),
+    })
+}
+
+/// Parse a Bristol-fashion circuit into a [`Netlist`] named `"bristol"`.
+///
+/// Accepts the `XOR AND INV EQ EQW` vocabulary (single-output gates).
+/// Input values of any declared widths become primary inputs bit by bit;
+/// the final wires (per the output declaration) become primary outputs.
+pub fn from_bristol(source: &str) -> Result<Netlist, BristolError> {
+    let mut lines = numbered_lines(source);
+    let (hline, header) = lines.next().ok_or(BristolError::Syntax {
+        line: 1,
+        message: "empty circuit".to_string(),
+    })?;
+    let [ngates_tok, nwires_tok] = header.as_slice() else {
+        return Err(BristolError::Syntax {
+            line: hline,
+            message: "header must be `ngates nwires`".to_string(),
+        });
+    };
+    let ngates = parse_usize(hline, ngates_tok, "gate count")?;
+    let nwires = parse_usize(hline, nwires_tok, "wire count")?;
+
+    // Value-width declarations: `count w_1 ... w_count`.
+    let mut widths = |what: &str| -> Result<usize, BristolError> {
+        let (line, tokens) = lines.next().ok_or(BristolError::Syntax {
+            line: hline,
+            message: format!("missing {what} declaration"),
+        })?;
+        let count = parse_usize(line, tokens[0], what)?;
+        if tokens.len() != count + 1 {
+            return Err(BristolError::Syntax {
+                line,
+                message: format!("{what}: expected {count} widths, got {}", tokens.len() - 1),
+            });
+        }
+        let mut total = 0usize;
+        for tok in &tokens[1..] {
+            total += parse_usize(line, tok, what)?;
+        }
+        Ok(total)
+    };
+    let total_inputs = widths("input values")?;
+    let total_outputs = widths("output values")?;
+    if total_inputs + total_outputs > nwires {
+        return Err(BristolError::Syntax {
+            line: hline,
+            message: format!(
+                "{nwires} wires cannot hold {total_inputs} inputs and {total_outputs} outputs"
+            ),
+        });
+    }
+    if total_inputs > u16::MAX as usize {
+        return Err(BristolError::Syntax {
+            line: hline,
+            message: format!("{total_inputs} input bits exceed the netlist input limit"),
+        });
+    }
+
+    let mut n = Netlist::new("bristol");
+    let mut net_of: Vec<Option<NetId>> = vec![None; nwires];
+    for slot in net_of.iter_mut().take(total_inputs) {
+        *slot = Some(n.add_input());
+    }
+
+    let mut parsed_gates = 0usize;
+    for (line, tokens) in lines {
+        let [n_in_tok, n_out_tok, rest @ ..] = tokens.as_slice() else {
+            return Err(BristolError::Syntax {
+                line,
+                message: "gate line too short".to_string(),
+            });
+        };
+        let n_in = parse_usize(line, n_in_tok, "gate input count")?;
+        let n_out = parse_usize(line, n_out_tok, "gate output count")?;
+        if rest.len() != n_in + n_out + 1 {
+            return Err(BristolError::Syntax {
+                line,
+                message: format!(
+                    "expected {} wires + op, got {} tokens",
+                    n_in + n_out,
+                    rest.len()
+                ),
+            });
+        }
+        let op = rest[n_in + n_out];
+        if n_out != 1 {
+            return Err(BristolError::UnsupportedOp { op: op.to_string() });
+        }
+        let out_wire = parse_usize(line, rest[n_in], "output wire")?;
+        if out_wire >= nwires {
+            return Err(BristolError::Syntax {
+                line,
+                message: format!("output wire {out_wire} out of range (nwires {nwires})"),
+            });
+        }
+        // `EQ` reads a constant literal, every other op reads wires.
+        let read = |tok: &str| -> Result<NetId, BristolError> {
+            let wire = parse_usize(line, tok, "input wire")?;
+            net_of
+                .get(wire)
+                .copied()
+                .flatten()
+                .ok_or(BristolError::UseBeforeDefine { line, wire })
+        };
+        let driven = match (op, n_in) {
+            ("XOR", 2) => {
+                let (a, b) = (read(rest[0])?, read(rest[1])?);
+                n.xor(a, b)
+            }
+            ("AND", 2) => {
+                let (a, b) = (read(rest[0])?, read(rest[1])?);
+                n.and(a, b)
+            }
+            ("INV", 1) | ("NOT", 1) => {
+                let a = read(rest[0])?;
+                n.not(a)
+            }
+            ("EQW", 1) => {
+                let a = read(rest[0])?;
+                n.buf(a)
+            }
+            ("EQ", 1) => {
+                let v = parse_usize(line, rest[0], "constant")?;
+                if v > 1 {
+                    return Err(BristolError::Syntax {
+                        line,
+                        message: format!("EQ constant must be 0 or 1, got {v}"),
+                    });
+                }
+                n.constant(v == 1)
+            }
+            _ => return Err(BristolError::UnsupportedOp { op: op.to_string() }),
+        };
+        net_of[out_wire] = Some(driven);
+        parsed_gates += 1;
+    }
+    if parsed_gates != ngates {
+        return Err(BristolError::Syntax {
+            line: hline,
+            message: format!("header declares {ngates} gates, found {parsed_gates}"),
+        });
+    }
+
+    let mut outs = Vec::with_capacity(total_outputs);
+    for (wire, slot) in net_of.iter().enumerate().skip(nwires - total_outputs) {
+        outs.push(slot.ok_or(BristolError::UseBeforeDefine { line: hline, wire })?);
+    }
+    n.set_outputs(outs);
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        let n = a.num_inputs();
+        assert!(n <= 16);
+        (0..(1u32 << n)).all(|v| {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            a.eval_bits(&bits) == b.eval_bits(&bits)
+        })
+    }
+
+    #[test]
+    fn full_adder_round_trips() {
+        let mut n = Netlist::new("fa");
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let x = n.xor(a, b);
+        let s = n.xor(x, c);
+        let co = n.maj(a, b, c);
+        n.set_outputs(vec![s, co]);
+        let back = from_bristol(&to_bristol(&n)).unwrap();
+        assert!(equivalent(&n, &back));
+    }
+
+    #[test]
+    fn every_gate_kind_round_trips() {
+        let mut n = Netlist::new("zoo");
+        let a = n.add_input();
+        let b = n.add_input();
+        let s = n.add_input();
+        let g1 = n.and(a, b);
+        let g2 = n.or(a, b);
+        let g3 = n.xor(a, b);
+        let g4 = n.nand(a, b);
+        let g5 = n.nor(a, b);
+        let g6 = n.xnor(a, b);
+        let g7 = n.not(a);
+        let g8 = n.buf(b);
+        let g9 = n.mux(s, g1, g2);
+        let g10 = n.maj(g3, g4, g5);
+        let k = n.constant(true);
+        let k0 = n.constant(false);
+        let g11 = n.and(g10, k);
+        let g12 = n.or(g11, k0);
+        n.set_outputs(vec![g6, g7, g8, g9, g12]);
+        let text = to_bristol(&n);
+        let back = from_bristol(&text).unwrap();
+        assert!(equivalent(&n, &back));
+        // Lowered text contains only the Bristol vocabulary.
+        for line in text.lines().skip(3) {
+            let op = line.split_whitespace().last().unwrap();
+            assert!(matches!(op, "XOR" | "AND" | "INV" | "EQ" | "EQW"), "{op}");
+        }
+    }
+
+    #[test]
+    fn outputs_are_the_final_wires() {
+        let mut n = Netlist::new("order");
+        let a = n.add_input();
+        let b = n.add_input();
+        let x = n.xor(a, b);
+        // Outputs deliberately out of creation order: (x, a).
+        n.set_outputs(vec![x, a]);
+        let text = to_bristol(&n);
+        let header: Vec<usize> = text
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        let nwires = header[1];
+        // Last two gate lines are EQW copies driving the last two wires.
+        let tail: Vec<&str> = text.lines().collect();
+        let last = tail[tail.len() - 1];
+        let second = tail[tail.len() - 2];
+        assert!(last.ends_with("EQW") && second.ends_with("EQW"), "{text}");
+        assert!(last.contains(&format!(" {} ", nwires - 1)), "{text}");
+        let back = from_bristol(&text).unwrap();
+        assert!(equivalent(&n, &back));
+    }
+
+    #[test]
+    fn parses_handwritten_circuits() {
+        // One AND of two 1-bit inputs, output on the last wire.
+        let text = "1 3\n2 1 1\n1 1\n2 1 0 1 2 AND\n";
+        let n = from_bristol(text).unwrap();
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.eval_bits(&[true, true]), vec![true]);
+        assert_eq!(n.eval_bits(&[true, false]), vec![false]);
+        // Multi-bit value declarations work too (2 values × 2 bits).
+        let text = "2 6\n2 2 2\n1 2\n2 1 0 2 4 XOR\n2 1 1 3 5 XOR\n";
+        let n = from_bristol(text).unwrap();
+        assert_eq!(n.num_inputs(), 4);
+        assert_eq!(n.num_outputs(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(from_bristol(""), Err(BristolError::Syntax { .. })));
+        assert!(matches!(
+            from_bristol("1 3\n2 1 1\n1 1\n2 1 0 1 2 MAND\n"),
+            Err(BristolError::UnsupportedOp { .. })
+        ));
+        // Wire 9 was never driven.
+        assert!(matches!(
+            from_bristol("1 11\n2 1 1\n1 1\n2 1 0 9 10 AND\n"),
+            Err(BristolError::UseBeforeDefine { wire: 9, .. })
+        ));
+        // Gate count mismatch with the header.
+        assert!(matches!(
+            from_bristol("2 3\n2 1 1\n1 1\n2 1 0 1 2 AND\n"),
+            Err(BristolError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn random_netlists_round_trip() {
+        // Deterministic xorshift so the test needs no RNG dependency.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rnd = move |m: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % m as u64) as usize
+        };
+        for _ in 0..10 {
+            let mut n = Netlist::new("rnd");
+            let inputs = n.add_inputs(5);
+            let mut nets = inputs.clone();
+            for _ in 0..30 {
+                let a = nets[rnd(nets.len())];
+                let b = nets[rnd(nets.len())];
+                let c = nets[rnd(nets.len())];
+                let g = match rnd(10) {
+                    0 => n.and(a, b),
+                    1 => n.or(a, b),
+                    2 => n.xor(a, b),
+                    3 => n.nand(a, b),
+                    4 => n.nor(a, b),
+                    5 => n.xnor(a, b),
+                    6 => n.not(a),
+                    7 => n.mux(a, b, c),
+                    8 => n.buf(a),
+                    _ => n.maj(a, b, c),
+                };
+                nets.push(g);
+            }
+            let outs = (0..4).map(|_| nets[rnd(nets.len())]).collect();
+            n.set_outputs(outs);
+            let back = from_bristol(&to_bristol(&n)).unwrap();
+            assert!(equivalent(&n, &back));
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   and dead-logic sweeping (used to clean up mutated/approximated
 //!   circuits).
 //! * [`export`] — structural Verilog and Graphviz DOT writers.
+//! * [`bristol`] — Bristol-fashion circuit import/export (the MPC
+//!   community's exchange format).
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod bristol;
 pub mod export;
 mod gate;
 mod netlist;

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use crate::counters::Counters;
@@ -119,6 +120,8 @@ pub struct DiskTier<V> {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
     loaded: Vec<(Key128, V)>,
+    write_errors: AtomicU64,
+    warned: AtomicBool,
 }
 
 impl<V: CsvRecord> DiskTier<V> {
@@ -162,7 +165,30 @@ impl<V: CsvRecord> DiskTier<V> {
             path,
             writer: Mutex::new(BufWriter::new(file)),
             loaded,
+            write_errors: AtomicU64::new(0),
+            warned: AtomicBool::new(false),
         })
+    }
+
+    /// Read every well-formed entry of the CSV file at `path` without
+    /// opening it for writing (used by the binary-store migration and
+    /// `afp cache stats`). A missing file is an error; a corrupt or
+    /// version-mismatched file yields an empty list, matching how
+    /// [`DiskTier::open`] discards such files.
+    pub fn read_entries(path: &Path) -> std::io::Result<Vec<(Key128, V)>> {
+        let file = File::open(path)?;
+        let mut lines = BufReader::new(file).lines();
+        let mut entries = Vec::new();
+        match lines.next() {
+            Some(Ok(first)) if first == Self::header() => {}
+            _ => return Ok(entries),
+        }
+        for line in lines.map_while(Result::ok) {
+            if let Some(entry) = Self::parse_row(&line) {
+                entries.push(entry);
+            }
+        }
+        Ok(entries)
     }
 
     fn header() -> String {
@@ -185,6 +211,12 @@ impl<V: CsvRecord> DiskTier<V> {
     }
 
     /// Append one entry and flush, so a crash never loses completed work.
+    ///
+    /// A failed write must not fail a run whose value is already in
+    /// memory, but it is no longer silent: each dropped entry is counted
+    /// (see [`DiskTier::write_errors`]) and the first failure warns on
+    /// stderr, so lost persistence surfaces in the run report instead of
+    /// nowhere.
     pub fn append(&self, key: Key128, value: &V) {
         let row = {
             let mut fields = vec![key.to_hex()];
@@ -195,11 +227,25 @@ impl<V: CsvRecord> DiskTier<V> {
             !row.contains('\n'),
             "CsvRecord fields must not contain newlines"
         );
-        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        // Ignore append errors: losing disk persistence must not fail a
-        // run that already has the value in memory.
-        let _ = writeln!(writer, "{row}");
-        let _ = writer.flush();
+        let result = {
+            let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            writeln!(writer, "{row}").and_then(|()| writer.flush())
+        };
+        if let Err(err) = result {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: failed to persist cache entry to {}: {err} \
+                     (run continues; see cache.write_errors in the report)",
+                    self.path.display()
+                );
+            }
+        }
+    }
+
+    /// Number of entries whose disk append failed since open.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
     }
 
     /// The backing file path.
@@ -334,5 +380,63 @@ mod tests {
         let mut tier: DiskTier<Row> = DiskTier::open(&dir, "c.csv").unwrap();
         assert!(tier.take_loaded().is_empty());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_entries_matches_open_without_writing() {
+        let dir = temp_dir("readonly");
+        {
+            let tier: DiskTier<Row> = DiskTier::open(&dir, "c.csv").unwrap();
+            tier.append(
+                key(1),
+                &Row {
+                    area: 2.0,
+                    tag: "a".into(),
+                },
+            );
+            tier.append(
+                key(2),
+                &Row {
+                    area: 4.0,
+                    tag: "b".into(),
+                },
+            );
+        }
+        let path = dir.join("c.csv");
+        let before = fs::read(&path).unwrap();
+        let entries = DiskTier::<Row>::read_entries(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(fs::read(&path).unwrap(), before, "file untouched");
+
+        // Version mismatch: empty, same policy as open().
+        fs::write(&path, "key,v999,area,tag\n").unwrap();
+        assert!(DiskTier::<Row>::read_entries(&path).unwrap().is_empty());
+        // Missing file: a real error.
+        assert!(DiskTier::<Row>::read_entries(&dir.join("nope.csv")).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_errors_are_counted_and_run_continues() {
+        // /dev/full fails every flush with ENOSPC — the canonical way to
+        // hit the error path deterministically. Skip quietly where it
+        // does not exist.
+        let Ok(file) = OpenOptions::new().write(true).open("/dev/full") else {
+            return;
+        };
+        let tier = DiskTier::<Row> {
+            path: PathBuf::from("/dev/full"),
+            writer: Mutex::new(BufWriter::new(file)),
+            loaded: Vec::new(),
+            write_errors: AtomicU64::new(0),
+            warned: AtomicBool::new(false),
+        };
+        let row = Row {
+            area: 1.0,
+            tag: "x".into(),
+        };
+        tier.append(key(1), &row);
+        tier.append(key(2), &row);
+        assert_eq!(tier.write_errors(), 2);
     }
 }

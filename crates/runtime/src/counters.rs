@@ -42,6 +42,9 @@ pub struct Counters {
     /// Non-finite model estimates quarantined by the flow (excluded from
     /// pseudo-pareto peeling instead of corrupting the ranking).
     pub estimates_quarantined: AtomicU64,
+    /// Cache entries whose disk append failed (the run continued with the
+    /// in-memory value, but persistence was lost).
+    pub cache_write_errors: AtomicU64,
 }
 
 impl Counters {
@@ -69,6 +72,7 @@ impl Counters {
             sim_tape_reuses: self.sim_tape_reuses.load(Ordering::Relaxed),
             structural_dedup_hits: self.structural_dedup_hits.load(Ordering::Relaxed),
             estimates_quarantined: self.estimates_quarantined.load(Ordering::Relaxed),
+            cache_write_errors: self.cache_write_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,6 +113,8 @@ pub struct CounterSnapshot {
     pub structural_dedup_hits: u64,
     /// Non-finite model estimates quarantined by the flow.
     pub estimates_quarantined: u64,
+    /// Cache entries whose disk append failed (persistence lost).
+    pub cache_write_errors: u64,
 }
 
 impl CounterSnapshot {
@@ -138,6 +144,9 @@ impl CounterSnapshot {
             estimates_quarantined: self
                 .estimates_quarantined
                 .saturating_sub(earlier.estimates_quarantined),
+            cache_write_errors: self
+                .cache_write_errors
+                .saturating_sub(earlier.cache_write_errors),
         }
     }
 }

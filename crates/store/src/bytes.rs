@@ -1,0 +1,180 @@
+//! Primitive wire encodings: LEB128 varints, zigzag mapping and a
+//! bounds-checked byte cursor.
+//!
+//! Everything in the store file format above the frame layer is built
+//! from three primitives — little-endian fixed words, unsigned LEB128
+//! varints, and zigzag-mapped signed varints — so the whole format can be
+//! decoded with [`ByteReader`] and no `unsafe`.
+
+/// Append `v` as an unsigned LEB128 varint (1–10 bytes).
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Append `v` as a zigzag-mapped signed varint.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, zigzag(v));
+}
+
+/// Zigzag-map a signed value so small magnitudes stay short varints.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A forward-only, bounds-checked cursor over a byte slice. Every reader
+/// of the store format decodes through this type; all methods return
+/// `None` instead of panicking on truncated input.
+#[derive(Clone, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current offset from the start of the slice.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    /// Consume a little-endian `u16`.
+    pub fn u16_le(&mut self) -> Option<u16> {
+        self.bytes(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32_le(&mut self) -> Option<u32> {
+        self.bytes(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64_le(&mut self) -> Option<u64> {
+        self.bytes(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Consume a little-endian `f64` (raw IEEE-754 bits; lossless).
+    pub fn f64_le(&mut self) -> Option<f64> {
+        self.u64_le().map(f64::from_bits)
+    }
+
+    /// Consume an unsigned LEB128 varint (rejects encodings longer than
+    /// 10 bytes or overflowing 64 bits).
+    pub fn uvarint(&mut self) -> Option<u64> {
+        let mut v: u64 = 0;
+        for shift in 0..10 {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7F) as u64;
+            if shift == 9 && byte > 1 {
+                return None; // overflow past 64 bits
+            }
+            v |= bits << (shift * 7);
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Consume a zigzag-mapped signed varint.
+    pub fn ivarint(&mut self) -> Option<i64> {
+        self.uvarint().map(unzigzag)
+    }
+}
+
+/// Append a raw little-endian `f64` (lossless round-trip of all bit
+/// patterns, including NaN payloads and signed zero).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.uvarint(), Some(v), "value {v}");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn ivarint_round_trips_signs() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.ivarint(), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn truncated_reads_return_none() {
+        let mut r = ByteReader::new(&[0x80]);
+        assert_eq!(r.uvarint(), None);
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.u32_le(), None);
+        assert_eq!(r.remaining(), 3, "failed read consumes nothing visible");
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0xFFu8; 11];
+        assert_eq!(ByteReader::new(&buf).uvarint(), None);
+    }
+
+    #[test]
+    fn f64_round_trips_special_values() {
+        for v in [0.0f64, -0.0, 1.458, f64::INFINITY, f64::NAN] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let got = ByteReader::new(&buf).f64_le().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to checksum every frame body.
+//!
+//! Hand-rolled because the workspace is dependency-free by policy; the
+//! table is built at compile time so the runtime cost is one lookup per
+//! byte.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 state. Feed bytes with [`Crc32::update`], read the
+/// checksum with [`Crc32::finish`].
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Fold `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"frame body under test".to_vec();
+        let before = crc32(&data);
+        data[4] ^= 0x10;
+        assert_ne!(crc32(&data), before);
+    }
+}

@@ -1,0 +1,737 @@
+//! The on-disk frame format: fixed header, CRC-checked frames, block
+//! compression, and the seekable index footer.
+//!
+//! ```text
+//! file   := header frame* [index trailer]
+//! header := magic "AFPS" | format_version u16 LE | flags u16 LE
+//!           | record_version u32 LE | reserved u32 LE        (16 bytes)
+//! frame  := tag u8 | body_len u32 LE | body | crc32 u32 LE
+//! ```
+//!
+//! The CRC covers the tag byte plus the body, so a frame whose tag byte is
+//! torn fails the checksum just like a torn body. Three tags are defined:
+//!
+//! * `TAG_RECORD` (1): one record — `key.hi u64 LE | key.lo u64 LE |
+//!   payload`. Written by the append path, one frame per record, so a
+//!   crash loses at most the frame being written.
+//! * `TAG_BLOCK` (2): a compressed batch — `codec u8 | count uvarint |
+//!   raw_len uvarint | codec-encoded data`. The uncompressed data is a
+//!   concatenation of `key.hi u64 LE | key.lo u64 LE | payload_len
+//!   uvarint | payload` entries. Codec 0 is raw (stored), codec 1 is the
+//!   built-in LZ codec; further ids are reserved for external codecs such
+//!   as zstd.
+//! * `TAG_INDEX` (15): the footer index — `record_count uvarint |
+//!   frame_count uvarint`, then per data frame `offset_delta uvarint |
+//!   records uvarint`. Only present in sealed files.
+//!
+//! A sealed file ends with the index frame followed by an 8-byte trailer:
+//! `index_frame_len u32 LE | "SFPA"`. Readers locate the index by reading
+//! the trailer from EOF and seeking back, so opening a sealed store never
+//! scans the data frames. Unsealed (append-mode) files simply end after
+//! the last record frame; readers scan those front to back and stop at the
+//! first torn or corrupt frame, mirroring how the CSV tier skips malformed
+//! rows.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use afp_runtime::Key128;
+
+use crate::bytes::{put_uvarint, ByteReader};
+use crate::crc::Crc32;
+use crate::lz;
+
+/// File magic, first four bytes of every store file.
+pub const MAGIC: [u8; 4] = *b"AFPS";
+/// Reversed magic closing the 8-byte trailer of a sealed file.
+pub const TRAILER_MAGIC: [u8; 4] = *b"SFPA";
+/// Current container format version (frame layout, not record payloads).
+pub const FORMAT_VERSION: u16 = 1;
+/// Header flag bit: file is sealed (ends with index frame + trailer).
+pub const FLAG_SEALED: u16 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: u64 = 16;
+/// Per-frame overhead: tag byte, body length word, CRC word.
+pub const FRAME_OVERHEAD: usize = 9;
+/// Trailer length of a sealed file.
+pub const TRAILER_LEN: u64 = 8;
+
+/// Frame tag: a single record.
+pub const TAG_RECORD: u8 = 1;
+/// Frame tag: a compressed record block.
+pub const TAG_BLOCK: u8 = 2;
+/// Frame tag: the index footer of a sealed file.
+pub const TAG_INDEX: u8 = 0x0F;
+
+/// Block codec id: stored uncompressed.
+pub const CODEC_RAW: u8 = 0;
+/// Block codec id: built-in LZ codec ([`crate::lz`]).
+pub const CODEC_LZ: u8 = 1;
+
+/// Records per block frame when batch-writing.
+pub const BLOCK_RECORDS: usize = 256;
+
+/// Parsed store header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Container format version ([`FORMAT_VERSION`]).
+    pub format_version: u16,
+    /// Flag bits; see [`FLAG_SEALED`].
+    pub flags: u16,
+    /// Version of the record payload encoding, owned by the record type.
+    pub record_version: u32,
+}
+
+impl Header {
+    /// Whether the sealed flag is set.
+    pub fn sealed(&self) -> bool {
+        self.flags & FLAG_SEALED != 0
+    }
+
+    /// Serialize to the fixed 16-byte layout.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&MAGIC);
+        out[4..6].copy_from_slice(&self.format_version.to_le_bytes());
+        out[6..8].copy_from_slice(&self.flags.to_le_bytes());
+        out[8..12].copy_from_slice(&self.record_version.to_le_bytes());
+        out
+    }
+
+    /// Parse a 16-byte header; `None` if the magic or length is wrong.
+    pub fn parse(bytes: &[u8]) -> Option<Header> {
+        let mut r = ByteReader::new(bytes);
+        if r.bytes(4)? != MAGIC {
+            return None;
+        }
+        let format_version = r.u16_le()?;
+        let flags = r.u16_le()?;
+        let record_version = r.u32_le()?;
+        let _reserved = r.u32_le()?;
+        Some(Header {
+            format_version,
+            flags,
+            record_version,
+        })
+    }
+}
+
+/// One decoded record: key plus its payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawRecord {
+    /// Content-address of the record.
+    pub key: Key128,
+    /// Record payload (the [`crate::BinRecord`] encoding).
+    pub payload: Vec<u8>,
+}
+
+/// Append one framed record (`TAG_RECORD`) to `out`.
+pub fn put_record_frame(out: &mut Vec<u8>, key: Key128, payload: &[u8]) {
+    let mut body = Vec::with_capacity(16 + payload.len());
+    body.extend_from_slice(&key.hi.to_le_bytes());
+    body.extend_from_slice(&key.lo.to_le_bytes());
+    body.extend_from_slice(payload);
+    put_frame(out, TAG_RECORD, &body);
+}
+
+/// Append a block frame (`TAG_BLOCK`) holding `records`, compressed with
+/// the built-in LZ codec when that pays, stored raw otherwise.
+pub fn put_block_frame(out: &mut Vec<u8>, records: &[(Key128, Vec<u8>)]) {
+    let mut raw = Vec::new();
+    for (key, payload) in records {
+        raw.extend_from_slice(&key.hi.to_le_bytes());
+        raw.extend_from_slice(&key.lo.to_le_bytes());
+        put_uvarint(&mut raw, payload.len() as u64);
+        raw.extend_from_slice(payload);
+    }
+    let packed = lz::compress(&raw);
+    let raw_len = raw.len();
+    let (codec, data) = if packed.len() < raw_len {
+        (CODEC_LZ, packed)
+    } else {
+        (CODEC_RAW, raw)
+    };
+    let mut body = Vec::with_capacity(data.len() + 16);
+    body.push(codec);
+    put_uvarint(&mut body, records.len() as u64);
+    put_uvarint(&mut body, raw_len as u64);
+    body.extend_from_slice(&data);
+    put_frame(out, TAG_BLOCK, &body);
+}
+
+fn put_frame(out: &mut Vec<u8>, tag: u8, body: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    let mut crc = Crc32::new();
+    crc.update(&[tag]);
+    crc.update(body);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+}
+
+/// Decode the records of one frame body into `sink`. Returns `None` when
+/// the body is malformed (callers treat the frame as corrupt).
+pub fn decode_frame_records(tag: u8, body: &[u8], sink: &mut Vec<RawRecord>) -> Option<usize> {
+    match tag {
+        TAG_RECORD => {
+            let mut r = ByteReader::new(body);
+            let key = Key128 {
+                hi: r.u64_le()?,
+                lo: r.u64_le()?,
+            };
+            sink.push(RawRecord {
+                key,
+                payload: r.bytes(r.remaining())?.to_vec(),
+            });
+            Some(1)
+        }
+        TAG_BLOCK => {
+            let mut r = ByteReader::new(body);
+            let codec = r.u8()?;
+            let count = r.uvarint()? as usize;
+            let raw_len = r.uvarint()? as usize;
+            let data = r.bytes(r.remaining())?;
+            let raw = match codec {
+                CODEC_RAW => {
+                    if data.len() != raw_len {
+                        return None;
+                    }
+                    data.to_vec()
+                }
+                CODEC_LZ => lz::decompress(data, raw_len)?,
+                _ => return None, // reserved codec: treat as unreadable
+            };
+            let mut r = ByteReader::new(&raw);
+            for _ in 0..count {
+                let key = Key128 {
+                    hi: r.u64_le()?,
+                    lo: r.u64_le()?,
+                };
+                let len = r.uvarint()? as usize;
+                sink.push(RawRecord {
+                    key,
+                    payload: r.bytes(len)?.to_vec(),
+                });
+            }
+            if !r.is_empty() {
+                return None;
+            }
+            Some(count)
+        }
+        _ => Some(0), // unknown tag: skip but keep scanning (forward compat)
+    }
+}
+
+/// Result of scanning a store file front to back.
+#[derive(Clone, Debug)]
+pub struct Scan {
+    /// Parsed header.
+    pub header: Header,
+    /// All records recovered from valid data frames, in file order.
+    pub records: Vec<RawRecord>,
+    /// Byte offset just past the last valid *data* frame (the index frame
+    /// and trailer of a sealed file are excluded). Reopening for append
+    /// truncates to this offset.
+    pub data_len: u64,
+    /// Number of data frames seen (records + blocks + unknown tags).
+    pub frames: u64,
+    /// Number of `TAG_RECORD` frames (the compaction trigger counts these).
+    pub record_frames: u64,
+    /// Whether a torn or corrupt tail frame was dropped.
+    pub truncated: bool,
+}
+
+/// Scan an in-memory store image. Stops at the first torn or corrupt
+/// frame; everything before it is kept (torn-tail recovery).
+pub fn scan_bytes(bytes: &[u8]) -> Option<Scan> {
+    let header = Header::parse(bytes.get(0..HEADER_LEN as usize)?)?;
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut data_len = pos as u64;
+    let mut frames = 0u64;
+    let mut record_frames = 0u64;
+    let mut truncated = false;
+
+    while pos < bytes.len() {
+        let Some((tag, body, next)) = read_frame_at(bytes, pos) else {
+            truncated = true;
+            break;
+        };
+        if tag == TAG_INDEX {
+            // Sealed footer: data frames end here. Anything after it other
+            // than the trailer is unexpected but harmless to ignore.
+            break;
+        }
+        if decode_frame_records(tag, body, &mut records).is_none() {
+            truncated = true;
+            break;
+        }
+        frames += 1;
+        if tag == TAG_RECORD {
+            record_frames += 1;
+        }
+        pos = next;
+        data_len = pos as u64;
+    }
+
+    Some(Scan {
+        header,
+        records,
+        data_len,
+        frames,
+        record_frames,
+        truncated,
+    })
+}
+
+/// Read and CRC-check the frame at `pos`. Returns `(tag, body, next_pos)`
+/// or `None` for a torn or corrupt frame.
+fn read_frame_at(bytes: &[u8], pos: usize) -> Option<(u8, &[u8], usize)> {
+    let tag = *bytes.get(pos)?;
+    let len_bytes = bytes.get(pos + 1..pos + 5)?;
+    let body_len =
+        u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+    let body_start = pos + 5;
+    let body_end = body_start.checked_add(body_len)?;
+    let crc_end = body_end.checked_add(4)?;
+    if crc_end > bytes.len() {
+        return None;
+    }
+    let body = &bytes[body_start..body_end];
+    let want = u32::from_le_bytes([
+        bytes[body_end],
+        bytes[body_end + 1],
+        bytes[body_end + 2],
+        bytes[body_end + 3],
+    ]);
+    let mut crc = Crc32::new();
+    crc.update(&[tag]);
+    crc.update(body);
+    if crc.finish() != want {
+        return None;
+    }
+    Some((tag, body, crc_end))
+}
+
+/// One entry of the sealed-file index: where a data frame starts and how
+/// many records it holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Absolute byte offset of the frame.
+    pub offset: u64,
+    /// Records decoded from the frame.
+    pub records: u64,
+}
+
+/// Encode the index frame plus trailer for a sealed file.
+pub fn put_index_and_trailer(out: &mut Vec<u8>, entries: &[IndexEntry]) {
+    let mut body = Vec::new();
+    let total: u64 = entries.iter().map(|e| e.records).sum();
+    put_uvarint(&mut body, total);
+    put_uvarint(&mut body, entries.len() as u64);
+    let mut prev = HEADER_LEN;
+    for e in entries {
+        put_uvarint(&mut body, e.offset - prev);
+        put_uvarint(&mut body, e.records);
+        prev = e.offset;
+    }
+    let before = out.len();
+    put_frame(out, TAG_INDEX, &body);
+    let frame_len = (out.len() - before) as u32;
+    out.extend_from_slice(&frame_len.to_le_bytes());
+    out.extend_from_slice(&TRAILER_MAGIC);
+}
+
+/// Summary of a sealed-file index footer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexSummary {
+    /// Total records across all data frames.
+    pub records: u64,
+    /// Per-frame offsets and record counts.
+    pub entries: Vec<IndexEntry>,
+}
+
+/// Decode an index frame body.
+pub fn parse_index_body(body: &[u8]) -> Option<IndexSummary> {
+    let mut r = ByteReader::new(body);
+    let records = r.uvarint()?;
+    let frames = r.uvarint()? as usize;
+    let mut entries = Vec::with_capacity(frames);
+    let mut prev = HEADER_LEN;
+    for _ in 0..frames {
+        let offset = prev + r.uvarint()?;
+        let count = r.uvarint()?;
+        entries.push(IndexEntry {
+            offset,
+            records: count,
+        });
+        prev = offset;
+    }
+    if !r.is_empty() {
+        return None;
+    }
+    Some(IndexSummary { records, entries })
+}
+
+/// Read the index of a sealed file by seeking from EOF, without scanning
+/// the data frames. Returns `None` when the file is unsealed or the
+/// footer is damaged (callers fall back to a full scan).
+pub fn read_index(file: &mut File) -> io::Result<Option<IndexSummary>> {
+    let len = file.seek(SeekFrom::End(0))?;
+    if len < HEADER_LEN + TRAILER_LEN {
+        return Ok(None);
+    }
+    file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+    let mut trailer = [0u8; 8];
+    file.read_exact(&mut trailer)?;
+    if trailer[4..8] != TRAILER_MAGIC {
+        return Ok(None);
+    }
+    let frame_len = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]) as u64;
+    if frame_len + TRAILER_LEN + HEADER_LEN > len || frame_len < FRAME_OVERHEAD as u64 {
+        return Ok(None);
+    }
+    file.seek(SeekFrom::End(-((TRAILER_LEN + frame_len) as i64)))?;
+    let mut frame = vec![0u8; frame_len as usize];
+    file.read_exact(&mut frame)?;
+    if frame[0] != TAG_INDEX {
+        return Ok(None);
+    }
+    let Some((tag, body, next)) = read_frame_at(&frame, 0) else {
+        return Ok(None);
+    };
+    if tag != TAG_INDEX || next != frame.len() {
+        return Ok(None);
+    }
+    Ok(parse_index_body(body))
+}
+
+/// Streaming store writer: batches records into compressed block frames
+/// and (optionally) seals the file with an index footer.
+///
+/// Dropping the writer without calling [`StoreWriter::finish`] or
+/// [`StoreWriter::finish_sealed`] leaves whatever frames were already
+/// flushed — readers recover those and drop the unwritten tail, the same
+/// crash story as the append path.
+pub struct StoreWriter {
+    file: File,
+    pending: Vec<(Key128, Vec<u8>)>,
+    entries: Vec<IndexEntry>,
+    offset: u64,
+    records: u64,
+}
+
+impl StoreWriter {
+    /// Create (truncate) `path` and write an unsealed header for records
+    /// of version `record_version`.
+    pub fn create(path: &Path, record_version: u32) -> io::Result<StoreWriter> {
+        let mut file = File::create(path)?;
+        let header = Header {
+            format_version: FORMAT_VERSION,
+            flags: 0,
+            record_version,
+        };
+        file.write_all(&header.to_bytes())?;
+        Ok(StoreWriter {
+            file,
+            pending: Vec::new(),
+            entries: Vec::new(),
+            offset: HEADER_LEN,
+            records: 0,
+        })
+    }
+
+    /// Queue one record; flushes a block frame every [`BLOCK_RECORDS`].
+    pub fn append(&mut self, key: Key128, payload: Vec<u8>) -> io::Result<()> {
+        self.pending.push((key, payload));
+        self.records += 1;
+        if self.pending.len() >= BLOCK_RECORDS {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Records queued or written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        put_block_frame(&mut buf, &self.pending);
+        self.entries.push(IndexEntry {
+            offset: self.offset,
+            records: self.pending.len() as u64,
+        });
+        self.file.write_all(&buf)?;
+        self.offset += buf.len() as u64;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Flush remaining records and finish as an *unsealed* file (valid for
+    /// later appends).
+    pub fn finish(mut self) -> io::Result<()> {
+        self.flush_block()?;
+        self.file.flush()
+    }
+
+    /// Flush remaining records, write the index footer and trailer, and
+    /// set the sealed header flag.
+    pub fn finish_sealed(mut self) -> io::Result<()> {
+        self.flush_block()?;
+        let mut buf = Vec::new();
+        put_index_and_trailer(&mut buf, &self.entries);
+        self.file.write_all(&buf)?;
+        // Patch the sealed bit into the already-written header; done last
+        // so a crash mid-seal leaves a readable unsealed file.
+        self.file.seek(SeekFrom::Start(6))?;
+        self.file.write_all(&FLAG_SEALED.to_le_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// Lightweight facts about a store file, for `afp cache stats`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Container format version.
+    pub format_version: u16,
+    /// Record payload version.
+    pub record_version: u32,
+    /// Whether the file is sealed with an index footer.
+    pub sealed: bool,
+    /// Record count (from the index when sealed, else by scanning).
+    pub records: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Whether a torn tail frame was detected (scan path only).
+    pub truncated: bool,
+}
+
+/// Inspect a store file without decoding record payloads.
+///
+/// Sealed files are answered from the header and the index footer alone
+/// (three small reads, O(1) in file size); only unsealed files — or
+/// sealed files whose footer turns out damaged — fall back to a full
+/// frame scan.
+pub fn inspect(path: &Path) -> io::Result<StoreInfo> {
+    let mut file = File::open(path)?;
+    let mut header_bytes = [0u8; HEADER_LEN as usize];
+    let header = match file.read_exact(&mut header_bytes) {
+        Ok(()) => Header::parse(&header_bytes),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => None,
+        Err(e) => return Err(e),
+    };
+    let Some(header) = header else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a store file (bad header)",
+        ));
+    };
+    if header.sealed() {
+        if let Some(index) = read_index(&mut file)? {
+            return Ok(StoreInfo {
+                format_version: header.format_version,
+                record_version: header.record_version,
+                sealed: true,
+                records: index.records,
+                bytes: file.seek(SeekFrom::End(0))?,
+                truncated: false,
+            });
+        }
+    }
+    let bytes = std::fs::read(path)?;
+    let scan = scan_bytes(&bytes).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "not a store file (bad header)")
+    })?;
+    Ok(StoreInfo {
+        format_version: scan.header.format_version,
+        record_version: scan.header.record_version,
+        sealed: scan.header.sealed(),
+        records: scan.records.len() as u64,
+        bytes: bytes.len() as u64,
+        truncated: scan.truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Key128 {
+        Key128 {
+            hi: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            lo: !i,
+        }
+    }
+
+    fn header_bytes() -> Vec<u8> {
+        Header {
+            format_version: FORMAT_VERSION,
+            flags: 0,
+            record_version: 7,
+        }
+        .to_bytes()
+        .to_vec()
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = Header {
+            format_version: 3,
+            flags: FLAG_SEALED,
+            record_version: 42,
+        };
+        let parsed = Header::parse(&h.to_bytes()).unwrap();
+        assert_eq!(parsed, h);
+        assert!(parsed.sealed());
+        assert_eq!(Header::parse(b"NOPE000000000000"), None);
+    }
+
+    #[test]
+    fn record_frames_scan_back() {
+        let mut bytes = header_bytes();
+        for i in 0..5u64 {
+            put_record_frame(&mut bytes, key(i), format!("payload-{i}").as_bytes());
+        }
+        let scan = scan_bytes(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.record_frames, 5);
+        assert!(!scan.truncated);
+        assert_eq!(scan.data_len, bytes.len() as u64);
+        assert_eq!(scan.records[3].key, key(3));
+        assert_eq!(scan.records[3].payload, b"payload-3");
+    }
+
+    #[test]
+    fn block_frame_round_trips_and_compresses() {
+        let records: Vec<(Key128, Vec<u8>)> = (0..200u64)
+            .map(|i| (key(i), format!("gate and xor not {i} {i} {i}").into_bytes()))
+            .collect();
+        let mut bytes = header_bytes();
+        put_block_frame(&mut bytes, &records);
+        let raw_total: usize = records.iter().map(|(_, p)| p.len() + 16).sum();
+        assert!(
+            bytes.len() < raw_total,
+            "block should compress: {} vs {raw_total}",
+            bytes.len()
+        );
+        let scan = scan_bytes(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 200);
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.key, records[i].0);
+            assert_eq!(rec.payload, records[i].1);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_prefix_survives() {
+        let mut bytes = header_bytes();
+        put_record_frame(&mut bytes, key(1), b"first");
+        let good_len = bytes.len();
+        put_record_frame(&mut bytes, key(2), b"second-to-be-torn");
+        bytes.truncate(good_len + 7); // tear mid-frame
+        let scan = scan_bytes(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.truncated);
+        assert_eq!(scan.data_len, good_len as u64);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_scan() {
+        let mut bytes = header_bytes();
+        put_record_frame(&mut bytes, key(1), b"ok");
+        let keep = bytes.len();
+        put_record_frame(&mut bytes, key(2), b"will corrupt");
+        let idx = keep + 10;
+        bytes[idx] ^= 0xFF;
+        let scan = scan_bytes(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.truncated);
+    }
+
+    #[test]
+    fn unknown_tags_are_skipped() {
+        let mut bytes = header_bytes();
+        put_record_frame(&mut bytes, key(1), b"a");
+        put_frame(&mut bytes, 0x7E, b"future frame kind");
+        put_record_frame(&mut bytes, key(2), b"b");
+        let scan = scan_bytes(&bytes).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(!scan.truncated);
+        assert_eq!(scan.frames, 3);
+        assert_eq!(scan.record_frames, 2);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let entries = vec![
+            IndexEntry {
+                offset: HEADER_LEN,
+                records: 256,
+            },
+            IndexEntry {
+                offset: HEADER_LEN + 900,
+                records: 44,
+            },
+        ];
+        let mut out = Vec::new();
+        put_index_and_trailer(&mut out, &entries);
+        let (tag, body, _) = read_frame_at(&out, 0).unwrap();
+        assert_eq!(tag, TAG_INDEX);
+        let summary = parse_index_body(body).unwrap();
+        assert_eq!(summary.records, 300);
+        assert_eq!(summary.entries, entries);
+    }
+
+    #[test]
+    fn writer_seals_and_index_reads_back() {
+        let dir = std::env::temp_dir().join(format!("afp-store-frame-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sealed.afps");
+        let mut w = StoreWriter::create(&path, 9).unwrap();
+        for i in 0..600u64 {
+            w.append(key(i), format!("payload {i}").into_bytes())
+                .unwrap();
+        }
+        w.finish_sealed().unwrap();
+
+        let mut file = File::open(&path).unwrap();
+        let index = read_index(&mut file).unwrap().expect("sealed index");
+        assert_eq!(index.records, 600);
+        assert_eq!(index.entries.len(), 3); // 256 + 256 + 88
+
+        let bytes = std::fs::read(&path).unwrap();
+        let scan = scan_bytes(&bytes).unwrap();
+        assert!(scan.header.sealed());
+        assert_eq!(scan.header.record_version, 9);
+        assert_eq!(scan.records.len(), 600);
+        assert!(!scan.truncated);
+
+        let info = inspect(&path).unwrap();
+        assert!(info.sealed);
+        assert_eq!(info.records, 600);
+        assert_eq!(info.record_version, 9);
+
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn unsealed_file_has_no_index() {
+        let dir = std::env::temp_dir().join(format!("afp-store-frame2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unsealed.afps");
+        let mut w = StoreWriter::create(&path, 1).unwrap();
+        w.append(key(1), b"x".to_vec()).unwrap();
+        w.finish().unwrap();
+        let mut file = File::open(&path).unwrap();
+        assert_eq!(read_index(&mut file).unwrap(), None);
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -1,0 +1,431 @@
+//! `StoreTier` — the binary disk tier, a drop-in sibling of
+//! [`afp_runtime::DiskTier`].
+//!
+//! Same contract as the CSV tier: open loads every recoverable entry,
+//! `append` persists-and-flushes each new entry so a crash never loses
+//! completed work, and damage degrades gracefully (a torn tail frame is
+//! dropped like a malformed CSV row). On top of that the binary tier
+//! compacts append-mode record frames into compressed block frames once
+//! enough accumulate, and it can transparently migrate a legacy CSV file
+//! the first time it opens a directory.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use afp_runtime::{CsvRecord, DiskTier, Key128};
+
+use crate::bytes::ByteReader;
+use crate::frame::{put_record_frame, scan_bytes, Header, StoreWriter, FORMAT_VERSION};
+
+/// A value that can round-trip through the binary store tier.
+///
+/// The symmetric requirement to [`afp_runtime::CsvRecord`]: `decode`
+/// after `encode` must reproduce the value exactly (bit-exact for float
+/// fields — the flow's golden tests compare reports across tiers).
+pub trait BinRecord: Sized {
+    /// Bumped whenever the payload layout changes; files carrying another
+    /// version are discarded rather than misparsed (same policy as the
+    /// CSV tier's versioned header).
+    const VERSION: u32;
+    /// Append the payload encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one payload; `None` on malformed input. Must consume the
+    /// payload exactly.
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self>;
+}
+
+/// Compact once this many single-record append frames accumulate: the
+/// file is rewritten with block compression, trading one rewrite for a
+/// ~3-4x smaller file and faster future opens.
+pub const COMPACT_AT: u64 = 64;
+
+/// The append-only binary disk tier. API mirrors [`DiskTier`]:
+/// [`StoreTier::open`], [`StoreTier::take_loaded`], [`StoreTier::append`].
+#[derive(Debug)]
+pub struct StoreTier<V> {
+    path: PathBuf,
+    file: Mutex<File>,
+    loaded: Vec<(Key128, V)>,
+    write_errors: AtomicU64,
+    warned: AtomicBool,
+}
+
+impl<V: BinRecord> StoreTier<V> {
+    /// Open (or create) the store file at `dir/name`, loading every
+    /// recoverable entry. A corrupt, stale-versioned, or torn file is
+    /// repaired or restarted — only unwritable locations error.
+    pub fn open(dir: &Path, name: &str) -> io::Result<StoreTier<V>> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let mut loaded: Vec<(Key128, V)> = Vec::new();
+
+        let scan = match fs::read(&path) {
+            Ok(bytes) => scan_bytes(&bytes).filter(|s| {
+                s.header.format_version == FORMAT_VERSION && s.header.record_version == V::VERSION
+            }),
+            Err(_) => None,
+        };
+
+        match scan {
+            None => {
+                // Missing file, foreign file, or stale version: start
+                // fresh, exactly like the CSV tier's truncate-on-mismatch.
+                let mut file = File::create(&path)?;
+                file.write_all(
+                    &Header {
+                        format_version: FORMAT_VERSION,
+                        flags: 0,
+                        record_version: V::VERSION,
+                    }
+                    .to_bytes(),
+                )?;
+                file.flush()?;
+            }
+            Some(scan) => {
+                for raw in &scan.records {
+                    let mut r = ByteReader::new(&raw.payload);
+                    if let Some(v) = V::decode(&mut r) {
+                        if r.is_empty() {
+                            loaded.push((raw.key, v));
+                        }
+                    }
+                }
+                // Rewrite when the tail is torn (drop it), the file is
+                // sealed (appends must go after the data frames, not the
+                // index), or enough loose record frames accumulated to be
+                // worth compacting into compressed blocks.
+                if scan.truncated || scan.header.sealed() || scan.record_frames >= COMPACT_AT {
+                    Self::rewrite(&path, &loaded)?;
+                }
+            }
+        }
+
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(StoreTier {
+            path,
+            file: Mutex::new(file),
+            loaded,
+            write_errors: AtomicU64::new(0),
+            warned: AtomicBool::new(false),
+        })
+    }
+
+    /// Rewrite the file from `entries` as compressed block frames, via a
+    /// temp file and atomic rename so a crash leaves the old file intact.
+    fn rewrite(path: &Path, entries: &[(Key128, V)]) -> io::Result<()> {
+        let tmp = path.with_extension("afps.tmp");
+        let mut writer = StoreWriter::create(&tmp, V::VERSION)?;
+        for (key, value) in entries {
+            let mut payload = Vec::new();
+            value.encode(&mut payload);
+            writer.append(*key, payload)?;
+        }
+        writer.finish()?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Entries recovered at open time; drain them into the memory tier.
+    pub fn take_loaded(&mut self) -> Vec<(Key128, V)> {
+        std::mem::take(&mut self.loaded)
+    }
+
+    /// Append one entry as a single record frame and flush.
+    ///
+    /// Like the CSV tier, a failed write must not fail a run whose value
+    /// is already in memory — but unlike the old CSV tier it is *counted*
+    /// (see [`StoreTier::write_errors`]) and warned about once, so silent
+    /// cache loss shows up in the run report instead of nowhere.
+    pub fn append(&self, key: Key128, value: &V) {
+        let mut payload = Vec::new();
+        value.encode(&mut payload);
+        let mut frame = Vec::with_capacity(payload.len() + 32);
+        put_record_frame(&mut frame, key, &payload);
+        let result = {
+            let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+            file.write_all(&frame).and_then(|()| file.flush())
+        };
+        if let Err(err) = result {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: failed to persist cache entry to {}: {err} \
+                     (run continues; see cache.write_errors in the report)",
+                    self.path.display()
+                );
+            }
+        }
+    }
+
+    /// Number of entries whose disk append failed since open.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl<V: BinRecord + CsvRecord> StoreTier<V> {
+    /// Open the binary store at `dir/name`, first migrating a legacy CSV
+    /// file (`csv_name`) if one exists and no store file does. The CSV is
+    /// renamed aside after migration, so the conversion happens exactly
+    /// once.
+    pub fn open_migrating(dir: &Path, name: &str, csv_name: &str) -> io::Result<StoreTier<V>> {
+        migrate_csv::<V>(dir, name, csv_name)?;
+        Self::open(dir, name)
+    }
+}
+
+/// Outcome of [`migrate_csv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CsvMigration {
+    /// Entries carried over into the store file.
+    pub migrated: usize,
+    /// Whether a conversion actually ran (false when the store already
+    /// exists or there is no CSV to migrate — both make the call a no-op,
+    /// which is what lets `afp cache migrate` be idempotent).
+    pub performed: bool,
+}
+
+/// One-shot CSV → binary-store migration of `dir/csv_name` into
+/// `dir/name`. No-op (idempotent) when the store file already exists or
+/// the CSV is absent. The migrated CSV is renamed to `<csv_name>.migrated`
+/// rather than deleted.
+pub fn migrate_csv<V: BinRecord + CsvRecord>(
+    dir: &Path,
+    name: &str,
+    csv_name: &str,
+) -> io::Result<CsvMigration> {
+    let store_path = dir.join(name);
+    let csv_path = dir.join(csv_name);
+    if store_path.exists() || !csv_path.exists() {
+        return Ok(CsvMigration {
+            migrated: 0,
+            performed: false,
+        });
+    }
+    let entries = DiskTier::<V>::read_entries(&csv_path)?;
+    let tmp = store_path.with_extension("afps.tmp");
+    let mut writer = StoreWriter::create(&tmp, <V as BinRecord>::VERSION)?;
+    for (key, value) in &entries {
+        let mut payload = Vec::new();
+        value.encode(&mut payload);
+        writer.append(*key, payload)?;
+    }
+    writer.finish()?;
+    fs::rename(&tmp, &store_path)?;
+    let aside = csv_path.with_file_name(format!("{csv_name}.migrated"));
+    fs::rename(&csv_path, aside)?;
+    Ok(CsvMigration {
+        migrated: entries.len(),
+        performed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Rec {
+        area: f64,
+        luts: u64,
+    }
+
+    impl BinRecord for Rec {
+        const VERSION: u32 = 3;
+        fn encode(&self, out: &mut Vec<u8>) {
+            crate::bytes::put_f64(out, self.area);
+            crate::bytes::put_uvarint(out, self.luts);
+        }
+        fn decode(r: &mut ByteReader<'_>) -> Option<Rec> {
+            Some(Rec {
+                area: r.f64_le()?,
+                luts: r.uvarint()?,
+            })
+        }
+    }
+
+    impl CsvRecord for Rec {
+        const VERSION: u32 = 3;
+        fn columns() -> Vec<&'static str> {
+            vec!["area", "luts"]
+        }
+        fn to_fields(&self) -> Vec<String> {
+            vec![format!("{:?}", self.area), self.luts.to_string()]
+        }
+        fn from_fields(fields: &[&str]) -> Option<Rec> {
+            let [area, luts] = fields else { return None };
+            Some(Rec {
+                area: area.parse().ok()?,
+                luts: luts.parse().ok()?,
+            })
+        }
+    }
+
+    fn key(n: u64) -> Key128 {
+        Key128 {
+            hi: n.wrapping_mul(0x243F_6A88_85A3_08D3),
+            lo: n ^ 0xDEAD_BEEF,
+        }
+    }
+
+    fn rec(n: u64) -> Rec {
+        Rec {
+            area: n as f64 * 1.25 + 0.1,
+            luts: n * 3,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("afp-store-tier-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tier_round_trip() {
+        let dir = temp_dir("roundtrip");
+        {
+            let tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+            tier.append(key(1), &rec(1));
+            tier.append(key(2), &rec(2));
+            assert_eq!(tier.write_errors(), 0);
+        }
+        let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+        let loaded = tier.take_loaded();
+        assert_eq!(loaded, vec![(key(1), rec(1)), (key(2), rec(2))]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_version_restarts_fresh() {
+        let dir = temp_dir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        let mut w = StoreWriter::create(&dir.join("c.afps"), 999).unwrap();
+        let mut payload = Vec::new();
+        rec(1).encode(&mut payload);
+        w.append(key(1), payload).unwrap();
+        w.finish().unwrap();
+
+        let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+        assert!(
+            tier.take_loaded().is_empty(),
+            "stale version must be dropped"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_on_open() {
+        let dir = temp_dir("torn");
+        {
+            let tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+            tier.append(key(1), &rec(1));
+            tier.append(key(2), &rec(2));
+        }
+        let path = dir.join("c.afps");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap(); // tear the tail
+
+        let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+        assert_eq!(tier.take_loaded(), vec![(key(1), rec(1))]);
+        // The repair dropped the torn frame; appends keep working and a
+        // third open sees a clean two-entry file.
+        tier.append(key(3), &rec(3));
+        let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+        assert_eq!(tier.take_loaded(), vec![(key(1), rec(1)), (key(3), rec(3))]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_entries_and_shrinks_file() {
+        let dir = temp_dir("compact");
+        let n = COMPACT_AT + 10;
+        {
+            let tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+            for i in 0..n {
+                tier.append(key(i), &rec(i));
+            }
+        }
+        let before = fs::metadata(dir.join("c.afps")).unwrap().len();
+        let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+        let loaded = tier.take_loaded();
+        assert_eq!(loaded.len(), n as usize);
+        for (i, (k, v)) in loaded.iter().enumerate() {
+            assert_eq!((k, v), (&key(i as u64), &rec(i as u64)));
+        }
+        let after = fs::metadata(dir.join("c.afps")).unwrap().len();
+        assert!(
+            after < before,
+            "compaction should shrink the file: {before} -> {after}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_migration_is_one_shot_and_lossless() {
+        let dir = temp_dir("migrate");
+        {
+            let csv: DiskTier<Rec> = DiskTier::open(&dir, "c.csv").unwrap();
+            for i in 0..20 {
+                csv.append(key(i), &rec(i));
+            }
+        }
+        let outcome = migrate_csv::<Rec>(&dir, "c.afps", "c.csv").unwrap();
+        assert_eq!(
+            outcome,
+            CsvMigration {
+                migrated: 20,
+                performed: true
+            }
+        );
+        assert!(!dir.join("c.csv").exists(), "CSV renamed aside");
+        assert!(dir.join("c.csv.migrated").exists());
+
+        // Idempotent: a second call is a no-op.
+        let again = migrate_csv::<Rec>(&dir, "c.afps", "c.csv").unwrap();
+        assert!(!again.performed);
+
+        let mut tier: StoreTier<Rec> = StoreTier::open_migrating(&dir, "c.afps", "c.csv").unwrap();
+        let loaded = tier.take_loaded();
+        assert_eq!(loaded.len(), 20);
+        for (i, (k, v)) in loaded.iter().enumerate() {
+            assert_eq!((k, v), (&key(i as u64), &rec(i as u64)));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_migrating_without_csv_starts_empty() {
+        let dir = temp_dir("migrate-none");
+        let mut tier: StoreTier<Rec> = StoreTier::open_migrating(&dir, "c.afps", "c.csv").unwrap();
+        assert!(tier.take_loaded().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_errors_are_counted_and_run_continues() {
+        // /dev/full fails every write with ENOSPC — the canonical way to
+        // exercise the error path deterministically. Skip quietly on
+        // platforms without it.
+        let Ok(file) = OpenOptions::new().write(true).open("/dev/full") else {
+            return;
+        };
+        let tier = StoreTier::<Rec> {
+            path: PathBuf::from("/dev/full"),
+            file: Mutex::new(file),
+            loaded: Vec::new(),
+            write_errors: AtomicU64::new(0),
+            warned: AtomicBool::new(false),
+        };
+        tier.append(key(1), &rec(1));
+        tier.append(key(2), &rec(2));
+        assert_eq!(tier.write_errors(), 2);
+    }
+}

@@ -15,4 +15,5 @@ pub use afp_ml as ml;
 pub use afp_netlist as netlist;
 pub use afp_obs as obs;
 pub use afp_runtime as runtime;
+pub use afp_store as store;
 pub use approxfpgas as flow;

@@ -1,0 +1,213 @@
+//! Property suite for the binary circuit store and the Bristol codec.
+//!
+//! Random netlists over every gate kind (including constants, `Mux` and
+//! `Maj`) are pushed through both serializers: the store's varint netlist
+//! codec must round-trip *exactly* (`PartialEq`, name included), and the
+//! Bristol lowering must round-trip *behaviourally* (exhaustive input
+//! sweep — the lowering rewrites `Or`/`Mux`/`Maj` into the XOR/AND/INV
+//! vocabulary, so gate-identity is not preserved, behaviour is). A third
+//! group pins the torn-file story: corrupting or truncating a store file
+//! loses only the damaged tail, never earlier records, and never panics.
+
+use approxfpgas_suite::netlist::bristol::{from_bristol, to_bristol};
+use approxfpgas_suite::netlist::{NetId, Netlist};
+use approxfpgas_suite::runtime::Key128;
+use approxfpgas_suite::store::bytes::ByteReader;
+use approxfpgas_suite::store::{decode_netlist, encode_netlist, FrameStream, StoreWriter};
+use proptest::prelude::*;
+
+/// Build a random but well-formed netlist from flat generator choices
+/// (same scheme as the sim-kernel suite): every gate kind, operands drawn
+/// from all earlier nets, outputs from the tail.
+fn build_netlist(n_inputs: usize, gates: &[(u8, usize, usize, usize)]) -> Netlist {
+    let mut n = Netlist::new("random");
+    let mut nets: Vec<NetId> = (0..n_inputs).map(|_| n.add_input()).collect();
+    for &(kind, a, b, c) in gates {
+        let pick = |raw: usize, nets: &[NetId]| nets[raw % nets.len()];
+        let (x, y, z) = (pick(a, &nets), pick(b, &nets), pick(c, &nets));
+        let id = match kind % 12 {
+            0 => n.constant(false),
+            1 => n.constant(true),
+            2 => n.buf(x),
+            3 => n.not(x),
+            4 => n.and(x, y),
+            5 => n.or(x, y),
+            6 => n.xor(x, y),
+            7 => n.nand(x, y),
+            8 => n.nor(x, y),
+            9 => n.xnor(x, y),
+            10 => n.mux(x, y, z),
+            _ => n.maj(x, y, z),
+        };
+        nets.push(id);
+    }
+    let outs: Vec<NetId> = nets.iter().rev().take(4).copied().collect();
+    n.set_outputs(outs);
+    n
+}
+
+fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs());
+    assert_eq!(a.num_outputs(), b.num_outputs());
+    let n = a.num_inputs();
+    assert!(n <= 16, "exhaustive sweep needs small input counts");
+    (0..(1u32 << n)).all(|v| {
+        let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+        a.eval_bits(&bits) == b.eval_bits(&bits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Store codec: `Netlist → bytes → Netlist` is the identity, name and
+    /// gate list included.
+    #[test]
+    fn netlist_store_codec_round_trips_exactly(
+        n_inputs in 1usize..6,
+        gates in prop::collection::vec(
+            (0u8..12, 0usize..1 << 30, 0usize..1 << 30, 0usize..1 << 30),
+            1..60,
+        ),
+    ) {
+        let nl = build_netlist(n_inputs, &gates);
+        let mut bytes = Vec::new();
+        encode_netlist(&nl, &mut bytes);
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_netlist(&mut r).expect("well-formed netlist decodes");
+        prop_assert!(r.is_empty(), "decoder must consume the whole payload");
+        prop_assert_eq!(back, nl);
+    }
+
+    /// Bristol lowering: `Netlist → text → Netlist` computes the same
+    /// function on every input assignment.
+    #[test]
+    fn bristol_round_trip_is_behaviourally_equivalent(
+        n_inputs in 1usize..6,
+        gates in prop::collection::vec(
+            (0u8..12, 0usize..1 << 30, 0usize..1 << 30, 0usize..1 << 30),
+            1..40,
+        ),
+    ) {
+        let nl = build_netlist(n_inputs, &gates);
+        let back = from_bristol(&to_bristol(&nl)).expect("exported text parses");
+        prop_assert!(equivalent(&nl, &back));
+    }
+
+    /// A corrupted byte anywhere in a netlist payload either still decodes
+    /// to a *valid* netlist or is rejected — never a panic, never an
+    /// inconsistent structure.
+    #[test]
+    fn corrupted_payloads_never_panic(
+        n_inputs in 1usize..5,
+        gates in prop::collection::vec(
+            (0u8..12, 0usize..1 << 30, 0usize..1 << 30, 0usize..1 << 30),
+            1..30,
+        ),
+        victim in 0usize..1 << 30,
+        flip in 1u8..=255,
+    ) {
+        let nl = build_netlist(n_inputs, &gates);
+        let mut bytes = Vec::new();
+        encode_netlist(&nl, &mut bytes);
+        let idx = victim % bytes.len();
+        bytes[idx] ^= flip;
+        let mut r = ByteReader::new(&bytes);
+        if let Some(decoded) = decode_netlist(&mut r) {
+            decoded.validate().expect("decoder only returns valid netlists");
+        }
+    }
+}
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("afp-suite-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("circuits.afps")
+}
+
+/// Write `count` distinct random netlists as one sealed store file.
+fn write_corpus(path: &std::path::Path, count: usize) -> Vec<Netlist> {
+    let mut writer = StoreWriter::create(path, 7).unwrap();
+    let mut corpus = Vec::new();
+    for i in 0..count {
+        let gates: Vec<(u8, usize, usize, usize)> = (0..20)
+            .map(|g: usize| (((g + i) % 12) as u8, i * 31 + g, i * 17 + g, i + g))
+            .collect();
+        let mut nl = build_netlist(3, &gates);
+        nl.set_name(format!("c{i}"));
+        let mut payload = Vec::new();
+        encode_netlist(&nl, &mut payload);
+        writer
+            .append(
+                Key128 {
+                    hi: i as u64,
+                    lo: !(i as u64),
+                },
+                payload,
+            )
+            .unwrap();
+        corpus.push(nl);
+    }
+    writer.finish_sealed().unwrap();
+    corpus
+}
+
+fn read_corpus(path: &std::path::Path) -> (Vec<Netlist>, bool) {
+    let mut stream = FrameStream::open(path).unwrap();
+    let mut out = Vec::new();
+    for record in stream.by_ref() {
+        let mut r = ByteReader::new(&record.payload);
+        match decode_netlist(&mut r) {
+            Some(nl) if r.is_empty() => out.push(nl),
+            _ => break,
+        }
+    }
+    (out, stream.truncated())
+}
+
+#[test]
+fn sealed_corpus_streams_back_in_order() {
+    let path = temp_store("ok");
+    let corpus = write_corpus(&path, 40);
+    let (back, truncated) = read_corpus(&path);
+    assert!(!truncated);
+    assert_eq!(back, corpus);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn truncated_store_keeps_the_intact_prefix() {
+    let path = temp_store("trunc");
+    // > 256 circuits so the store holds several block frames — a tear in a
+    // later frame must leave earlier frames readable.
+    let corpus = write_corpus(&path, 300);
+    let full = std::fs::read(&path).unwrap();
+    // Chop the file at several points; the stream must yield a prefix of
+    // the corpus (possibly empty) and flag the tear — never garbage.
+    for cut in [full.len() - 9, full.len() / 2, 40, 17] {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (back, _) = read_corpus(&path);
+        assert!(back.len() <= corpus.len());
+        assert_eq!(back.as_slice(), &corpus[..back.len()], "cut at {cut}");
+    }
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn corrupted_store_stops_at_the_damaged_frame() {
+    let path = temp_store("corrupt");
+    let corpus = write_corpus(&path, 300);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one byte two thirds of the way in: that frame's CRC fails,
+    // streaming stops there with the tear flagged, and everything decoded
+    // before it is an intact prefix of the corpus.
+    let victim = bytes.len() * 2 / 3;
+    bytes[victim] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let (back, truncated) = read_corpus(&path);
+    assert!(truncated, "bit flip must be detected");
+    assert!(back.len() < corpus.len());
+    assert_eq!(back.as_slice(), &corpus[..back.len()]);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}

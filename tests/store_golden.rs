@@ -1,0 +1,116 @@
+//! Golden cross-backend flow reports: the characterization cache's disk
+//! format must be invisible to results. A flow run backed by the CSV
+//! tier, the binary store tier, or a store freshly migrated from CSV has
+//! to produce byte-identical normalized JSON reports — on one thread and
+//! on eight — when compared at equal cache warmth (cold-vs-cold,
+//! warm-vs-warm; warmth legitimately changes the hit/miss counters).
+//! Anything less means the disk codec is lossy and quietly changing
+//! science.
+
+use std::path::PathBuf;
+
+use approxfpgas_suite::circuits::{ArithKind, LibrarySpec};
+use approxfpgas_suite::flow::cache::{CACHE_FILE, STORE_FILE};
+use approxfpgas_suite::flow::report::{normalized, run_report};
+use approxfpgas_suite::flow::{CacheBackend, CharacterizationCache, Flow, FlowConfig};
+use approxfpgas_suite::ml::MlModelId;
+use approxfpgas_suite::obs::{Recorder, Value};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("afp-suite-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn golden_config(threads: usize, cache_dir: Option<PathBuf>, backend: CacheBackend) -> FlowConfig {
+    FlowConfig {
+        library: LibrarySpec::new(ArithKind::Adder, 8, 48),
+        min_subset: 20,
+        models: vec![MlModelId::Ml1, MlModelId::Ml13],
+        threads,
+        cache_dir,
+        cache_backend: backend,
+        ..FlowConfig::default()
+    }
+}
+
+/// Run a traced flow and return the normalized report JSON with the
+/// honestly-different `flow.threads` field zeroed out.
+fn normalized_json(threads: usize, cache_dir: &std::path::Path, backend: CacheBackend) -> String {
+    let config = golden_config(threads, Some(cache_dir.to_path_buf()), backend);
+    let recorder = Recorder::enabled();
+    let outcome = Flow::new(config.clone()).run_traced(&recorder);
+    let mut report = normalized(&run_report(&config, &outcome, &recorder));
+    report.set_field("flow", "threads", Value::UInt(0));
+    report.to_json()
+}
+
+#[test]
+fn reports_are_identical_across_cache_backends() {
+    let csv_dir = temp_dir("csv");
+    let store_dir = temp_dir("store");
+
+    // Cold runs: both tiers start empty, so every counter must agree.
+    let cold_csv = normalized_json(1, &csv_dir, CacheBackend::Csv);
+    let cold_store = normalized_json(1, &store_dir, CacheBackend::Store);
+    assert_eq!(cold_csv, cold_store, "cold runs diverge across backends");
+    assert!(csv_dir.join(CACHE_FILE).exists());
+    assert!(store_dir.join(STORE_FILE).exists());
+
+    // Warm runs: every characterization is served from disk. If either
+    // codec dropped a bit, the time/coverage sections would drift.
+    let warm_csv = normalized_json(1, &csv_dir, CacheBackend::Csv);
+    let warm_store = normalized_json(1, &store_dir, CacheBackend::Store);
+    assert_eq!(warm_csv, warm_store, "warm runs diverge across backends");
+    assert!(
+        warm_csv.contains("\"misses\":0"),
+        "warm run should be fully cache-served"
+    );
+
+    // And the same at eight threads.
+    let warm_csv8 = normalized_json(8, &csv_dir, CacheBackend::Csv);
+    let warm_store8 = normalized_json(8, &store_dir, CacheBackend::Store);
+    assert_eq!(warm_csv8, warm_store8, "8-thread warm runs diverge");
+    assert_eq!(warm_csv8, warm_csv, "thread count leaks into the report");
+
+    let _ = std::fs::remove_dir_all(&csv_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn migrated_cache_serves_identical_results() {
+    let migrate_dir = temp_dir("migrate");
+    let native_dir = temp_dir("native");
+
+    // Populate one cache through the CSV tier, the other natively through
+    // the store tier.
+    let cold_csv = normalized_json(1, &migrate_dir, CacheBackend::Csv);
+    let cold_native = normalized_json(1, &native_dir, CacheBackend::Store);
+    assert_eq!(cold_csv, cold_native);
+
+    // Explicit migration converts every CSV row into the binary store.
+    let migration = CharacterizationCache::migrate_csv_cache(&migrate_dir).unwrap();
+    assert!(migration.migrated > 0, "csv rows should convert");
+    assert!(migrate_dir.join(STORE_FILE).exists());
+    assert!(
+        !migrate_dir.join(CACHE_FILE).exists(),
+        "csv file is renamed away"
+    );
+
+    // A warm run on the migrated store must match a warm run on the
+    // natively-written store byte-for-byte — and both must be fully
+    // cache-served, proving migration preserved every entry.
+    for threads in [1usize, 8] {
+        let warm_migrated = normalized_json(threads, &migrate_dir, CacheBackend::Store);
+        let warm_native = normalized_json(threads, &native_dir, CacheBackend::Store);
+        assert_eq!(
+            warm_migrated, warm_native,
+            "migrated cache diverges at {threads} threads"
+        );
+        assert!(warm_migrated.contains("\"misses\":0"));
+    }
+
+    let _ = std::fs::remove_dir_all(&migrate_dir);
+    let _ = std::fs::remove_dir_all(&native_dir);
+}
