@@ -19,6 +19,9 @@
 //!   ([`LibrarySpec`] → `Vec<ArithCircuit>`) with behavioural dedup.
 //! * [`store`] — persisting libraries as sealed [`afp_store`] files with
 //!   structural dedup, and streaming them back lazily.
+//! * [`source`] — the [`LibrarySource`] abstraction (generated-from-spec
+//!   or streamed-from-store) feeding flows shard-at-a-time with bounded
+//!   residency, plus the paper's full-scale corpus specs.
 //! * [`soa`] — a small set of "state-of-the-art FPGA-tailored" multipliers
 //!   used as comparison points in Fig. 1.
 //!
@@ -42,8 +45,12 @@ pub mod multipliers;
 pub mod mutate;
 pub mod prefix_adders;
 pub mod soa;
+pub mod source;
 pub mod store;
 
 pub use arith::{ArithCircuit, ArithKind, BatchEvaluator};
 pub use library::{build_library, build_library_with, LibrarySpec};
-pub use store::{read_library, stream_library, write_library, LibraryStream, WriteSummary};
+pub use source::{ensure_library, paper_full_specs, LibraryShards, LibrarySource};
+pub use store::{
+    read_library, stream_library, write_library, write_library_specs, LibraryStream, WriteSummary,
+};

@@ -26,7 +26,7 @@ use crate::mutate::{mutate, MutationConfig};
 use crate::prefix_adders;
 
 /// Specification of a circuit library to enumerate.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LibrarySpec {
     /// Adder or multiplier.
     pub kind: ArithKind,

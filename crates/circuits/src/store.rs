@@ -13,6 +13,13 @@
 //! idempotent per structure, and structural duplicates collapse to one
 //! record ([`WriteSummary::deduplicated`] counts them).
 //!
+//! Corpora are precious: writes are atomic (temp sibling + rename, so a
+//! crash mid-write never destroys an existing file), and reads fail
+//! loudly — a torn tail yields a final `Err` after the intact prefix and
+//! a foreign record version is an error at open, so a damaged or
+//! incompatible corpus can never masquerade as a complete smaller
+//! library.
+//!
 //! # Example
 //!
 //! ```
@@ -32,14 +39,16 @@
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+use std::collections::HashSet;
 use std::io;
 use std::path::Path;
 
-use afp_runtime::{Key128, StableHasher};
+use afp_runtime::{Key128, Runtime, StableHasher};
 use afp_store::bytes::{put_uvarint, ByteReader};
 use afp_store::{decode_netlist, encode_netlist, FrameStream, StoreWriter};
 
 use crate::arith::{ArithCircuit, ArithKind};
+use crate::library::{build_library_with, LibrarySpec};
 
 /// Record version of the circuit payload encoding.
 const CIRCUIT_VERSION: u32 = 1;
@@ -99,14 +108,13 @@ fn decode_circuit(payload: &[u8]) -> Option<ArithCircuit> {
     Some(ArithCircuit::new(kind, width, netlist))
 }
 
-/// Write `circuits` to a sealed store file at `path` (created or
-/// truncated), deduplicating structurally identical circuits by content
-/// key. The parent directory must exist.
-pub fn write_library(path: &Path, circuits: &[ArithCircuit]) -> io::Result<WriteSummary> {
-    let mut writer = StoreWriter::create(path, CIRCUIT_VERSION)?;
-    let mut seen = std::collections::HashSet::new();
-    let mut summary = WriteSummary::default();
-    let mut payload = Vec::new();
+fn append_circuits(
+    writer: &mut StoreWriter,
+    circuits: &[ArithCircuit],
+    seen: &mut HashSet<Key128>,
+    summary: &mut WriteSummary,
+    payload: &mut Vec<u8>,
+) -> io::Result<()> {
     for circuit in circuits {
         let key = circuit_key(circuit);
         if !seen.insert(key) {
@@ -114,9 +122,46 @@ pub fn write_library(path: &Path, circuits: &[ArithCircuit]) -> io::Result<Write
             continue;
         }
         payload.clear();
-        encode_circuit(circuit, &mut payload);
-        writer.append(key, payload.clone())?;
+        encode_circuit(circuit, payload);
+        writer.append(key, payload)?;
         summary.written += 1;
+    }
+    Ok(())
+}
+
+/// Write `circuits` to a sealed store file at `path`, deduplicating
+/// structurally identical circuits by content key. The parent directory
+/// must exist. The write is atomic: frames go to a `.tmp` sibling that
+/// replaces `path` only when sealing succeeds, so a crash mid-write never
+/// destroys an existing corpus.
+pub fn write_library(path: &Path, circuits: &[ArithCircuit]) -> io::Result<WriteSummary> {
+    let mut writer = StoreWriter::create_atomic(path, CIRCUIT_VERSION)?;
+    let mut seen = HashSet::new();
+    let mut summary = WriteSummary::default();
+    let mut payload = Vec::new();
+    append_circuits(&mut writer, circuits, &mut seen, &mut summary, &mut payload)?;
+    writer.finish_sealed()?;
+    summary.bytes = std::fs::metadata(path)?.len();
+    Ok(summary)
+}
+
+/// Generate each spec in turn and write the union to one sealed store
+/// file at `path`, deduplicating structurally identical circuits across
+/// the whole union. Only one generated sub-library is resident at a time,
+/// so corpora larger than RAM-comfortable can still be persisted; the
+/// write is atomic like [`write_library`].
+pub fn write_library_specs(
+    path: &Path,
+    specs: &[LibrarySpec],
+    rt: &Runtime,
+) -> io::Result<WriteSummary> {
+    let mut writer = StoreWriter::create_atomic(path, CIRCUIT_VERSION)?;
+    let mut seen = HashSet::new();
+    let mut summary = WriteSummary::default();
+    let mut payload = Vec::new();
+    for spec in specs {
+        let sub = build_library_with(spec, rt);
+        append_circuits(&mut writer, &sub, &mut seen, &mut summary, &mut payload)?;
     }
     writer.finish_sealed()?;
     summary.bytes = std::fs::metadata(path)?.len();
@@ -126,10 +171,16 @@ pub fn write_library(path: &Path, circuits: &[ArithCircuit]) -> io::Result<Write
 /// Lazy iterator over the circuits of a store file written by
 /// [`write_library`]. Frames are read and decompressed on demand —
 /// opening the stream does not load the library.
+///
+/// A torn or corrupt tail is never silent: after yielding the intact
+/// prefix, the stream yields one final `Err` so a damaged corpus cannot
+/// masquerade as a complete smaller library. Callers that *want* the
+/// recovered prefix can consume circuits until the error and check
+/// [`LibraryStream::truncated`].
 #[derive(Debug)]
 pub struct LibraryStream {
     inner: FrameStream,
-    bad_version: bool,
+    torn_reported: bool,
 }
 
 impl LibraryStream {
@@ -144,32 +195,53 @@ impl Iterator for LibraryStream {
     type Item = io::Result<ArithCircuit>;
 
     fn next(&mut self) -> Option<io::Result<ArithCircuit>> {
-        if self.bad_version {
-            return None;
+        match self.inner.next() {
+            Some(record) => Some(decode_circuit(&record.payload).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "store frame does not decode as a circuit",
+                )
+            })),
+            None if self.inner.truncated() && !self.torn_reported => {
+                self.torn_reported = true;
+                Some(Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "circuit store ends in a torn or corrupt frame \
+                     (corpus is truncated; circuits already yielded are intact)",
+                )))
+            }
+            None => None,
         }
-        let record = self.inner.next()?;
-        Some(decode_circuit(&record.payload).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                "store frame does not decode as a circuit",
-            )
-        }))
     }
 }
 
 /// Open a lazy circuit stream over the store file at `path`.
 ///
 /// Fails with [`io::ErrorKind::InvalidData`] if the file is not a store
-/// file; a store file with an unexpected record version yields an empty
-/// stream (forward compatibility: newer payloads are skipped, not
-/// misparsed).
+/// file, or if it is a store file whose record version differs from the
+/// circuit encoding this build understands — a foreign-version corpus is
+/// an error naming both versions, never a silent empty stream.
 pub fn stream_library(path: &Path) -> io::Result<LibraryStream> {
     let inner = FrameStream::open(path)?;
-    let bad_version = inner.header().record_version != CIRCUIT_VERSION;
-    Ok(LibraryStream { inner, bad_version })
+    let found = inner.header().record_version;
+    if found != CIRCUIT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "circuit store has record version {found}, this build reads \
+                 version {CIRCUIT_VERSION} ({})",
+                path.display()
+            ),
+        ));
+    }
+    Ok(LibraryStream {
+        inner,
+        torn_reported: false,
+    })
 }
 
-/// Read a whole library eagerly; see [`stream_library`].
+/// Read a whole library eagerly; see [`stream_library`]. Fails — like the
+/// stream — on torn tails and foreign record versions.
 pub fn read_library(path: &Path) -> io::Result<Vec<ArithCircuit>> {
     stream_library(path)?.collect()
 }
@@ -253,15 +325,83 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_store_files_and_skips_foreign_versions() {
+    fn rejects_non_store_files_and_foreign_versions() {
         let path = temp_path("reject");
         std::fs::write(&path, b"name,v1,cols\n").unwrap();
         assert!(stream_library(&path).is_err());
-        // A valid store with a different record version streams empty.
+        // A valid store with a different record version must fail loudly
+        // at open — indistinguishable-from-empty was a silent-loss bug.
         let mut w = StoreWriter::create(&path, CIRCUIT_VERSION + 1).unwrap();
-        w.append(Key128 { hi: 1, lo: 2 }, vec![0xFF; 4]).unwrap();
+        w.append(Key128 { hi: 1, lo: 2 }, &[0xFF; 4]).unwrap();
         w.finish_sealed().unwrap();
-        assert_eq!(read_library(&path).unwrap().len(), 0);
+        let err = stream_library(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("record version 2") && msg.contains("version 1"),
+            "error must name both versions: {msg}"
+        );
+        assert!(read_library(&path).is_err());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_corpus_yields_prefix_then_error() {
+        let path = temp_path("torn");
+        let circuits = vec![
+            adders::ripple_carry(4),
+            adders::loa(4, 1),
+            adders::loa(4, 2),
+        ];
+        write_library(&path, &circuits).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Chop through the trailer into the index frame: every data frame
+        // is intact, so all circuits stream back, but the tear itself must
+        // still surface as a final error instead of silently vanishing.
+        std::fs::write(&path, &full[..full.len() - 12]).unwrap();
+        let mut stream = stream_library(&path).unwrap();
+        let mut ok = 0usize;
+        let mut errs = 0usize;
+        for item in stream.by_ref() {
+            match item {
+                Ok(_) => ok += 1,
+                Err(e) => {
+                    errs += 1;
+                    assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+                }
+            }
+        }
+        assert_eq!((ok, errs), (circuits.len(), 1));
+        assert!(stream.truncated());
+        // The eager reader propagates the same error.
+        assert!(read_library(&path).is_err());
+
+        // Chop into the data frame itself: fewer (here zero — one block
+        // frame holds all three) circuits, same loud error.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(read_library(&path).is_err());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn write_specs_streams_one_sub_library_at_a_time() {
+        let path = temp_path("specs");
+        let specs = [
+            LibrarySpec::new(ArithKind::Adder, 4, 10),
+            LibrarySpec::new(ArithKind::Adder, 4, 10), // exact duplicate spec
+            LibrarySpec::new(ArithKind::Multiplier, 4, 6),
+        ];
+        let rt = Runtime::new(1);
+        let summary = write_library_specs(&path, &specs, &rt).unwrap();
+        // The duplicate spec regenerates the same structures, so the
+        // union dedups it away entirely.
+        let adders = build_library(&LibrarySpec::new(ArithKind::Adder, 4, 10));
+        let muls = build_library(&LibrarySpec::new(ArithKind::Multiplier, 4, 6));
+        assert_eq!(summary.written, adders.len() + muls.len());
+        assert_eq!(summary.deduplicated, adders.len());
+        let back = read_library(&path).unwrap();
+        assert_eq!(back.len(), summary.written);
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 }

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
-use afp_circuits::{build_library, ArithCircuit, ArithKind, LibrarySpec};
+use afp_circuits::{build_library, ArithCircuit, ArithKind, LibrarySource, LibrarySpec};
 use afp_netlist::Netlist;
 
 /// A parsed command line: subcommand, flags and positional arguments.
@@ -123,11 +123,20 @@ USAGE:
   afp flow --kind add|mul --width W --size N [--fronts K] [--subset F]
            [--threads T] [--no-cache] [--cache-dir DIR]
            [--cache-format store|csv] [--target NAME] [--all-targets]
-           [--report table|json|none] [--report-out PATH]
+           [--library FILE.afps] [--paper-full] [--paper-scale F]
+           [--shard N] [--report table|json|none] [--report-out PATH]
            [--report-normalized]
       Run the full ApproxFPGAs methodology and print the summary.
       --threads 0 (default) uses every core; results are identical for
-      any thread count. --cache-dir persists the characterization cache
+      any thread count. --library streams a persisted .afps corpus
+      shard-at-a-time instead of generating a library (at most --shard
+      circuits resident at once; default 1024); --paper-full generates
+      and persists the paper's full-scale six-library corpus (44,940
+      8x8 multipliers and five smaller libraries) at --library's path
+      (default results/paper_full.afps) and streams it — --paper-scale
+      shrinks every library for smoke runs. A missing, torn or
+      foreign-version corpus is a loud error, never a smaller run.
+      --cache-dir persists the characterization cache
       across runs (an unusable directory is an error); --cache-format
       picks the disk tier: the binary frame store (default) or the
       legacy CSV file — both lossless, identical outcomes. --no-cache
@@ -139,9 +148,10 @@ USAGE:
       the structured run report to --report-out (default
       results/run_report.json) and prints only the JSON document;
       --report-normalized strips the nondeterministic surfaces (stage
-      timings, steals, mapper reuses) from the JSON so documents from
-      different runs or machines compare byte-for-byte; --report none
-      skips tracing entirely.
+      timings, steals, mapper reuses, shard shape) from the JSON so
+      documents from different runs, machines, shard sizes or library
+      sources compare byte-for-byte; --report none skips tracing
+      entirely.
   afp cache stats DIR
       Describe the characterization cache in DIR: entries, bytes and
       format version of the binary store and/or legacy CSV file.
@@ -400,12 +410,79 @@ fn cmd_targets(cli: &Cli) -> Result<String, String> {
     Ok(out)
 }
 
+/// Default location of the generated paper-full corpus (`afp flow
+/// --paper-full` without `--library`).
+pub const PAPER_FULL_CORPUS: &str = "results/paper_full.afps";
+
+/// Resolve the `--library` / `--paper-full` flags into a streamed
+/// [`LibrarySource`], generating and persisting the paper-full corpus
+/// first when asked. Returns the source plus human-readable notes about
+/// corpus generation (empty when nothing was generated).
+fn stored_source(cli: &Cli, threads: usize) -> Result<(Option<LibrarySource>, String), String> {
+    let library_path = cli.flags.get("library").map(std::path::PathBuf::from);
+    let paper_full = cli.flag_or("paper-full", "false") == "true";
+    if !paper_full {
+        if cli.flags.contains_key("paper-scale") {
+            return Err("--paper-scale only applies together with --paper-full".to_string());
+        }
+        return Ok((library_path.map(LibrarySource::Stored), String::new()));
+    }
+    let scale: f64 = cli
+        .flag_or("paper-scale", "1")
+        .parse()
+        .map_err(|_| "--paper-scale expects a fraction in (0, 1]".to_string())?;
+    if !(scale.is_finite() && scale > 0.0 && scale <= 1.0) {
+        return Err(format!(
+            "--paper-scale expects a fraction in (0, 1], got `{scale}`"
+        ));
+    }
+    let path = library_path.unwrap_or_else(|| std::path::PathBuf::from(PAPER_FULL_CORPUS));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    let rt = afp_runtime::Runtime::new(threads);
+    let specs = afp_circuits::paper_full_specs(scale);
+    let mut notes = String::new();
+    match afp_circuits::ensure_library(&path, &specs, &rt) {
+        Ok(Some(summary)) => {
+            let _ = writeln!(
+                notes,
+                "generated paper-full corpus at {} (scale {scale}): {} circuits written, \
+                 {} structural duplicates elided",
+                path.display(),
+                summary.written,
+                summary.deduplicated
+            );
+        }
+        Ok(None) => {
+            let _ = writeln!(notes, "reusing existing corpus {}", path.display());
+        }
+        Err(e) => return Err(format!("cannot prepare {}: {e}", path.display())),
+    }
+    Ok((Some(LibrarySource::Stored(path)), notes))
+}
+
 fn cmd_flow(cli: &Cli) -> Result<String, String> {
     let kind = cli.kind_flag()?;
     let width = cli.usize_flag("width", 8)?;
     let size = cli.usize_flag("size", 300)?;
     let fronts = cli.usize_flag("fronts", 3)?;
     let threads = cli.usize_flag("threads", 0)?;
+    let shard = cli.usize_flag("shard", 0)?;
+    let (source, corpus_notes) = stored_source(cli, threads)?;
+    if source.is_some() {
+        for generated_only in ["kind", "width", "size"] {
+            if cli.flags.contains_key(generated_only) {
+                return Err(format!(
+                    "--{generated_only} describes a generated library; it cannot be combined \
+                     with --library/--paper-full (the corpus already fixes the circuits)"
+                ));
+            }
+        }
+    }
     let subset: f64 = cli
         .flag_or("subset", "0.1")
         .parse()
@@ -431,6 +508,13 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
     if all_targets && cli.flags.contains_key("target") {
         return Err("--target and --all-targets are mutually exclusive".to_string());
     }
+    if all_targets && source.is_some() {
+        return Err(
+            "--all-targets sweeps generated libraries; it cannot be combined with \
+             --library/--paper-full"
+                .to_string(),
+        );
+    }
     let profile = afp_fpga::target::named(&target_name)
         .ok_or_else(|| approxfpgas::UnknownTargetError { name: target_name }.to_string())?;
     let mut config = approxfpgas::FlowConfig {
@@ -438,6 +522,7 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         fronts,
         subset_fraction: subset,
         threads,
+        shard_circuits: shard,
         use_cache,
         cache_dir,
         cache_backend,
@@ -460,7 +545,12 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
     } else {
         afp_obs::Recorder::enabled()
     };
-    let outcome = flow.run_traced(&recorder);
+    let outcome = match &source {
+        Some(src) => flow
+            .run_source_traced(src, &recorder)
+            .map_err(|e| format!("cannot stream the circuit corpus: {e}"))?,
+        None => flow.run_traced(&recorder),
+    };
     if report_mode == "json" {
         // Stdout carries the JSON document and nothing else, so the
         // output pipes straight into `python3 -m json.tool`, `jq`, etc.
@@ -474,15 +564,30 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         return Ok(doc);
     }
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "library {}{}u x{}: synthesized {}/{} circuits",
-        kind.mnemonic(),
-        width,
-        outcome.records.len(),
-        outcome.time.flow_count,
-        outcome.time.exhaustive_count
-    );
+    out.push_str(&corpus_notes);
+    match &source {
+        Some(LibrarySource::Stored(path)) => {
+            let _ = writeln!(
+                out,
+                "corpus {} x{}: synthesized {}/{} circuits",
+                path.display(),
+                outcome.records.len(),
+                outcome.time.flow_count,
+                outcome.time.exhaustive_count
+            );
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "library {}{}u x{}: synthesized {}/{} circuits",
+                kind.mnemonic(),
+                width,
+                outcome.records.len(),
+                outcome.time.flow_count,
+                outcome.time.exhaustive_count
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "target: {} (K={}, {:.0} MHz)",
@@ -537,6 +642,13 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         "sim: {} tape reuses, {} structural dedup hits",
         rt.sim_tape_reuses, rt.structural_dedup_hits
     );
+    if rt.shards_streamed > 0 {
+        let _ = writeln!(
+            out,
+            "streaming: {} shards, peak {} circuits resident",
+            rt.shards_streamed, rt.peak_resident_circuits
+        );
+    }
     let dropped: usize = outcome.dropped_models.values().map(|v| v.len()).sum();
     let _ = writeln!(
         out,
@@ -720,6 +832,10 @@ mod tests {
         assert!(text.contains("--all-targets"), "{text}");
         assert!(text.contains("--cache-format"), "{text}");
         assert!(text.contains("--report-normalized"), "{text}");
+        assert!(text.contains("--library"), "{text}");
+        assert!(text.contains("--paper-full"), "{text}");
+        assert!(text.contains("--paper-scale"), "{text}");
+        assert!(text.contains("--shard"), "{text}");
     }
 
     #[test]
@@ -1102,6 +1218,92 @@ mod tests {
         // Normalization really stripped the wall-clock surfaces.
         assert!(a.contains("\"steals\":0"), "{a}");
         assert!(a.contains("\"write_errors\":0"), "{a}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flow_streams_a_persisted_library() {
+        let dir = std::env::temp_dir().join(format!("afp_cli_stream_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.afps");
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 60));
+        afp_circuits::write_library(&path, &lib).unwrap();
+        let p = path.to_string_lossy().to_string();
+        let out = run(&args(&[
+            "flow",
+            "--library",
+            &p,
+            "--subset",
+            "0.4",
+            "--shard",
+            "16",
+            "--report",
+            "none",
+        ]))
+        .unwrap();
+        assert!(out.contains("corpus "), "{out}");
+        assert!(out.contains("streaming: "), "{out}");
+        assert!(out.contains("shards, peak "), "{out}");
+        assert!(out.contains("circuits resident"), "{out}");
+        // The corpus fixes the circuits: generated-library flags conflict.
+        let e = run(&args(&["flow", "--library", &p, "--size", "60"])).unwrap_err();
+        assert!(e.contains("cannot be combined"), "{e}");
+        let e = run(&args(&["flow", "--library", &p, "--all-targets"])).unwrap_err();
+        assert!(e.contains("cannot be combined"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flow_fails_loudly_on_bad_corpora() {
+        let dir = std::env::temp_dir().join(format!("afp_cli_badcorpus_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing file.
+        let missing = dir.join("nope.afps").to_string_lossy().to_string();
+        let e = run(&args(&["flow", "--library", &missing])).unwrap_err();
+        assert!(e.contains("cannot stream"), "{e}");
+        // Truncated corpus: the valid prefix must not silently pass.
+        let path = dir.join("torn.afps");
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 40));
+        afp_circuits::write_library(&path, &lib).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 12]).unwrap();
+        let p = path.to_string_lossy().to_string();
+        let e = run(&args(&["flow", "--library", &p])).unwrap_err();
+        assert!(e.contains("torn or corrupt"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flow_paper_full_generates_then_reuses_a_scaled_corpus() {
+        let dir = std::env::temp_dir().join(format!("afp_cli_paper_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("paper.afps").to_string_lossy().to_string();
+        let base = [
+            "flow",
+            "--paper-full",
+            "--paper-scale",
+            "0.002",
+            "--library",
+            &path,
+            "--subset",
+            "0.4",
+            "--report",
+            "none",
+        ];
+        let out = run(&args(&base)).unwrap();
+        assert!(out.contains("generated paper-full corpus"), "{out}");
+        assert!(out.contains("streaming: "), "{out}");
+        // Second run streams the already-persisted corpus.
+        let out = run(&args(&base)).unwrap();
+        assert!(out.contains("reusing existing corpus"), "{out}");
+        // --paper-scale is validated, and pointless without --paper-full.
+        let e = run(&args(&["flow", "--paper-full", "--paper-scale", "7"])).unwrap_err();
+        assert!(e.contains("--paper-scale expects"), "{e}");
+        let e = run(&args(&["flow", "--paper-scale", "0.5"])).unwrap_err();
+        assert!(e.contains("only applies"), "{e}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -137,6 +137,114 @@ pub fn characterize_library_traced(
         .collect()
 }
 
+/// [`characterize_library_traced`] over a *shard iterator* instead of a
+/// resident slice: the streaming path behind `afp flow --library` and
+/// `--paper-full`.
+///
+/// Shards are pulled one at a time (e.g. from a sealed `.afps` corpus via
+/// [`afp_circuits::LibrarySource::shards`]), each shard's
+/// not-yet-seen structures are characterized through the work-stealing
+/// runtime, and the shard's netlists are dropped before the next shard is
+/// pulled — peak circuit residency is one shard, tracked by the
+/// `peak_resident_circuits` gauge, with `shards_streamed` counting the
+/// pulls. Only the per-circuit [`CircuitRecord`]s (and the cross-shard
+/// structural-dedup index) stay resident.
+///
+/// Records come back in library order with ids equal to library indices,
+/// bit-identical to the in-RAM path on the same circuit sequence, for any
+/// thread count and any shard size: structural dedup spans shard
+/// boundaries (a structure seen in shard 0 is never re-characterized in
+/// shard 7), and every record is a pure function of structure + configs.
+///
+/// The first shard error (torn corpus, undecodable record) aborts and is
+/// returned; a damaged corpus never silently characterizes as a smaller
+/// library.
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_shards_traced(
+    shards: impl Iterator<Item = std::io::Result<Vec<ArithCircuit>>>,
+    asic_config: &afp_asic::AsicConfig,
+    fpga_config: &afp_fpga::FpgaConfig,
+    error_config: &afp_error::ErrorConfig,
+    rt: &Runtime,
+    cache: Option<&CharacterizationCache>,
+    recorder: &Recorder,
+) -> std::io::Result<Vec<CircuitRecord>> {
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+
+    let mut span = recorder.span("flow/characterize");
+
+    let mut seen: HashMap<(afp_circuits::ArithKind, usize, u64), usize> = HashMap::new();
+    let mut rep_records: Vec<CircuitRecord> = Vec::new();
+    // Per circuit, in library order: its name and its representative's
+    // index into `rep_records` — everything the fan-out needs after the
+    // shard's netlists are gone.
+    let mut fanout: Vec<(String, usize)> = Vec::new();
+
+    for shard in shards {
+        let shard = shard?;
+        if shard.is_empty() {
+            continue;
+        }
+        span.add_items(shard.len() as u64);
+        afp_runtime::Counters::add(&rt.counters().shards_streamed, 1);
+        afp_runtime::Counters::max(&rt.counters().peak_resident_circuits, shard.len() as u64);
+
+        let mut fresh: Vec<(usize, ArithCircuit)> = Vec::new();
+        let mut dedup_hits = 0u64;
+        for c in shard {
+            match seen.entry((c.kind(), c.width(), c.netlist().structural_hash())) {
+                Entry::Occupied(e) => {
+                    dedup_hits += 1;
+                    fanout.push((c.name().to_string(), *e.get()));
+                }
+                Entry::Vacant(v) => {
+                    v.insert(rep_records.len() + fresh.len());
+                    fanout.push((c.name().to_string(), rep_records.len() + fresh.len()));
+                    // The representative keeps its global library index,
+                    // exactly as in the in-RAM path.
+                    fresh.push((fanout.len() - 1, c));
+                }
+            }
+        }
+        if dedup_hits > 0 {
+            afp_runtime::Counters::add(&rt.counters().structural_dedup_hits, dedup_hits);
+        }
+
+        let window = fresh.len().max(1);
+        rep_records.extend(rt.par_map_stream_init(
+            fresh,
+            window,
+            CharacterizeScratch::default,
+            |scratch, _, item: &(usize, ArithCircuit)| {
+                characterize_with_scratch(
+                    item.0,
+                    &item.1,
+                    asic_config,
+                    fpga_config,
+                    error_config,
+                    rt,
+                    cache,
+                    scratch,
+                )
+            },
+        ));
+        // `fresh` was consumed by the streaming map: this shard's
+        // netlists are gone before the next shard is pulled.
+    }
+
+    Ok(fanout
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, rep))| {
+            let mut record = rep_records[rep].clone();
+            record.id = i;
+            record.name = name;
+            record
+        })
+        .collect())
+}
+
 /// Deterministically sample `fraction` of `n` indices (at least
 /// `min_count`, at most `n`), the paper's "10% subset".
 pub fn sample_subset(n: usize, fraction: f64, min_count: usize, seed: u64) -> Vec<usize> {
@@ -259,6 +367,69 @@ mod tests {
             assert_eq!(p.fpga, recs[2 * i].fpga);
             assert_eq!(p.error, recs[2 * i].error);
         }
+    }
+
+    #[test]
+    fn shard_streaming_matches_in_ram_characterization() {
+        let base = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 9));
+        // Append renamed structural copies so dedup must span shards.
+        let mut lib: Vec<ArithCircuit> = base.clone();
+        for c in &base {
+            let mut copy = c.clone();
+            copy.set_name(format!("{}_again", c.name()));
+            lib.push(copy);
+        }
+        let asic = afp_asic::AsicConfig::default();
+        let fpga = afp_fpga::FpgaConfig::default();
+        let err = afp_error::ErrorConfig::default();
+        let expect = characterize_library_with(&lib, &asic, &fpga, &err, &Runtime::serial(), None);
+        for threads in [1, 4] {
+            for shard in [1, 4, lib.len(), 500] {
+                let rt = Runtime::new(threads);
+                let shards = lib.chunks(shard).map(|c| Ok(c.to_vec()));
+                let got = characterize_shards_traced(
+                    shards,
+                    &asic,
+                    &fpga,
+                    &err,
+                    &rt,
+                    None,
+                    &Recorder::disabled(),
+                )
+                .unwrap();
+                assert_eq!(
+                    format!("{got:?}"),
+                    format!("{expect:?}"),
+                    "threads={threads} shard={shard}"
+                );
+                let snap = rt.snapshot();
+                assert_eq!(snap.shards_streamed, lib.len().div_ceil(shard) as u64);
+                assert_eq!(snap.peak_resident_circuits, shard.min(lib.len()) as u64);
+                assert_eq!(snap.structural_dedup_hits, base.len() as u64);
+                assert_eq!(snap.fpga_synths, base.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_errors_abort_characterization() {
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 4, 4));
+        let shards = vec![
+            Ok(lib.clone()),
+            Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "torn")),
+            Ok(lib),
+        ];
+        let err = characterize_shards_traced(
+            shards.into_iter(),
+            &afp_asic::AsicConfig::default(),
+            &afp_fpga::FpgaConfig::default(),
+            &afp_error::ErrorConfig::default(),
+            &Runtime::serial(),
+            None,
+            &Recorder::disabled(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -4,17 +4,24 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
-use afp_circuits::{build_library_with, LibrarySpec};
+use afp_circuits::{build_library_with, ArithCircuit, LibrarySource, LibrarySpec};
 use afp_ml::chaos::ChaosConfig;
 use afp_ml::MlModelId;
 use afp_obs::Recorder;
 use afp_runtime::{CounterSnapshot, Counters, Runtime};
 
 use crate::cache::{CacheBackend, CharacterizationCache};
-use crate::dataset::{characterize_library_traced, sample_subset, train_validate_split};
+use crate::dataset::{
+    characterize_library_traced, characterize_shards_traced, sample_subset, train_validate_split,
+};
 use crate::fidelity::{train_zoo_tuned_with, train_zoo_with, TrainedZoo};
 use crate::pareto::{coverage, pareto_front, peel_fronts};
 use crate::record::{CircuitRecord, FpgaParam};
+
+/// Shard size used when [`FlowConfig::shard_circuits`] is `0`: large
+/// enough to keep the work-stealing pool saturated, small enough that a
+/// paper-full corpus never has more than ~2% of its circuits resident.
+pub const DEFAULT_SHARD_CIRCUITS: usize = 1024;
 
 /// Configuration of one flow run.
 #[derive(Clone, Debug)]
@@ -47,6 +54,11 @@ pub struct FlowConfig {
     /// Worker threads for the parallel stages (0 = one per available
     /// core). Results are bit-identical for any thread count.
     pub threads: usize,
+    /// Circuits per shard when streaming a stored corpus through
+    /// [`Flow::run_source`] (0 = the 1024-circuit default). Smaller
+    /// shards lower peak circuit residency; normalized outcomes are
+    /// bit-identical for any shard size.
+    pub shard_circuits: usize,
     /// Memoize characterization results keyed by circuit structure and
     /// configuration (default on; repeated circuits and repeated runs of
     /// one [`Flow`] skip synthesis entirely).
@@ -110,6 +122,7 @@ impl Default for FlowConfig {
             tune_models: false,
             fidelity_tolerance: 0.01,
             threads: 0,
+            shard_circuits: DEFAULT_SHARD_CIRCUITS,
             use_cache: true,
             cache_dir: None,
             cache_backend: CacheBackend::default(),
@@ -288,16 +301,97 @@ impl Flow {
     /// the untraced run for any thread count, and a disabled recorder
     /// costs one branch per stage.
     pub fn run_traced(&self, recorder: &Recorder) -> FlowOutcome {
+        let source = LibrarySource::Generated(self.config.library.clone());
+        self.run_source_traced(&source, recorder)
+            .expect("generated libraries cannot fail to stream")
+    }
+
+    /// Run the methodology on a library obtained from `source`.
+    ///
+    /// [`LibrarySource::Generated`] behaves exactly like [`Flow::run`]
+    /// with that spec as [`FlowConfig::library`]: the library is built in
+    /// process and characterized in RAM. [`LibrarySource::Stored`]
+    /// streams the corpus shard-at-a-time ([`FlowConfig::shard_circuits`]
+    /// circuits per shard), keeping only one shard plus the surviving
+    /// records resident; normalized outcomes are bit-identical to the
+    /// in-RAM path for any shard size and thread count. A missing,
+    /// foreign-version, or torn corpus is an `Err` — never a silently
+    /// smaller run.
+    pub fn run_source(&self, source: &LibrarySource) -> std::io::Result<FlowOutcome> {
+        self.run_source_traced(source, &Recorder::disabled())
+    }
+
+    /// [`Flow::run_source`] with structured tracing (see
+    /// [`Flow::run_traced`]).
+    pub fn run_source_traced(
+        &self,
+        source: &LibrarySource,
+        recorder: &Recorder,
+    ) -> std::io::Result<FlowOutcome> {
         let cfg = &self.config;
         let rt = Runtime::new(cfg.threads);
-        let library = {
-            let mut span = recorder.span("flow/build_library");
-            let library = build_library_with(&cfg.library, &rt);
-            span.add_items(library.len() as u64);
-            library
-        };
+        match source {
+            LibrarySource::Generated(spec) => {
+                let library = {
+                    let mut span = recorder.span("flow/build_library");
+                    let library = build_library_with(spec, &rt);
+                    span.add_items(library.len() as u64);
+                    library
+                };
+                let records = characterize_library_traced(
+                    &library,
+                    &cfg.asic,
+                    &cfg.fpga,
+                    &cfg.error,
+                    &rt,
+                    self.cache.as_ref(),
+                    recorder,
+                );
+                drop(library);
+                Ok(self.run_on_records_inner(records, &rt, recorder))
+            }
+            LibrarySource::Stored(_) => {
+                let shard = if cfg.shard_circuits == 0 {
+                    DEFAULT_SHARD_CIRCUITS
+                } else {
+                    cfg.shard_circuits
+                };
+                let shards = source.shards(shard, &rt)?;
+                let records = characterize_shards_traced(
+                    shards,
+                    &cfg.asic,
+                    &cfg.fpga,
+                    &cfg.error,
+                    &rt,
+                    self.cache.as_ref(),
+                    recorder,
+                )?;
+                Ok(self.run_on_records_inner(records, &rt, recorder))
+            }
+        }
+    }
+
+    /// Run the methodology on an already-built library slice: in-RAM
+    /// characterization plus the downstream stages, with no
+    /// `flow/build_library` span. This is the resident comparator for the
+    /// streamed path — `run_source(&LibrarySource::Stored(p))` must
+    /// produce the same normalized report as
+    /// `run_on_library(&read_library(p)?)`.
+    pub fn run_on_library(&self, library: &[ArithCircuit]) -> FlowOutcome {
+        self.run_on_library_traced(library, &Recorder::disabled())
+    }
+
+    /// [`Flow::run_on_library`] with structured tracing (see
+    /// [`Flow::run_traced`]).
+    pub fn run_on_library_traced(
+        &self,
+        library: &[ArithCircuit],
+        recorder: &Recorder,
+    ) -> FlowOutcome {
+        let cfg = &self.config;
+        let rt = Runtime::new(cfg.threads);
         let records = characterize_library_traced(
-            &library,
+            library,
             &cfg.asic,
             &cfg.fpga,
             &cfg.error,
@@ -711,6 +805,65 @@ mod tests {
                 "no per-model estimation spans"
             );
         }
+    }
+
+    #[test]
+    fn streamed_stored_source_matches_the_in_ram_path() {
+        let dir = std::env::temp_dir().join(format!("afp-flow-source-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("lib.afps");
+        let cfg = tiny_config(60);
+        let library = afp_circuits::build_library(&cfg.library);
+        afp_circuits::write_library(&path, &library).expect("persist corpus");
+
+        let in_ram = Flow::new(cfg.clone()).run_on_library(&library);
+        for (threads, shard) in [(1, 7), (4, 17), (1, 0)] {
+            let flow = Flow::new(FlowConfig {
+                threads,
+                shard_circuits: shard,
+                ..cfg.clone()
+            });
+            let streamed = flow
+                .run_source(&LibrarySource::Stored(path.clone()))
+                .expect("streamed flow");
+            assert_eq!(in_ram.subset, streamed.subset, "threads={threads}");
+            assert_eq!(in_ram.synthesized, streamed.synthesized);
+            assert_eq!(in_ram.final_fronts, streamed.final_fronts);
+            assert_eq!(in_ram.coverage, streamed.coverage);
+            assert_eq!(in_ram.time, streamed.time);
+            assert!(streamed.runtime.shards_streamed >= 1);
+            let cap = if shard == 0 {
+                DEFAULT_SHARD_CIRCUITS
+            } else {
+                shard
+            };
+            assert!(
+                streamed.runtime.peak_resident_circuits <= cap as u64,
+                "peak {} > shard {cap}",
+                streamed.runtime.peak_resident_circuits
+            );
+        }
+        // A missing corpus is a loud error, not an empty run.
+        match Flow::new(cfg.clone()).run_source(&LibrarySource::Stored(dir.join("nope.afps"))) {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+            Ok(_) => panic!("missing corpus must not run"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generated_source_is_the_classic_run() {
+        let cfg = tiny_config(60);
+        let classic = Flow::new(cfg.clone()).run();
+        let sourced = Flow::new(cfg.clone())
+            .run_source(&LibrarySource::Generated(cfg.library.clone()))
+            .expect("generated source");
+        assert_eq!(classic.subset, sourced.subset);
+        assert_eq!(classic.final_fronts, sourced.final_fronts);
+        assert_eq!(classic.time, sourced.time);
+        assert_eq!(classic.runtime.shards_streamed, 0);
+        assert_eq!(classic.runtime.peak_resident_circuits, 0);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod targets;
 
 pub use cache::{CacheBackend, CachedCharacterization, CharacterizationCache};
 pub use fidelity::FidelityRecord;
-pub use flow::{ChaosSpec, Flow, FlowConfig, FlowOutcome, TimeAccounting};
+pub use flow::{ChaosSpec, Flow, FlowConfig, FlowOutcome, TimeAccounting, DEFAULT_SHARD_CIRCUITS};
 pub use pareto::{coverage, pareto_front, peel_fronts};
 pub use record::{CircuitRecord, FeatureLayout, FpgaParam};
 pub use report::run_report;

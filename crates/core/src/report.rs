@@ -95,6 +95,11 @@ pub fn run_report(config: &FlowConfig, outcome: &FlowOutcome, recorder: &Recorde
             .field(
                 "structural_dedup_hits",
                 Value::UInt(rt.structural_dedup_hits),
+            )
+            .field("shards_streamed", Value::UInt(rt.shards_streamed))
+            .field(
+                "peak_resident_circuits",
+                Value::UInt(rt.peak_resident_circuits),
             ),
     );
     let lookups = rt.cache_hits + rt.cache_misses;
@@ -133,15 +138,21 @@ pub fn run_report(config: &FlowConfig, outcome: &FlowOutcome, recorder: &Recorde
 }
 
 /// Strip the run-to-run unstable surfaces from a report — wall-clock
-/// stage timings and the two scheduling-dependent counters (`steals`,
-/// and `mapper_reuses`, which depends on how work-stealing distributed
-/// circuits over per-worker mapper arenas) — leaving a document that is
-/// byte-identical across repeated runs and thread counts. This is what
-/// the schema goldens and CI diffs compare.
+/// stage timings, the two scheduling-dependent counters (`steals`, and
+/// `mapper_reuses`, which depends on how work-stealing distributed
+/// circuits over per-worker mapper arenas), and the two
+/// execution-shape counters (`shards_streamed` and
+/// `peak_resident_circuits`, which depend on shard size and on whether
+/// the library was streamed or resident, not on what was computed) —
+/// leaving a document that is byte-identical across repeated runs,
+/// thread counts, shard sizes and library sources. This is what the
+/// schema goldens and CI diffs compare.
 pub fn normalized(report: &RunReport) -> RunReport {
     let mut out = report.normalized();
     out.set_field("runtime", "steals", Value::UInt(0));
     out.set_field("runtime", "mapper_reuses", Value::UInt(0));
+    out.set_field("runtime", "shards_streamed", Value::UInt(0));
+    out.set_field("runtime", "peak_resident_circuits", Value::UInt(0));
     out
 }
 

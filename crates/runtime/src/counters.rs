@@ -39,6 +39,12 @@ pub struct Counters {
     /// Characterizations answered by copying the record of a structurally
     /// identical circuit instead of simulating again.
     pub structural_dedup_hits: AtomicU64,
+    /// Library shards pulled through the streaming characterization path.
+    pub shards_streamed: AtomicU64,
+    /// High-water mark of circuits resident at once while streaming a
+    /// library shard-at-a-time (a gauge updated via [`Counters::max`],
+    /// not a monotonic count).
+    pub peak_resident_circuits: AtomicU64,
     /// Non-finite model estimates quarantined by the flow (excluded from
     /// pseudo-pareto peeling instead of corrupting the ranking).
     pub estimates_quarantined: AtomicU64,
@@ -52,6 +58,12 @@ impl Counters {
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water gauge to at least `n` (for peaks, not counts).
+    #[inline]
+    pub fn max(counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters.
@@ -71,6 +83,8 @@ impl Counters {
             mapper_reuses: self.mapper_reuses.load(Ordering::Relaxed),
             sim_tape_reuses: self.sim_tape_reuses.load(Ordering::Relaxed),
             structural_dedup_hits: self.structural_dedup_hits.load(Ordering::Relaxed),
+            shards_streamed: self.shards_streamed.load(Ordering::Relaxed),
+            peak_resident_circuits: self.peak_resident_circuits.load(Ordering::Relaxed),
             estimates_quarantined: self.estimates_quarantined.load(Ordering::Relaxed),
             cache_write_errors: self.cache_write_errors.load(Ordering::Relaxed),
         }
@@ -111,6 +125,12 @@ pub struct CounterSnapshot {
     pub sim_tape_reuses: u64,
     /// Characterizations served by structural dedup.
     pub structural_dedup_hits: u64,
+    /// Library shards pulled through the streaming path.
+    pub shards_streamed: u64,
+    /// High-water mark of circuits resident while streaming (a gauge; in
+    /// a [`CounterSnapshot::since`] delta it is only meaningful when the
+    /// earlier snapshot predates any streaming).
+    pub peak_resident_circuits: u64,
     /// Non-finite model estimates quarantined by the flow.
     pub estimates_quarantined: u64,
     /// Cache entries whose disk append failed (persistence lost).
@@ -141,6 +161,10 @@ impl CounterSnapshot {
             structural_dedup_hits: self
                 .structural_dedup_hits
                 .saturating_sub(earlier.structural_dedup_hits),
+            shards_streamed: self.shards_streamed.saturating_sub(earlier.shards_streamed),
+            peak_resident_circuits: self
+                .peak_resident_circuits
+                .saturating_sub(earlier.peak_resident_circuits),
             estimates_quarantined: self
                 .estimates_quarantined
                 .saturating_sub(earlier.estimates_quarantined),
@@ -167,5 +191,14 @@ mod tests {
         assert_eq!(d.tasks_executed, 5);
         assert_eq!(d.cache_hits, 0);
         assert_eq!(b.tasks_executed, 15);
+    }
+
+    #[test]
+    fn max_is_a_high_water_gauge() {
+        let c = Counters::default();
+        Counters::max(&c.peak_resident_circuits, 40);
+        Counters::max(&c.peak_resident_circuits, 12);
+        Counters::max(&c.peak_resident_circuits, 64);
+        assert_eq!(c.snapshot().peak_resident_circuits, 64);
     }
 }

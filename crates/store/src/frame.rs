@@ -34,7 +34,7 @@
 
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use afp_runtime::Key128;
 
@@ -145,18 +145,26 @@ pub fn put_block_frame(out: &mut Vec<u8>, records: &[(Key128, Vec<u8>)]) {
         put_uvarint(&mut raw, payload.len() as u64);
         raw.extend_from_slice(payload);
     }
-    let packed = lz::compress(&raw);
-    let raw_len = raw.len();
-    let (codec, data) = if packed.len() < raw_len {
-        (CODEC_LZ, packed)
+    put_block_frame_raw(out, records.len(), &raw);
+}
+
+/// Append a block frame (`TAG_BLOCK`) from a pre-concatenated entry buffer
+/// (`count` entries of `key.hi u64 LE | key.lo u64 LE | payload_len
+/// uvarint | payload`). This is the zero-copy path [`StoreWriter::append`]
+/// builds incrementally, so payloads are never cloned into a per-record
+/// `Vec` first.
+pub fn put_block_frame_raw(out: &mut Vec<u8>, count: usize, raw: &[u8]) {
+    let packed = lz::compress(raw);
+    let (codec, data) = if packed.len() < raw.len() {
+        (CODEC_LZ, packed.as_slice())
     } else {
         (CODEC_RAW, raw)
     };
     let mut body = Vec::with_capacity(data.len() + 16);
     body.push(codec);
-    put_uvarint(&mut body, records.len() as u64);
-    put_uvarint(&mut body, raw_len as u64);
-    body.extend_from_slice(&data);
+    put_uvarint(&mut body, count as u64);
+    put_uvarint(&mut body, raw.len() as u64);
+    body.extend_from_slice(data);
     put_frame(out, TAG_BLOCK, &body);
 }
 
@@ -413,13 +421,22 @@ pub fn read_index(file: &mut File) -> io::Result<Option<IndexSummary>> {
 /// Dropping the writer without calling [`StoreWriter::finish`] or
 /// [`StoreWriter::finish_sealed`] leaves whatever frames were already
 /// flushed — readers recover those and drop the unwritten tail, the same
-/// crash story as the append path.
+/// crash story as the append path. Writers opened with
+/// [`StoreWriter::create_atomic`] instead leave the destination untouched
+/// until a `finish*` call renames the finished temp sibling over it.
 pub struct StoreWriter {
     file: File,
-    pending: Vec<(Key128, Vec<u8>)>,
+    /// Pre-concatenated block entries awaiting the next flush (the
+    /// `put_block_frame_raw` layout), built incrementally so append never
+    /// clones the caller's payload.
+    raw: Vec<u8>,
+    /// Entries currently queued in `raw`.
+    pending: usize,
     entries: Vec<IndexEntry>,
     offset: u64,
     records: u64,
+    /// `(tmp, dest)` when writing atomically: rename on finish.
+    persist_to: Option<(PathBuf, PathBuf)>,
 }
 
 impl StoreWriter {
@@ -435,18 +452,41 @@ impl StoreWriter {
         file.write_all(&header.to_bytes())?;
         Ok(StoreWriter {
             file,
-            pending: Vec::new(),
+            raw: Vec::new(),
+            pending: 0,
             entries: Vec::new(),
             offset: HEADER_LEN,
             records: 0,
+            persist_to: None,
         })
     }
 
+    /// Like [`StoreWriter::create`], but crash-safe for rewrites: frames
+    /// go to a `.tmp` sibling and `path` is only replaced — atomically,
+    /// via rename — when [`StoreWriter::finish`] or
+    /// [`StoreWriter::finish_sealed`] succeeds. A crash mid-write leaves
+    /// any existing file at `path` exactly as it was.
+    pub fn create_atomic(path: &Path, record_version: u32) -> io::Result<StoreWriter> {
+        let name = path.file_name().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "store path has no file name")
+        })?;
+        let mut tmp_name = name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut writer = StoreWriter::create(&tmp, record_version)?;
+        writer.persist_to = Some((tmp, path.to_path_buf()));
+        Ok(writer)
+    }
+
     /// Queue one record; flushes a block frame every [`BLOCK_RECORDS`].
-    pub fn append(&mut self, key: Key128, payload: Vec<u8>) -> io::Result<()> {
-        self.pending.push((key, payload));
+    pub fn append(&mut self, key: Key128, payload: &[u8]) -> io::Result<()> {
+        self.raw.extend_from_slice(&key.hi.to_le_bytes());
+        self.raw.extend_from_slice(&key.lo.to_le_bytes());
+        put_uvarint(&mut self.raw, payload.len() as u64);
+        self.raw.extend_from_slice(payload);
+        self.pending += 1;
         self.records += 1;
-        if self.pending.len() >= BLOCK_RECORDS {
+        if self.pending >= BLOCK_RECORDS {
             self.flush_block()?;
         }
         Ok(())
@@ -458,18 +498,31 @@ impl StoreWriter {
     }
 
     fn flush_block(&mut self) -> io::Result<()> {
-        if self.pending.is_empty() {
+        if self.pending == 0 {
             return Ok(());
         }
         let mut buf = Vec::new();
-        put_block_frame(&mut buf, &self.pending);
+        put_block_frame_raw(&mut buf, self.pending, &self.raw);
         self.entries.push(IndexEntry {
             offset: self.offset,
-            records: self.pending.len() as u64,
+            records: self.pending as u64,
         });
         self.file.write_all(&buf)?;
         self.offset += buf.len() as u64;
-        self.pending.clear();
+        self.pending = 0;
+        self.raw.clear();
+        Ok(())
+    }
+
+    /// Rename the finished temp sibling over the destination (atomic mode
+    /// only; a plain `create` writer has nothing to do here).
+    fn persist(&mut self) -> io::Result<()> {
+        if let Some((tmp, dest)) = self.persist_to.take() {
+            // Durability before visibility: the rename must only ever
+            // expose fully-flushed bytes.
+            self.file.sync_all()?;
+            std::fs::rename(tmp, dest)?;
+        }
         Ok(())
     }
 
@@ -477,7 +530,8 @@ impl StoreWriter {
     /// later appends).
     pub fn finish(mut self) -> io::Result<()> {
         self.flush_block()?;
-        self.file.flush()
+        self.file.flush()?;
+        self.persist()
     }
 
     /// Flush remaining records, write the index footer and trailer, and
@@ -491,7 +545,8 @@ impl StoreWriter {
         // so a crash mid-seal leaves a readable unsealed file.
         self.file.seek(SeekFrom::Start(6))?;
         self.file.write_all(&FLAG_SEALED.to_le_bytes())?;
-        self.file.flush()
+        self.file.flush()?;
+        self.persist()
     }
 }
 
@@ -695,8 +750,7 @@ mod tests {
         let path = dir.join("sealed.afps");
         let mut w = StoreWriter::create(&path, 9).unwrap();
         for i in 0..600u64 {
-            w.append(key(i), format!("payload {i}").into_bytes())
-                .unwrap();
+            w.append(key(i), format!("payload {i}").as_bytes()).unwrap();
         }
         w.finish_sealed().unwrap();
 
@@ -727,11 +781,50 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("unsealed.afps");
         let mut w = StoreWriter::create(&path, 1).unwrap();
-        w.append(key(1), b"x".to_vec()).unwrap();
+        w.append(key(1), b"x").unwrap();
         w.finish().unwrap();
         let mut file = File::open(&path).unwrap();
         assert_eq!(read_index(&mut file).unwrap(), None);
         std::fs::remove_file(&path).unwrap();
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn atomic_writer_preserves_destination_until_finish() {
+        let dir = std::env::temp_dir().join(format!("afp-store-frame3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.afps");
+
+        // Seal a first generation at the destination.
+        let mut w = StoreWriter::create_atomic(&path, 3).unwrap();
+        w.append(key(1), b"gen1").unwrap();
+        w.finish_sealed().unwrap();
+        let gen1 = std::fs::read(&path).unwrap();
+
+        // A writer dropped mid-rewrite (simulated crash) must leave the
+        // previous generation byte-identical, with only the temp sibling
+        // as debris.
+        let mut crashed = StoreWriter::create_atomic(&path, 3).unwrap();
+        for i in 0..600u64 {
+            crashed.append(key(i), b"doomed").unwrap();
+        }
+        drop(crashed);
+        assert_eq!(std::fs::read(&path).unwrap(), gen1);
+        let tmp = dir.join("corpus.afps.tmp");
+        assert!(tmp.exists(), "temp sibling holds the abandoned write");
+
+        // A completed rewrite replaces the destination and removes the
+        // temp sibling.
+        let mut w = StoreWriter::create_atomic(&path, 3).unwrap();
+        w.append(key(2), b"gen2").unwrap();
+        w.finish_sealed().unwrap();
+        assert!(!tmp.exists());
+        let info = inspect(&path).unwrap();
+        assert!(info.sealed);
+        assert_eq!(info.records, 1);
+        let scan = scan_bytes(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(scan.records[0].payload, b"gen2");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -34,7 +34,7 @@
 //! let path = dir.join("demo.afps");
 //!
 //! let mut writer = StoreWriter::create(&path, 1).unwrap();
-//! writer.append(Key128 { hi: 1, lo: 2 }, b"payload".to_vec()).unwrap();
+//! writer.append(Key128 { hi: 1, lo: 2 }, b"payload").unwrap();
 //! writer.finish_sealed().unwrap();
 //!
 //! let records: Vec<_> = FrameStream::open(&path).unwrap().collect();

@@ -163,7 +163,7 @@ mod tests {
         let path = temp_path("sealed");
         let mut w = StoreWriter::create(&path, 5).unwrap();
         for i in 0..700u64 {
-            w.append(key(i), format!("rec {i}").into_bytes()).unwrap();
+            w.append(key(i), format!("rec {i}").as_bytes()).unwrap();
         }
         w.finish_sealed().unwrap();
 

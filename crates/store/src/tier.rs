@@ -116,15 +116,14 @@ impl<V: BinRecord> StoreTier<V> {
     /// Rewrite the file from `entries` as compressed block frames, via a
     /// temp file and atomic rename so a crash leaves the old file intact.
     fn rewrite(path: &Path, entries: &[(Key128, V)]) -> io::Result<()> {
-        let tmp = path.with_extension("afps.tmp");
-        let mut writer = StoreWriter::create(&tmp, V::VERSION)?;
+        let mut writer = StoreWriter::create_atomic(path, V::VERSION)?;
+        let mut payload = Vec::new();
         for (key, value) in entries {
-            let mut payload = Vec::new();
+            payload.clear();
             value.encode(&mut payload);
-            writer.append(*key, payload)?;
+            writer.append(*key, &payload)?;
         }
-        writer.finish()?;
-        fs::rename(&tmp, path)
+        writer.finish()
     }
 
     /// Entries recovered at open time; drain them into the memory tier.
@@ -210,15 +209,14 @@ pub fn migrate_csv<V: BinRecord + CsvRecord>(
         });
     }
     let entries = DiskTier::<V>::read_entries(&csv_path)?;
-    let tmp = store_path.with_extension("afps.tmp");
-    let mut writer = StoreWriter::create(&tmp, <V as BinRecord>::VERSION)?;
+    let mut writer = StoreWriter::create_atomic(&store_path, <V as BinRecord>::VERSION)?;
+    let mut payload = Vec::new();
     for (key, value) in &entries {
-        let mut payload = Vec::new();
+        payload.clear();
         value.encode(&mut payload);
-        writer.append(*key, payload)?;
+        writer.append(*key, &payload)?;
     }
     writer.finish()?;
-    fs::rename(&tmp, &store_path)?;
     let aside = csv_path.with_file_name(format!("{csv_name}.migrated"));
     fs::rename(&csv_path, aside)?;
     Ok(CsvMigration {
@@ -310,7 +308,7 @@ mod tests {
         let mut w = StoreWriter::create(&dir.join("c.afps"), 999).unwrap();
         let mut payload = Vec::new();
         rec(1).encode(&mut payload);
-        w.append(key(1), payload).unwrap();
+        w.append(key(1), &payload).unwrap();
         w.finish().unwrap();
 
         let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();

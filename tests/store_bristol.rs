@@ -144,7 +144,7 @@ fn write_corpus(path: &std::path::Path, count: usize) -> Vec<Netlist> {
                     hi: i as u64,
                     lo: !(i as u64),
                 },
-                payload,
+                &payload,
             )
             .unwrap();
         corpus.push(nl);
