@@ -46,11 +46,13 @@ pub mod mutate;
 pub mod prefix_adders;
 pub mod soa;
 pub mod source;
+pub mod spec;
 pub mod store;
 
 pub use arith::{ArithCircuit, ArithKind, BatchEvaluator};
 pub use library::{build_library, build_library_with, LibrarySpec};
 pub use source::{ensure_library, paper_full_specs, LibraryShards, LibrarySource};
+pub use spec::from_spec_ref;
 pub use store::{
     read_library, stream_library, write_library, write_library_specs, LibraryStream, WriteSummary,
 };

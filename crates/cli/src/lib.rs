@@ -9,6 +9,7 @@
 //! * `map`      — LUT-map a Verilog file, verify equivalence, emit the
 //!   mapped LUT netlist
 //! * `flow`     — run the full ApproxFPGAs methodology on a library
+//! * `serve`    — long-running characterization service (HTTP/1.1)
 //! * `cache`    — inspect or migrate a characterization cache directory
 //!
 //! The parsing layer is deliberately dependency-free: flags are
@@ -97,6 +98,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "error" => cmd_error(&cli),
         "map" => cmd_map(&cli),
         "flow" => cmd_flow(&cli),
+        "serve" => cmd_serve(&cli),
         "cache" => cmd_cache(&cli),
         "targets" => cmd_targets(&cli),
         "help" | "" => Ok(usage()),
@@ -152,6 +154,21 @@ USAGE:
       documents from different runs, machines, shard sizes or library
       sources compare byte-for-byte; --report none skips tracing
       entirely.
+  afp serve [--addr HOST:PORT] [--socket PATH] [--threads T]
+            [--queue-depth N] [--target-default NAME] [--cache-dir DIR]
+            [--cache-format store|csv]
+      Run the characterization service: a long-lived daemon answering
+      HTTP/1.1 characterization requests (GET /characterize?spec=
+      mul8:trunc:3&target=NAME, POST /characterize with a Bristol body,
+      POST /characterize/batch with an .afps body, GET /stats,
+      POST /shutdown). Identical concurrent requests coalesce into one
+      in-flight characterization; connections beyond --queue-depth
+      (default 64) are answered 429 instead of queueing unboundedly;
+      shutdown drains every accepted request before exiting. --addr
+      (default 127.0.0.1:8080) and --socket (Unix-domain) are mutually
+      exclusive; --target-default (default lut6-7series) applies when a
+      request omits ?target=; --cache-dir/--cache-format share the warm
+      tier with `afp flow`.
   afp cache stats DIR
       Describe the characterization cache in DIR: entries, bytes and
       format version of the binary store and/or legacy CSV file.
@@ -472,6 +489,23 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
     let fronts = cli.usize_flag("fronts", 3)?;
     let threads = cli.usize_flag("threads", 0)?;
     let shard = cli.usize_flag("shard", 0)?;
+    // 0 is the internal "use the default" sentinel; accepting it from the
+    // command line would silently run with 1024-circuit shards instead of
+    // what the user plainly asked for.
+    if cli.flags.get("shard").map(String::as_str) == Some("0") {
+        return Err(format!(
+            "--shard 0 is not a valid shard size (it would silently fall back to the \
+             {}-circuit default); pass --shard N with N >= 1, or omit the flag",
+            approxfpgas::DEFAULT_SHARD_CIRCUITS
+        ));
+    }
+    for serve_only in ["addr", "socket", "queue-depth", "target-default"] {
+        if cli.flags.contains_key(serve_only) {
+            return Err(format!(
+                "--{serve_only} is an `afp serve` flag; `afp flow` does not accept it"
+            ));
+        }
+    }
     let (source, corpus_notes) = stored_source(cli, threads)?;
     if source.is_some() {
         for generated_only in ["kind", "width", "size"] {
@@ -631,6 +665,9 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
              see cache.write_errors in the report)",
             rt.cache_write_errors
         );
+        if let Some(err) = &outcome.cache_last_error {
+            let _ = writeln!(out, "warning: last cache write error: {err}");
+        }
     }
     let _ = writeln!(
         out,
@@ -665,6 +702,111 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+fn cmd_serve(cli: &Cli) -> Result<String, String> {
+    // Flow-shaped flags on `serve` are a sign the user mixed up the two
+    // subcommands; reject them loudly instead of silently ignoring them.
+    for flow_only in [
+        "library",
+        "paper-full",
+        "paper-scale",
+        "shard",
+        "kind",
+        "width",
+        "size",
+        "fronts",
+        "subset",
+        "all-targets",
+        "no-cache",
+        "report",
+        "report-out",
+        "report-normalized",
+    ] {
+        if cli.flags.contains_key(flow_only) {
+            return Err(format!(
+                "--{flow_only} is an `afp flow` flag; `afp serve` does not accept it"
+            ));
+        }
+    }
+    if cli.flags.contains_key("target") {
+        return Err(
+            "`afp serve` takes the target per request (?target=NAME); use --target-default \
+             for the fallback profile"
+                .to_string(),
+        );
+    }
+    if cli.flags.contains_key("addr") && cli.flags.contains_key("socket") {
+        return Err("--addr and --socket are mutually exclusive; pick one listener".to_string());
+    }
+    let threads = cli.usize_flag("threads", 0)?;
+    let queue_depth = cli.usize_flag("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1 (0 would reject every request)".to_string());
+    }
+    let default_target = cli
+        .flag_or("target-default", afp_fpga::DEFAULT_TARGET)
+        .to_string();
+    if afp_fpga::target::named(&default_target).is_none() {
+        return Err(approxfpgas::UnknownTargetError {
+            name: default_target,
+        }
+        .to_string());
+    }
+    let cache_dir = cli.flags.get("cache-dir").map(std::path::PathBuf::from);
+    let cache_backend = match cli.flag_or("cache-format", "store") {
+        "store" => approxfpgas::CacheBackend::Store,
+        "csv" => approxfpgas::CacheBackend::Csv,
+        other => return Err(format!("--cache-format must be store|csv, got `{other}`")),
+    };
+    let bind = match cli.flags.get("socket") {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                afp_serve::Bind::Unix(std::path::PathBuf::from(path))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err("--socket requires a Unix platform".to_string());
+            }
+        }
+        None => afp_serve::Bind::Tcp(cli.flag_or("addr", "127.0.0.1:8080").to_string()),
+    };
+    let handle = afp_serve::serve(afp_serve::ServeConfig {
+        bind,
+        threads,
+        queue_depth,
+        default_target: default_target.clone(),
+        cache_dir,
+        cache_backend,
+    })
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    // Announce the endpoint eagerly — `run` only prints on exit, and the
+    // daemon blocks here until something POSTs /shutdown.
+    match handle.addr() {
+        Some(addr) => println!(
+            "afp serve: listening on http://{addr} (default target {default_target}; \
+             POST /shutdown to stop)"
+        ),
+        None => println!(
+            "afp serve: listening on {} (default target {default_target}; \
+             POST /shutdown to stop)",
+            cli.flag_or("socket", "<socket>")
+        ),
+    }
+    let snap = handle.join();
+    Ok(format!(
+        "serve drained: {} requests served ({} coalesced, {} queue rejections, \
+         inflight peak {}), {} ASIC synths, cache {} hits / {} misses\n",
+        snap.requests_served,
+        snap.requests_coalesced,
+        snap.queue_rejections,
+        snap.inflight_peak,
+        snap.asic_synths,
+        snap.cache_hits,
+        snap.cache_misses
+    ))
 }
 
 fn cmd_flow_all_targets(base: &approxfpgas::FlowConfig) -> Result<String, String> {
@@ -824,7 +966,7 @@ mod tests {
     fn help_lists_all_commands() {
         let text = run(&args(&["help"])).unwrap();
         for cmd in [
-            "library", "synth", "error", "map", "flow", "cache", "targets",
+            "library", "synth", "error", "map", "flow", "serve", "cache", "targets",
         ] {
             assert!(text.contains(cmd), "missing {cmd}");
         }
@@ -836,6 +978,40 @@ mod tests {
         assert!(text.contains("--paper-full"), "{text}");
         assert!(text.contains("--paper-scale"), "{text}");
         assert!(text.contains("--shard"), "{text}");
+        assert!(text.contains("--queue-depth"), "{text}");
+        assert!(text.contains("--target-default"), "{text}");
+    }
+
+    #[test]
+    fn flow_rejects_shard_zero_instead_of_defaulting() {
+        let e = run(&args(&["flow", "--size", "4", "--shard", "0"])).unwrap_err();
+        assert!(e.contains("--shard 0"), "{e}");
+        assert!(e.contains("1024"), "{e}");
+        // The sentinel is still fine when the flag is simply absent.
+        assert!(run(&args(&["flow", "--size", "4", "--subset", "1.0"])).is_ok());
+    }
+
+    #[test]
+    fn flow_and_serve_reject_each_others_flags() {
+        let e = run(&args(&["flow", "--size", "4", "--queue-depth", "8"])).unwrap_err();
+        assert!(e.contains("afp serve"), "{e}");
+        let e = run(&args(&["serve", "--paper-full", "true"])).unwrap_err();
+        assert!(e.contains("afp flow"), "{e}");
+        let e = run(&args(&["serve", "--target", "lut4-ice40"])).unwrap_err();
+        assert!(e.contains("--target-default"), "{e}");
+        let e = run(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--socket",
+            "/tmp/x",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = run(&args(&["serve", "--queue-depth", "0"])).unwrap_err();
+        assert!(e.contains("--queue-depth"), "{e}");
+        let e = run(&args(&["serve", "--target-default", "lut9-none"])).unwrap_err();
+        assert!(e.contains("unknown target"), "{e}");
     }
 
     #[test]

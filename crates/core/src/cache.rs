@@ -371,6 +371,18 @@ impl CharacterizationCache {
         }
     }
 
+    /// The most recent disk-append failure message, if any. The disk
+    /// tiers only warn on stderr for the *first* failure; this carries
+    /// the last one into reports so an operator can see why the warm
+    /// tier is degraded. Always `None` for a memory-only cache.
+    pub fn last_write_error(&self) -> Option<String> {
+        match &self.disk {
+            Some(DiskBackend::Csv(tier)) => tier.last_write_error(),
+            Some(DiskBackend::Store(tier)) => tier.last_write_error(),
+            None => None,
+        }
+    }
+
     /// The content key of one characterization: circuit structure (not
     /// name) plus every configuration field that affects the reports.
     pub fn key(
@@ -393,6 +405,13 @@ impl CharacterizationCache {
     /// Look up `key`, recording hit/miss in `counters`.
     pub fn get(&self, key: Key128, counters: &Counters) -> Option<CachedCharacterization> {
         self.memo.get(key, counters)
+    }
+
+    /// Non-counting warm check: whether `key` is already in the memory
+    /// tier. Used by the serve layer to label responses warm/cold
+    /// without distorting hit/miss statistics.
+    pub fn contains(&self, key: Key128) -> bool {
+        self.memo.peek(key).is_some()
     }
 
     /// Store a freshly computed entry in both tiers.

@@ -221,6 +221,10 @@ pub struct FlowOutcome {
     /// hits/misses, synthesis counts and bytes simulated. `steals` is the
     /// only non-deterministic field; everything else is thread-invariant.
     pub runtime: CounterSnapshot,
+    /// The last cache disk-append failure message, `None` when every
+    /// entry persisted cleanly. Pairs with `runtime.cache_write_errors`:
+    /// the count says the warm tier is degraded, this says why.
+    pub cache_last_error: Option<String>,
 }
 
 impl FlowOutcome {
@@ -651,10 +655,12 @@ impl Flow {
         // Surface persistence failures: the cache counts appends it had to
         // drop; fold the lifetime total into this run's counters so the
         // report and `afp flow` summary can show it.
+        let mut cache_last_error = None;
         if let Some(cache) = &self.cache {
             let dropped = cache.write_errors();
             if dropped > 0 {
                 Counters::add(&rt.counters().cache_write_errors, dropped);
+                cache_last_error = cache.last_write_error();
             }
         }
 
@@ -673,6 +679,7 @@ impl Flow {
             coverage: cov,
             time,
             runtime: rt.snapshot(),
+            cache_last_error,
         }
     }
 }

@@ -53,6 +53,7 @@ pub mod flow;
 pub mod pareto;
 pub mod record;
 pub mod report;
+pub mod request;
 pub mod targets;
 
 pub use cache::{CacheBackend, CachedCharacterization, CharacterizationCache};
@@ -61,6 +62,7 @@ pub use flow::{ChaosSpec, Flow, FlowConfig, FlowOutcome, TimeAccounting, DEFAULT
 pub use pareto::{coverage, pareto_front, peel_fronts};
 pub use record::{CircuitRecord, FeatureLayout, FpgaParam};
 pub use report::run_report;
+pub use request::{characterize_request, request_report, RequestConfig};
 pub use targets::{
     sweep_targets, transfer_experiment, transfer_matrix, TargetRun, TargetSet, TargetSweep,
     TransferOutcome, UnknownTargetError,

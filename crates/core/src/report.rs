@@ -108,12 +108,17 @@ pub fn run_report(config: &FlowConfig, outcome: &FlowOutcome, recorder: &Recorde
     } else {
         None
     };
+    let last_write_error = match &outcome.cache_last_error {
+        Some(err) => Value::Str(err.clone()),
+        None => Value::Null,
+    };
     report.push_section(
         Section::new("cache")
             .field("hits", Value::UInt(rt.cache_hits))
             .field("misses", Value::UInt(rt.cache_misses))
             .field("hit_rate", Value::ratio(hit_rate))
-            .field("write_errors", Value::UInt(rt.cache_write_errors)),
+            .field("write_errors", Value::UInt(rt.cache_write_errors))
+            .field("last_write_error", last_write_error),
     );
     let dropped: u64 = outcome
         .dropped_models
@@ -153,6 +158,8 @@ pub fn normalized(report: &RunReport) -> RunReport {
     out.set_field("runtime", "mapper_reuses", Value::UInt(0));
     out.set_field("runtime", "shards_streamed", Value::UInt(0));
     out.set_field("runtime", "peak_resident_circuits", Value::UInt(0));
+    // Error strings embed host-specific paths; only presence is stable.
+    out.set_field("cache", "last_write_error", Value::Null);
     out
 }
 

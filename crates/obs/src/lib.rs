@@ -363,7 +363,24 @@ pub struct RunReport {
 /// Current JSON schema version emitted by [`RunReport::to_json`].
 pub const REPORT_VERSION: u32 = 1;
 
+impl Default for RunReport {
+    fn default() -> RunReport {
+        RunReport::new()
+    }
+}
+
 impl RunReport {
+    /// An empty report: no stages, no sections. The starting point for
+    /// request-scoped reports (e.g. one `afp serve` response) that are
+    /// assembled purely from sections, with no stage tracing attached.
+    pub fn new() -> RunReport {
+        RunReport {
+            version: REPORT_VERSION,
+            stages: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
     /// A report holding the stages of `recorder` and no sections yet.
     pub fn from_recorder(recorder: &Recorder) -> RunReport {
         RunReport {
@@ -389,7 +406,14 @@ impl RunReport {
 
     /// Total wall time across all stages, in seconds.
     pub fn total_wall_s(&self) -> f64 {
-        self.stages.iter().map(|s| s.wall_s).sum()
+        let total: f64 = self.stages.iter().map(|s| s.wall_s).sum();
+        // An empty sum is -0.0; canonicalize so a stage-less report
+        // serializes the same "0.0" as a zeroed one.
+        if total == 0.0 {
+            0.0
+        } else {
+            total
+        }
     }
 
     /// A copy with every timing zeroed (stage `wall_s` and therefore the

@@ -121,6 +121,7 @@ pub struct DiskTier<V> {
     writer: Mutex<BufWriter<File>>,
     loaded: Vec<(Key128, V)>,
     write_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
     warned: AtomicBool,
 }
 
@@ -166,6 +167,7 @@ impl<V: CsvRecord> DiskTier<V> {
             writer: Mutex::new(BufWriter::new(file)),
             loaded,
             write_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
             warned: AtomicBool::new(false),
         })
     }
@@ -233,6 +235,10 @@ impl<V: CsvRecord> DiskTier<V> {
         };
         if let Err(err) = result {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
+            *self
+                .last_error
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(err.to_string());
             if !self.warned.swap(true, Ordering::Relaxed) {
                 eprintln!(
                     "warning: failed to persist cache entry to {}: {err} \
@@ -246,6 +252,16 @@ impl<V: CsvRecord> DiskTier<V> {
     /// Number of entries whose disk append failed since open.
     pub fn write_errors(&self) -> u64 {
         self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent append failure message, if any — the warn-once
+    /// stderr path only shows the *first* error, so reports surface the
+    /// last one here.
+    pub fn last_write_error(&self) -> Option<String> {
+        self.last_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The backing file path.
@@ -429,14 +445,18 @@ mod tests {
             writer: Mutex::new(BufWriter::new(file)),
             loaded: Vec::new(),
             write_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
             warned: AtomicBool::new(false),
         };
         let row = Row {
             area: 1.0,
             tag: "x".into(),
         };
+        assert_eq!(tier.last_write_error(), None);
         tier.append(key(1), &row);
         tier.append(key(2), &row);
         assert_eq!(tier.write_errors(), 2);
+        let last = tier.last_write_error().expect("error message captured");
+        assert!(!last.is_empty());
     }
 }

@@ -51,6 +51,19 @@ pub struct Counters {
     /// Cache entries whose disk append failed (the run continued with the
     /// in-memory value, but persistence was lost).
     pub cache_write_errors: AtomicU64,
+    /// Characterization requests answered by `afp serve` (coalesced
+    /// joiners count too — every 200 response is one served request).
+    pub requests_served: AtomicU64,
+    /// Requests that joined an identical in-flight characterization
+    /// instead of starting their own (the coalescing win).
+    pub requests_coalesced: AtomicU64,
+    /// Connections rejected with a queue-full backpressure response
+    /// because the bounded serve queue was at capacity.
+    pub queue_rejections: AtomicU64,
+    /// High-water mark of distinct characterizations in flight at once in
+    /// the serve coalescing map (a gauge updated via [`Counters::max`],
+    /// not a monotonic count).
+    pub inflight_peak: AtomicU64,
 }
 
 impl Counters {
@@ -87,6 +100,10 @@ impl Counters {
             peak_resident_circuits: self.peak_resident_circuits.load(Ordering::Relaxed),
             estimates_quarantined: self.estimates_quarantined.load(Ordering::Relaxed),
             cache_write_errors: self.cache_write_errors.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            requests_coalesced: self.requests_coalesced.load(Ordering::Relaxed),
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,6 +152,16 @@ pub struct CounterSnapshot {
     pub estimates_quarantined: u64,
     /// Cache entries whose disk append failed (persistence lost).
     pub cache_write_errors: u64,
+    /// Characterization requests answered by `afp serve`.
+    pub requests_served: u64,
+    /// Requests that joined an identical in-flight characterization.
+    pub requests_coalesced: u64,
+    /// Connections rejected by serve queue backpressure.
+    pub queue_rejections: u64,
+    /// High-water mark of distinct in-flight characterizations (a gauge;
+    /// in a [`CounterSnapshot::since`] delta it is only meaningful when
+    /// the earlier snapshot predates any serving).
+    pub inflight_peak: u64,
 }
 
 impl CounterSnapshot {
@@ -171,6 +198,14 @@ impl CounterSnapshot {
             cache_write_errors: self
                 .cache_write_errors
                 .saturating_sub(earlier.cache_write_errors),
+            requests_served: self.requests_served.saturating_sub(earlier.requests_served),
+            requests_coalesced: self
+                .requests_coalesced
+                .saturating_sub(earlier.requests_coalesced),
+            queue_rejections: self
+                .queue_rejections
+                .saturating_sub(earlier.queue_rejections),
+            inflight_peak: self.inflight_peak.saturating_sub(earlier.inflight_peak),
         }
     }
 }

@@ -1,0 +1,276 @@
+//! In-flight request coalescing.
+//!
+//! [`Inflight`] is a keyed single-flight map: when several threads ask
+//! for the same [`Key128`] concurrently, exactly one of them (the
+//! *leader*) runs the computation while the rest (*joiners*) block and
+//! receive a clone of the leader's value. The slot is removed as soon as
+//! the leader finishes, so the map only ever holds work that is actually
+//! in flight — long-term memoization belongs to a cache layered behind
+//! it, not here.
+//!
+//! The primitive is panic-safe: if a leader panics, its slot is marked
+//! failed and every joiner wakes up and retries, one of them becoming
+//! the new leader. A panicking computation therefore never strands
+//! waiters or poisons the map.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use crate::hash::Key128;
+
+/// What a joiner observes in a slot it is waiting on.
+#[derive(Debug)]
+enum SlotState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished; joiners clone this value.
+    Done(V),
+    /// The leader panicked; joiners retry as prospective leaders.
+    Failed,
+}
+
+/// One in-flight computation, shared between its leader and joiners.
+#[derive(Debug)]
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Slot<V> {
+        Slot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Marks the slot failed and wakes joiners if the leader unwinds before
+/// publishing a value.
+struct LeaderGuard<'a, V> {
+    owner: &'a Inflight<V>,
+    key: Key128,
+    slot: Arc<Slot<V>>,
+    published: bool,
+}
+
+impl<V> Drop for LeaderGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        let mut state = self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *state = SlotState::Failed;
+        drop(state);
+        self.slot.ready.notify_all();
+        self.owner.remove(self.key);
+    }
+}
+
+/// A keyed single-flight coalescing map (see the module docs).
+#[derive(Debug, Default)]
+pub struct Inflight<V> {
+    slots: Mutex<HashMap<Key128, Arc<Slot<V>>>>,
+}
+
+impl<V> Inflight<V> {
+    /// An empty map.
+    pub fn new() -> Inflight<V> {
+        Inflight {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of distinct computations currently in flight.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn remove(&self, key: Key128) {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&key);
+    }
+}
+
+impl<V: Clone> Inflight<V> {
+    /// Run (or join) the computation for `key`.
+    ///
+    /// Among concurrent callers with the same key, exactly one executes
+    /// `compute`; every other caller blocks and receives a clone of that
+    /// value. Returns `(value, joined)` where `joined` is true when this
+    /// call waited on another caller's computation instead of running its
+    /// own. `compute` runs *outside* the map lock, so distinct keys never
+    /// serialize each other.
+    pub fn run(&self, key: Key128, compute: impl FnOnce() -> V) -> (V, bool) {
+        loop {
+            let (slot, leader) = {
+                let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+                match slots.entry(key) {
+                    Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                    Entry::Vacant(e) => {
+                        let slot = Arc::new(Slot::new());
+                        e.insert(Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+
+            if leader {
+                let mut guard = LeaderGuard {
+                    owner: self,
+                    key,
+                    slot: Arc::clone(&slot),
+                    published: false,
+                };
+                let value = compute();
+                {
+                    let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    *state = SlotState::Done(value.clone());
+                }
+                guard.published = true;
+                slot.ready.notify_all();
+                self.remove(key);
+                return (value, false);
+            }
+
+            let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                match &*state {
+                    SlotState::Pending => {
+                        state = slot
+                            .ready
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    SlotState::Done(value) => return (value.clone(), true),
+                    SlotState::Failed => break,
+                }
+            }
+            // Leader panicked; loop around and contend for leadership.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn key(n: u64) -> Key128 {
+        let mut h = crate::StableHasher::new();
+        h.write_u64(n);
+        h.finish()
+    }
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let inflight = Inflight::new();
+        let computes = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        let joins: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        let (v, joined) = inflight.run(key(1), || {
+                            computes.fetch_add(1, Ordering::Relaxed);
+                            // Hold the slot long enough for peers to join.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            42u32
+                        });
+                        assert_eq!(v, 42);
+                        joined
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1);
+        assert_eq!(joins.iter().filter(|&&j| !j).count(), 1, "one leader");
+        assert_eq!(joins.iter().filter(|&&j| j).count(), 7, "seven joiners");
+        assert!(inflight.is_empty(), "slot removed after completion");
+    }
+
+    #[test]
+    fn distinct_keys_run_independently() {
+        let inflight = Inflight::new();
+        let out: Vec<(u64, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let inflight = &inflight;
+                    scope.spawn(move || inflight.run(key(i), move || i * 10))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, (v, _)) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn sequential_runs_recompute() {
+        // Inflight coalesces only *concurrent* work; it is not a cache.
+        let inflight = Inflight::new();
+        let computes = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, joined) = inflight.run(key(9), || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                7u8
+            });
+            assert_eq!(v, 7);
+            assert!(!joined);
+        }
+        assert_eq!(computes.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn panicking_leader_hands_off_to_a_joiner() {
+        let inflight = Inflight::new();
+        let attempts = AtomicUsize::new(0);
+        let barrier = Barrier::new(2);
+        let values: Vec<u32> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        let run = || {
+                            inflight.run(key(5), || {
+                                if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                                    std::thread::sleep(std::time::Duration::from_millis(30));
+                                    panic!("leader dies");
+                                }
+                                11u32
+                            })
+                        };
+                        // The first leader panics; whoever observes the
+                        // failure retries and succeeds.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                            Ok((v, _)) => v,
+                            Err(_) => run().0,
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(values.iter().all(|&v| v == 11));
+        assert!(inflight.is_empty());
+    }
+}

@@ -36,9 +36,11 @@
 pub mod cache;
 mod counters;
 mod hash;
+mod inflight;
 mod pool;
 
 pub use cache::{CsvRecord, DiskTier, MemoCache};
 pub use counters::{CounterSnapshot, Counters};
 pub use hash::{Fingerprint, Key128, StableHasher};
+pub use inflight::Inflight;
 pub use pool::Runtime;

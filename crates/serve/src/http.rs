@@ -1,0 +1,263 @@
+//! A minimal HTTP/1.1 subset, hand-rolled on `std::io`.
+//!
+//! Exactly what the characterization service needs and nothing more:
+//! one request per connection (`Connection: close` on every response),
+//! request line + headers + optional `Content-Length` body, query-string
+//! parsing with percent-decoding, and fixed-size caps so a hostile peer
+//! can neither balloon memory nor wedge a worker. No chunked encoding,
+//! no keep-alive, no TLS — the daemon fronts a trusted lab network, and
+//! the dep-free LZ codec precedent applies: small, auditable, offline.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (a `.afps` batch payload).
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path with the query string stripped (percent-decoded).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read and parse one request from `stream`.
+///
+/// `Err` carries a human-readable reason suitable for a 400 body; I/O
+/// errors (peer hung up mid-request) surface the same way — the caller
+/// writes the 400 best-effort and moves on.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, String> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: the head is tiny and this keeps any
+    // body bytes unconsumed in the stream.
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed before request head".into()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("read error in request head: {e}")),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, raw_target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => return Err(format!("malformed request line `{request_line}`")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length `{}`", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("request body exceeds {MAX_BODY_BYTES} bytes"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| format!("read error in request body: {e}"))?;
+
+    let (raw_path, raw_query) = match raw_target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (raw_target, ""),
+    };
+    let query = raw_query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect();
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: percent_decode(raw_path),
+        query,
+        body,
+    })
+}
+
+/// Decode `%XX` escapes and `+`-as-space. Invalid escapes pass through
+/// literally rather than erroring — good enough for a spec-ref vocabulary
+/// of `[a-z0-9:-]`.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(v) => {
+                        out.push(v);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Standard reason phrase for the handful of statuses the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one `Connection: close` JSON response. Failures are returned so
+/// callers can count them, but a worker never dies over a peer that hung
+/// up before its response landed.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// `{"error":"..."}` with proper JSON string escaping.
+pub fn error_body(message: &str) -> Vec<u8> {
+    let mut out = String::with_capacity(message.len() + 16);
+    out.push_str("{\"error\":\"");
+    for c in message.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\"}\n");
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, String> {
+        read_request(&mut io::Cursor::new(raw.to_vec()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(
+            b"GET /characterize?spec=mul8%3Atrunc%3A3&target=lut4-ice40 HTTP/1.1\r\n\
+              Host: x\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/characterize");
+        assert_eq!(req.query_param("spec"), Some("mul8:trunc:3"));
+        assert_eq!(req.query_param("target"), Some("lut4-ice40"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /characterize HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse(b"\r\n\r\n").is_err());
+        assert!(parse(b"GET /x HTTP/9.9\r\n\r\n").is_err());
+        assert!(parse(b"GET /x HTTP/1.1\r\nContent-Length: zz\r\n\r\n").is_err());
+        assert!(parse(b"GET /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort").is_err());
+        let huge = format!("GET /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(parse(huge.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_not_buffered() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn response_shape_and_error_escaping() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, &[("Retry-After", "1".into())], b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let body = String::from_utf8(error_body("a \"quoted\"\npath\\x")).unwrap();
+        assert_eq!(body, "{\"error\":\"a \\\"quoted\\\"\\npath\\\\x\"}\n");
+    }
+}

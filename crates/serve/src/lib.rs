@@ -1,0 +1,927 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Characterization-as-a-service: the `afp serve` daemon.
+//!
+//! A long-running service that answers circuit-characterization requests
+//! over HTTP/1.1 on TCP (or a Unix socket) without re-running the whole
+//! flow per query. Three properties carry the design:
+//!
+//! 1. **Coalescing** — concurrent requests for the same
+//!    `(circuit-fingerprint, target)` pair collapse into one in-flight
+//!    characterization via [`afp_runtime::Inflight`]; every waiter gets
+//!    the same bytes, and the runtime counters prove exactly one
+//!    synthesis ran.
+//! 2. **Backpressure** — accepted connections flow through a bounded
+//!    queue (`queue_depth`); when it is full the acceptor answers
+//!    `429 Too Many Requests` immediately instead of letting latency
+//!    grow without bound.
+//! 3. **Graceful drain** — shutdown stops accepting, then the workers
+//!    finish every connection already queued before exiting, so an
+//!    accepted request is never dropped.
+//!
+//! Responses are schema-stable [`afp_obs::RunReport`] JSON built by
+//! [`approxfpgas::request_report`]; volatile per-request metadata (was
+//! this coalesced? warm?) travels in `X-Afp-*` headers, never in the
+//! body, so identical requests yield byte-identical bodies.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use afp_circuits::{from_spec_ref, stream_library, ArithCircuit, ArithKind};
+use afp_obs::{RunReport, Section, Value};
+use afp_runtime::{Counters, Inflight, Runtime};
+use approxfpgas::record::CharacterizeScratch;
+use approxfpgas::{
+    characterize_request, request_report, CacheBackend, CharacterizationCache, RequestConfig,
+};
+
+pub mod http;
+
+use http::{error_body, read_request, write_response, Request};
+
+/// How long a worker waits on a slow or stalled peer before giving up
+/// on the connection. Bounds the damage of a client that connects and
+/// never sends (or never reads).
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Where the daemon listens.
+#[derive(Clone, Debug)]
+pub enum Bind {
+    /// TCP address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
+    Tcp(String),
+    /// Unix-domain socket path. A stale file at the path is removed.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub bind: Bind,
+    /// Worker threads handling connections (0 = available parallelism).
+    pub threads: usize,
+    /// Bounded depth of the accepted-connection queue; connections
+    /// beyond it are answered `429` by the acceptor.
+    pub queue_depth: usize,
+    /// Target applied when a request omits `?target=`.
+    pub default_target: String,
+    /// Warm-tier directory; `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Disk format of the warm tier when `cache_dir` is set.
+    pub cache_backend: CacheBackend,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            bind: Bind::Tcp("127.0.0.1:0".to_string()),
+            threads: 0,
+            queue_depth: 64,
+            default_target: afp_fpga::target::DEFAULT_TARGET.to_string(),
+            cache_dir: None,
+            cache_backend: CacheBackend::Store,
+        }
+    }
+}
+
+/// One accepted connection, TCP or Unix, unified behind `Read + Write`.
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_timeouts(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.set_read_timeout(Some(IO_TIMEOUT));
+                let _ = s.set_write_timeout(Some(IO_TIMEOUT));
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.set_read_timeout(Some(IO_TIMEOUT));
+                let _ = s.set_write_timeout(Some(IO_TIMEOUT));
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The bound listener, mirrored by the wake target used to unblock
+/// `accept` during shutdown.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// Where to dial a throwaway connection to wake the blocked acceptor.
+#[derive(Clone, Debug)]
+enum WakeTarget {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl WakeTarget {
+    fn wake(&self) {
+        match self {
+            WakeTarget::Tcp(addr) => {
+                let _ = TcpStream::connect_timeout(addr, Duration::from_secs(2));
+            }
+            #[cfg(unix)]
+            WakeTarget::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    rt: Runtime,
+    cache: CharacterizationCache,
+    inflight: Inflight<Arc<String>>,
+    default_target: String,
+    queue_depth: usize,
+    threads: usize,
+    shutdown: AtomicBool,
+    wake: WakeTarget,
+    batch_seq: AtomicU64,
+}
+
+impl Shared {
+    fn counters(&self) -> &Counters {
+        self.rt.counters()
+    }
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::shutdown`] (or send `POST /shutdown`) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: Option<SocketAddr>,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound TCP address (useful with port 0). `None` for Unix binds.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Snapshot of the shared runtime counters (serve counters included).
+    pub fn snapshot(&self) -> afp_runtime::CounterSnapshot {
+        self.shared.rt.snapshot()
+    }
+
+    /// Ask the server to stop accepting and drain, without waiting.
+    pub fn trigger_shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Block until the acceptor and every worker have exited — i.e.
+    /// until every accepted connection has been answered. Returns the
+    /// final counter snapshot of the run.
+    pub fn join(mut self) -> afp_runtime::CounterSnapshot {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.rt.snapshot()
+    }
+
+    /// [`trigger_shutdown`](Self::trigger_shutdown) then
+    /// [`join`](Self::join): graceful stop that loses no accepted work.
+    pub fn shutdown(self) -> afp_runtime::CounterSnapshot {
+        self.trigger_shutdown();
+        self.join()
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if !shared.shutdown.swap(true, Ordering::SeqCst) {
+        shared.wake.wake();
+    }
+}
+
+/// Start the daemon described by `config`.
+///
+/// Binds the listener, spawns `threads` workers plus one acceptor, and
+/// returns immediately; use the handle to discover the bound address
+/// and to stop the server.
+pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
+    if config.queue_depth == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "queue depth must be at least 1",
+        ));
+    }
+    if afp_fpga::target::named(&config.default_target).is_none() {
+        let known: Vec<&str> = afp_fpga::target::registry()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "unknown default target `{}` (known: {})",
+                config.default_target,
+                known.join(", ")
+            ),
+        ));
+    }
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    };
+    let cache = match &config.cache_dir {
+        None => CharacterizationCache::in_memory(),
+        Some(dir) => match config.cache_backend {
+            CacheBackend::Store => CharacterizationCache::try_with_disk(dir)?,
+            CacheBackend::Csv => CharacterizationCache::try_with_csv_disk(dir)?,
+        },
+    };
+
+    let (listener, addr, wake) = match &config.bind {
+        Bind::Tcp(spec) => {
+            let l = TcpListener::bind(spec)?;
+            let addr = l.local_addr()?;
+            (Listener::Tcp(l), Some(addr), WakeTarget::Tcp(addr))
+        }
+        #[cfg(unix)]
+        Bind::Unix(path) => {
+            // A previous run's socket file would make bind fail with
+            // AddrInUse even though nothing is listening.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            (Listener::Unix(l), None, WakeTarget::Unix(path.clone()))
+        }
+    };
+
+    let shared = Arc::new(Shared {
+        rt: Runtime::new(threads),
+        cache,
+        inflight: Inflight::new(),
+        default_target: config.default_target.clone(),
+        queue_depth: config.queue_depth,
+        threads,
+        shutdown: AtomicBool::new(false),
+        wake,
+        batch_seq: AtomicU64::new(0),
+    });
+
+    let (tx, rx) = sync_channel::<Conn>(config.queue_depth);
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker_loop(&rx, &shared)));
+    }
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let sock_path = match &config.bind {
+            #[cfg(unix)]
+            Bind::Unix(path) => Some(path.clone()),
+            _ => None,
+        };
+        std::thread::spawn(move || {
+            accept_loop(&listener, tx, &shared);
+            if let Some(path) = sock_path {
+                let _ = std::fs::remove_file(path);
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Accept connections and enqueue them; answer `429` inline when the
+/// bounded queue is full. Exits (dropping the sender, which lets the
+/// workers drain and stop) once shutdown is triggered.
+fn accept_loop(listener: &Listener, tx: SyncSender<Conn>, shared: &Shared) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Likely the wake-up dial; either way we no longer accept.
+            break;
+        }
+        conn.set_timeouts();
+        match tx.try_send(conn) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut conn)) => {
+                Counters::add(&shared.counters().queue_rejections, 1);
+                let _ = write_response(
+                    &mut conn,
+                    429,
+                    &[("Retry-After", "1".to_string())],
+                    &error_body("request queue is full, retry later"),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Sender drops here: workers finish the queued backlog, then stop.
+}
+
+/// Pull connections until the channel is closed *and* drained.
+fn worker_loop(rx: &Mutex<Receiver<Conn>>, shared: &Shared) {
+    loop {
+        let conn = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(mut conn) = conn else { break };
+        // A panic while characterizing (e.g. a malformed payload that
+        // slipped past validation) must cost one connection, not one
+        // worker thread — capacity would silently shrink forever.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(&mut conn, shared);
+        }));
+        if outcome.is_err() {
+            let _ = write_response(
+                &mut conn,
+                500,
+                &[],
+                &error_body("internal error while handling request"),
+            );
+        }
+    }
+}
+
+/// Read one request, route it, write one response.
+fn handle_connection(conn: &mut Conn, shared: &Shared) {
+    let req = match read_request(conn) {
+        Ok(req) => req,
+        Err(reason) => {
+            let _ = write_response(conn, 400, &[], &error_body(&reason));
+            return;
+        }
+    };
+    let is_shutdown = req.method == "POST" && req.path == "/shutdown";
+    let (status, headers, body) = route(&req, shared);
+    let header_refs: Vec<(&str, String)> = headers
+        .iter()
+        .map(|(name, value)| (*name, value.clone()))
+        .collect();
+    let _ = write_response(conn, status, &header_refs, &body);
+    if is_shutdown && status == 200 {
+        trigger_shutdown(shared);
+    }
+}
+
+type Response = (u16, Vec<(&'static str, String)>, Vec<u8>);
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, Vec::new(), b"{\"ok\":true}\n".to_vec()),
+        ("GET", "/stats") => {
+            let mut body = stats_report(shared).to_json().into_bytes();
+            body.push(b'\n');
+            (200, Vec::new(), body)
+        }
+        ("POST", "/shutdown") => (
+            200,
+            Vec::new(),
+            b"{\"ok\":true,\"draining\":true}\n".to_vec(),
+        ),
+        ("GET", "/characterize") => characterize_spec(req, shared),
+        ("POST", "/characterize") => characterize_bristol(req, shared),
+        ("POST", "/characterize/batch") => characterize_batch(req, shared),
+        (_, "/healthz" | "/stats" | "/shutdown" | "/characterize" | "/characterize/batch") => (
+            405,
+            Vec::new(),
+            error_body(&format!("method {} not allowed here", req.method)),
+        ),
+        (_, path) => (
+            404,
+            Vec::new(),
+            error_body(&format!("no such endpoint `{path}`")),
+        ),
+    }
+}
+
+/// Resolve `?target=` (or the daemon default) to a request configuration.
+fn target_config(req: &Request, shared: &Shared) -> Result<RequestConfig, String> {
+    let name = req
+        .query_param("target")
+        .unwrap_or(shared.default_target.as_str());
+    match afp_fpga::target::named(name) {
+        Some(profile) => Ok(RequestConfig::for_target_config(
+            profile.apply(&afp_fpga::FpgaConfig::default()),
+        )),
+        None => Err(format!("unknown target `{name}`")),
+    }
+}
+
+/// The shared serve path: coalesce on the content key, characterize
+/// once, and return the byte-stable report body plus volatile `X-Afp-*`
+/// metadata headers.
+fn characterize_circuit(
+    circuit: &ArithCircuit,
+    config: &RequestConfig,
+    shared: &Shared,
+) -> (Arc<String>, Vec<(&'static str, String)>) {
+    let key = config.key(circuit);
+    let warm = shared.cache.contains(key);
+    let (body, joined) = shared.inflight.run(key, || {
+        Counters::max(
+            &shared.counters().inflight_peak,
+            shared.inflight.len() as u64,
+        );
+        let mut scratch = CharacterizeScratch::default();
+        let record = characterize_request(
+            circuit,
+            config,
+            &shared.rt,
+            Some(&shared.cache),
+            &mut scratch,
+        );
+        let mut json = request_report(&record).to_json();
+        json.push('\n');
+        Arc::new(json)
+    });
+    if joined {
+        Counters::add(&shared.counters().requests_coalesced, 1);
+    }
+    let source = if warm {
+        "hit"
+    } else if joined {
+        "coalesced"
+    } else {
+        "miss"
+    };
+    let headers = vec![
+        (
+            "X-Afp-Coalesced",
+            if joined { "1" } else { "0" }.to_string(),
+        ),
+        ("X-Afp-Cache", source.to_string()),
+    ];
+    (body, headers)
+}
+
+/// `GET /characterize?spec=mul8:trunc:3[&target=NAME]`
+fn characterize_spec(req: &Request, shared: &Shared) -> Response {
+    let Some(spec) = req.query_param("spec") else {
+        return (
+            400,
+            Vec::new(),
+            error_body("missing `spec` query parameter"),
+        );
+    };
+    let config = match target_config(req, shared) {
+        Ok(config) => config,
+        Err(reason) => return (400, Vec::new(), error_body(&reason)),
+    };
+    let circuit = match from_spec_ref(spec) {
+        Ok(circuit) => circuit,
+        Err(reason) => return (400, Vec::new(), error_body(&reason)),
+    };
+    let (body, headers) = characterize_circuit(&circuit, &config, shared);
+    Counters::add(&shared.counters().requests_served, 1);
+    (200, headers, body.as_bytes().to_vec())
+}
+
+/// `POST /characterize?kind=add|mul&width=N[&target=NAME]` with a
+/// Bristol-format netlist body.
+fn characterize_bristol(req: &Request, shared: &Shared) -> Response {
+    let kind = match req.query_param("kind") {
+        Some("add") => ArithKind::Adder,
+        Some("mul") => ArithKind::Multiplier,
+        Some(other) => {
+            return (
+                400,
+                Vec::new(),
+                error_body(&format!("unknown kind `{other}`")),
+            )
+        }
+        None => {
+            return (
+                400,
+                Vec::new(),
+                error_body("missing `kind` query parameter"),
+            )
+        }
+    };
+    let width: usize = match req.query_param("width").map(str::parse) {
+        Some(Ok(w)) => w,
+        _ => {
+            return (
+                400,
+                Vec::new(),
+                error_body("missing or malformed `width` query parameter"),
+            )
+        }
+    };
+    let max_width = match kind {
+        ArithKind::Adder => 32,
+        ArithKind::Multiplier => 16,
+    };
+    if width == 0 || width > max_width {
+        return (
+            400,
+            Vec::new(),
+            error_body(&format!(
+                "width {width} out of range 1..={max_width} for kind `{}`",
+                kind.mnemonic()
+            )),
+        );
+    }
+    let config = match target_config(req, shared) {
+        Ok(config) => config,
+        Err(reason) => return (400, Vec::new(), error_body(&reason)),
+    };
+    let source = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            return (
+                400,
+                Vec::new(),
+                error_body("body is not UTF-8 Bristol text"),
+            )
+        }
+    };
+    let netlist = match afp_netlist::bristol::from_bristol(source) {
+        Ok(netlist) => netlist,
+        Err(e) => {
+            return (
+                400,
+                Vec::new(),
+                error_body(&format!("bad Bristol netlist: {e}")),
+            )
+        }
+    };
+    // `ArithCircuit::new` asserts the word-level interface; check it
+    // here so a mismatched payload is a 400, not a worker panic.
+    if netlist.num_inputs() != 2 * width {
+        return (
+            400,
+            Vec::new(),
+            error_body(&format!(
+                "netlist has {} inputs, expected {} for width {width}",
+                netlist.num_inputs(),
+                2 * width
+            )),
+        );
+    }
+    if netlist.num_outputs() != kind.out_width(width) {
+        return (
+            400,
+            Vec::new(),
+            error_body(&format!(
+                "netlist has {} outputs, expected {} for a width-{width} `{}`",
+                netlist.num_outputs(),
+                kind.out_width(width),
+                kind.mnemonic()
+            )),
+        );
+    }
+    let circuit = ArithCircuit::new(kind, width, netlist);
+    let (body, headers) = characterize_circuit(&circuit, &config, shared);
+    Counters::add(&shared.counters().requests_served, 1);
+    (200, headers, body.as_bytes().to_vec())
+}
+
+/// `POST /characterize/batch[?target=NAME]` with an `.afps` library
+/// payload; responds with a JSON array of per-circuit reports.
+fn characterize_batch(req: &Request, shared: &Shared) -> Response {
+    let config = match target_config(req, shared) {
+        Ok(config) => config,
+        Err(reason) => return (400, Vec::new(), error_body(&reason)),
+    };
+    if req.body.is_empty() {
+        return (
+            400,
+            Vec::new(),
+            error_body("empty batch body; expected .afps bytes"),
+        );
+    }
+    // The streaming reader wants a file; spill the payload to a
+    // uniquely-named temp path and clean it up on every exit.
+    let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("afp-serve-batch-{}-{seq}.afps", std::process::id()));
+    let result = (|| -> Result<Vec<u8>, String> {
+        std::fs::write(&path, &req.body).map_err(|e| format!("spilling batch body: {e}"))?;
+        let stream = stream_library(&path).map_err(|e| format!("bad .afps payload: {e}"))?;
+        let mut out = Vec::from(&b"["[..]);
+        let mut first = true;
+        for item in stream {
+            let circuit = item.map_err(|e| format!("bad .afps payload: {e}"))?;
+            let (body, _) = characterize_circuit(&circuit, &config, shared);
+            if !first {
+                out.push(b',');
+            }
+            first = false;
+            out.extend_from_slice(body.trim_end().as_bytes());
+        }
+        out.extend_from_slice(b"]\n");
+        Ok(out)
+    })();
+    let _ = std::fs::remove_file(&path);
+    match result {
+        Ok(body) => {
+            Counters::add(&shared.counters().requests_served, 1);
+            (200, Vec::new(), body)
+        }
+        Err(reason) => (400, Vec::new(), error_body(&reason)),
+    }
+}
+
+/// The `GET /stats` report: serve counters, cache state, and synthesis
+/// counts — the full Counters → RunReport → endpoint chain.
+fn stats_report(shared: &Shared) -> RunReport {
+    let snap = shared.rt.snapshot();
+    let last_write_error = match shared.cache.last_write_error() {
+        Some(err) => Value::Str(err),
+        None => Value::Null,
+    };
+    let mut report = RunReport::new();
+    report.push_section(
+        Section::new("serve")
+            .field("requests_served", Value::UInt(snap.requests_served))
+            .field("requests_coalesced", Value::UInt(snap.requests_coalesced))
+            .field("queue_rejections", Value::UInt(snap.queue_rejections))
+            .field("inflight_peak", Value::UInt(snap.inflight_peak))
+            .field("queue_depth", Value::UInt(shared.queue_depth as u64))
+            .field("threads", Value::UInt(shared.threads as u64)),
+    );
+    report.push_section(
+        Section::new("cache")
+            .field("hits", Value::UInt(snap.cache_hits))
+            .field("misses", Value::UInt(snap.cache_misses))
+            .field("entries", Value::UInt(shared.cache.len() as u64))
+            .field("write_errors", Value::UInt(snap.cache_write_errors))
+            .field("last_write_error", last_write_error),
+    );
+    report.push_section(
+        Section::new("runtime")
+            .field("asic_synths", Value::UInt(snap.asic_synths))
+            .field("fpga_synths", Value::UInt(snap.fpga_synths))
+            .field("error_analyses", Value::UInt(snap.error_analyses)),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn start(config: ServeConfig) -> ServerHandle {
+        serve(config).expect("server starts")
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, Vec<String>, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end().to_string();
+            if line.is_empty() {
+                break;
+            }
+            headers.push(line);
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).expect("body");
+        (status, headers, body)
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, Vec<String>, String) {
+        request(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    #[test]
+    fn serves_spec_stats_and_errors() {
+        let server = start(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().unwrap();
+
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "{\"ok\":true}\n"));
+
+        let (status, headers, body) = get(addr, "/characterize?spec=add8:rca");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"name\":\"add8u_rca\""));
+        assert!(headers.iter().any(|h| h == "X-Afp-Cache: miss"));
+
+        // Same request again: warm, still byte-identical.
+        let (status, headers, again) = get(addr, "/characterize?spec=add8:rca");
+        assert_eq!(status, 200);
+        assert_eq!(again, body);
+        assert!(headers.iter().any(|h| h == "X-Afp-Cache: hit"));
+
+        let (status, _, body) = get(addr, "/characterize?spec=add8:rca&target=nope");
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown target"));
+
+        let (status, _, body) = get(addr, "/characterize?spec=add99:rca");
+        assert_eq!(status, 400, "{body}");
+
+        let (status, _, body) = get(addr, "/stats");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"requests_served\":2"), "{body}");
+        assert!(body.contains("\"asic_synths\":1"), "{body}");
+
+        let (status, _, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        let (status, _, _) = request(addr, "POST /stats HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn bristol_post_validates_interface_before_construction() {
+        let server = start(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().unwrap();
+        let netlist = afp_circuits::from_spec_ref("add4:rca").unwrap();
+        let bristol = afp_netlist::bristol::to_bristol(netlist.netlist());
+
+        let post = |query: &str, body: &str| {
+            request(
+                addr,
+                &format!(
+                    "POST /characterize{query} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                ),
+            )
+        };
+
+        let (status, _, body) = post("?kind=add&width=4", &bristol);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"kind\":\"add\""));
+
+        // Wrong declared width: rejected cleanly, not a panic.
+        let (status, _, body) = post("?kind=add&width=8", &bristol);
+        assert_eq!(status, 400);
+        assert!(body.contains("inputs"), "{body}");
+        // Wrong kind for the output count.
+        let (status, _, _) = post("?kind=mul&width=4", &bristol);
+        assert_eq!(status, 400);
+        // Garbage body.
+        let (status, _, _) = post("?kind=add&width=4", "not bristol");
+        assert_eq!(status, 400);
+
+        // The worker survived all of that.
+        let (status, _, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_and_stops() {
+        let server = start(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().unwrap();
+        let (status, _, body) = request(addr, "POST /shutdown HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("draining"));
+        server.join();
+        // The listener is gone (either refused or reset once joined).
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200))
+                .map(|mut s| {
+                    let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                    let mut buf = String::new();
+                    s.read_to_string(&mut buf)
+                        .map(|_| buf.is_empty())
+                        .unwrap_or(true)
+                })
+                .unwrap_or(true)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let err = serve(ServeConfig {
+            queue_depth: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = serve(ServeConfig {
+            default_target: "not-a-target".to_string(),
+            ..ServeConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown default target"));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        let path = std::env::temp_dir().join(format!("afp-serve-test-{}.sock", std::process::id()));
+        let server = start(ServeConfig {
+            bind: Bind::Unix(path.clone()),
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        assert!(server.addr().is_none());
+        let mut stream = UnixStream::connect(&path).expect("unix connect");
+        stream
+            .write_all(b"GET /characterize?spec=mul4:array HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("\"name\":\"mul4u_arr\""), "{response}");
+        server.shutdown();
+        assert!(!path.exists(), "socket file should be removed on drain");
+    }
+}

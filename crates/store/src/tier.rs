@@ -9,6 +9,8 @@
 //! enough accumulate, and it can transparently migrate a legacy CSV file
 //! the first time it opens a directory.
 
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -50,6 +52,7 @@ pub struct StoreTier<V> {
     file: Mutex<File>,
     loaded: Vec<(Key128, V)>,
     write_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
     warned: AtomicBool,
 }
 
@@ -85,19 +88,39 @@ impl<V: BinRecord> StoreTier<V> {
                 file.flush()?;
             }
             Some(scan) => {
+                // A key re-appended before the compaction threshold leaves
+                // several live frames; keep first-seen positions but let
+                // later frames overwrite earlier values, so the load is
+                // last-write-wins no matter how appends interleaved.
+                let mut first_seen: HashMap<Key128, usize> = HashMap::new();
+                let mut duplicates = false;
                 for raw in &scan.records {
                     let mut r = ByteReader::new(&raw.payload);
                     if let Some(v) = V::decode(&mut r) {
                         if r.is_empty() {
-                            loaded.push((raw.key, v));
+                            match first_seen.entry(raw.key) {
+                                Entry::Occupied(e) => {
+                                    loaded[*e.get()].1 = v;
+                                    duplicates = true;
+                                }
+                                Entry::Vacant(e) => {
+                                    e.insert(loaded.len());
+                                    loaded.push((raw.key, v));
+                                }
+                            }
                         }
                     }
                 }
                 // Rewrite when the tail is torn (drop it), the file is
                 // sealed (appends must go after the data frames, not the
-                // index), or enough loose record frames accumulated to be
-                // worth compacting into compressed blocks.
-                if scan.truncated || scan.header.sealed() || scan.record_frames >= COMPACT_AT {
+                // index), duplicate frames shadow stale values, or enough
+                // loose record frames accumulated to be worth compacting
+                // into compressed blocks.
+                if scan.truncated
+                    || scan.header.sealed()
+                    || duplicates
+                    || scan.record_frames >= COMPACT_AT
+                {
                     Self::rewrite(&path, &loaded)?;
                 }
             }
@@ -109,6 +132,7 @@ impl<V: BinRecord> StoreTier<V> {
             file: Mutex::new(file),
             loaded,
             write_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
             warned: AtomicBool::new(false),
         })
     }
@@ -116,6 +140,12 @@ impl<V: BinRecord> StoreTier<V> {
     /// Rewrite the file from `entries` as compressed block frames, via a
     /// temp file and atomic rename so a crash leaves the old file intact.
     fn rewrite(path: &Path, entries: &[(Key128, V)]) -> io::Result<()> {
+        let unique: HashSet<Key128> = entries.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            unique.len(),
+            entries.len(),
+            "rewrite input must be deduplicated to one live value per key"
+        );
         let mut writer = StoreWriter::create_atomic(path, V::VERSION)?;
         let mut payload = Vec::new();
         for (key, value) in entries {
@@ -148,6 +178,10 @@ impl<V: BinRecord> StoreTier<V> {
         };
         if let Err(err) = result {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
+            *self
+                .last_error
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(err.to_string());
             if !self.warned.swap(true, Ordering::Relaxed) {
                 eprintln!(
                     "warning: failed to persist cache entry to {}: {err} \
@@ -161,6 +195,16 @@ impl<V: BinRecord> StoreTier<V> {
     /// Number of entries whose disk append failed since open.
     pub fn write_errors(&self) -> u64 {
         self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent append failure message, if any — the warn-once
+    /// stderr path only shows the *first* error, so reports surface the
+    /// last one here.
+    pub fn last_write_error(&self) -> Option<String> {
+        self.last_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The backing file path.
@@ -420,10 +464,59 @@ mod tests {
             file: Mutex::new(file),
             loaded: Vec::new(),
             write_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
             warned: AtomicBool::new(false),
         };
+        assert_eq!(tier.last_write_error(), None);
         tier.append(key(1), &rec(1));
         tier.append(key(2), &rec(2));
         assert_eq!(tier.write_errors(), 2);
+        let last = tier.last_write_error().expect("error message captured");
+        assert!(!last.is_empty());
+    }
+
+    #[test]
+    fn duplicate_appends_load_last_write_wins_and_compact() {
+        let dir = temp_dir("dup");
+        {
+            let tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+            tier.append(key(1), &rec(1));
+            tier.append(key(2), &rec(2));
+            tier.append(key(1), &rec(7)); // re-characterized: newer value
+        }
+        let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+        let loaded = tier.take_loaded();
+        assert_eq!(
+            loaded,
+            vec![(key(1), rec(7)), (key(2), rec(2))],
+            "exactly the newer value survives, at the first-seen position"
+        );
+        // The duplicate forced a compaction: a reopen sees one live frame
+        // per key and loads the same values.
+        let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+        assert_eq!(tier.take_loaded(), vec![(key(1), rec(7)), (key(2), rec(2))]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_resolution_is_order_independent() {
+        // Whatever the interleaving of appends, the per-key winner is the
+        // latest append of that key.
+        let dir = temp_dir("dup-order");
+        {
+            let tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+            tier.append(key(2), &rec(20));
+            tier.append(key(1), &rec(10));
+            tier.append(key(2), &rec(21));
+            tier.append(key(3), &rec(30));
+            tier.append(key(2), &rec(22));
+            tier.append(key(1), &rec(11));
+        }
+        let mut tier: StoreTier<Rec> = StoreTier::open(&dir, "c.afps").unwrap();
+        assert_eq!(
+            tier.take_loaded(),
+            vec![(key(2), rec(22)), (key(1), rec(11)), (key(3), rec(30))]
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 }

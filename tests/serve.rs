@@ -1,0 +1,204 @@
+//! End-to-end tests of the `afp serve` characterization service: the
+//! coalescing contract (N identical concurrent requests, one
+//! characterization, byte-identical bodies), bounded-queue backpressure
+//! (429, never a panic or a hang), and graceful drain (an accepted
+//! request is never dropped by shutdown).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use afp_serve::{serve, ServeConfig, ServerHandle};
+
+fn start(threads: usize, queue_depth: usize) -> ServerHandle {
+    serve(ServeConfig {
+        threads,
+        queue_depth,
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// One blocking request over a fresh connection: returns the status
+/// code and the body (everything after the blank line).
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send");
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn concurrent_identical_requests_characterize_once_with_identical_bodies() {
+    const N: usize = 12;
+    let server = start(4, 64);
+    let addr = server.addr().unwrap();
+    let barrier = Barrier::new(N);
+
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let (status, body) =
+                        get(addr, "/characterize?spec=mul8:wallace&target=lut4-ice40");
+                    assert_eq!(status, 200, "{body}");
+                    body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Byte-identical bodies, equal to the direct library-level report.
+    let circuit = afp_circuits::from_spec_ref("mul8:wallace").unwrap();
+    let profile = afp_fpga::target::named("lut4-ice40").unwrap();
+    let config = approxfpgas::RequestConfig::for_target_config(
+        profile.apply(&afp_fpga::FpgaConfig::default()),
+    );
+    let record = approxfpgas::characterize_request(
+        &circuit,
+        &config,
+        &afp_runtime::Runtime::serial(),
+        None,
+        &mut approxfpgas::record::CharacterizeScratch::default(),
+    );
+    let want = format!("{}\n", approxfpgas::request_report(&record).to_json());
+    for body in &bodies {
+        assert_eq!(body, &want);
+    }
+
+    // The counters prove coalescing: exactly one characterization ran,
+    // and every non-leader either joined the in-flight computation or
+    // hit the cache it populated — no third path.
+    let snap = server.shutdown();
+    assert_eq!(snap.asic_synths, 1, "identical requests recharacterized");
+    assert_eq!(snap.fpga_synths, 1);
+    assert_eq!(snap.error_analyses, 1);
+    assert_eq!(snap.cache_misses, 1);
+    assert_eq!(snap.requests_served, N as u64);
+    assert_eq!(
+        snap.requests_coalesced + snap.cache_hits,
+        N as u64 - 1,
+        "every non-leader must be a coalesced joiner or a cache hit"
+    );
+}
+
+#[test]
+fn full_queue_answers_429_and_keeps_serving() {
+    // One worker, queue depth one: with the worker parked on a
+    // connection that never sends, a third connection must overflow the
+    // queue — the acceptor answers 429 inline instead of queueing
+    // without bound.
+    let server = start(1, 1);
+    let addr = server.addr().unwrap();
+
+    let mut held: Vec<TcpStream> = (0..3)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connect");
+            // Give the acceptor time to route this connection before the
+            // next one arrives, so the overflow lands deterministically
+            // on the last.
+            std::thread::sleep(Duration::from_millis(100));
+            s
+        })
+        .collect();
+
+    let mut statuses: Vec<u16> = held
+        .iter_mut()
+        .map(|stream| {
+            // The 429'd connection is already closed server-side; the
+            // write may fail, and that is fine — the response is queued.
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let (status, _) = read_response(stream);
+            status
+        })
+        .collect();
+    drop(held);
+    statuses.sort_unstable();
+    assert!(
+        statuses.iter().all(|s| *s == 200 || *s == 429),
+        "unexpected statuses {statuses:?}"
+    );
+    assert!(statuses.contains(&200), "{statuses:?}");
+    assert!(statuses.contains(&429), "{statuses:?}");
+
+    // The server survived the overflow and still answers.
+    let (status, body) = get(addr, "/characterize?spec=add8:rca");
+    assert_eq!(status, 200, "{body}");
+    let snap = server.shutdown();
+    assert!(snap.queue_rejections >= 1);
+}
+
+#[test]
+fn shutdown_drains_every_accepted_request() {
+    // One worker so the backlog is deterministic: park it on a
+    // connection that has not sent yet, queue three more, trigger
+    // shutdown, and only then let the requests flow. All four were
+    // accepted, so all four must be answered in full even though
+    // shutdown fired before any of them was served.
+    let server = start(1, 8);
+    let addr = server.addr().unwrap();
+
+    let specs = ["add8:rca", "add8:cla", "mul8:array", "mul8:trunc:2"];
+    let mut held: Vec<TcpStream> = specs
+        .iter()
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connect");
+            std::thread::sleep(Duration::from_millis(100));
+            s
+        })
+        .collect();
+
+    server.trigger_shutdown();
+    std::thread::sleep(Duration::from_millis(100));
+
+    for (stream, spec) in held.iter_mut().zip(specs) {
+        stream
+            .write_all(
+                format!("GET /characterize?spec={spec} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+            )
+            .expect("send on accepted connection");
+    }
+    for (stream, spec) in held.iter_mut().zip(specs) {
+        let (status, body) = read_response(stream);
+        assert_eq!(status, 200, "{spec}: accepted request dropped: {body}");
+        assert!(
+            body.ends_with("}\n") && body.contains("\"fpga\":{"),
+            "{spec}: truncated body {body}"
+        );
+    }
+
+    // join returns only after the drain; the listener must be gone.
+    let snap = server.join();
+    assert_eq!(snap.requests_served, specs.len() as u64);
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(300))
+        .map(|mut s| {
+            // Some kernels complete the handshake from the backlog even
+            // after close; an immediate EOF counts as "gone" too.
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = String::new();
+            s.read_to_string(&mut buf)
+                .map(|_| buf.is_empty())
+                .unwrap_or(true)
+        })
+        .unwrap_or(true);
+    assert!(refused, "listener still answering after join");
+}
