@@ -1,10 +1,11 @@
 //! Characterization-service load measurement: wall time, throughput and
 //! failure count of `afp serve` answering 1000 mixed-target requests
-//! from 8 concurrent clients.
+//! from 8 concurrent clients — over fresh connections, over keep-alive,
+//! and through the persisted-zoo `GET /estimate` fast path.
 //!
 //! This is the regenerator behind EXPERIMENTS.md "Serve throughput" and
-//! the `BENCH_serve.json` baseline. Two claims are pinned before any
-//! timing is trusted:
+//! the `BENCH_serve.json` baseline. The claims pinned before any timing
+//! is trusted:
 //!
 //! * **Zero failures** — every one of the 1000 requests in each burst
 //!   must come back `200` with a parseable report body; a single
@@ -15,19 +16,28 @@
 //!   a repeated request never recomputes. Against a pre-warmed `--addr`
 //!   daemon the exact pin relaxes to a bounded delta (and the warm
 //!   bursts must still add zero characterizations).
+//! * **Keep-alive actually reuses** — the keep-alive burst must advance
+//!   `keepalive_reuses` by exactly `requests - clients` (every request
+//!   after the first per connection).
+//! * **Estimates never synthesize** — the `/estimate` burst must leave
+//!   `asic_synths` untouched and advance `estimates_served` by the full
+//!   burst size; every response must carry `X-Afp-Estimate: model`.
 //!
 //! Usage: `cargo run --release -p afp-bench --bin serve_load [--quick]
 //!   [--addr HOST:PORT] [--shutdown]`
 //!
-//! By default an in-process server is started on a loopback port. With
-//! `--addr` the burst targets an already-running `afp serve` instead
-//! (counters are then read via `GET /stats`), and `--shutdown`
-//! additionally POSTs `/shutdown` when done — that pairing is what the
-//! CI serve-smoke job drives.
+//! By default an in-process server is started on a loopback port, with a
+//! small zoo trained and persisted to a temporary `.afpm` so the
+//! estimate path is exercised end to end (train → save → load → serve).
+//! With `--addr` the burst targets an already-running `afp serve`
+//! instead (counters are then read via `GET /stats`; the estimate burst
+//! is skipped unless that daemon was started with `--models`), and
+//! `--shutdown` additionally POSTs `/shutdown` when done — that pairing
+//! is what the CI serve-smoke job drives.
 //!
 //! Writes `results/serve_load.csv`.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
@@ -92,6 +102,45 @@ fn get(addr: &str, target: &str) -> Result<(u16, String), String> {
     )
 }
 
+/// Read one `Content-Length`-delimited response from a kept-alive
+/// connection; returns `(status, head, body)`.
+fn read_keepalive_response(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<(u16, String, String), String> {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv head: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response".to_string());
+        }
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparseable status line: {head:.60}"))?;
+    let length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .ok_or_else(|| "response without Content-Length".to_string())?;
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("recv body: {e}"))?;
+    Ok((status, head, String::from_utf8_lossy(&body).into_owned()))
+}
+
 /// Pull `"field":N` out of the flat /stats JSON without a parser.
 fn stat_u64(stats: &str, field: &str) -> u64 {
     let needle = format!("\"{field}\":");
@@ -143,6 +192,86 @@ fn burst(addr: &str) -> (f64, usize, Vec<String>) {
     (wall_us, errors.len(), errors)
 }
 
+/// Fire one 1000-request burst where every client holds a single
+/// kept-alive connection for its whole schedule. `path_of` maps the
+/// global request number to a request path; `expect` is a substring
+/// every response head+body must contain.
+fn burst_keepalive(
+    addr: &str,
+    path_of: &(dyn Fn(usize) -> String + Sync),
+    expect: &str,
+) -> (f64, usize, Vec<String>) {
+    let t = Instant::now();
+    let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let stream =
+                        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    let _ = stream.set_nodelay(true);
+                    let mut reader = BufReader::new(stream);
+                    for i in 0..PER_CLIENT {
+                        let path = path_of(client * PER_CLIENT + i);
+                        let request = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n");
+                        reader
+                            .get_mut()
+                            .write_all(request.as_bytes())
+                            .map_err(|e| format!("{path}: send: {e}"))?;
+                        let (status, head, body) = read_keepalive_response(&mut reader)
+                            .map_err(|e| format!("{path}: {e}"))?;
+                        if status != 200 {
+                            return Err(format!("{path}: status {status}: {body:.120}"));
+                        }
+                        if !head.contains(expect) && !body.contains(expect) {
+                            return Err(format!("{path}: response without `{expect}`"));
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_us = t.elapsed().as_secs_f64() * 1e6;
+    let errors: Vec<String> = results.into_iter().filter_map(Result::err).collect();
+    (wall_us, errors.len(), errors)
+}
+
+/// Train a small adder zoo and persist it as a temporary `.afpm`, so the
+/// in-process server exercises the full train → save → load → serve
+/// estimate path.
+fn train_and_save_zoo() -> std::path::PathBuf {
+    let lib = afp_circuits::build_library(&afp_circuits::LibrarySpec::new(
+        afp_circuits::ArithKind::Adder,
+        8,
+        60,
+    ));
+    let records = approxfpgas::dataset::characterize_library(
+        &lib,
+        &afp_asic::AsicConfig::default(),
+        &afp_fpga::FpgaConfig::default(),
+        &afp_error::ErrorConfig::default(),
+    );
+    let subset = approxfpgas::dataset::sample_subset(records.len(), 0.5, 24, 7);
+    let (train, val) = approxfpgas::dataset::train_validate_split(&subset, 0.8, 7);
+    let zoo = approxfpgas::fidelity::train_zoo(
+        &records,
+        &train,
+        &val,
+        &[afp_ml::MlModelId::Ml1, afp_ml::MlModelId::Ml14],
+        0.01,
+    );
+    let path = std::env::temp_dir().join(format!("afp-bench-zoo-{}.afpm", std::process::id()));
+    approxfpgas::save_zoo(
+        &path,
+        &zoo,
+        afp_fpga::DEFAULT_TARGET,
+        &[(afp_circuits::ArithKind::Adder, 8)],
+    )
+    .expect("zoo saves");
+    path
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -160,15 +289,24 @@ fn main() {
          (spec, target) pairs, {warm_runs} warm run(s)\n"
     );
 
-    // In-process server unless --addr points at a live daemon.
+    // In-process server unless --addr points at a live daemon. The
+    // in-process server loads a freshly trained-and-persisted zoo (so
+    // the estimate burst runs the real `.afpm` load path) and gets one
+    // worker per bench client — a kept-alive connection occupies its
+    // worker for the whole burst.
+    let mut zoo_path = None;
     let (addr, handle) = match &external_addr {
         Some(addr) => (addr.clone(), None),
         None => {
+            let path = train_and_save_zoo();
             let handle = afp_serve::serve(afp_serve::ServeConfig {
                 queue_depth: 2 * total,
+                threads: CLIENTS,
+                models: vec![path.clone()],
                 ..afp_serve::ServeConfig::default()
             })
             .expect("in-process server starts");
+            zoo_path = Some(path);
             (handle.addr().unwrap().to_string(), Some(handle))
         }
     };
@@ -262,6 +400,79 @@ fn main() {
         asic_synths,
         "warm bursts must not recharacterize\n{stats}"
     );
+    let reuses_before = stat_u64(&stats, "keepalive_reuses");
+
+    // Warm keep-alive burst: the same fully-cached schedule, but each
+    // client holds one connection for all of its requests.
+    let characterize_path = |n: usize| {
+        let spec = SPECS[n % SPECS.len()];
+        let target = TARGETS[n % TARGETS.len()];
+        format!("/characterize?spec={spec}&target={target}")
+    };
+    let (keepalive_us, ka_errors, ka_messages) =
+        burst_keepalive(&addr, &characterize_path, "\"fpga\"");
+    assert!(
+        ka_errors == 0,
+        "keep-alive burst had {ka_errors} failed clients: {}",
+        ka_messages.join("; ")
+    );
+    let (status, stats) = get(&addr, "/stats").expect("stats");
+    assert_eq!(status, 200, "{stats}");
+    assert_eq!(
+        stat_u64(&stats, "asic_synths"),
+        asic_synths,
+        "keep-alive burst must not recharacterize\n{stats}"
+    );
+    assert_eq!(
+        stat_u64(&stats, "keepalive_reuses") - reuses_before,
+        (total - CLIENTS) as u64,
+        "every request after the first per connection must count as a reuse\n{stats}"
+    );
+
+    // Estimate burst: model answers only, over keep-alive. Skipped when
+    // an external daemon carries no zoo (`--models` not passed to it).
+    let models_loaded = stat_u64(&stats, "models_loaded");
+    let estimate_us = if models_loaded == 0 {
+        println!("note: no model zoo loaded; skipping the /estimate burst");
+        None
+    } else {
+        let covered: Vec<&str> = SPECS
+            .iter()
+            .copied()
+            .filter(|s| s.starts_with("add8:"))
+            .collect();
+        let estimates_before = stat_u64(&stats, "estimates_served");
+        let estimate_path = |n: usize| {
+            format!(
+                "/estimate?spec={}&target={}",
+                covered[n % covered.len()],
+                afp_fpga::DEFAULT_TARGET
+            )
+        };
+        let (us, errors, messages) =
+            burst_keepalive(&addr, &estimate_path, "X-Afp-Estimate: model");
+        assert!(
+            errors == 0,
+            "estimate burst had {errors} failed clients: {}",
+            messages.join("; ")
+        );
+        let (status, stats) = get(&addr, "/stats").expect("stats");
+        assert_eq!(status, 200, "{stats}");
+        assert_eq!(
+            stat_u64(&stats, "asic_synths"),
+            asic_synths,
+            "the estimate fast path must never synthesize\n{stats}"
+        );
+        assert_eq!(
+            stat_u64(&stats, "estimates_served") - estimates_before,
+            total as u64,
+            "every estimate request must be answered from the zoo\n{stats}"
+        );
+        Some(us)
+    };
+
+    let (status, stats) = get(&addr, "/stats").expect("stats");
+    assert_eq!(status, 200, "{stats}");
     let served = stat_u64(&stats, "requests_served");
 
     if shutdown_after {
@@ -275,10 +486,21 @@ fn main() {
     if let Some(handle) = handle {
         handle.shutdown();
     }
+    if let Some(path) = zoo_path {
+        let _ = std::fs::remove_file(path);
+    }
 
+    let mut cases = vec![
+        ("serve_cold_1000", cold_us),
+        ("serve_warm_1000", warm_us),
+        ("serve_warm_keepalive_1000", keepalive_us),
+    ];
+    if let Some(us) = estimate_us {
+        cases.push(("serve_estimate_1000", us));
+    }
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for (case, wall_us) in [("serve_cold_1000", cold_us), ("serve_warm_1000", warm_us)] {
+    for (case, wall_us) in cases {
         let rps = total as f64 / (wall_us / 1e6);
         rows.push(vec![
             case.to_string(),
@@ -314,10 +536,17 @@ fn main() {
         )
     );
     println!(
-        "\ncold: {:.0} ms, warm: {:.0} ms; {served} served total, {coalesced} coalesced \
-         after the cold burst, {asic_synths} characterizations",
+        "\ncold: {:.0} ms, warm: {:.0} ms, keep-alive: {:.0} ms ({:.2}x warm){}; \
+         {served} served total, {coalesced} coalesced after the cold burst, \
+         {asic_synths} characterizations",
         cold_us / 1e3,
-        warm_us / 1e3
+        warm_us / 1e3,
+        keepalive_us / 1e3,
+        warm_us / keepalive_us,
+        match estimate_us {
+            Some(us) => format!(", estimate: {:.0} ms", us / 1e3),
+            None => String::new(),
+        }
     );
     println!("baseline for regression checks: BENCH_serve.json (repo root)");
 }

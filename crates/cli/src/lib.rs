@@ -9,7 +9,9 @@
 //! * `map`      — LUT-map a Verilog file, verify equivalence, emit the
 //!   mapped LUT netlist
 //! * `flow`     — run the full ApproxFPGAs methodology on a library
-//! * `serve`    — long-running characterization service (HTTP/1.1)
+//! * `serve`    — long-running characterization service (HTTP/1.1,
+//!   keep-alive, optional `.afpm` model zoos for `GET /estimate`)
+//! * `zoo`      — train a model zoo and persist it as a `.afpm` container
 //! * `cache`    — inspect or migrate a characterization cache directory
 //!
 //! The parsing layer is deliberately dependency-free: flags are
@@ -99,6 +101,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "map" => cmd_map(&cli),
         "flow" => cmd_flow(&cli),
         "serve" => cmd_serve(&cli),
+        "zoo" => cmd_zoo(&cli),
         "cache" => cmd_cache(&cli),
         "targets" => cmd_targets(&cli),
         "help" | "" => Ok(usage()),
@@ -156,19 +159,40 @@ USAGE:
       entirely.
   afp serve [--addr HOST:PORT] [--socket PATH] [--threads T]
             [--queue-depth N] [--target-default NAME] [--cache-dir DIR]
-            [--cache-format store|csv]
+            [--cache-format store|csv] [--models ZOO.afpm[,ZOO2.afpm..]]
+            [--estimate-only] [--keepalive-requests N]
+            [--idle-timeout-ms MS]
       Run the characterization service: a long-lived daemon answering
       HTTP/1.1 characterization requests (GET /characterize?spec=
       mul8:trunc:3&target=NAME, POST /characterize with a Bristol body,
-      POST /characterize/batch with an .afps body, GET /stats,
-      POST /shutdown). Identical concurrent requests coalesce into one
-      in-flight characterization; connections beyond --queue-depth
-      (default 64) are answered 429 instead of queueing unboundedly;
-      shutdown drains every accepted request before exiting. --addr
+      POST /characterize/batch with an .afps body, GET /estimate?spec=..
+      for the model fast path, GET /stats, POST /shutdown). Connections
+      are keep-alive: one socket serves many (optionally pipelined)
+      requests, bounded by --keepalive-requests (default 1000) per
+      connection and --idle-timeout-ms (default 5000) between requests;
+      `Connection: close` is honored per request. Identical concurrent
+      requests coalesce into one in-flight characterization; connections
+      beyond --queue-depth (default 64) are answered 429 instead of
+      queueing unboundedly; shutdown drains every accepted request —
+      including pipelined requests already received — before exiting.
+      --models loads persisted `.afpm` zoos (see `afp zoo train`) so
+      GET /estimate answers from the trained models in microseconds with
+      zero synthesis; a request no zoo covers falls back to full
+      characterization, or is answered 404 under --estimate-only. --addr
       (default 127.0.0.1:8080) and --socket (Unix-domain) are mutually
       exclusive; --target-default (default lut6-7series) applies when a
       request omits ?target=; --cache-dir/--cache-format share the warm
       tier with `afp flow`.
+  afp zoo train --save MODELS.afpm [--kind add|mul] [--width W]
+          [--size N] [--target NAME] [--models ML1,ML14,..] [--subset F]
+          [--tolerance T] [--threads T]
+      Characterize a library, train the model zoo on a --subset fraction
+      (default 0.5), persist it as a sealed `.afpm` container at --save,
+      then reload it and verify the round trip is byte-exact. --models
+      picks Table I models by label (default: all 18); --target (default
+      lut6-7series) fixes the FPGA ground truth the models learn.
+      `afp serve --models MODELS.afpm` serves GET /estimate from the
+      result.
   afp cache stats DIR
       Describe the characterization cache in DIR: entries, bytes and
       format version of the binary store and/or legacy CSV file.
@@ -499,7 +523,16 @@ fn cmd_flow(cli: &Cli) -> Result<String, String> {
             approxfpgas::DEFAULT_SHARD_CIRCUITS
         ));
     }
-    for serve_only in ["addr", "socket", "queue-depth", "target-default"] {
+    for serve_only in [
+        "addr",
+        "socket",
+        "queue-depth",
+        "target-default",
+        "models",
+        "estimate-only",
+        "keepalive-requests",
+        "idle-timeout-ms",
+    ] {
         if cli.flags.contains_key(serve_only) {
             return Err(format!(
                 "--{serve_only} is an `afp serve` flag; `afp flow` does not accept it"
@@ -759,6 +792,33 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         "csv" => approxfpgas::CacheBackend::Csv,
         other => return Err(format!("--cache-format must be store|csv, got `{other}`")),
     };
+    let models: Vec<std::path::PathBuf> = cli
+        .flags
+        .get("models")
+        .map(|raw| {
+            raw.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(std::path::PathBuf::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    let estimate_only = cli.flag_or("estimate-only", "false") == "true";
+    if estimate_only && models.is_empty() {
+        return Err(
+            "--estimate-only without --models would answer 404 to every estimate; \
+             pass at least one .afpm (see `afp zoo train`)"
+                .to_string(),
+        );
+    }
+    let keepalive_requests = cli.usize_flag("keepalive-requests", 1000)?;
+    if keepalive_requests == 0 {
+        return Err("--keepalive-requests must be at least 1".to_string());
+    }
+    let idle_timeout_ms = cli.usize_flag("idle-timeout-ms", 5000)?;
+    if idle_timeout_ms == 0 {
+        return Err("--idle-timeout-ms must be at least 1".to_string());
+    }
     let bind = match cli.flags.get("socket") {
         Some(path) => {
             #[cfg(unix)]
@@ -773,6 +833,7 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         }
         None => afp_serve::Bind::Tcp(cli.flag_or("addr", "127.0.0.1:8080").to_string()),
     };
+    let model_count = models.len();
     let handle = afp_serve::serve(afp_serve::ServeConfig {
         bind,
         threads,
@@ -780,33 +841,196 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         default_target: default_target.clone(),
         cache_dir,
         cache_backend,
+        models,
+        estimate_only,
+        keepalive_requests,
+        keepalive_idle: std::time::Duration::from_millis(idle_timeout_ms as u64),
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     // Announce the endpoint eagerly — `run` only prints on exit, and the
     // daemon blocks here until something POSTs /shutdown.
+    let models_note = if model_count > 0 {
+        format!("; {model_count} model zoo(s) loaded for /estimate")
+    } else {
+        String::new()
+    };
     match handle.addr() {
         Some(addr) => println!(
-            "afp serve: listening on http://{addr} (default target {default_target}; \
-             POST /shutdown to stop)"
+            "afp serve: listening on http://{addr} (default target {default_target}\
+             {models_note}; POST /shutdown to stop)"
         ),
         None => println!(
-            "afp serve: listening on {} (default target {default_target}; \
+            "afp serve: listening on {} (default target {default_target}{models_note}; \
              POST /shutdown to stop)",
             cli.flag_or("socket", "<socket>")
         ),
     }
     let snap = handle.join();
     Ok(format!(
-        "serve drained: {} requests served ({} coalesced, {} queue rejections, \
-         inflight peak {}), {} ASIC synths, cache {} hits / {} misses\n",
+        "serve drained: {} requests served ({} coalesced, {} keep-alive reuses, \
+         {} queue rejections, inflight peak {}), {} estimates from models \
+         ({} estimate-cache hits), {} ASIC synths, cache {} hits / {} misses\n",
         snap.requests_served,
         snap.requests_coalesced,
+        snap.keepalive_reuses,
         snap.queue_rejections,
         snap.inflight_peak,
+        snap.estimates_served,
+        snap.model_cache_hits,
         snap.asic_synths,
         snap.cache_hits,
         snap.cache_misses
     ))
+}
+
+/// `afp zoo` — train and persist model zoos (`.afpm` containers).
+fn cmd_zoo(cli: &Cli) -> Result<String, String> {
+    match cli.positional.first().map(String::as_str) {
+        Some("train") => cmd_zoo_train(cli),
+        Some(other) => Err(format!(
+            "unknown `afp zoo` subcommand `{other}` (expected `train`)"
+        )),
+        None => Err("usage: afp zoo train --save MODELS.afpm (see `afp help`)".to_string()),
+    }
+}
+
+/// Parse a comma-separated `--models ML1,ML14` list of Table I labels.
+fn parse_model_list(raw: &str) -> Result<Vec<afp_ml::MlModelId>, String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|tok| !tok.is_empty())
+        .map(|tok| {
+            afp_ml::MlModelId::ALL
+                .iter()
+                .copied()
+                .find(|m| m.label().eq_ignore_ascii_case(tok))
+                .ok_or_else(|| format!("unknown model `{tok}` (expected ML1..ML18)"))
+        })
+        .collect()
+}
+
+fn cmd_zoo_train(cli: &Cli) -> Result<String, String> {
+    use approxfpgas::record::FpgaParam;
+    let Some(save) = cli.flags.get("save") else {
+        return Err("--save PATH.afpm is required: the persisted zoo is what \
+             `afp serve --models` loads"
+            .to_string());
+    };
+    let kind = cli.kind_flag()?;
+    let width = cli.usize_flag("width", 8)?;
+    let size = cli.usize_flag("size", 300)?;
+    let threads = cli.usize_flag("threads", 0)?;
+    let subset: f64 = cli
+        .flag_or("subset", "0.5")
+        .parse()
+        .map_err(|_| "--subset expects a fraction".to_string())?;
+    let tolerance: f64 = cli
+        .flag_or("tolerance", "0.01")
+        .parse()
+        .map_err(|_| "--tolerance expects a number".to_string())?;
+    let target_name = cli.flag_or("target", afp_fpga::DEFAULT_TARGET).to_string();
+    let profile = afp_fpga::target::named(&target_name).ok_or_else(|| {
+        approxfpgas::UnknownTargetError {
+            name: target_name.clone(),
+        }
+        .to_string()
+    })?;
+    let models = match cli.flags.get("models") {
+        Some(raw) => parse_model_list(raw)?,
+        None => afp_ml::MlModelId::ALL.to_vec(),
+    };
+    if models.is_empty() {
+        return Err("--models lists no models; drop the flag to train all 18".to_string());
+    }
+
+    let spec = LibrarySpec::new(kind, width, size);
+    let lib = build_library(&spec);
+    let rt = afp_runtime::Runtime::new(threads);
+    let fpga = profile.apply(&afp_fpga::FpgaConfig::default());
+    let records = approxfpgas::dataset::characterize_library_with(
+        &lib,
+        &afp_asic::AsicConfig::default(),
+        &fpga,
+        &afp_error::ErrorConfig::default(),
+        &rt,
+        None,
+    );
+    let sub = approxfpgas::dataset::sample_subset(records.len(), subset, 24.min(records.len()), 7);
+    let (train, val) = approxfpgas::dataset::train_validate_split(&sub, 0.8, 7);
+    let zoo = approxfpgas::fidelity::train_zoo_with(
+        &records,
+        &train,
+        &val,
+        &models,
+        tolerance,
+        &rt,
+        &afp_obs::Recorder::disabled(),
+    );
+
+    let path = Path::new(save);
+    let coverage = vec![(kind, width)];
+    let saved_count = approxfpgas::save_zoo(path, &zoo, &target_name, &coverage)
+        .map_err(|e| format!("cannot save zoo to {}: {e}", path.display()))?;
+    // Reload and prove the round trip is exact: every persisted model
+    // must reproduce its in-memory estimates bit-for-bit.
+    let loaded = approxfpgas::load_zoo(path)
+        .map_err(|e| format!("saved zoo at {} fails to reload: {e}", path.display()))?;
+    let layout = zoo.layout();
+    let mut verified = 0usize;
+    for rec in records.iter().take(16) {
+        let features = approxfpgas::record::extract_features(rec, layout);
+        for &model in &models {
+            for param in FpgaParam::ALL {
+                let (Some(a), Some(b)) = (
+                    zoo.estimate_row(model, param, &features),
+                    loaded.zoo.estimate_row(model, param, &features),
+                ) else {
+                    continue;
+                };
+                if a.to_bits() != b.to_bits() {
+                    return Err(format!(
+                        "round-trip drift: {} / {} differs after save/load of {}",
+                        model.label(),
+                        param.label(),
+                        path.display()
+                    ));
+                }
+                verified += 1;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trained {} model(s) x {} params on {}{}u x{} (subset {}: {} train / {} validate, target {})",
+        models.len(),
+        FpgaParam::ALL.len(),
+        kind.mnemonic(),
+        width,
+        records.len(),
+        sub.len(),
+        train.len(),
+        val.len(),
+        target_name
+    );
+    for param in FpgaParam::ALL {
+        if let Some(best) = loaded.zoo.top_models(param, 1, true).first() {
+            let _ = writeln!(out, "  best {}: {}", param.label(), best.label());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "saved {saved_count} model records to {} (sealed .afpm, coverage {}{}u)",
+        path.display(),
+        kind.mnemonic(),
+        width
+    );
+    let _ = writeln!(
+        out,
+        "round-trip verified: {verified} estimates byte-identical"
+    );
+    Ok(out)
 }
 
 fn cmd_flow_all_targets(base: &approxfpgas::FlowConfig) -> Result<String, String> {
@@ -966,7 +1190,7 @@ mod tests {
     fn help_lists_all_commands() {
         let text = run(&args(&["help"])).unwrap();
         for cmd in [
-            "library", "synth", "error", "map", "flow", "serve", "cache", "targets",
+            "library", "synth", "error", "map", "flow", "serve", "zoo", "cache", "targets",
         ] {
             assert!(text.contains(cmd), "missing {cmd}");
         }
@@ -980,6 +1204,12 @@ mod tests {
         assert!(text.contains("--shard"), "{text}");
         assert!(text.contains("--queue-depth"), "{text}");
         assert!(text.contains("--target-default"), "{text}");
+        assert!(text.contains("--models"), "{text}");
+        assert!(text.contains("--estimate-only"), "{text}");
+        assert!(text.contains("--keepalive-requests"), "{text}");
+        assert!(text.contains("--idle-timeout-ms"), "{text}");
+        assert!(text.contains("zoo train"), "{text}");
+        assert!(text.contains("/estimate"), "{text}");
     }
 
     #[test]
@@ -1012,6 +1242,75 @@ mod tests {
         assert!(e.contains("--queue-depth"), "{e}");
         let e = run(&args(&["serve", "--target-default", "lut9-none"])).unwrap_err();
         assert!(e.contains("unknown target"), "{e}");
+        let e = run(&args(&["flow", "--size", "4", "--models", "a.afpm"])).unwrap_err();
+        assert!(e.contains("afp serve"), "{e}");
+        let e = run(&args(&["flow", "--size", "4", "--keepalive-requests", "8"])).unwrap_err();
+        assert!(e.contains("afp serve"), "{e}");
+        let e = run(&args(&["serve", "--estimate-only"])).unwrap_err();
+        assert!(e.contains("--models"), "{e}");
+        let e = run(&args(&["serve", "--keepalive-requests", "0"])).unwrap_err();
+        assert!(e.contains("--keepalive-requests"), "{e}");
+        let e = run(&args(&["serve", "--idle-timeout-ms", "0"])).unwrap_err();
+        assert!(e.contains("--idle-timeout-ms"), "{e}");
+    }
+
+    #[test]
+    fn zoo_requires_a_subcommand_and_save_path() {
+        let e = run(&args(&["zoo"])).unwrap_err();
+        assert!(e.contains("zoo train"), "{e}");
+        let e = run(&args(&["zoo", "prune"])).unwrap_err();
+        assert!(e.contains("prune"), "{e}");
+        let e = run(&args(&["zoo", "train"])).unwrap_err();
+        assert!(e.contains("--save"), "{e}");
+        let e = run(&args(&[
+            "zoo",
+            "train",
+            "--save",
+            "/tmp/x.afpm",
+            "--models",
+            "ML99",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("ML99"), "{e}");
+        let e = run(&args(&[
+            "zoo",
+            "train",
+            "--save",
+            "/tmp/x.afpm",
+            "--models",
+            ",",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("no models"), "{e}");
+    }
+
+    #[test]
+    fn zoo_train_persists_a_reloadable_zoo() {
+        let path = std::env::temp_dir().join(format!("afp-cli-zoo-{}.afpm", std::process::id()));
+        let out = run(&args(&[
+            "zoo",
+            "train",
+            "--save",
+            path.to_str().unwrap(),
+            "--kind",
+            "add",
+            "--width",
+            "8",
+            "--size",
+            "40",
+            "--subset",
+            "0.5",
+            "--models",
+            "ml1,ML14",
+        ]))
+        .unwrap();
+        assert!(out.contains("trained 2 model(s)"), "{out}");
+        assert!(out.contains("round-trip verified:"), "{out}");
+        assert!(!out.contains("round-trip verified: 0 "), "{out}");
+        let saved = approxfpgas::load_zoo(&path).expect("saved zoo reloads");
+        assert_eq!(saved.target, afp_fpga::DEFAULT_TARGET);
+        assert!(saved.covers(ArithKind::Adder, 8));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

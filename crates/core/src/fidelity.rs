@@ -42,6 +42,53 @@ impl TrainedZoo {
         &self.layout
     }
 
+    /// Every trained (model, parameter) pair with its regressor, in
+    /// training order — the iteration surface the `.afpm` persistence
+    /// layer serializes from.
+    pub(crate) fn trained_models(
+        &self,
+    ) -> impl Iterator<Item = (MlModelId, FpgaParam, &dyn Regressor)> {
+        self.models
+            .iter()
+            .map(|((m, p), reg)| (*m, *p, reg.as_ref()))
+    }
+
+    /// Rebuild a zoo from decoded parts (the `.afpm` load path).
+    pub(crate) fn from_parts(
+        layout: FeatureLayout,
+        models: Vec<((MlModelId, FpgaParam), Box<dyn Regressor>)>,
+        fidelities: Vec<FidelityRecord>,
+    ) -> TrainedZoo {
+        TrainedZoo {
+            layout,
+            models,
+            fidelities,
+        }
+    }
+
+    /// Whether the (model, param) pair has a trained regressor.
+    pub fn has_model(&self, model: MlModelId, param: FpgaParam) -> bool {
+        self.models
+            .iter()
+            .any(|((m, p), _)| *m == model && *p == param)
+    }
+
+    /// Estimate `param` with `model` from an already-extracted feature
+    /// row. `None` when the pair was never trained — the non-panicking
+    /// sibling of [`TrainedZoo::estimate`] for serving paths that must
+    /// not abort on an uncovered request.
+    pub fn estimate_row(
+        &self,
+        model: MlModelId,
+        param: FpgaParam,
+        features: &[f64],
+    ) -> Option<f64> {
+        self.models
+            .iter()
+            .find(|((m, p), _)| *m == model && *p == param)
+            .map(|(_, reg)| reg.predict_row(features))
+    }
+
     /// Estimate `param` for `record` with `model`.
     ///
     /// # Panics

@@ -55,6 +55,7 @@ pub mod record;
 pub mod report;
 pub mod request;
 pub mod targets;
+pub mod zoo_store;
 
 pub use cache::{CacheBackend, CachedCharacterization, CharacterizationCache};
 pub use fidelity::FidelityRecord;
@@ -67,6 +68,7 @@ pub use targets::{
     sweep_targets, transfer_experiment, transfer_matrix, TargetRun, TargetSet, TargetSweep,
     TransferOutcome, UnknownTargetError,
 };
+pub use zoo_store::{load_zoo, save_zoo, SavedZoo, ZooStoreError, AFPM_RECORD_VERSION};
 
 /// Structured tracing and run reports (re-export of [`afp_obs`]).
 ///

@@ -169,9 +169,22 @@ fn kind_feature_name(kind: GateKind) -> &'static str {
 
 /// Extract the feature vector of one record under `layout`.
 pub fn extract_features(record: &CircuitRecord, layout: &FeatureLayout) -> Vec<f64> {
-    let s = &record.stats;
+    features_from_parts(record.width, &record.stats, &record.asic, layout)
+}
+
+/// Build the feature vector directly from its ingredients — operand
+/// width, netlist statistics and the ASIC report. [`extract_features`]
+/// is this on a full [`CircuitRecord`]; serving's estimate fast path
+/// calls it without ever assembling one (no FPGA synthesis, no error
+/// analysis).
+pub fn features_from_parts(
+    width: usize,
+    s: &NetlistStats,
+    asic: &AsicReport,
+    layout: &FeatureLayout,
+) -> Vec<f64> {
     let mut f = Vec::with_capacity(layout.len());
-    f.push(record.width as f64);
+    f.push(width as f64);
     f.push(s.inputs as f64);
     f.push(s.outputs as f64);
     f.push(s.gates as f64);
@@ -181,11 +194,29 @@ pub fn extract_features(record: &CircuitRecord, layout: &FeatureLayout) -> Vec<f
     for kind in GateKind::LOGIC {
         f.push(*s.kind_counts.get(&kind).unwrap_or(&0) as f64);
     }
-    f.push(record.asic.area_um2);
-    f.push(record.asic.delay_ns);
-    f.push(record.asic.power_mw);
+    f.push(asic.area_um2);
+    f.push(asic.delay_ns);
+    f.push(asic.power_mw);
     debug_assert_eq!(f.len(), layout.len());
     f
+}
+
+/// Feature vector for the model-estimate fast path: netlist statistics
+/// plus a direct ASIC synthesis, *without* touching any runtime counters
+/// or the characterization cache. The ASIC report here is bit-identical
+/// to what [`characterize`] would produce — same netlist, same config —
+/// so estimates from a persisted zoo match estimates computed in the
+/// training process exactly.
+pub fn estimate_features(
+    circuit: &ArithCircuit,
+    asic_config: &afp_asic::AsicConfig,
+    layout: &FeatureLayout,
+) -> Vec<f64> {
+    let netlist = circuit.netlist();
+    let stats = afp_netlist::analyze::stats(netlist);
+    let asic =
+        afp_asic::synthesize_asic_with(netlist, asic_config, &mut afp_asic::AsicScratch::new());
+    features_from_parts(circuit.width(), &stats, &asic, layout)
 }
 
 /// Characterize one circuit: simplify, gather stats, ASIC report, error

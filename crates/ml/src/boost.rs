@@ -1,6 +1,10 @@
 //! Boosted tree ensembles: gradient boosting (ML6) and AdaBoost.R2 (ML7).
 
-use crate::tree::{DecisionTree, TreeConfig};
+use afp_store::bytes::put_f64;
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
+use crate::tree::{self, DecisionTree, TreeConfig};
 use crate::{check_xy, Matrix, MlError, Regressor};
 
 /// Gradient-boosted regression trees (squared loss) — ML6.
@@ -26,6 +30,27 @@ impl GradientBoosting {
             base: 0.0,
             stages: Vec::new(),
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<GradientBoosting> {
+        let n_stages = codec::read_usize(r)?;
+        let learning_rate = r.f64_le()?;
+        let tree_config = tree::decode_config(r)?;
+        let base = r.f64_le()?;
+        let count = codec::read_usize(r)?;
+        if count > r.remaining() {
+            return None;
+        }
+        let stages = (0..count)
+            .map(|_| DecisionTree::decode_state(r))
+            .collect::<Option<Vec<_>>>()?;
+        Some(GradientBoosting {
+            n_stages,
+            learning_rate,
+            tree_config,
+            base,
+            stages,
+        })
     }
 }
 
@@ -69,6 +94,22 @@ impl Regressor for GradientBoosting {
     fn name(&self) -> &'static str {
         "gradient boosting"
     }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.n_stages);
+        put_f64(&mut payload, self.learning_rate);
+        tree::encode_config(&mut payload, &self.tree_config);
+        put_f64(&mut payload, self.base);
+        codec::put_usize(&mut payload, self.stages.len());
+        for t in &self.stages {
+            t.encode_state(&mut payload);
+        }
+        Some(ModelState {
+            tag: codec::TAG_BOOST,
+            payload,
+        })
+    }
 }
 
 /// AdaBoost.R2 (Drucker 1997) with tree weak learners — ML7.
@@ -90,6 +131,27 @@ impl AdaBoostR2 {
             tree_config,
             stages: Vec::new(),
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<AdaBoostR2> {
+        let n_stages = codec::read_usize(r)?;
+        let tree_config = tree::decode_config(r)?;
+        let count = codec::read_usize(r)?;
+        if count > r.remaining() {
+            return None;
+        }
+        let stages = (0..count)
+            .map(|_| {
+                let t = DecisionTree::decode_state(r)?;
+                let vote = r.f64_le()?;
+                Some((t, vote))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(AdaBoostR2 {
+            n_stages,
+            tree_config,
+            stages,
+        })
     }
 }
 
@@ -177,6 +239,21 @@ impl Regressor for AdaBoostR2 {
 
     fn name(&self) -> &'static str {
         "adaboost.r2"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.n_stages);
+        tree::encode_config(&mut payload, &self.tree_config);
+        codec::put_usize(&mut payload, self.stages.len());
+        for (t, vote) in &self.stages {
+            t.encode_state(&mut payload);
+            put_f64(&mut payload, *vote);
+        }
+        Some(ModelState {
+            tag: codec::TAG_ADA,
+            payload,
+        })
     }
 }
 

@@ -1,6 +1,9 @@
 //! Random forest regression — ML5.
 
-use crate::tree::{DecisionTree, TreeConfig};
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
+use crate::tree::{self, DecisionTree, TreeConfig};
 use crate::{check_xy, Matrix, MlError, Regressor};
 
 /// Bagged ensemble of randomized CART trees.
@@ -50,6 +53,25 @@ impl RandomForest {
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()
     }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<RandomForest> {
+        let n_trees = codec::read_usize(r)?;
+        let tree_config = tree::decode_config(r)?;
+        let seed = r.u64_le()?;
+        let count = codec::read_usize(r)?;
+        if count > r.remaining() {
+            return None;
+        }
+        let trees = (0..count)
+            .map(|_| DecisionTree::decode_state(r))
+            .collect::<Option<Vec<_>>>()?;
+        Some(RandomForest {
+            n_trees,
+            tree_config,
+            seed,
+            trees,
+        })
+    }
 }
 
 impl Regressor for RandomForest {
@@ -90,6 +112,21 @@ impl Regressor for RandomForest {
 
     fn name(&self) -> &'static str {
         "random forest"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.n_trees);
+        tree::encode_config(&mut payload, &self.tree_config);
+        payload.extend_from_slice(&self.seed.to_le_bytes());
+        codec::put_usize(&mut payload, self.trees.len());
+        for t in &self.trees {
+            t.encode_state(&mut payload);
+        }
+        Some(ModelState {
+            tag: codec::TAG_FOREST,
+            payload,
+        })
     }
 }
 

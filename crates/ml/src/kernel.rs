@@ -1,6 +1,10 @@
 //! Kernel methods: kernel ridge regression (ML10) and Gaussian-process
 //! regression (ML8), both with an RBF kernel on standardized features.
 
+use afp_store::bytes::put_f64;
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
 use crate::linalg::{chol_solve, cholesky};
 use crate::preprocess::Standardizer;
 use crate::{check_xy, Matrix, MlError, Regressor};
@@ -57,6 +61,22 @@ impl KernelState {
             .sum();
         k + self.y_mean
     }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_scaler(out, &self.scaler);
+        codec::put_rows(out, &self.train);
+        codec::put_vec(out, &self.dual);
+        put_f64(out, self.y_mean);
+    }
+
+    fn decode(r: &mut ByteReader) -> Option<KernelState> {
+        Some(KernelState {
+            scaler: codec::read_scaler(r)?,
+            train: codec::read_rows(r)?,
+            dual: codec::read_vec(r)?,
+            y_mean: r.f64_le()?,
+        })
+    }
 }
 
 /// Kernel ridge regression with RBF kernel — ML10.
@@ -90,6 +110,14 @@ impl KernelRidge {
             state: KernelState::default(),
         }
     }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<KernelRidge> {
+        Some(KernelRidge {
+            gamma: r.f64_le()?,
+            lambda: r.f64_le()?,
+            state: KernelState::decode(r)?,
+        })
+    }
 }
 
 impl Default for KernelRidge {
@@ -111,6 +139,17 @@ impl Regressor for KernelRidge {
 
     fn name(&self) -> &'static str {
         "kernel ridge"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        put_f64(&mut payload, self.gamma);
+        put_f64(&mut payload, self.lambda);
+        self.state.encode(&mut payload);
+        Some(ModelState {
+            tag: codec::TAG_KRR,
+            payload,
+        })
     }
 }
 
@@ -137,6 +176,40 @@ impl GaussianProcess {
             state: KernelState::default(),
             chol: None,
         }
+    }
+
+    /// Rebuild the noise-augmented kernel Cholesky from the training
+    /// rows — the same computation `fit` performs, so a decoded model is
+    /// bit-identical to the one that was saved.
+    fn rebuild_chol(train: &[Vec<f64>], gamma: f64, noise: f64) -> Result<Matrix, MlError> {
+        let n = train.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = rbf(&train[i], &train[j], gamma);
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+            k.set(i, i, k.get(i, i) + noise.max(1e-10));
+        }
+        cholesky(&k)
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<GaussianProcess> {
+        let gamma = r.f64_le()?;
+        let noise = r.f64_le()?;
+        let state = KernelState::decode(r)?;
+        let chol = match r.u8()? {
+            0 => None,
+            1 => Some(GaussianProcess::rebuild_chol(&state.train, gamma, noise).ok()?),
+            _ => return None,
+        };
+        Some(GaussianProcess {
+            gamma,
+            noise,
+            state,
+            chol,
+        })
     }
 
     /// Predictive mean and standard deviation for one row.
@@ -172,18 +245,13 @@ impl Regressor for GaussianProcess {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
         check_xy(x, y)?;
         self.state = KernelState::fit(x, y, self.gamma, self.noise.max(1e-10))?;
-        // Rebuild the kernel Cholesky for predictive variance.
-        let n = self.state.train.len();
-        let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let v = rbf(&self.state.train[i], &self.state.train[j], self.gamma);
-                k.set(i, j, v);
-                k.set(j, i, v);
-            }
-            k.set(i, i, k.get(i, i) + self.noise.max(1e-10));
-        }
-        self.chol = Some(cholesky(&k)?);
+        // Rebuild the kernel Cholesky for predictive variance (the exact
+        // computation `decode_state` replays when restoring).
+        self.chol = Some(GaussianProcess::rebuild_chol(
+            &self.state.train,
+            self.gamma,
+            self.noise,
+        )?);
         Ok(())
     }
 
@@ -193,6 +261,18 @@ impl Regressor for GaussianProcess {
 
     fn name(&self) -> &'static str {
         "gaussian process"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        put_f64(&mut payload, self.gamma);
+        put_f64(&mut payload, self.noise);
+        self.state.encode(&mut payload);
+        payload.push(self.chol.is_some() as u8);
+        Some(ModelState {
+            tag: codec::TAG_GP,
+            payload,
+        })
     }
 }
 

@@ -46,6 +46,7 @@
 
 pub mod boost;
 pub mod chaos;
+pub mod codec;
 pub mod forest;
 pub mod kernel;
 pub mod linalg;
@@ -61,6 +62,7 @@ pub mod tuning;
 pub mod zoo;
 
 pub use chaos::{ChaosConfig, ChaosKind, ChaosRegressor};
+pub use codec::{restore, CodecError, ModelState};
 pub use linalg::Matrix;
 pub use zoo::{build_model, MlModelId};
 
@@ -131,6 +133,16 @@ pub trait Regressor: Send + Sync {
 
     /// Short human-readable model name.
     fn name(&self) -> &'static str;
+
+    /// Serialize the fitted state for persistence, or `None` when this
+    /// model type does not support it (the default).
+    ///
+    /// Implementations guarantee a **bit-exact** round trip through
+    /// [`codec::restore`]: the restored model predicts byte-identical
+    /// values for every input row.
+    fn save_state(&self) -> Option<codec::ModelState> {
+        None
+    }
 }
 
 pub(crate) fn check_xy(x: &Matrix, y: &[f64]) -> Result<(), MlError> {

@@ -5,6 +5,10 @@
 //!
 //! All models standardize features internally and fit an intercept.
 
+use afp_store::bytes::put_f64;
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
 use crate::linalg::{chol_solve, cholesky, dot, inv_diag_from_chol};
 use crate::preprocess::{mean, Standardizer};
 use crate::{check_xy, Matrix, MlError, Regressor};
@@ -23,6 +27,20 @@ impl LinearState {
         let scaler = self.scaler.as_ref().expect("model must be fitted first");
         let z = scaler.transform_row(row);
         dot(&z, &self.weights) + self.intercept
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_scaler(out, &self.scaler);
+        codec::put_vec(out, &self.weights);
+        put_f64(out, self.intercept);
+    }
+
+    fn decode(r: &mut ByteReader) -> Option<LinearState> {
+        Some(LinearState {
+            scaler: codec::read_scaler(r)?,
+            weights: codec::read_vec(r)?,
+            intercept: r.f64_le()?,
+        })
     }
 }
 
@@ -65,6 +83,19 @@ impl SingleFeature {
     pub fn feature(&self) -> usize {
         self.feature
     }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<SingleFeature> {
+        Some(SingleFeature {
+            feature: codec::read_usize(r)?,
+            slope: r.f64_le()?,
+            intercept: r.f64_le()?,
+            fitted: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+        })
+    }
 }
 
 impl Regressor for SingleFeature {
@@ -93,6 +124,18 @@ impl Regressor for SingleFeature {
     fn name(&self) -> &'static str {
         "single-feature regression"
     }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.feature);
+        put_f64(&mut payload, self.slope);
+        put_f64(&mut payload, self.intercept);
+        payload.push(self.fitted as u8);
+        Some(ModelState {
+            tag: codec::TAG_SINGLE,
+            payload,
+        })
+    }
 }
 
 /// Ridge regression (L2-regularized least squares) — ML14, and the
@@ -110,6 +153,13 @@ impl Ridge {
             lambda,
             state: LinearState::default(),
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<Ridge> {
+        Some(Ridge {
+            lambda: r.f64_le()?,
+            state: LinearState::decode(r)?,
+        })
     }
 }
 
@@ -142,6 +192,16 @@ impl Regressor for Ridge {
     fn name(&self) -> &'static str {
         "ridge regression"
     }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        put_f64(&mut payload, self.lambda);
+        self.state.encode(&mut payload);
+        Some(ModelState {
+            tag: codec::TAG_RIDGE,
+            payload,
+        })
+    }
 }
 
 /// Bayesian ridge regression — ML11. Hyperparameters `alpha` (noise
@@ -160,6 +220,13 @@ impl BayesianRidge {
             iterations,
             state: LinearState::default(),
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<BayesianRidge> {
+        Some(BayesianRidge {
+            iterations: codec::read_usize(r)?,
+            state: LinearState::decode(r)?,
+        })
     }
 }
 
@@ -220,6 +287,16 @@ impl Regressor for BayesianRidge {
     fn name(&self) -> &'static str {
         "bayesian ridge"
     }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.iterations);
+        self.state.encode(&mut payload);
+        Some(ModelState {
+            tag: codec::TAG_BAYES,
+            payload,
+        })
+    }
 }
 
 /// Coordinate-descent Lasso (L1-regularized least squares) — ML12.
@@ -238,6 +315,14 @@ impl Lasso {
             iterations,
             state: LinearState::default(),
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<Lasso> {
+        Some(Lasso {
+            lambda: r.f64_le()?,
+            iterations: codec::read_usize(r)?,
+            state: LinearState::decode(r)?,
+        })
     }
 }
 
@@ -287,6 +372,17 @@ impl Regressor for Lasso {
     fn name(&self) -> &'static str {
         "lasso (coordinate descent)"
     }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        put_f64(&mut payload, self.lambda);
+        codec::put_usize(&mut payload, self.iterations);
+        self.state.encode(&mut payload);
+        Some(ModelState {
+            tag: codec::TAG_LASSO,
+            payload,
+        })
+    }
 }
 
 fn soft_threshold(v: f64, t: f64) -> f64 {
@@ -318,6 +414,13 @@ impl LeastAngle {
             max_features,
             state: LinearState::default(),
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<LeastAngle> {
+        Some(LeastAngle {
+            max_features: codec::read_usize(r)?,
+            state: LinearState::decode(r)?,
+        })
     }
 }
 
@@ -383,6 +486,16 @@ impl Regressor for LeastAngle {
     fn name(&self) -> &'static str {
         "least-angle regression"
     }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.max_features);
+        self.state.encode(&mut payload);
+        Some(ModelState {
+            tag: codec::TAG_LARS,
+            payload,
+        })
+    }
 }
 
 /// Linear regression trained by stochastic gradient descent — ML15.
@@ -405,6 +518,16 @@ impl SgdRegressor {
             seed,
             state: LinearState::default(),
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<SgdRegressor> {
+        Some(SgdRegressor {
+            epochs: codec::read_usize(r)?,
+            learning_rate: r.f64_le()?,
+            l2: r.f64_le()?,
+            seed: r.u64_le()?,
+            state: LinearState::decode(r)?,
+        })
     }
 }
 
@@ -463,6 +586,19 @@ impl Regressor for SgdRegressor {
 
     fn name(&self) -> &'static str {
         "sgd regressor"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.epochs);
+        put_f64(&mut payload, self.learning_rate);
+        put_f64(&mut payload, self.l2);
+        payload.extend_from_slice(&self.seed.to_le_bytes());
+        self.state.encode(&mut payload);
+        Some(ModelState {
+            tag: codec::TAG_SGD,
+            payload,
+        })
     }
 }
 

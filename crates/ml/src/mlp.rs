@@ -3,6 +3,10 @@
 //! One tanh hidden layer with a linear output, trained full-batch with
 //! Adam. Deliberately small: the paper's models are "light-weight".
 
+use afp_store::bytes::put_f64;
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
 use crate::preprocess::{mean, Standardizer};
 use crate::{check_xy, Matrix, MlError, Regressor};
 
@@ -54,6 +58,33 @@ impl Mlp {
             y_scale: 1.0,
             inputs: 0,
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<Mlp> {
+        let m = Mlp {
+            hidden: codec::read_usize(r)?,
+            epochs: codec::read_usize(r)?,
+            learning_rate: r.f64_le()?,
+            seed: r.u64_le()?,
+            scaler: codec::read_scaler(r)?,
+            w1: codec::read_vec(r)?,
+            b1: codec::read_vec(r)?,
+            w2: codec::read_vec(r)?,
+            b2: r.f64_le()?,
+            y_mean: r.f64_le()?,
+            y_scale: r.f64_le()?,
+            inputs: codec::read_usize(r)?,
+        };
+        // A fitted network must be internally consistent or prediction
+        // would index out of bounds on corrupt input.
+        if m.scaler.is_some()
+            && (m.w1.len() != m.hidden.checked_mul(m.inputs)?
+                || m.b1.len() != m.hidden
+                || m.w2.len() != m.hidden)
+        {
+            return None;
+        }
+        Some(m)
     }
 
     fn hidden_out(&self, z: &[f64]) -> Vec<f64> {
@@ -172,6 +203,26 @@ impl Regressor for Mlp {
 
     fn name(&self) -> &'static str {
         "multi-layer perceptron"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.hidden);
+        codec::put_usize(&mut payload, self.epochs);
+        put_f64(&mut payload, self.learning_rate);
+        payload.extend_from_slice(&self.seed.to_le_bytes());
+        codec::put_scaler(&mut payload, &self.scaler);
+        codec::put_vec(&mut payload, &self.w1);
+        codec::put_vec(&mut payload, &self.b1);
+        codec::put_vec(&mut payload, &self.w2);
+        put_f64(&mut payload, self.b2);
+        put_f64(&mut payload, self.y_mean);
+        put_f64(&mut payload, self.y_scale);
+        codec::put_usize(&mut payload, self.inputs);
+        Some(ModelState {
+            tag: codec::TAG_MLP,
+            payload,
+        })
     }
 }
 

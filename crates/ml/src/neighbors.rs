@@ -1,5 +1,8 @@
 //! K-nearest-neighbour regression — ML16.
 
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
 use crate::preprocess::Standardizer;
 use crate::{check_xy, Matrix, MlError, Regressor};
 
@@ -36,6 +39,19 @@ impl KNearest {
             train: Vec::new(),
             targets: Vec::new(),
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<KNearest> {
+        let m = KNearest {
+            k: codec::read_usize(r)?,
+            scaler: codec::read_scaler(r)?,
+            train: codec::read_rows(r)?,
+            targets: codec::read_vec(r)?,
+        };
+        if m.train.len() != m.targets.len() {
+            return None;
+        }
+        Some(m)
     }
 }
 
@@ -83,6 +99,18 @@ impl Regressor for KNearest {
 
     fn name(&self) -> &'static str {
         "k-nearest neighbours"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.k);
+        codec::put_scaler(&mut payload, &self.scaler);
+        codec::put_rows(&mut payload, &self.train);
+        codec::put_vec(&mut payload, &self.targets);
+        Some(ModelState {
+            tag: codec::TAG_KNN,
+            payload,
+        })
     }
 }
 

@@ -1,5 +1,9 @@
 //! Partial-least-squares regression (PLS1, NIPALS) — ML4.
 
+use afp_store::bytes::put_f64;
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
 use crate::linalg::dot;
 use crate::preprocess::{mean, Standardizer};
 use crate::{check_xy, Matrix, MlError, Regressor};
@@ -46,6 +50,21 @@ impl PlsRegression {
             q: Vec::new(),
             y_mean: 0.0,
         }
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<PlsRegression> {
+        let m = PlsRegression {
+            components: codec::read_usize(r)?,
+            scaler: codec::read_scaler(r)?,
+            w: codec::read_rows(r)?,
+            p: codec::read_rows(r)?,
+            q: codec::read_vec(r)?,
+            y_mean: r.f64_le()?,
+        };
+        if m.w.len() != m.p.len() || m.w.len() != m.q.len() {
+            return None;
+        }
+        Some(m)
     }
 }
 
@@ -138,6 +157,20 @@ impl Regressor for PlsRegression {
 
     fn name(&self) -> &'static str {
         "pls regression"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.components);
+        codec::put_scaler(&mut payload, &self.scaler);
+        codec::put_rows(&mut payload, &self.w);
+        codec::put_rows(&mut payload, &self.p);
+        codec::put_vec(&mut payload, &self.q);
+        put_f64(&mut payload, self.y_mean);
+        Some(ModelState {
+            tag: codec::TAG_PLS,
+            payload,
+        })
     }
 }
 

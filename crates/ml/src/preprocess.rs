@@ -77,6 +77,17 @@ impl Standardizer {
             .collect()
     }
 
+    /// Reassemble a standardizer from previously extracted `means` and
+    /// `stds` (the codec uses this to restore persisted models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices disagree in length.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Standardizer {
+        assert_eq!(means.len(), stds.len(), "means/stds length mismatch");
+        Standardizer { means, stds }
+    }
+
     /// Per-column means.
     pub fn means(&self) -> &[f64] {
         &self.means

@@ -5,6 +5,10 @@
 //! generations): the paper lists symbolic regression among the
 //! *light-weight* models, not as a heavyweight search.
 
+use afp_store::bytes::put_f64;
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
 use crate::preprocess::Standardizer;
 use crate::{check_xy, Matrix, MlError, Regressor};
 
@@ -51,7 +55,93 @@ impl Expr {
             Expr::Sqrt(a) => 1 + a.size(),
         }
     }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Expr::Feature(i) => {
+                out.push(0);
+                codec::put_usize(out, *i);
+            }
+            Expr::Constant(c) => {
+                out.push(1);
+                put_f64(out, *c);
+            }
+            Expr::Add(a, b) => {
+                out.push(2);
+                a.encode(out);
+                b.encode(out);
+            }
+            Expr::Sub(a, b) => {
+                out.push(3);
+                a.encode(out);
+                b.encode(out);
+            }
+            Expr::Mul(a, b) => {
+                out.push(4);
+                a.encode(out);
+                b.encode(out);
+            }
+            Expr::Div(a, b) => {
+                out.push(5);
+                a.encode(out);
+                b.encode(out);
+            }
+            Expr::Sqrt(a) => {
+                out.push(6);
+                a.encode(out);
+            }
+        }
+    }
+
+    /// Largest feature index referenced anywhere in the expression.
+    fn max_feature(&self) -> Option<usize> {
+        match self {
+            Expr::Feature(i) => Some(*i),
+            Expr::Constant(_) => None,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                match (a.max_feature(), b.max_feature()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            Expr::Sqrt(a) => a.max_feature(),
+        }
+    }
+
+    /// Decode with an explicit nesting budget so corrupt input cannot
+    /// recurse past the stack.
+    fn decode(r: &mut ByteReader, depth: usize) -> Option<Expr> {
+        if depth == 0 {
+            return None;
+        }
+        Some(match r.u8()? {
+            0 => Expr::Feature(codec::read_usize(r)?),
+            1 => Expr::Constant(r.f64_le()?),
+            2 => Expr::Add(
+                Box::new(Expr::decode(r, depth - 1)?),
+                Box::new(Expr::decode(r, depth - 1)?),
+            ),
+            3 => Expr::Sub(
+                Box::new(Expr::decode(r, depth - 1)?),
+                Box::new(Expr::decode(r, depth - 1)?),
+            ),
+            4 => Expr::Mul(
+                Box::new(Expr::decode(r, depth - 1)?),
+                Box::new(Expr::decode(r, depth - 1)?),
+            ),
+            5 => Expr::Div(
+                Box::new(Expr::decode(r, depth - 1)?),
+                Box::new(Expr::decode(r, depth - 1)?),
+            ),
+            6 => Expr::Sqrt(Box::new(Expr::decode(r, depth - 1)?)),
+            _ => return None,
+        })
+    }
 }
+
+/// Nesting budget for decoding persisted expressions: far above any tree
+/// the GP can evolve, far below the thread stack.
+const MAX_EXPR_DEPTH: usize = 256;
 
 struct Rng(u64);
 
@@ -109,6 +199,31 @@ impl SymbolicRegression {
     /// Size (node count) of the best evolved expression.
     pub fn best_size(&self) -> Option<usize> {
         self.best.as_ref().map(Expr::size)
+    }
+
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<SymbolicRegression> {
+        let m = SymbolicRegression {
+            population: codec::read_usize(r)?,
+            generations: codec::read_usize(r)?,
+            max_depth: codec::read_usize(r)?,
+            seed: r.u64_le()?,
+            scaler: codec::read_scaler(r)?,
+            best: match r.u8()? {
+                0 => None,
+                1 => Some(Expr::decode(r, MAX_EXPR_DEPTH)?),
+                _ => return None,
+            },
+            y_mean: r.f64_le()?,
+            y_scale: r.f64_le()?,
+        };
+        // Feature references must fit the standardized row width or
+        // prediction would index out of bounds on corrupt input.
+        if let (Some(s), Some(e)) = (&m.scaler, &m.best) {
+            if e.max_feature().is_some_and(|f| f >= s.means().len()) {
+                return None;
+            }
+        }
+        Some(m)
     }
 
     fn random_expr(&self, rng: &mut Rng, features: usize, depth: usize) -> Expr {
@@ -244,6 +359,28 @@ impl Regressor for SymbolicRegression {
 
     fn name(&self) -> &'static str {
         "symbolic regression"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        codec::put_usize(&mut payload, self.population);
+        codec::put_usize(&mut payload, self.generations);
+        codec::put_usize(&mut payload, self.max_depth);
+        payload.extend_from_slice(&self.seed.to_le_bytes());
+        codec::put_scaler(&mut payload, &self.scaler);
+        match &self.best {
+            None => payload.push(0),
+            Some(e) => {
+                payload.push(1);
+                e.encode(&mut payload);
+            }
+        }
+        put_f64(&mut payload, self.y_mean);
+        put_f64(&mut payload, self.y_scale);
+        Some(ModelState {
+            tag: codec::TAG_SYMBOLIC,
+            payload,
+        })
     }
 }
 

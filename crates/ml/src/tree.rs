@@ -1,6 +1,10 @@
 //! CART regression tree — ML18, and the weak learner of the ensemble
 //! models.
 
+use afp_store::bytes::put_f64;
+use afp_store::ByteReader;
+
+use crate::codec::{self, ModelState};
 use crate::{check_xy, Matrix, MlError, Regressor};
 
 /// Tree growth configuration.
@@ -159,6 +163,100 @@ impl DecisionTree {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Append the fitted state (used standalone and by the ensembles).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        encode_config(out, &self.config);
+        match self.features_per_split {
+            None => out.push(0),
+            Some(k) => {
+                out.push(1);
+                codec::put_usize(out, k);
+            }
+        }
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        codec::put_usize(out, self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf(v) => {
+                    out.push(0);
+                    put_f64(out, *v);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.push(1);
+                    codec::put_usize(out, *feature);
+                    put_f64(out, *threshold);
+                    codec::put_usize(out, *left);
+                    codec::put_usize(out, *right);
+                }
+            }
+        }
+    }
+
+    /// Decode a tree written by [`DecisionTree::encode_state`]; child
+    /// indices are validated so a corrupt payload can never panic later
+    /// prediction.
+    pub(crate) fn decode_state(r: &mut ByteReader) -> Option<DecisionTree> {
+        let config = decode_config(r)?;
+        let features_per_split = match r.u8()? {
+            0 => None,
+            1 => Some(codec::read_usize(r)?),
+            _ => return None,
+        };
+        let seed = r.u64_le()?;
+        let count = codec::read_usize(r)?;
+        // Every node costs at least two bytes on the wire.
+        if count > r.remaining() {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            nodes.push(match r.u8()? {
+                0 => Node::Leaf(r.f64_le()?),
+                1 => {
+                    let feature = codec::read_usize(r)?;
+                    let threshold = r.f64_le()?;
+                    let left = codec::read_usize(r)?;
+                    let right = codec::read_usize(r)?;
+                    if left >= count || right >= count {
+                        return None;
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    }
+                }
+                _ => return None,
+            });
+        }
+        Some(DecisionTree {
+            config,
+            nodes,
+            features_per_split,
+            seed,
+        })
+    }
+}
+
+pub(crate) fn encode_config(out: &mut Vec<u8>, config: &TreeConfig) {
+    codec::put_usize(out, config.max_depth);
+    codec::put_usize(out, config.min_samples_split);
+    codec::put_usize(out, config.min_samples_leaf);
+}
+
+pub(crate) fn decode_config(r: &mut ByteReader) -> Option<TreeConfig> {
+    Some(TreeConfig {
+        max_depth: codec::read_usize(r)?,
+        min_samples_split: codec::read_usize(r)?,
+        min_samples_leaf: codec::read_usize(r)?,
+    })
 }
 
 impl Regressor for DecisionTree {
@@ -192,6 +290,15 @@ impl Regressor for DecisionTree {
 
     fn name(&self) -> &'static str {
         "decision tree"
+    }
+
+    fn save_state(&self) -> Option<ModelState> {
+        let mut payload = Vec::new();
+        self.encode_state(&mut payload);
+        Some(ModelState {
+            tag: codec::TAG_TREE,
+            payload,
+        })
     }
 }
 

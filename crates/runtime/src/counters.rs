@@ -64,6 +64,15 @@ pub struct Counters {
     /// the serve coalescing map (a gauge updated via [`Counters::max`],
     /// not a monotonic count).
     pub inflight_peak: AtomicU64,
+    /// Estimate requests answered from a persisted model zoo (no
+    /// synthesis ran — the `afp serve` fast path).
+    pub estimates_served: AtomicU64,
+    /// Estimate responses reused from the in-memory estimate cache
+    /// (the model never even ran).
+    pub model_cache_hits: AtomicU64,
+    /// Requests after the first answered on an already-open keep-alive
+    /// connection (each one saved a TCP handshake).
+    pub keepalive_reuses: AtomicU64,
 }
 
 impl Counters {
@@ -104,6 +113,9 @@ impl Counters {
             requests_coalesced: self.requests_coalesced.load(Ordering::Relaxed),
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
             inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
+            estimates_served: self.estimates_served.load(Ordering::Relaxed),
+            model_cache_hits: self.model_cache_hits.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -162,6 +174,12 @@ pub struct CounterSnapshot {
     /// in a [`CounterSnapshot::since`] delta it is only meaningful when
     /// the earlier snapshot predates any serving).
     pub inflight_peak: u64,
+    /// Estimate requests answered from a persisted model zoo.
+    pub estimates_served: u64,
+    /// Estimate responses reused from the in-memory estimate cache.
+    pub model_cache_hits: u64,
+    /// Keep-alive requests served beyond the first on a connection.
+    pub keepalive_reuses: u64,
 }
 
 impl CounterSnapshot {
@@ -206,6 +224,15 @@ impl CounterSnapshot {
                 .queue_rejections
                 .saturating_sub(earlier.queue_rejections),
             inflight_peak: self.inflight_peak.saturating_sub(earlier.inflight_peak),
+            estimates_served: self
+                .estimates_served
+                .saturating_sub(earlier.estimates_served),
+            model_cache_hits: self
+                .model_cache_hits
+                .saturating_sub(earlier.model_cache_hits),
+            keepalive_reuses: self
+                .keepalive_reuses
+                .saturating_sub(earlier.keepalive_reuses),
         }
     }
 }

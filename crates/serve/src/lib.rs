@@ -18,13 +18,26 @@
 //!    grow without bound.
 //! 3. **Graceful drain** — shutdown stops accepting, then the workers
 //!    finish every connection already queued before exiting, so an
-//!    accepted request is never dropped.
+//!    accepted request is never dropped. Pipelined requests whose bytes
+//!    were already sent when shutdown fired are served before the
+//!    connection closes.
+//! 4. **Keep-alive** — connections are reused across requests
+//!    (HTTP/1.1 semantics, `Connection: close` honored per request),
+//!    bounded by a per-connection request cap and an idle timeout so a
+//!    quiet client cannot pin a worker forever.
+//! 5. **Estimate fast path** — with `--models` pointing at persisted
+//!    `.afpm` trained zoos ([`approxfpgas::load_zoo`]),
+//!    `GET /estimate?spec=..` answers from the ML models in
+//!    microseconds — zero FPGA synthesis — falling back to full
+//!    characterization (or `404` under `--estimate-only`) when no
+//!    loaded zoo covers the request's `(kind, width, target)`.
 //!
 //! Responses are schema-stable [`afp_obs::RunReport`] JSON built by
 //! [`approxfpgas::request_report`]; volatile per-request metadata (was
 //! this coalesced? warm?) travels in `X-Afp-*` headers, never in the
 //! body, so identical requests yield byte-identical bodies.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -37,21 +50,33 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use afp_circuits::{from_spec_ref, stream_library, ArithCircuit, ArithKind};
+use afp_ml::MlModelId;
 use afp_obs::{RunReport, Section, Value};
 use afp_runtime::{Counters, Inflight, Runtime};
-use approxfpgas::record::CharacterizeScratch;
+use approxfpgas::record::{estimate_features, CharacterizeScratch};
 use approxfpgas::{
-    characterize_request, request_report, CacheBackend, CharacterizationCache, RequestConfig,
+    characterize_request, load_zoo, request_report, CacheBackend, CharacterizationCache, FpgaParam,
+    RequestConfig, SavedZoo,
 };
 
 pub mod http;
 
-use http::{error_body, read_request, write_response, Request};
+use http::{error_body, read_request, write_response, ReadError, Request, RequestReader};
 
 /// How long a worker waits on a slow or stalled peer before giving up
 /// on the connection. Bounds the damage of a client that connects and
-/// never sends (or never reads).
+/// never sends (or never reads). Applies to the *first* request on a
+/// connection; later requests wait at most the keep-alive idle window.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Read window for the next keep-alive request once shutdown has been
+/// triggered: long enough for pipelined bytes already in flight to
+/// land, short enough that drain completes promptly.
+const DRAIN_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Rendered-estimate cache entries kept before the map is reset. Bounds
+/// memory; the cache refills with whatever is hot.
+const ESTIMATE_CACHE_CAP: usize = 4096;
 
 /// Where the daemon listens.
 #[derive(Clone, Debug)]
@@ -79,6 +104,19 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Disk format of the warm tier when `cache_dir` is set.
     pub cache_backend: CacheBackend,
+    /// `.afpm` model containers ([`approxfpgas::save_zoo`]) loaded at
+    /// startup to answer `GET /estimate` from trained models. A path
+    /// that fails to load aborts startup loudly.
+    pub models: Vec<PathBuf>,
+    /// When set, `GET /estimate` answers `404` instead of falling back
+    /// to full characterization when no loaded zoo covers the request.
+    pub estimate_only: bool,
+    /// Maximum requests served on one connection before the server
+    /// closes it (`Connection: close` on the final response).
+    pub keepalive_requests: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keepalive_idle: Duration,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +128,10 @@ impl Default for ServeConfig {
             default_target: afp_fpga::target::DEFAULT_TARGET.to_string(),
             cache_dir: None,
             cache_backend: CacheBackend::Store,
+            models: Vec::new(),
+            estimate_only: false,
+            keepalive_requests: 1000,
+            keepalive_idle: Duration::from_secs(5),
         }
     }
 }
@@ -113,6 +155,20 @@ impl Conn {
             Conn::Unix(s) => {
                 let _ = s.set_read_timeout(Some(IO_TIMEOUT));
                 let _ = s.set_write_timeout(Some(IO_TIMEOUT));
+            }
+        }
+    }
+
+    /// Adjust only the read deadline — used to shrink the wait for the
+    /// next keep-alive request without touching the write timeout.
+    fn set_read_timeout(&self, timeout: Duration) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.set_read_timeout(Some(timeout));
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.set_read_timeout(Some(timeout));
             }
         }
     }
@@ -156,7 +212,13 @@ enum Listener {
 impl Listener {
     fn accept(&self) -> io::Result<Conn> {
         match self {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Keep-alive turns each connection into a request/response
+                // ping-pong; Nagle + delayed ACK would add a round trip
+                // per exchange.
+                let _ = s.set_nodelay(true);
+                Conn::Tcp(s)
+            }),
             #[cfg(unix)]
             Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
         }
@@ -185,6 +247,17 @@ impl WakeTarget {
     }
 }
 
+/// A `.afpm` zoo loaded at startup, with the best persisted model per
+/// FPGA parameter pre-resolved so the hot path is a lookup, not a rank.
+struct LoadedZoo {
+    saved: SavedZoo,
+    best: Vec<(FpgaParam, MlModelId)>,
+}
+
+/// Rendered `/estimate` bodies keyed by (spec, target): identical queries
+/// against an unchanged zoo must return byte-identical responses.
+type EstimateCache = Mutex<HashMap<(String, String), Arc<Vec<u8>>>>;
+
 /// State shared by the acceptor and every worker.
 struct Shared {
     rt: Runtime,
@@ -196,6 +269,11 @@ struct Shared {
     shutdown: AtomicBool,
     wake: WakeTarget,
     batch_seq: AtomicU64,
+    zoos: Vec<LoadedZoo>,
+    estimate_cache: EstimateCache,
+    estimate_only: bool,
+    keepalive_requests: usize,
+    keepalive_idle: Duration,
 }
 
 impl Shared {
@@ -292,6 +370,46 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
             ),
         ));
     }
+    if config.keepalive_requests == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "keep-alive request cap must be at least 1",
+        ));
+    }
+    if config.estimate_only && config.models.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "estimate-only mode without any model zoo would answer 404 to every estimate; \
+             pass at least one .afpm via `models`",
+        ));
+    }
+    let mut zoos = Vec::with_capacity(config.models.len());
+    for path in &config.models {
+        let saved = load_zoo(path).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("loading model zoo `{}`: {e}", path.display()),
+            )
+        })?;
+        let best = FpgaParam::ALL
+            .iter()
+            .map(|&param| {
+                best_persisted_model(&saved, param)
+                    .map(|model| (param, model))
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "model zoo `{}` holds no trained model for {}",
+                                path.display(),
+                                param.label()
+                            ),
+                        )
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        zoos.push(LoadedZoo { saved, best });
+    }
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -331,6 +449,11 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         wake,
         batch_seq: AtomicU64::new(0),
+        zoos,
+        estimate_cache: Mutex::new(HashMap::new()),
+        estimate_only: config.estimate_only,
+        keepalive_requests: config.keepalive_requests,
+        keepalive_idle: config.keepalive_idle,
     });
 
     let (tx, rx) = sync_channel::<Conn>(config.queue_depth);
@@ -390,6 +513,7 @@ fn accept_loop(listener: &Listener, tx: SyncSender<Conn>, shared: &Shared) {
                 let _ = write_response(
                     &mut conn,
                     429,
+                    true,
                     &[("Retry-After", "1".to_string())],
                     &error_body("request queue is full, retry later"),
                 );
@@ -418,6 +542,7 @@ fn worker_loop(rx: &Mutex<Receiver<Conn>>, shared: &Shared) {
             let _ = write_response(
                 &mut conn,
                 500,
+                true,
                 &[],
                 &error_body("internal error while handling request"),
             );
@@ -425,24 +550,62 @@ fn worker_loop(rx: &Mutex<Receiver<Conn>>, shared: &Shared) {
     }
 }
 
-/// Read one request, route it, write one response.
+/// Serve requests on one connection until it closes: the keep-alive
+/// loop. Each iteration reads a request (pipelined bytes already
+/// buffered by the [`RequestReader`] are consumed without touching the
+/// socket), routes it, and writes the response; the connection closes
+/// when the client asked for it, the per-connection cap is reached, the
+/// head was unparseable, or the peer goes idle past the deadline.
 fn handle_connection(conn: &mut Conn, shared: &Shared) {
-    let req = match read_request(conn) {
-        Ok(req) => req,
-        Err(reason) => {
-            let _ = write_response(conn, 400, &[], &error_body(&reason));
+    let mut reader = RequestReader::new();
+    let mut served: u64 = 0;
+    loop {
+        // The first request keeps the connection-level IO_TIMEOUT: a
+        // freshly accepted connection may legitimately wait queued
+        // behind slow work before its bytes are read. Later requests
+        // wait at most the keep-alive idle window — or, once shutdown
+        // has been triggered, a short drain window that still lets
+        // pipelined bytes already in flight land and be answered.
+        if served > 0 {
+            let idle = if shared.shutdown.load(Ordering::SeqCst) {
+                DRAIN_TIMEOUT
+            } else {
+                shared.keepalive_idle
+            };
+            conn.set_read_timeout(idle);
+        }
+        let req = match read_request(conn, &mut reader) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Bad(reason)) => {
+                // The stream cannot be resynchronized after a bad head;
+                // answer best-effort and drop the connection.
+                let _ = write_response(conn, 400, true, &[], &error_body(&reason));
+                return;
+            }
+        };
+        if served > 0 {
+            Counters::add(&shared.counters().keepalive_reuses, 1);
+        }
+        served += 1;
+        let is_shutdown = req.method == "POST" && req.path == "/shutdown";
+        // Announce close when the client asked for it or the budget is
+        // spent. A shutdown in progress does NOT force the header:
+        // pipelined requests already sent are still drained, and the
+        // drain timeout closes the socket afterwards.
+        let close = !req.keep_alive || served >= shared.keepalive_requests as u64;
+        let (status, headers, body) = route(&req, shared);
+        let header_refs: Vec<(&str, String)> = headers
+            .iter()
+            .map(|(name, value)| (*name, value.clone()))
+            .collect();
+        let write_ok = write_response(conn, status, close, &header_refs, &body).is_ok();
+        if is_shutdown && status == 200 {
+            trigger_shutdown(shared);
+        }
+        if close || !write_ok {
             return;
         }
-    };
-    let is_shutdown = req.method == "POST" && req.path == "/shutdown";
-    let (status, headers, body) = route(&req, shared);
-    let header_refs: Vec<(&str, String)> = headers
-        .iter()
-        .map(|(name, value)| (*name, value.clone()))
-        .collect();
-    let _ = write_response(conn, status, &header_refs, &body);
-    if is_shutdown && status == 200 {
-        trigger_shutdown(shared);
     }
 }
 
@@ -462,9 +625,18 @@ fn route(req: &Request, shared: &Shared) -> Response {
             b"{\"ok\":true,\"draining\":true}\n".to_vec(),
         ),
         ("GET", "/characterize") => characterize_spec(req, shared),
+        ("GET", "/estimate") => estimate_spec(req, shared),
         ("POST", "/characterize") => characterize_bristol(req, shared),
         ("POST", "/characterize/batch") => characterize_batch(req, shared),
-        (_, "/healthz" | "/stats" | "/shutdown" | "/characterize" | "/characterize/batch") => (
+        (
+            _,
+            "/healthz"
+            | "/stats"
+            | "/shutdown"
+            | "/characterize"
+            | "/characterize/batch"
+            | "/estimate",
+        ) => (
             405,
             Vec::new(),
             error_body(&format!("method {} not allowed here", req.method)),
@@ -557,6 +729,154 @@ fn characterize_spec(req: &Request, shared: &Shared) -> Response {
     let (body, headers) = characterize_circuit(&circuit, &config, shared);
     Counters::add(&shared.counters().requests_served, 1);
     (200, headers, body.as_bytes().to_vec())
+}
+
+/// The best persisted model for `param` in a loaded zoo: fidelity
+/// ranking with ML-only models preferred over the plain ASIC
+/// regressions (matching the flow's selection policy), restricted to
+/// models the container actually holds.
+fn best_persisted_model(saved: &SavedZoo, param: FpgaParam) -> Option<MlModelId> {
+    let mut ranked = saved.zoo.top_models(param, usize::MAX, false);
+    ranked.extend(saved.zoo.top_models(param, usize::MAX, true));
+    ranked.into_iter().find(|&m| saved.zoo.has_model(m, param))
+}
+
+/// JSON field names for the per-parameter estimate section.
+fn estimate_fields(param: FpgaParam) -> (&'static str, &'static str) {
+    match param {
+        FpgaParam::Latency => ("model_latency", "latency_ns"),
+        FpgaParam::Power => ("model_power", "power_mw"),
+        FpgaParam::Area => ("model_area", "area_luts"),
+    }
+}
+
+/// `GET /estimate?spec=add8:rca[&target=NAME]` — score the circuit with
+/// the persisted trained zoo instead of running the characterization
+/// pipeline: structural features plus one (uncounted, analytic) ASIC
+/// pass feed the best model per FPGA parameter. Microseconds, zero
+/// `asic_synths`/`fpga_synths` counter movement. When no loaded zoo
+/// covers the `(kind, width, target)`, falls back to the full
+/// `/characterize` path (flagged `X-Afp-Estimate: fallback`) — or
+/// answers `404` under estimate-only mode.
+fn estimate_spec(req: &Request, shared: &Shared) -> Response {
+    let Some(spec) = req.query_param("spec") else {
+        return (
+            400,
+            Vec::new(),
+            error_body("missing `spec` query parameter"),
+        );
+    };
+    let target_name = req
+        .query_param("target")
+        .unwrap_or(shared.default_target.as_str());
+    if afp_fpga::target::named(target_name).is_none() {
+        return (
+            400,
+            Vec::new(),
+            error_body(&format!("unknown target `{target_name}`")),
+        );
+    }
+    let circuit = match from_spec_ref(spec) {
+        Ok(circuit) => circuit,
+        Err(reason) => return (400, Vec::new(), error_body(&reason)),
+    };
+    let zoo = shared
+        .zoos
+        .iter()
+        .find(|z| z.saved.target == target_name && z.saved.covers(circuit.kind(), circuit.width()));
+    let Some(zoo) = zoo else {
+        if shared.estimate_only {
+            return (
+                404,
+                Vec::new(),
+                error_body(&format!(
+                    "no loaded model zoo covers `{spec}` on target `{target_name}` \
+                     (estimate-only mode; no characterization fallback)"
+                )),
+            );
+        }
+        // Fall back to the full measured path, flagged so the client
+        // can tell this answer was characterized, not estimated.
+        let config = match target_config(req, shared) {
+            Ok(config) => config,
+            Err(reason) => return (400, Vec::new(), error_body(&reason)),
+        };
+        let (body, mut headers) = characterize_circuit(&circuit, &config, shared);
+        headers.push(("X-Afp-Estimate", "fallback".to_string()));
+        Counters::add(&shared.counters().requests_served, 1);
+        return (200, headers, body.as_bytes().to_vec());
+    };
+
+    // Rendered-body cache: a hot (spec, target) pair skips even the
+    // feature extraction. Bodies are byte-stable, so serving the cached
+    // bytes is indistinguishable from recomputing them.
+    let cache_key = (spec.to_string(), target_name.to_string());
+    {
+        let cache = shared
+            .estimate_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(body) = cache.get(&cache_key) {
+            Counters::add(&shared.counters().requests_served, 1);
+            Counters::add(&shared.counters().estimates_served, 1);
+            Counters::add(&shared.counters().model_cache_hits, 1);
+            return (
+                200,
+                vec![
+                    ("X-Afp-Estimate", "model".to_string()),
+                    ("X-Afp-Model-Cache", "hit".to_string()),
+                ],
+                body.as_ref().clone(),
+            );
+        }
+    }
+
+    let features = estimate_features(
+        &circuit,
+        &afp_asic::AsicConfig::default(),
+        zoo.saved.zoo.layout(),
+    );
+    let mut section = Section::new("estimate")
+        .field("name", Value::Str(circuit.name().to_string()))
+        .field("kind", Value::Str(circuit.kind().mnemonic().to_string()))
+        .field("width", Value::UInt(circuit.width() as u64))
+        .field("target", Value::Str(target_name.to_string()))
+        .field("source", Value::Str("model".to_string()));
+    for &(param, model) in &zoo.best {
+        let value = zoo
+            .saved
+            .zoo
+            .estimate_row(model, param, &features)
+            .unwrap_or(f64::NAN);
+        let (model_field, value_field) = estimate_fields(param);
+        section = section
+            .field(model_field, Value::Str(model.label().to_string()))
+            .field(value_field, Value::Num(value));
+    }
+    let mut report = RunReport::new();
+    report.push_section(section);
+    let mut body = report.to_json().into_bytes();
+    body.push(b'\n');
+    {
+        let mut cache = shared
+            .estimate_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if cache.len() >= ESTIMATE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(cache_key, Arc::new(body.clone()));
+    }
+    Counters::add(&shared.counters().requests_served, 1);
+    Counters::add(&shared.counters().estimates_served, 1);
+    (
+        200,
+        vec![
+            ("X-Afp-Estimate", "model".to_string()),
+            ("X-Afp-Model-Cache", "miss".to_string()),
+        ],
+        body,
+    )
 }
 
 /// `POST /characterize?kind=add|mul&width=N[&target=NAME]` with a
@@ -721,7 +1041,29 @@ fn stats_report(shared: &Shared) -> RunReport {
             .field("queue_rejections", Value::UInt(snap.queue_rejections))
             .field("inflight_peak", Value::UInt(snap.inflight_peak))
             .field("queue_depth", Value::UInt(shared.queue_depth as u64))
-            .field("threads", Value::UInt(shared.threads as u64)),
+            .field("threads", Value::UInt(shared.threads as u64))
+            .field("keepalive_reuses", Value::UInt(snap.keepalive_reuses)),
+    );
+    let model_targets = shared
+        .zoos
+        .iter()
+        .map(|z| z.saved.target.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    report.push_section(
+        Section::new("estimate")
+            .field("estimates_served", Value::UInt(snap.estimates_served))
+            .field("model_cache_hits", Value::UInt(snap.model_cache_hits))
+            .field("models_loaded", Value::UInt(shared.zoos.len() as u64))
+            .field(
+                "model_targets",
+                if model_targets.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Str(model_targets)
+                },
+            )
+            .field("estimate_only", Value::Bool(shared.estimate_only)),
     );
     report.push_section(
         Section::new("cache")
@@ -776,7 +1118,81 @@ mod tests {
     }
 
     fn get(addr: SocketAddr, target: &str) -> (u16, Vec<String>, String) {
-        request(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+        request(
+            addr,
+            &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
+    /// One response off a kept-alive stream: status, headers, and a
+    /// `Content-Length`-delimited body (no reliance on EOF).
+    fn read_keepalive_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<String>, String) {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end().to_string();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.strip_prefix("Content-Length: ") {
+                content_length = v.parse().expect("content length");
+            }
+            headers.push(line);
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (
+            status,
+            headers,
+            String::from_utf8(body).expect("utf-8 body"),
+        )
+    }
+
+    /// Train a tiny zoo once per test binary, save it as `.afpm`, and
+    /// hand every test the same path.
+    fn saved_zoo_path() -> &'static std::path::Path {
+        static PATH: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+        PATH.get_or_init(|| {
+            let lib = afp_circuits::build_library(&afp_circuits::LibrarySpec::new(
+                ArithKind::Adder,
+                8,
+                40,
+            ));
+            let records = approxfpgas::dataset::characterize_library(
+                &lib,
+                &afp_asic::AsicConfig::default(),
+                &afp_fpga::FpgaConfig::default(),
+                &afp_error::ErrorConfig::default(),
+            );
+            let subset = approxfpgas::dataset::sample_subset(records.len(), 0.5, 20, 7);
+            let (train, val) = approxfpgas::dataset::train_validate_split(&subset, 0.8, 7);
+            let zoo = approxfpgas::fidelity::train_zoo(
+                &records,
+                &train,
+                &val,
+                &[MlModelId::Ml1, MlModelId::Ml14],
+                0.01,
+            );
+            let path =
+                std::env::temp_dir().join(format!("afp-serve-zoo-{}.afpm", std::process::id()));
+            approxfpgas::save_zoo(
+                &path,
+                &zoo,
+                afp_fpga::target::DEFAULT_TARGET,
+                &[(ArithKind::Adder, 8)],
+            )
+            .expect("zoo saves");
+            path
+        })
     }
 
     #[test]
@@ -815,10 +1231,212 @@ mod tests {
 
         let (status, _, _) = get(addr, "/nope");
         assert_eq!(status, 404);
-        let (status, _, _) = request(addr, "POST /stats HTTP/1.1\r\n\r\n");
+        let (status, _, _) = request(addr, "POST /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert_eq!(status, 405);
+        let (status, _, _) = request(addr, "POST /estimate HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 405, "estimate is GET-only");
 
         server.shutdown();
+    }
+
+    #[test]
+    fn keepalive_connection_serves_pipelined_requests_on_one_socket() {
+        let server = start(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().unwrap();
+        const N: u64 = 6;
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        // Pipeline: every request is written before the first response
+        // is read. Only the last one asks the server to close.
+        let mut raw = String::new();
+        for i in 0..N {
+            let conn = if i == N - 1 {
+                "Connection: close\r\n"
+            } else {
+                ""
+            };
+            raw.push_str(&format!(
+                "GET /characterize?spec=add8:rca HTTP/1.1\r\nHost: t\r\n{conn}\r\n"
+            ));
+        }
+        writer.write_all(raw.as_bytes()).expect("send pipeline");
+
+        let mut bodies = Vec::new();
+        for i in 0..N {
+            let (status, headers, body) = read_keepalive_response(&mut reader);
+            assert_eq!(status, 200, "request {i}: {body}");
+            let want_close = i == N - 1;
+            assert!(
+                headers.iter().any(|h| h
+                    == &format!(
+                        "Connection: {}",
+                        if want_close { "close" } else { "keep-alive" }
+                    )),
+                "request {i}: {headers:?}"
+            );
+            bodies.push(body);
+        }
+        for body in &bodies[1..] {
+            assert_eq!(
+                body, &bodies[0],
+                "keep-alive responses must be byte-identical"
+            );
+        }
+
+        let snap = server.shutdown();
+        assert_eq!(snap.requests_served, N);
+        assert_eq!(
+            snap.keepalive_reuses,
+            N - 1,
+            "every request after the first reuses the connection"
+        );
+        assert_eq!(
+            snap.asic_synths, 1,
+            "one characterization feeds all pipelined requests"
+        );
+    }
+
+    #[test]
+    fn keepalive_request_cap_closes_the_connection() {
+        let server = start(ServeConfig {
+            threads: 1,
+            keepalive_requests: 2,
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().unwrap();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n")
+            .expect("send");
+        let (_, headers, _) = read_keepalive_response(&mut reader);
+        assert!(headers.iter().any(|h| h == "Connection: keep-alive"));
+        let (_, headers, _) = read_keepalive_response(&mut reader);
+        assert!(
+            headers.iter().any(|h| h == "Connection: close"),
+            "cap reached: server must announce close: {headers:?}"
+        );
+        // The server actually closes: the stream reaches EOF.
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).expect("eof");
+        assert!(rest.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_behind_shutdown_are_drained() {
+        let server = start(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().unwrap();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        // A characterization, the shutdown itself, and two more
+        // requests pipelined *behind* the shutdown — all in one write.
+        // Every one of them was received before the drain began, so
+        // every one must be answered.
+        writer
+            .write_all(
+                b"GET /characterize?spec=add8:rca HTTP/1.1\r\n\r\n\
+                  POST /shutdown HTTP/1.1\r\n\r\n\
+                  GET /stats HTTP/1.1\r\n\r\n\
+                  GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .expect("send pipeline");
+        let (status, _, body) = read_keepalive_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        let (status, _, body) = read_keepalive_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("draining"));
+        let (status, _, body) = read_keepalive_response(&mut reader);
+        assert_eq!(
+            status, 200,
+            "pipelined request behind shutdown dropped: {body}"
+        );
+        assert!(body.contains("keepalive_reuses"), "{body}");
+        let (status, _, body) = read_keepalive_response(&mut reader);
+        assert_eq!(
+            status, 200,
+            "pipelined request behind shutdown dropped: {body}"
+        );
+        assert!(body.contains("\"ok\":true"));
+        server.join();
+    }
+
+    #[test]
+    fn estimate_answers_from_models_without_synthesis() {
+        let path = saved_zoo_path().to_path_buf();
+        let server = start(ServeConfig {
+            threads: 1,
+            models: vec![path],
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().unwrap();
+
+        let (status, headers, body) = get(addr, "/estimate?spec=add8:rca");
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            headers.iter().any(|h| h == "X-Afp-Estimate: model"),
+            "{headers:?}"
+        );
+        assert!(headers.iter().any(|h| h == "X-Afp-Model-Cache: miss"));
+        assert!(body.contains("\"latency_ns\":"), "{body}");
+        assert!(body.contains("\"power_mw\":"), "{body}");
+        assert!(body.contains("\"area_luts\":"), "{body}");
+
+        // Second ask: served from the rendered-estimate cache,
+        // byte-identical.
+        let (status, headers, again) = get(addr, "/estimate?spec=add8:rca");
+        assert_eq!(status, 200);
+        assert_eq!(again, body);
+        assert!(headers.iter().any(|h| h == "X-Afp-Model-Cache: hit"));
+
+        // A shape the zoo does not cover falls back to the measured
+        // path and says so.
+        let (status, headers, body) = get(addr, "/estimate?spec=mul4:array");
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            headers.iter().any(|h| h == "X-Afp-Estimate: fallback"),
+            "{headers:?}"
+        );
+        assert!(body.contains("\"fpga\":{"), "{body}");
+
+        let snap = server.shutdown();
+        assert_eq!(snap.estimates_served, 2);
+        assert_eq!(snap.model_cache_hits, 1);
+        // Only the fallback touched the synthesis pipeline: the model
+        // path moved no synthesis counters at all.
+        assert_eq!(snap.asic_synths, 1);
+        assert_eq!(snap.fpga_synths, 1);
+        assert_eq!(snap.requests_served, 3);
+    }
+
+    #[test]
+    fn estimate_only_refuses_uncovered_requests() {
+        let path = saved_zoo_path().to_path_buf();
+        let server = start(ServeConfig {
+            threads: 1,
+            models: vec![path],
+            estimate_only: true,
+            ..ServeConfig::default()
+        });
+        let addr = server.addr().unwrap();
+        let (status, _, body) = get(addr, "/estimate?spec=add8:rca");
+        assert_eq!(status, 200, "{body}");
+        let (status, _, body) = get(addr, "/estimate?spec=mul4:array");
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("estimate-only"), "{body}");
+        let snap = server.shutdown();
+        assert_eq!(snap.asic_synths, 0, "estimate-only mode never synthesizes");
+        assert_eq!(snap.fpga_synths, 0);
     }
 
     #[test]
@@ -835,7 +1453,7 @@ mod tests {
             request(
                 addr,
                 &format!(
-                    "POST /characterize{query} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                    "POST /characterize{query} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                     body.len()
                 ),
             )
@@ -869,7 +1487,8 @@ mod tests {
             ..ServeConfig::default()
         });
         let addr = server.addr().unwrap();
-        let (status, _, body) = request(addr, "POST /shutdown HTTP/1.1\r\n\r\n");
+        let (status, _, body) =
+            request(addr, "POST /shutdown HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert_eq!(status, 200);
         assert!(body.contains("draining"));
         server.join();
@@ -901,6 +1520,24 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown default target"));
+        let err = serve(ServeConfig {
+            keepalive_requests: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = serve(ServeConfig {
+            estimate_only: true,
+            ..ServeConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("estimate-only"), "{err}");
+        let err = serve(ServeConfig {
+            models: vec![PathBuf::from("/nonexistent/zoo.afpm")],
+            ..ServeConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("loading model zoo"), "{err}");
     }
 
     #[cfg(unix)]
@@ -915,7 +1552,7 @@ mod tests {
         assert!(server.addr().is_none());
         let mut stream = UnixStream::connect(&path).expect("unix connect");
         stream
-            .write_all(b"GET /characterize?spec=mul4:array HTTP/1.1\r\n\r\n")
+            .write_all(b"GET /characterize?spec=mul4:array HTTP/1.1\r\nConnection: close\r\n\r\n")
             .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();

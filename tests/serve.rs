@@ -1,14 +1,17 @@
 //! End-to-end tests of the `afp serve` characterization service: the
 //! coalescing contract (N identical concurrent requests, one
 //! characterization, byte-identical bodies), bounded-queue backpressure
-//! (429, never a panic or a hang), and graceful drain (an accepted
-//! request is never dropped by shutdown).
+//! (429, never a panic or a hang), graceful drain (an accepted
+//! request is never dropped by shutdown), and the persisted-zoo
+//! estimate fast path over a kept-alive connection.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Barrier;
 use std::time::Duration;
 
+use afp_circuits::ArithKind;
+use afp_ml::MlModelId;
 use afp_serve::{serve, ServeConfig, ServerHandle};
 
 fn start(threads: usize, queue_depth: usize) -> ServerHandle {
@@ -25,9 +28,40 @@ fn start(threads: usize, queue_depth: usize) -> ServerHandle {
 fn get(addr: SocketAddr, target: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .expect("send");
     read_response(&mut stream)
+}
+
+/// One response off a kept-alive stream, delimited by `Content-Length`
+/// instead of EOF: (status, headers, body).
+fn read_keepalive_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<String>, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end().to_string();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.strip_prefix("Content-Length: ") {
+            content_length = v.parse().expect("content length");
+        }
+        headers.push(line);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, String::from_utf8(body).expect("utf-8"))
 }
 
 fn read_response(stream: &mut TcpStream) -> (u16, String) {
@@ -126,7 +160,8 @@ fn full_queue_answers_429_and_keeps_serving() {
         .map(|stream| {
             // The 429'd connection is already closed server-side; the
             // write may fail, and that is fine — the response is queued.
-            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let _ =
+                stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
             let (status, _) = read_response(stream);
             status
         })
@@ -173,7 +208,10 @@ fn shutdown_drains_every_accepted_request() {
     for (stream, spec) in held.iter_mut().zip(specs) {
         stream
             .write_all(
-                format!("GET /characterize?spec={spec} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+                format!(
+                    "GET /characterize?spec={spec} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+                )
+                .as_bytes(),
             )
             .expect("send on accepted connection");
     }
@@ -201,4 +239,114 @@ fn shutdown_drains_every_accepted_request() {
         })
         .unwrap_or(true);
     assert!(refused, "listener still answering after join");
+}
+
+/// Train a tiny adder zoo, persist it as `.afpm`, and return the path.
+fn save_small_zoo(name: &str) -> std::path::PathBuf {
+    let lib = afp_circuits::build_library(&afp_circuits::LibrarySpec::new(ArithKind::Adder, 8, 40));
+    let records = approxfpgas::dataset::characterize_library(
+        &lib,
+        &afp_asic::AsicConfig::default(),
+        &afp_fpga::FpgaConfig::default(),
+        &afp_error::ErrorConfig::default(),
+    );
+    let subset = approxfpgas::dataset::sample_subset(records.len(), 0.5, 20, 7);
+    let (train, val) = approxfpgas::dataset::train_validate_split(&subset, 0.8, 7);
+    let zoo = approxfpgas::fidelity::train_zoo(
+        &records,
+        &train,
+        &val,
+        &[MlModelId::Ml1, MlModelId::Ml14],
+        0.01,
+    );
+    let path = std::env::temp_dir().join(format!("afp-it-{name}-{}.afpm", std::process::id()));
+    approxfpgas::save_zoo(
+        &path,
+        &zoo,
+        afp_fpga::target::DEFAULT_TARGET,
+        &[(ArithKind::Adder, 8)],
+    )
+    .expect("zoo saves");
+    path
+}
+
+#[test]
+fn estimate_fast_path_over_keepalive_answers_without_synthesis() {
+    let path = save_small_zoo("estimate");
+    let server = serve(ServeConfig {
+        threads: 2,
+        models: vec![path.clone()],
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr().unwrap();
+
+    // One kept-alive connection, a pipelined burst of estimate traffic:
+    // three distinct specs, then the first spec twice more (cache hits),
+    // then /stats — all written before the first response is read.
+    let specs = ["add8:rca", "add8:cla", "add8:csel", "add8:rca", "add8:rca"];
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut raw = String::new();
+    for spec in specs {
+        raw.push_str(&format!(
+            "GET /estimate?spec={spec} HTTP/1.1\r\nHost: t\r\n\r\n"
+        ));
+    }
+    raw.push_str("GET /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    writer.write_all(raw.as_bytes()).expect("send pipeline");
+
+    let mut first_body = None;
+    for (i, spec) in specs.iter().enumerate() {
+        let (status, headers, body) = read_keepalive_response(&mut reader);
+        assert_eq!(status, 200, "{spec}: {body}");
+        assert!(
+            headers.iter().any(|h| h == "X-Afp-Estimate: model"),
+            "{spec}: {headers:?}"
+        );
+        assert!(body.contains("\"latency_ns\":"), "{spec}: {body}");
+        if i == 0 {
+            first_body = Some(body);
+        } else if *spec == specs[0] {
+            assert_eq!(
+                Some(&body),
+                first_body.as_ref(),
+                "repeat estimate must be byte-identical"
+            );
+        }
+    }
+    let (status, _, stats) = read_keepalive_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"models_loaded\":1"), "{stats}");
+
+    let snap = server.shutdown();
+    assert_eq!(snap.estimates_served, 5);
+    assert_eq!(snap.model_cache_hits, 2);
+    assert_eq!(snap.keepalive_reuses, 5, "six requests, one connection");
+    assert_eq!(
+        snap.asic_synths, 0,
+        "the estimate path must never move the synthesis counters"
+    );
+    assert_eq!(snap.fpga_synths, 0);
+
+    // A second server loading the same container serves byte-identical
+    // estimates: persistence is exact, not approximate.
+    let server2 = serve(ServeConfig {
+        threads: 1,
+        models: vec![path.clone()],
+        ..ServeConfig::default()
+    })
+    .expect("server restarts");
+    let addr2 = server2.addr().unwrap();
+    let (status, body) = get(addr2, "/estimate?spec=add8:rca");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        Some(&body),
+        first_body.as_ref(),
+        "estimates must survive a save/load/restart round trip byte-for-byte"
+    );
+    let snap2 = server2.shutdown();
+    assert_eq!(snap2.asic_synths, 0);
+    let _ = std::fs::remove_file(&path);
 }

@@ -1,0 +1,266 @@
+//! Property tests for the `.afpm` model container and the model codec.
+//!
+//! Two invariants the estimate fast path rests on:
+//!
+//! * **Bit-exact persistence** — any fitted model that claims to support
+//!   `save_state` must reproduce its predictions to the last bit after a
+//!   `restore` round trip, for arbitrary training data. An estimate
+//!   served from a loaded zoo is only trustworthy if it equals what the
+//!   in-memory zoo would have said.
+//! * **Loud failure** — a truncated or corrupted `.afpm` file must never
+//!   panic the loader and must never silently change an estimate: either
+//!   `load_zoo` reports an error, or the damage provably did not touch
+//!   the models (estimates stay byte-identical).
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use afp_circuits::{build_library, ArithKind, LibrarySpec};
+use afp_ml::zoo::AsicColumns;
+use afp_ml::{build_model, restore, Matrix, MlModelId};
+use approxfpgas::dataset::{characterize_library, sample_subset, train_validate_split};
+use approxfpgas::fidelity::{train_zoo, TrainedZoo};
+use approxfpgas::record::{extract_features, CircuitRecord};
+use approxfpgas::{load_zoo, save_zoo};
+
+const COLS: usize = 6;
+
+/// Deterministic pseudo-random stream (splitmix64) so each proptest case
+/// derives its training set from a single drawn seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (mix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A well-conditioned synthetic regression set: features in sensible
+/// ranges, target a noisy smooth function of them, so every model in the
+/// zoo can fit without hitting singular systems.
+fn synthetic_set(seed: u64, rows: usize) -> (Matrix, Vec<f64>) {
+    let mut s = seed | 1;
+    let mut data = Vec::with_capacity(rows * COLS);
+    let mut y = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let row: Vec<f64> = (0..COLS)
+            .map(|c| (c + 1) as f64 * (0.5 + unit(&mut s)))
+            .collect();
+        let target = 3.0 * row[0] + 0.7 * row[1] * row[2] - row[3].sqrt()
+            + 0.1 * row[4] * row[5]
+            + 0.05 * (unit(&mut s) - 0.5);
+        data.extend_from_slice(&row);
+        y.push(target);
+    }
+    (Matrix::from_vec(rows, COLS, data), y)
+}
+
+fn saved_zoo() -> &'static (PathBuf, Vec<u8>, TrainedZoo, Vec<CircuitRecord>) {
+    static ZOO: OnceLock<(PathBuf, Vec<u8>, TrainedZoo, Vec<CircuitRecord>)> = OnceLock::new();
+    ZOO.get_or_init(|| {
+        let lib = build_library(&LibrarySpec::new(ArithKind::Adder, 8, 40));
+        let records = characterize_library(
+            &lib,
+            &afp_asic::AsicConfig::default(),
+            &afp_fpga::FpgaConfig::default(),
+            &afp_error::ErrorConfig::default(),
+        );
+        let subset = sample_subset(records.len(), 0.5, 20, 7);
+        let (train, val) = train_validate_split(&subset, 0.8, 7);
+        let zoo = train_zoo(
+            &records,
+            &train,
+            &val,
+            &[MlModelId::Ml1, MlModelId::Ml14],
+            0.01,
+        );
+        let path = std::env::temp_dir().join(format!("afp-prop-zoo-{}.afpm", std::process::id()));
+        save_zoo(&path, &zoo, "lut6-7series", &[(ArithKind::Adder, 8)]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        (path, bytes, zoo, records)
+    })
+}
+
+/// The `(model, parameter)` pairs a zoo holds, via its public
+/// validation-fidelity table (one row per trained pair).
+fn trained_pairs(zoo: &TrainedZoo) -> Vec<(MlModelId, approxfpgas::FpgaParam)> {
+    zoo.fidelities.iter().map(|f| (f.model, f.param)).collect()
+}
+
+/// Reference estimates from the pristine in-memory zoo, for comparing
+/// against whatever a damaged container still manages to load.
+fn reference_bits(zoo: &TrainedZoo, records: &[CircuitRecord]) -> Vec<u64> {
+    let layout = zoo.layout();
+    let mut bits = Vec::new();
+    for rec in records.iter().take(8) {
+        let features = extract_features(rec, layout);
+        for &(model, param) in &trained_pairs(zoo) {
+            bits.push(zoo.estimate_row(model, param, &features).unwrap().to_bits());
+        }
+    }
+    bits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every persistable model, fitted on arbitrary data, predicts
+    /// bit-identically after a save_state/restore round trip.
+    #[test]
+    fn codec_round_trip_is_bit_exact_for_arbitrary_fits(seed in 0u64..1_000_000, rows in 24usize..48) {
+        let (x, y) = synthetic_set(seed, rows);
+        let (qx, _) = synthetic_set(seed ^ 0xDEAD_BEEF, 8);
+        let cols = AsicColumns { power: 0, latency: 1, area: 2 };
+        for &id in MlModelId::ALL.iter() {
+            let mut model = build_model(id, cols);
+            if model.fit(&x, &y).is_err() {
+                // A singular fit on this draw is a property of the data,
+                // not the codec; other cases cover the model.
+                continue;
+            }
+            let state = model.save_state();
+            prop_assert!(
+                state.is_some(),
+                "{} ({}) lost persistence support",
+                id.label(),
+                model.name()
+            );
+            let state = state.unwrap();
+            let restored = restore(state.tag, &state.payload);
+            prop_assert!(restored.is_ok(), "{} does not restore", id.label());
+            let restored = restored.unwrap();
+            for r in 0..qx.rows() {
+                let before = model.predict_row(qx.row(r));
+                let after = restored.predict_row(qx.row(r));
+                prop_assert_eq!(
+                    before.to_bits(),
+                    after.to_bits(),
+                    "{} prediction drifted across the codec round trip",
+                    id.label()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any strict truncation of a sealed container either errors or is
+    /// provably harmless — never a panic, never a silently degraded zoo.
+    /// (Clipping only the 8-byte EOF trailer is recoverable: the scan
+    /// fallback still finds every CRC-verified record; cutting into any
+    /// data or index frame must be rejected.)
+    #[test]
+    fn truncated_container_errors_or_recovers_exactly(cut in 1usize..4096) {
+        let (_, bytes, zoo, records) = saved_zoo();
+        let keep = bytes.len().saturating_sub(1 + cut % bytes.len().max(1));
+        let path = std::env::temp_dir().join(format!(
+            "afp-prop-trunc-{}-{keep}.afpm",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let result = load_zoo(&path);
+        std::fs::remove_file(&path).unwrap();
+        match result {
+            Err(_) => {}
+            Ok(loaded) => {
+                // Only trailer-clipping may recover, and then the zoo
+                // must be complete and bit-identical.
+                prop_assert!(
+                    bytes.len() - keep <= 8,
+                    "cut into a frame ({keep} of {} bytes) but still loaded",
+                    bytes.len()
+                );
+                let reference = reference_bits(zoo, records);
+                let layout = zoo.layout();
+                let mut got = Vec::new();
+                for rec in records.iter().take(8) {
+                    let features = extract_features(rec, layout);
+                    for &(model, param) in &trained_pairs(zoo) {
+                        let est = loaded.zoo.estimate_row(model, param, &features);
+                        prop_assert!(est.is_some(), "truncation dropped {model:?}/{param:?}");
+                        got.push(est.unwrap().to_bits());
+                    }
+                }
+                prop_assert_eq!(reference, got, "truncation changed an estimate");
+            }
+        }
+    }
+
+    /// A single flipped byte anywhere in the file is either detected
+    /// (load errors) or provably harmless (every estimate still
+    /// byte-identical). It never panics and never silently drifts.
+    #[test]
+    fn corrupted_container_is_detected_or_harmless(at in 0usize..1_000_000, mask in 1u8..=255) {
+        let (_, bytes, zoo, records) = saved_zoo();
+        let mut damaged = bytes.clone();
+        let at = at % damaged.len();
+        damaged[at] ^= mask;
+        let path = std::env::temp_dir().join(format!(
+            "afp-prop-flip-{}-{at}-{mask}.afpm",
+            std::process::id()
+        ));
+        std::fs::write(&path, &damaged).unwrap();
+        let result = load_zoo(&path);
+        std::fs::remove_file(&path).unwrap();
+        if let Ok(loaded) = result {
+            let reference = reference_bits(zoo, records);
+            let layout = zoo.layout();
+            let mut got = Vec::new();
+            for rec in records.iter().take(8) {
+                let features = extract_features(rec, layout);
+                for &(model, param) in &trained_pairs(zoo) {
+                    let est = loaded.zoo.estimate_row(model, param, &features);
+                    prop_assert!(est.is_some(), "flip at {at} dropped {model:?}/{param:?}");
+                    got.push(est.unwrap().to_bits());
+                }
+            }
+            prop_assert_eq!(reference, got, "flip at {} silently changed an estimate", at);
+        }
+    }
+
+    /// Arbitrary junk bytes are never a model container and never a
+    /// panic.
+    #[test]
+    fn junk_bytes_never_panic_the_loader(seed in 0u64..1_000_000, len in 0usize..512) {
+        let mut s = seed | 1;
+        let junk: Vec<u8> = (0..len).map(|_| mix(&mut s) as u8).collect();
+        let path = std::env::temp_dir().join(format!(
+            "afp-prop-junk-{}-{seed}-{len}.afpm",
+            std::process::id()
+        ));
+        std::fs::write(&path, &junk).unwrap();
+        let result = load_zoo(&path);
+        std::fs::remove_file(&path).unwrap();
+        prop_assert!(result.is_err(), "{len} junk bytes loaded as a zoo");
+    }
+}
+
+/// The pristine container itself must of course load, and match the
+/// in-memory zoo bit for bit — anchor for the damage properties above.
+#[test]
+fn pristine_container_loads_bit_exact() {
+    let (path, _, zoo, records) = saved_zoo();
+    let loaded = load_zoo(path).unwrap();
+    let layout = zoo.layout();
+    for rec in records.iter().take(8) {
+        let features = extract_features(rec, layout);
+        for &(model, param) in &trained_pairs(zoo) {
+            assert_eq!(
+                zoo.estimate_row(model, param, &features).unwrap().to_bits(),
+                loaded
+                    .zoo
+                    .estimate_row(model, param, &features)
+                    .unwrap()
+                    .to_bits()
+            );
+        }
+    }
+}
